@@ -1,0 +1,1 @@
+bin/bmccheck.ml: Arg Bmc Circuit Cmd Cmdliner Filename Format List Printf Sat Term

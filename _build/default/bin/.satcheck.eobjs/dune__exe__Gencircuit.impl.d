@@ -1,0 +1,1 @@
+bin/gencircuit.ml: Arg Circuit Cmd Cmdliner Filename Format List Sys Term

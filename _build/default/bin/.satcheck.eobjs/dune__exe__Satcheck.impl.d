@@ -1,0 +1,1 @@
+bin/satcheck.ml: Arg Array Cmd Cmdliner Format Fun List Sat Term

@@ -1,0 +1,256 @@
+(* BMC property checker CLI.
+
+   Checks the invariant property of a circuit (a .rnl netlist, an AIGER
+   .aag/.aig file, or a named built-in benchmark) by bounded model checking
+   with a selectable decision ordering, or proves it by k-induction.
+   Exit codes: 10 = counterexample found, 20 = bounded pass / proved,
+   0 = aborted on budget / undecided, 2 = input error. *)
+
+let load source =
+  match Circuit.Generators.by_name source with
+  | Some case -> Ok (case.Circuit.Generators.netlist, case.Circuit.Generators.property, Some case)
+  | None -> (
+    try
+      if Filename.check_suffix source ".aag" || Filename.check_suffix source ".aig" then
+        let nl, prop = Circuit.Aiger.parse_file source in
+        Ok (nl, prop, None)
+      else
+        let nl, prop = Circuit.Textio.parse_file source in
+        Ok (nl, prop, None)
+    with
+    | Circuit.Textio.Parse_error msg -> Error msg
+    | Circuit.Aiger.Parse_error msg -> Error msg
+    | Sys_error msg -> Error msg)
+
+let run source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
+    max_seconds simple_path ltl_formula =
+  let mode =
+    match Bmc.Engine.mode_of_string mode_name with
+    | Some m -> m
+    | None ->
+      Format.eprintf "bmccheck: unknown mode %S (standard|static|dynamic|shtrichman)@." mode_name;
+      exit 2
+  in
+  let weighting =
+    match weighting_name with
+    | "linear" -> Bmc.Score.Linear
+    | "uniform" -> Bmc.Score.Uniform
+    | "last" -> Bmc.Score.Last_only
+    | w ->
+      Format.eprintf "bmccheck: unknown weighting %S (linear|uniform|last)@." w;
+      exit 2
+  in
+  match load source with
+  | Error msg ->
+    Format.eprintf "bmccheck: %s@." msg;
+    exit 2
+  | Ok (netlist, property, case) ->
+    let max_depth =
+      match (max_depth, case) with
+      | Some d, _ -> d
+      | None, Some c -> c.Circuit.Generators.suggested_depth
+      | None, None -> 20
+    in
+    let budget =
+      { Sat.Solver.max_conflicts; max_propagations = None; max_seconds }
+    in
+    let config = Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth () in
+    (match ltl_formula with
+    | Some text ->
+      let formula =
+        try Bmc.Ltl.parse netlist text
+        with Bmc.Ltl.Parse_error msg ->
+          Format.eprintf "bmccheck: LTL syntax: %s@." msg;
+          exit 2
+      in
+      let r = Bmc.Ltl.check ~config netlist formula in
+      if verbose then
+        List.iter
+          (fun (d : Bmc.Engine.depth_stat) ->
+            Format.printf "depth %3d: %-7s dec=%-8d impl=%-10d confl=%d, %.3fs@." d.depth
+              (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
+              d.decisions d.implications d.conflicts d.time)
+          r.per_depth;
+      (match r.verdict with
+      | Bmc.Ltl.Falsified w ->
+        Format.printf "%s: LTL property falsified at depth %d (%s)@." source w.depth
+          (match w.loop_start with
+          | Some l -> Printf.sprintf "lasso back to state %d" l
+          | None -> "finite prefix");
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) w.trace;
+        exit 10
+      | Bmc.Ltl.Bounded_pass k ->
+        Format.printf "%s: no LTL counterexample up to depth %d (%.3fs)@." source k
+          r.total_time;
+        exit 20
+      | Bmc.Ltl.Aborted k ->
+        Format.printf "%s: LTL check aborted at depth %d@." source k;
+        exit 0)
+    | None -> ());
+    (match engine_name with
+    | "bmc" | "incremental" -> ()
+    | "interpolation" ->
+      let r = Bmc.Interpolation.prove netlist ~property in
+      Format.printf "%s: %a (%.3fs)@." source Bmc.Interpolation.pp_verdict r.verdict
+        r.total_time;
+      (match r.verdict with
+      | Bmc.Interpolation.Falsified trace ->
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+        exit 10
+      | Bmc.Interpolation.Proved _ -> exit 20
+      | Bmc.Interpolation.Unknown _ -> exit 0)
+    | "pdr" ->
+      let r = Bmc.Pdr.prove netlist ~property in
+      Format.printf "%s: %a (%.3fs, %d queries)@." source Bmc.Pdr.pp_verdict r.verdict
+        r.total_time r.queries;
+      (match r.verdict with
+      | Bmc.Pdr.Falsified trace ->
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+        exit 10
+      | Bmc.Pdr.Proved _ -> exit 20
+      | Bmc.Pdr.Unknown _ -> exit 0)
+    | "symbolic" ->
+      let v = Bmc.Symbolic.check netlist ~property in
+      Format.printf "%s: %a@." source Bmc.Symbolic.pp_verdict v;
+      (match v with
+      | Bmc.Symbolic.Fails_at _ -> exit 10
+      | Bmc.Symbolic.Holds _ -> exit 20
+      | Bmc.Symbolic.Blowup _ -> exit 0)
+    | "abstraction" ->
+      let config = Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth () in
+      let r = Bmc.Abstraction.prove ~config netlist ~property in
+      if verbose then
+        List.iter
+          (fun (round : Bmc.Abstraction.round) ->
+            Format.printf "depth %3d: core regs=%-4d abstract=%s, %.3fs@." round.depth
+              round.core_regs
+              (match round.abstract_verdict with
+              | Some v -> Format.asprintf "%a" Circuit.Reach.pp_verdict v
+              | None -> "-")
+              round.time)
+          r.rounds;
+      Format.printf "%s: %a (%.3fs)@." source Bmc.Abstraction.pp_verdict r.verdict
+        r.total_time;
+      (match r.verdict with
+      | Bmc.Abstraction.Falsified trace ->
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+        exit 10
+      | Bmc.Abstraction.Proved _ -> exit 20
+      | Bmc.Abstraction.Unknown _ -> exit 0)
+    | "induction" ->
+      let r = Bmc.Induction.prove ~config ~simple_path netlist ~property in
+      if verbose then
+        List.iter
+          (fun (d : Bmc.Induction.step_stat) ->
+            Format.printf "depth %3d: base=%-7s step=%-7s dec=%d+%d, %.3fs@." d.depth
+              (Format.asprintf "%a" Sat.Solver.pp_outcome d.base_outcome)
+              (match d.step_outcome with
+              | Some o -> Format.asprintf "%a" Sat.Solver.pp_outcome o
+              | None -> "-")
+              d.base_decisions d.step_decisions d.time)
+          r.per_depth;
+      Format.printf "%s: %a (%.3fs)@." source Bmc.Induction.pp_verdict r.verdict r.total_time;
+      (match r.verdict with
+      | Bmc.Induction.Falsified trace ->
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+        exit 10
+      | Bmc.Induction.Proved _ -> exit 20
+      | Bmc.Induction.Unknown _ -> exit 0)
+    | other ->
+      Format.eprintf
+        "bmccheck: unknown engine %S (bmc|incremental|induction|symbolic|abstraction|pdr|interpolation)@."
+        other;
+      exit 2);
+    let result =
+      if engine_name = "incremental" then Bmc.Incremental.run ~config netlist ~property
+      else Bmc.Engine.run ~config netlist ~property
+    in
+    if verbose then
+      List.iter
+        (fun (d : Bmc.Engine.depth_stat) ->
+          Format.printf "depth %3d: %-7s dec=%-8d impl=%-10d confl=%-7d core=%d vars, %.3fs%s@."
+            d.depth
+            (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
+            d.decisions d.implications d.conflicts d.core_var_count d.time
+            (if d.switched then " [switched to VSIDS]" else ""))
+        result.per_depth;
+    Format.printf "%s: %a (%.3fs, %d decisions, %d implications)@." source
+      Bmc.Engine.pp_verdict result.verdict result.total_time result.total_decisions
+      result.total_implications;
+    (match result.verdict with
+    | Bmc.Engine.Falsified trace ->
+      Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+      exit 10
+    | Bmc.Engine.Bounded_pass _ -> exit 20
+    | Bmc.Engine.Aborted _ -> exit 0)
+
+open Cmdliner
+
+let source =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"A .rnl netlist file or a built-in benchmark name.")
+
+let engine =
+  Arg.(
+    value & opt string "bmc"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Checking engine: bmc (one solver per depth), incremental (one \
+              persistent solver), induction (k-induction proof), symbolic \
+              (BDD reachability), abstraction (core-guided proof), pdr \
+              (IC3), or interpolation (McMillan 2003).")
+
+let mode =
+  Arg.(
+    value & opt string "dynamic"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Decision ordering: standard, static, dynamic or shtrichman.")
+
+let ltl =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ltl" ] ~docv:"FORMULA"
+        ~doc:"Check this LTL property instead of the built-in invariant, e.g. \
+              'G (req -> F grant)'.  Signal names resolve in the netlist.")
+
+let simple_path =
+  Arg.(
+    value & flag
+    & info [ "simple-path" ]
+        ~doc:"With --engine induction: add pairwise state-disequality constraints.")
+
+let max_depth =
+  Arg.(value & opt (some int) None & info [ "depth"; "k" ] ~docv:"K" ~doc:"Maximum unrolling depth.")
+
+let coi = Arg.(value & flag & info [ "coi" ] ~doc:"Encode only the property's cone of influence.")
+
+let weighting =
+  Arg.(
+    value & opt string "linear"
+    & info [ "weighting" ] ~docv:"W" ~doc:"Core weighting: linear, uniform or last.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-depth statistics.")
+
+let max_conflicts =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N" ~doc:"Per-instance conflict budget.")
+
+let max_seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC" ~doc:"Per-instance CPU-second budget.")
+
+let cmd =
+  let doc = "bounded model checking with refined SAT decision orderings" in
+  let info = Cmd.info "bmccheck" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ source $ engine $ mode $ max_depth $ coi $ weighting $ verbose
+      $ max_conflicts $ max_seconds $ simple_path $ ltl)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,86 @@
+(* Benchmark-circuit generator CLI.
+
+   Lists the built-in benchmark suite or writes a named case as a .rnl
+   netlist (stdout or a file). *)
+
+let list_cases () =
+  let print_case (c : Circuit.Generators.case) =
+    let expect =
+      match c.expect with
+      | Some e -> Format.asprintf "%a" Circuit.Generators.pp_expect e
+      | None -> "?"
+    in
+    Format.printf "%-16s regs=%-4d inputs=%-3d nodes=%-5d depth=%-4d %s@." c.name
+      (List.length (Circuit.Netlist.regs c.netlist))
+      (List.length (Circuit.Netlist.inputs c.netlist))
+      (Circuit.Netlist.num_nodes c.netlist)
+      c.suggested_depth expect
+  in
+  Format.printf "# Table-1 suite@.";
+  List.iter print_case (Circuit.Generators.suite ());
+  Format.printf "# tiny suite (oracle-checkable)@.";
+  List.iter print_case (Circuit.Generators.tiny_suite ())
+
+let emit_all dir =
+  (try if not (Sys.is_directory dir) then failwith "" with Sys_error _ -> Sys.mkdir dir 0o755);
+  let emit (c : Circuit.Generators.case) =
+    let rnl = Filename.concat dir (c.name ^ ".rnl") in
+    let aag = Filename.concat dir (c.name ^ ".aag") in
+    Circuit.Textio.write_file rnl c.netlist ~property:c.property;
+    Circuit.Aiger.write_file aag c.netlist ~property:c.property
+  in
+  let cases = Circuit.Generators.suite () @ Circuit.Generators.tiny_suite () in
+  List.iter emit cases;
+  Format.printf "wrote %d circuits (.rnl and .aag) to %s@." (List.length cases) dir
+
+let run list name output all_dir =
+  (match all_dir with
+  | Some dir ->
+    emit_all dir;
+    exit 0
+  | None -> ());
+  if list then begin
+    list_cases ();
+    exit 0
+  end;
+  match name with
+  | None ->
+    Format.eprintf "gencircuit: provide a case name or --list@.";
+    exit 2
+  | Some name -> (
+    match Circuit.Generators.by_name name with
+    | None ->
+      Format.eprintf "gencircuit: unknown case %S (try --list)@." name;
+      exit 2
+    | Some case -> (
+      match output with
+      | Some path ->
+        if Filename.check_suffix path ".aag" || Filename.check_suffix path ".aig" then
+          Circuit.Aiger.write_file path case.netlist ~property:case.property
+        else Circuit.Textio.write_file path case.netlist ~property:case.property;
+        Format.printf "wrote %s@." path
+      | None ->
+        Format.printf "%s"
+          (Circuit.Textio.to_string case.netlist ~property:case.property)))
+
+open Cmdliner
+
+let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List available benchmark cases.")
+
+let case_name = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Case to emit.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let all_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "all" ] ~docv:"DIR" ~doc:"Emit every benchmark case into $(docv), in both formats.")
+
+let cmd =
+  let doc = "generate benchmark circuits in .rnl format" in
+  let info = Cmd.info "gencircuit" ~doc in
+  Cmd.v info Term.(const run $ list_flag $ case_name $ output $ all_dir)
+
+let () = exit (Cmd.eval cmd)

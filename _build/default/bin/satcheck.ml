@@ -1,0 +1,131 @@
+(* DIMACS CNF solver CLI.
+
+   Exit codes follow the SAT-competition convention: 10 = SAT, 20 = UNSAT,
+   0 = unknown (budget exhausted), 2 = input error. *)
+
+let run file core stats_flag max_conflicts max_seconds drat_file certify preprocess =
+  match
+    (try Ok (Sat.Dimacs.parse_file file) with
+    | Sat.Dimacs.Parse_error msg -> Error msg
+    | Sys_error msg -> Error msg)
+  with
+  | Error msg ->
+    Format.eprintf "satcheck: %s@." msg;
+    exit 2
+  | Ok cnf ->
+    if preprocess && (core || certify || drat_file <> None) then begin
+      Format.eprintf
+        "satcheck: --preprocess rewrites the clause set and cannot be combined with \
+         --core/--certify/--drat@.";
+      exit 2
+    end;
+    let work, reconstruct =
+      if preprocess then begin
+        let r = Sat.Simplify.preprocess cnf in
+        Format.eprintf
+          "c preprocess: %d vars eliminated, %d clauses subsumed, %d strengthened (%d -> %d \
+           clauses)@."
+          r.Sat.Simplify.eliminated_vars r.Sat.Simplify.subsumed_clauses
+          r.Sat.Simplify.strengthened_clauses (Sat.Cnf.num_clauses cnf)
+          (Sat.Cnf.num_clauses r.Sat.Simplify.simplified);
+        (r.Sat.Simplify.simplified, r.Sat.Simplify.reconstruct)
+      end
+      else (cnf, Fun.id)
+    in
+    let with_drat = drat_file <> None || certify in
+    let solver = Sat.Solver.create ~with_proof:core ~with_drat work in
+    let budget =
+      {
+        Sat.Solver.max_conflicts;
+        max_propagations = None;
+        max_seconds;
+      }
+    in
+    let outcome = Sat.Solver.solve ~budget solver in
+    if stats_flag then Format.eprintf "c %a@." Sat.Stats.pp (Sat.Solver.stats solver);
+    (match outcome with
+    | Sat.Solver.Sat ->
+      Format.printf "s SATISFIABLE@.";
+      let model = reconstruct (Sat.Solver.model solver) in
+      Format.printf "v";
+      Array.iteri
+        (fun v b -> Format.printf " %d" (if b then v + 1 else -(v + 1)))
+        model;
+      Format.printf " 0@.";
+      exit 10
+    | Sat.Solver.Unsat ->
+      Format.printf "s UNSATISFIABLE@.";
+      (match drat_file with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Sat.Checker.to_drat (Sat.Solver.drat_events solver));
+        close_out oc;
+        Format.printf "c drat proof written to %s@." path
+      | None -> ());
+      if certify then begin
+        match Sat.Checker.check_refutation cnf (Sat.Solver.drat_events solver) with
+        | Ok () -> Format.printf "c certified: the refutation passes the independent checker@."
+        | Error msg ->
+          Format.eprintf "satcheck: REFUTATION REJECTED: %s@." msg;
+          exit 2
+      end;
+      if core then begin
+        let ids = Sat.Solver.unsat_core solver in
+        Format.printf "c core %d of %d clauses@." (List.length ids) (Sat.Cnf.num_clauses cnf);
+        Format.printf "c core-clauses";
+        List.iter (fun i -> Format.printf " %d" i) ids;
+        Format.printf "@.";
+        Format.printf "c core-vars";
+        List.iter (fun v -> Format.printf " %d" (v + 1)) (Sat.Solver.core_vars solver);
+        Format.printf "@."
+      end;
+      exit 20
+    | Sat.Solver.Unknown ->
+      Format.printf "s UNKNOWN@.";
+      exit 0)
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF input file.")
+
+let core =
+  Arg.(value & flag & info [ "core" ] ~doc:"Log the resolution dependencies and print an unsatisfiable core on UNSAT.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics to stderr.")
+
+let max_conflicts =
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N" ~doc:"Abort after $(docv) conflicts.")
+
+let max_seconds =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc:"Abort after $(docv) CPU seconds.")
+
+let drat_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "drat" ] ~docv:"FILE" ~doc:"Write the clausal (DRAT) refutation proof to $(docv) on UNSAT.")
+
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"On UNSAT, replay the refutation through the independent RUP checker and fail \
+              loudly if it is rejected.")
+
+let preprocess =
+  Arg.(
+    value & flag
+    & info [ "preprocess" ]
+        ~doc:"Apply subsumption and bounded variable elimination before solving (models are \
+              reconstructed; incompatible with core/proof output).")
+
+let cmd =
+  let doc = "CDCL SAT solver with unsatisfiable-core extraction" in
+  let info = Cmd.info "satcheck" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ file $ core $ stats $ max_conflicts $ max_seconds $ drat_file $ certify
+      $ preprocess)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/arbiter_audit.ml: Bmc Circuit Format List Printf Sat

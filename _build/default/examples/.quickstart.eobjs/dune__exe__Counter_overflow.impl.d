@@ -1,0 +1,1 @@
+examples/counter_overflow.ml: Bmc Circuit Format List Option

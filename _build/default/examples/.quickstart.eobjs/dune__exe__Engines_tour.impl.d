@@ -1,0 +1,1 @@
+examples/engines_tour.ml: Bmc Circuit Format List Printf Sys

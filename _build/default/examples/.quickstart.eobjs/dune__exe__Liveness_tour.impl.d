@@ -1,0 +1,1 @@
+examples/liveness_tour.ml: Bmc Circuit Format Printf

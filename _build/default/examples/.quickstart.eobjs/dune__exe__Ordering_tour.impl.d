@@ -1,0 +1,1 @@
+examples/ordering_tour.ml: Bmc Format List Sat String

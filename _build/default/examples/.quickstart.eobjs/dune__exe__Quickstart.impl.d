@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bmc Circuit Format List Sat

@@ -1,0 +1,285 @@
+exception Node_limit
+
+(* Nodes live in growable parallel arrays; ids 0 and 1 are the terminals.
+   A terminal's "variable" is max_int so every real variable sits above
+   it in the order. *)
+type manager = {
+  mutable vars : int array;
+  mutable los : int array;
+  mutable his : int array;
+  mutable len : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  node_limit : int;
+}
+
+type node = int
+
+type t = { m : manager; n : node }
+
+let check2 a b ctx = if a.m != b.m then invalid_arg ("Bdd." ^ ctx ^ ": mixed managers")
+
+let manager ?(node_limit = 2_000_000) () =
+  let m =
+    {
+      vars = Array.make 1024 max_int;
+      los = Array.make 1024 0;
+      his = Array.make 1024 0;
+      len = 2;
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+      node_limit;
+    }
+  in
+  (* terminals: 0 = false, 1 = true *)
+  m.vars.(0) <- max_int;
+  m.vars.(1) <- max_int;
+  m
+
+
+let var_of m n = m.vars.(n)
+
+let grow m =
+  let cap = Array.length m.vars in
+  let bigger a init =
+    let b = Array.make (2 * cap) init in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  m.vars <- bigger m.vars max_int;
+  m.los <- bigger m.los 0;
+  m.his <- bigger m.his 0
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some n -> n
+    | None ->
+      if m.len >= m.node_limit then raise Node_limit;
+      if m.len = Array.length m.vars then grow m;
+      let n = m.len in
+      m.vars.(n) <- v;
+      m.los.(n) <- lo;
+      m.his.(n) <- hi;
+      m.len <- m.len + 1;
+      Hashtbl.replace m.unique (v, lo, hi) n;
+      n
+  end
+
+(* Shannon expansion on the top variable of f, g, h. *)
+let rec ite_n m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    match Hashtbl.find_opt m.ite_cache (f, g, h) with
+    | Some r -> r
+    | None ->
+      let v = min (var_of m f) (min (var_of m g) (var_of m h)) in
+      let cof n branch =
+        if var_of m n = v then if branch then m.his.(n) else m.los.(n) else n
+      in
+      let hi = ite_n m (cof f true) (cof g true) (cof h true) in
+      let lo = ite_n m (cof f false) (cof g false) (cof h false) in
+      let r = mk m v lo hi in
+      Hashtbl.replace m.ite_cache (f, g, h) r;
+      r
+  end
+
+let not_n m f = ite_n m f 0 1
+
+let or_n m f g = ite_n m f 1 g
+
+let exists_n m vs b =
+  let set = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace set v ()) vs;
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n < 2 then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let v = var_of m n in
+        let lo = go m.los.(n) and hi = go m.his.(n) in
+        let r = if Hashtbl.mem set v then or_n m lo hi else mk m v lo hi in
+        Hashtbl.replace memo n r;
+        r
+  in
+  go b
+
+let rename_n m f b =
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n < 2 then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let v = f (var_of m n) in
+        if v < 0 then invalid_arg "Bdd.rename: negative target variable";
+        let lo = go m.los.(n) and hi = go m.his.(n) in
+        (* monotonicity: the renamed variable must stay above both children *)
+        let child_min = min (if lo < 2 then max_int else var_of m lo)
+            (if hi < 2 then max_int else var_of m hi)
+        in
+        if v >= child_min then invalid_arg "Bdd.rename: mapping is not order-preserving";
+        let r = mk m v lo hi in
+        Hashtbl.replace memo n r;
+        r
+  in
+  go b
+
+let restrict_n m v value b =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n < 2 then n
+    else if var_of m n > v then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let r =
+          if var_of m n = v then if value then m.his.(n) else m.los.(n)
+          else mk m (var_of m n) (go m.los.(n)) (go m.his.(n))
+        in
+        Hashtbl.replace memo n r;
+        r
+  in
+  go b
+
+let eval_n m b assign =
+  let rec go n =
+    if n = 0 then false
+    else if n = 1 then true
+    else if assign m.vars.(n) then go m.his.(n)
+    else go m.los.(n)
+  in
+  go b
+
+let support_n m b =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      Hashtbl.replace vars m.vars.(n) ();
+      go m.los.(n);
+      go m.his.(n)
+    end
+  in
+  go b;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort Int.compare
+
+let size_n m b =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      go m.los.(n);
+      go m.his.(n)
+    end
+  in
+  go b;
+  Hashtbl.length seen
+
+let sat_count_n m b ~nvars =
+  let memo = Hashtbl.create 64 in
+  let level_of n = if n < 2 then nvars else m.vars.(n) in
+  let rec go n =
+    if n = 0 then 0.0
+    else if n = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+        let weight child =
+          go child *. (2.0 ** float_of_int (level_of child - m.vars.(n) - 1))
+        in
+        let c = weight m.los.(n) +. weight m.his.(n) in
+        Hashtbl.replace memo n c;
+        c
+  in
+  go b *. (2.0 ** float_of_int (level_of b))
+
+let any_sat_n m b =
+  if b = 0 then raise Not_found;
+  let rec go n acc =
+    if n = 1 then List.rev acc
+    else if m.los.(n) <> 0 then go m.los.(n) ((m.vars.(n), false) :: acc)
+    else go m.his.(n) ((m.vars.(n), true) :: acc)
+  in
+  go b []
+
+(* ------------------------------------------------------------------ *)
+(* Public, manager-carrying surface.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let zero m = { m; n = 0 }
+
+let one m = { m; n = 1 }
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  { m; n = mk m i 0 1 }
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative variable";
+  { m; n = mk m i 1 0 }
+
+let ite m f g h =
+  check2 f g "ite";
+  check2 g h "ite";
+  { m; n = ite_n m f.n g.n h.n }
+
+let not_ m f = { m; n = not_n m f.n }
+
+let and_ m f g =
+  check2 f g "and_";
+  { m; n = ite_n m f.n g.n 0 }
+
+let or_ m f g =
+  check2 f g "or_";
+  { m; n = ite_n m f.n 1 g.n }
+
+let xor_ m f g =
+  check2 f g "xor_";
+  { m; n = ite_n m f.n (not_n m g.n) g.n }
+
+let xnor_ m f g =
+  check2 f g "xnor_";
+  { m; n = ite_n m f.n g.n (not_n m g.n) }
+
+let implies m f g =
+  check2 f g "implies";
+  { m; n = ite_n m f.n g.n 1 }
+
+let exists m vs b = { m; n = exists_n m vs b.n }
+
+let forall m vs b = { m; n = not_n m (exists_n m vs (not_n m b.n)) }
+
+let rename m f b = { m; n = rename_n m f b.n }
+
+let restrict m v value b = { m; n = restrict_n m v value b.n }
+
+let is_zero b = b.n = 0
+
+let is_one b = b.n = 1
+
+let equal a b =
+  check2 a b "equal";
+  a.n = b.n
+
+let eval b assign = eval_n b.m b.n assign
+
+let support b = support_n b.m b.n
+
+let size b = size_n b.m b.n
+
+let sat_count b ~nvars = sat_count_n b.m b.n ~nvars
+
+let any_sat b = any_sat_n b.m b.n
+
+let num_nodes m = m.len

@@ -1,0 +1,91 @@
+(** Reduced ordered binary decision diagrams.
+
+    The paper positions BMC as "a complement to model checking based on
+    BDDs" (its opening sentence); this module is that complement's
+    substrate.  A classic ROBDD package: hash-consed nodes under a fixed
+    global variable order (the variable's integer index {e is} its level),
+    memoised Shannon-expansion [ite], existential quantification, and a
+    monotone variable renaming used by image computation.
+
+    All values belong to a {!manager}; mixing managers is an error (checked
+    cheaply).  Structural equality of BDDs is physical equality of their
+    node indices, exposed as {!equal}. *)
+
+type manager
+
+type t
+(** A BDD rooted at some node of its manager. *)
+
+exception Node_limit
+(** Raised by any operation that would grow the manager past its node
+    limit — the symbolic engine treats it as "blow-up, fall back". *)
+
+val manager : ?node_limit:int -> unit -> manager
+(** Fresh manager.  [node_limit] (default 2_000_000) bounds the number of
+    distinct nodes ever created. *)
+
+val zero : manager -> t
+
+val one : manager -> t
+
+val var : manager -> int -> t
+(** The function of a single variable.  Variables are dense non-negative
+    integers; a smaller index is closer to the root.
+    @raise Invalid_argument on a negative index. *)
+
+val nvar : manager -> int -> t
+(** Negation of {!var}. *)
+
+val not_ : manager -> t -> t
+
+val and_ : manager -> t -> t -> t
+
+val or_ : manager -> t -> t -> t
+
+val xor_ : manager -> t -> t -> t
+
+val xnor_ : manager -> t -> t -> t
+
+val implies : manager -> t -> t -> t
+
+val ite : manager -> t -> t -> t -> t
+(** [ite m f g h] is "if f then g else h". *)
+
+val exists : manager -> int list -> t -> t
+(** Existentially quantify the listed variables. *)
+
+val forall : manager -> int list -> t -> t
+
+val rename : manager -> (int -> int) -> t -> t
+(** [rename m f b] substitutes variable [v] by variable [f v] throughout.
+    [f] must be strictly monotone on the support of [b] (it may not reorder
+    levels); this is checked and @raise Invalid_argument otherwise. *)
+
+val restrict : manager -> int -> bool -> t -> t
+(** Cofactor: fix one variable to a constant. *)
+
+val is_zero : t -> bool
+
+val is_one : t -> bool
+
+val equal : t -> t -> bool
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a total assignment. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val size : t -> int
+(** Number of internal nodes reachable from this root. *)
+
+val sat_count : t -> nvars:int -> float
+(** Number of satisfying assignments over the given variable universe
+    [0 .. nvars-1] (as a float: counts overflow 63 bits quickly). *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying partial assignment (variables not listed are free).
+    @raise Not_found on the zero BDD. *)
+
+val num_nodes : manager -> int
+(** Total nodes allocated in the manager so far. *)

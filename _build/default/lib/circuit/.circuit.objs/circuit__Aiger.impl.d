@@ -1,0 +1,1 @@
+lib/circuit/aiger.ml: Array Buffer Char Filename Format Hashtbl List Netlist Printf String

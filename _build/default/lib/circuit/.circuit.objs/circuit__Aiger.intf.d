@@ -1,0 +1,1 @@
+lib/circuit/aiger.mli: Netlist

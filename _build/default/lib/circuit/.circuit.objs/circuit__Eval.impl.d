@@ -1,0 +1,1 @@
+lib/circuit/eval.ml: Array Hashtbl List Netlist

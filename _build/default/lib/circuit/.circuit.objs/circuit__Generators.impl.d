@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Format Hashtbl List Netlist Printf Word

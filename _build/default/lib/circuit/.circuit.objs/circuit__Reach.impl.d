@@ -1,0 +1,1 @@
+lib/circuit/reach.ml: Array Eval Format Hashtbl Int List Netlist Queue

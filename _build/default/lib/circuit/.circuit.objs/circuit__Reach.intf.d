@@ -1,0 +1,1 @@
+lib/circuit/reach.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/circuit/textio.ml: Format Hashtbl List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/circuit/textio.mli: Format Netlist

@@ -1,0 +1,409 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type header = {
+  m : int;
+  i : int;
+  l : int;
+  o : int;
+  a : int;
+  b : int;
+}
+
+let parse_header line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+  | fmt :: rest when fmt = "aag" || fmt = "aig" -> (
+    match List.map int_of_string_opt rest with
+    | Some m :: Some i :: Some l :: Some o :: Some a :: tail ->
+      let b = match tail with Some b :: _ -> b | _ -> 0 in
+      if List.exists (fun x -> x = None) tail then fail "malformed header %S" line;
+      (fmt, { m; i; l; o; a; b })
+    | _ -> fail "malformed header %S" line)
+  | _ -> fail "not an AIGER file (header %S)" line
+
+type raw = {
+  header : header;
+  input_lits : int array;
+  latch_lits : int array; (* current-state literal of each latch *)
+  latch_next : int array;
+  latch_init : int option array; (* None = nondeterministic *)
+  outputs : int list;
+  bads : int list;
+  ands : (int * int * int) array; (* lhs, rhs0, rhs1 *)
+}
+
+(* Build a netlist from the raw structure (shared by both encodings). *)
+let build raw =
+  let nl = Netlist.create () in
+  let nodes : (int, Netlist.node) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace nodes 0 (Netlist.const_false nl);
+  Array.iteri
+    (fun idx lit ->
+      if lit land 1 = 1 || lit = 0 then fail "invalid input literal %d" lit;
+      Hashtbl.replace nodes (lit / 2) (Netlist.input nl (Printf.sprintf "i%d" idx)))
+    raw.input_lits;
+  Array.iteri
+    (fun idx lit ->
+      if lit land 1 = 1 || lit = 0 then fail "invalid latch literal %d" lit;
+      let init =
+        match raw.latch_init.(idx) with
+        | Some 0 -> Some false
+        | Some 1 -> Some true
+        | Some r when r = lit -> None (* reset to itself = uninitialised *)
+        | Some r -> fail "unsupported latch reset %d" r
+        | None -> Some false (* AIGER 1.0 default: zero-initialised *)
+      in
+      Hashtbl.replace nodes (lit / 2) (Netlist.reg nl ~name:(Printf.sprintf "l%d" idx) ~init))
+    raw.latch_lits;
+  let and_of_lhs = Hashtbl.create 256 in
+  Array.iter
+    (fun ((lhs, _, _) as g) ->
+      if lhs land 1 = 1 then fail "and-gate output %d is negated" lhs;
+      Hashtbl.replace and_of_lhs (lhs / 2) g)
+    raw.ands;
+  (* resolve literals, building and-gates on demand (cycle-checked) *)
+  let building = Hashtbl.create 16 in
+  let rec node_of_var v =
+    match Hashtbl.find_opt nodes v with
+    | Some n -> n
+    | None -> (
+      if Hashtbl.mem building v then fail "combinational cycle through variable %d" v;
+      Hashtbl.replace building v ();
+      match Hashtbl.find_opt and_of_lhs v with
+      | Some (_, rhs0, rhs1) ->
+        let n = Netlist.and_ nl (node_of_lit rhs0) (node_of_lit rhs1) in
+        Hashtbl.remove building v;
+        Hashtbl.replace nodes v n;
+        n
+      | None -> fail "undefined variable %d" v)
+  and node_of_lit lit =
+    let n = node_of_var (lit / 2) in
+    if lit land 1 = 1 then Netlist.not_ nl n else n
+  in
+  Array.iteri
+    (fun idx lit -> Netlist.set_next nl (Hashtbl.find nodes (lit / 2)) (node_of_lit raw.latch_next.(idx)))
+    raw.latch_lits;
+  let bad_lits =
+    match (raw.bads, raw.outputs) with
+    | [], [] -> fail "no bad-state literal and no output to use as one"
+    | [], out0 :: _ -> [ out0 ] (* AIGER 1.0 model-checking convention *)
+    | bads, _ -> bads
+  in
+  let bad = Netlist.or_list nl (List.map node_of_lit bad_lits) in
+  let property = Netlist.not_ nl bad in
+  (match Netlist.validate nl with Ok () -> () | Error msg -> fail "%s" msg);
+  (nl, property)
+
+(* --- ASCII --- *)
+
+let parse_ascii lines header =
+  let lines = Array.of_list lines in
+  let cursor = ref 0 in
+  let next_line what =
+    if !cursor >= Array.length lines then fail "unexpected end of file reading %s" what;
+    let l = lines.(!cursor) in
+    incr cursor;
+    l
+  in
+  let ints_of what line =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 0 -> n
+           | Some _ | None -> fail "bad %s line %S" what line)
+  in
+  let input_lits =
+    Array.init header.i (fun _ ->
+        match ints_of "input" (next_line "inputs") with
+        | [ lit ] -> lit
+        | _ -> fail "malformed input line")
+  in
+  let latch_lits = Array.make header.l 0 in
+  let latch_next = Array.make header.l 0 in
+  let latch_init = Array.make header.l (Some 0) in
+  for idx = 0 to header.l - 1 do
+    match ints_of "latch" (next_line "latches") with
+    | [ lit; nxt ] ->
+      latch_lits.(idx) <- lit;
+      latch_next.(idx) <- nxt
+    | [ lit; nxt; init ] ->
+      latch_lits.(idx) <- lit;
+      latch_next.(idx) <- nxt;
+      latch_init.(idx) <- Some init
+    | _ -> fail "malformed latch line"
+  done;
+  let one_lit what () =
+    match ints_of what (next_line what) with
+    | [ lit ] -> lit
+    | _ -> fail "malformed %s line" what
+  in
+  let outputs = List.init header.o (fun _ -> one_lit "output" ()) in
+  let bads = List.init header.b (fun _ -> one_lit "bad" ()) in
+  let ands =
+    Array.init header.a (fun _ ->
+        match ints_of "and" (next_line "ands") with
+        | [ lhs; rhs0; rhs1 ] -> (lhs, rhs0, rhs1)
+        | _ -> fail "malformed and line")
+  in
+  build { header; input_lits; latch_lits; latch_next; latch_init; outputs; bads; ands }
+
+(* --- binary --- *)
+
+let parse_binary data pos header =
+  (* the text section: latches, outputs, bads — one per line *)
+  let pos = ref pos in
+  let next_line what =
+    if !pos >= String.length data then fail "unexpected end of file reading %s" what;
+    match String.index_from_opt data !pos '\n' with
+    | Some nl ->
+      let line = String.sub data !pos (nl - !pos) in
+      pos := nl + 1;
+      line
+    | None ->
+      let line = String.sub data !pos (String.length data - !pos) in
+      pos := String.length data;
+      line
+  in
+  let ints_of what line =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 0 -> n
+           | Some _ | None -> fail "bad %s line %S" what line)
+  in
+  let input_lits = Array.init header.i (fun idx -> 2 * (idx + 1)) in
+  let latch_lits = Array.init header.l (fun idx -> 2 * (header.i + idx + 1)) in
+  let latch_next = Array.make header.l 0 in
+  let latch_init = Array.make header.l (Some 0) in
+  for idx = 0 to header.l - 1 do
+    match ints_of "latch" (next_line "latches") with
+    | [ nxt ] -> latch_next.(idx) <- nxt
+    | [ nxt; init ] ->
+      latch_next.(idx) <- nxt;
+      latch_init.(idx) <- Some init
+    | _ -> fail "malformed binary latch line"
+  done;
+  let one_lit what () =
+    match ints_of what (next_line what) with
+    | [ lit ] -> lit
+    | _ -> fail "malformed %s line" what
+  in
+  let outputs = List.init header.o (fun _ -> one_lit "output" ()) in
+  let bads = List.init header.b (fun _ -> one_lit "bad" ()) in
+  (* the binary and-gate section: delta-encoded 7-bit groups *)
+  let read_delta () =
+    let rec go shift acc =
+      if !pos >= String.length data then fail "truncated binary and section";
+      let byte = Char.code data.[!pos] in
+      incr pos;
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+  in
+  let ands =
+    Array.init header.a (fun idx ->
+        let lhs = 2 * (header.i + header.l + idx + 1) in
+        let delta0 = read_delta () in
+        let delta1 = read_delta () in
+        let rhs0 = lhs - delta0 in
+        let rhs1 = rhs0 - delta1 in
+        if rhs0 < 0 || rhs1 < 0 then fail "invalid delta encoding at gate %d" idx;
+        (lhs, rhs0, rhs1))
+  in
+  build { header; input_lits; latch_lits; latch_next; latch_init; outputs; bads; ands }
+
+let parse_string data =
+  match String.index_opt data '\n' with
+  | None -> fail "empty input"
+  | Some nl -> (
+    let header_line = String.sub data 0 nl in
+    let fmt, header = parse_header header_line in
+    match fmt with
+    | "aag" ->
+      let lines =
+        String.split_on_char '\n' (String.sub data (nl + 1) (String.length data - nl - 1))
+      in
+      parse_ascii lines header
+    | _ -> parse_binary data (nl + 1) header)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  parse_string data
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  nl : Netlist.t;
+  lit_of_node : (Netlist.node, int) Hashtbl.t; (* positive-phase literal *)
+  and_cache : (int * int, int) Hashtbl.t;
+  mutable next_var : int;
+  mutable gates : (int * int * int) list; (* reversed *)
+  mutable n_ands : int;
+}
+
+let mk_and w a b =
+  let a, b = if a >= b then (a, b) else (b, a) in
+  match Hashtbl.find_opt w.and_cache (a, b) with
+  | Some lit -> lit
+  | None ->
+    let lhs = 2 * w.next_var in
+    w.next_var <- w.next_var + 1;
+    w.gates <- (lhs, a, b) :: w.gates;
+    w.n_ands <- w.n_ands + 1;
+    Hashtbl.replace w.and_cache (a, b) lhs;
+    lhs
+
+(* Lower a node to an and-inverter literal. *)
+let rec encode w node =
+  match Hashtbl.find_opt w.lit_of_node node with
+  | Some lit -> lit
+  | None ->
+    let lit =
+      match Netlist.gate w.nl node with
+      | Netlist.Const false -> 0
+      | Netlist.Const true -> 1
+      | Netlist.Input _ | Netlist.Reg _ ->
+        fail "encode: input or latch without a pre-assigned literal"
+      | Netlist.Not a -> encode w a lxor 1
+      | Netlist.And (a, b) -> mk_and w (encode w a) (encode w b)
+      | Netlist.Or (a, b) -> mk_and w (encode w a lxor 1) (encode w b lxor 1) lxor 1
+      | Netlist.Xor (a, b) ->
+        let la = encode w a and lb = encode w b in
+        let t1 = mk_and w la (lb lxor 1) in
+        let t2 = mk_and w (la lxor 1) lb in
+        mk_and w (t1 lxor 1) (t2 lxor 1) lxor 1
+      | Netlist.Mux (s, h, l) ->
+        let ls = encode w s and lh = encode w h and ll = encode w l in
+        let t1 = mk_and w ls lh in
+        let t2 = mk_and w (ls lxor 1) ll in
+        mk_and w (t1 lxor 1) (t2 lxor 1) lxor 1
+    in
+    Hashtbl.replace w.lit_of_node node lit;
+    lit
+
+type encoded = {
+  e_inputs : int list;
+  e_latches : (int * int * int option) list; (* lit, next, reset *)
+  e_bad : int;
+  e_gates : (int * int * int) list; (* increasing lhs *)
+  e_maxvar : int;
+}
+
+let lower nl ~property =
+  let inputs = Netlist.inputs nl in
+  let regs = Netlist.regs nl in
+  let w =
+    {
+      nl;
+      lit_of_node = Hashtbl.create 256;
+      and_cache = Hashtbl.create 256;
+      next_var = 1;
+      gates = [];
+      n_ands = 0;
+    }
+  in
+  List.iter
+    (fun n ->
+      Hashtbl.replace w.lit_of_node n (2 * w.next_var);
+      w.next_var <- w.next_var + 1)
+    inputs;
+  List.iter
+    (fun r ->
+      Hashtbl.replace w.lit_of_node r (2 * w.next_var);
+      w.next_var <- w.next_var + 1)
+    regs;
+  let latches =
+    List.map
+      (fun r ->
+        let lit = Hashtbl.find w.lit_of_node r in
+        let next = encode w (Netlist.reg_next nl r) in
+        let reset =
+          match Netlist.reg_init nl r with
+          | Some false -> None (* the default: omit the field *)
+          | Some true -> Some 1
+          | None -> Some lit (* AIGER 1.9: reset to itself = uninitialised *)
+        in
+        (lit, next, reset))
+      regs
+  in
+  let bad = encode w property lxor 1 in
+  {
+    e_inputs = List.map (fun n -> Hashtbl.find w.lit_of_node n) inputs;
+    e_latches = latches;
+    e_bad = bad;
+    e_gates = List.rev w.gates;
+    e_maxvar = w.next_var - 1;
+  }
+
+let to_ascii nl ~property =
+  let e = lower nl ~property in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d %d 0 %d 1\n" e.e_maxvar (List.length e.e_inputs)
+       (List.length e.e_latches) (List.length e.e_gates));
+  List.iter (fun lit -> Buffer.add_string buf (Printf.sprintf "%d\n" lit)) e.e_inputs;
+  List.iter
+    (fun (lit, next, reset) ->
+      match reset with
+      | None -> Buffer.add_string buf (Printf.sprintf "%d %d\n" lit next)
+      | Some r -> Buffer.add_string buf (Printf.sprintf "%d %d %d\n" lit next r))
+    e.e_latches;
+  Buffer.add_string buf (Printf.sprintf "%d\n" e.e_bad);
+  List.iter
+    (fun (lhs, a, b) -> Buffer.add_string buf (Printf.sprintf "%d %d %d\n" lhs a b))
+    e.e_gates;
+  Buffer.contents buf
+
+let to_binary nl ~property =
+  let e = lower nl ~property in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d %d 0 %d 1\n" e.e_maxvar (List.length e.e_inputs)
+       (List.length e.e_latches) (List.length e.e_gates));
+  List.iter
+    (fun (lit, next, reset) ->
+      ignore lit;
+      match reset with
+      | None -> Buffer.add_string buf (Printf.sprintf "%d\n" next)
+      | Some r -> Buffer.add_string buf (Printf.sprintf "%d %d\n" next r))
+    e.e_latches;
+  Buffer.add_string buf (Printf.sprintf "%d\n" e.e_bad);
+  let put_delta d =
+    let rec go d =
+      if d land lnot 0x7f <> 0 then begin
+        Buffer.add_char buf (Char.chr ((d land 0x7f) lor 0x80));
+        go (d lsr 7)
+      end
+      else Buffer.add_char buf (Char.chr d)
+    in
+    go d
+  in
+  List.iter
+    (fun (lhs, a, b) ->
+      let rhs0 = max a b and rhs1 = min a b in
+      put_delta (lhs - rhs0);
+      put_delta (rhs0 - rhs1))
+    e.e_gates;
+  Buffer.contents buf
+
+let write_file path nl ~property =
+  let data =
+    if Filename.check_suffix path ".aag" then to_ascii nl ~property
+    else to_binary nl ~property
+  in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc

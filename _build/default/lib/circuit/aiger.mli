@@ -1,0 +1,37 @@
+(** AIGER and-inverter-graph format (ASCII [aag] and binary [aig]).
+
+    The interchange format of the Hardware Model Checking Competition; this
+    module bridges it with {!Netlist}, so published AIGER circuits can be
+    model-checked with the BMC engine and generated benchmarks exported.
+
+    Reading: inputs become {!Netlist.input}s, latches become registers
+    (honouring the AIGER 1.9 optional reset field — 0, 1 or nondeterministic),
+    and-gates become {!Netlist.and_} over possibly negated operands.  The
+    invariant property returned is ¬(bad₀ ∨ bad₁ ∨ ...) built from the [b]
+    lines, falling back to the first output for AIGER 1.0 files that encode
+    the bad state as an output.
+
+    Writing: the netlist's OR / XOR / MUX gates are lowered to
+    and-inverter form; the property is emitted as a single bad-state
+    literal.  Latches with non-zero or nondeterministic initial values use
+    the AIGER 1.9 reset field. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Netlist.t * Netlist.node
+(** Auto-detects [aag] (ASCII) vs [aig] (binary) from the header.
+    Returns the netlist and the invariant property node.
+    @raise Parse_error on malformed input or if there is neither a bad line
+    nor an output to serve as the property. *)
+
+val parse_file : string -> Netlist.t * Netlist.node
+
+val to_ascii : Netlist.t -> property:Netlist.node -> string
+(** Serialise in [aag] form. *)
+
+val to_binary : Netlist.t -> property:Netlist.node -> string
+(** Serialise in [aig] (binary) form. *)
+
+val write_file : string -> Netlist.t -> property:Netlist.node -> unit
+(** Chooses the encoding from the file extension: [.aag] → ASCII, anything
+    else → binary. *)

@@ -1,0 +1,88 @@
+type t = {
+  netlist : Netlist.t;
+  order : Netlist.node array; (* combinational nodes in topological order *)
+  reg_index : (Netlist.node, int) Hashtbl.t;
+  regs : Netlist.node array;
+}
+
+let compile nl =
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Eval.compile: " ^ msg));
+  let n = Netlist.num_nodes nl in
+  let visited = Array.make (max n 1) false in
+  let order = ref [] in
+  let rec visit node =
+    if not visited.(node) then begin
+      visited.(node) <- true;
+      List.iter visit (Netlist.fanins (Netlist.gate nl node));
+      order := node :: !order
+    end
+  in
+  for node = 0 to n - 1 do
+    visit node
+  done;
+  let regs = Array.of_list (Netlist.regs nl) in
+  let reg_index = Hashtbl.create (Array.length regs) in
+  Array.iteri (fun i r -> Hashtbl.replace reg_index r i) regs;
+  { netlist = nl; order = Array.of_list (List.rev !order); reg_index; regs }
+
+let netlist t = t.netlist
+
+type state = bool array
+
+type frame = bool array (* per node *)
+
+let initial ?(resolve = fun _ -> false) t =
+  Array.map
+    (fun r -> match Netlist.reg_init t.netlist r with Some b -> b | None -> resolve r)
+    t.regs
+
+let state_of_regs t f = Array.map f t.regs
+
+let reg_value_in t st r =
+  match Hashtbl.find_opt t.reg_index r with
+  | Some i -> st.(i)
+  | None -> raise Not_found
+
+let reg_value t st r = reg_value_in t st r
+
+let cycle t st ~inputs =
+  let n = Netlist.num_nodes t.netlist in
+  let values = Array.make (max n 1) false in
+  let eval node =
+    match Netlist.gate t.netlist node with
+    | Netlist.Input _ -> values.(node) <- inputs node
+    | Netlist.Const b -> values.(node) <- b
+    | Netlist.Not a -> values.(node) <- not values.(a)
+    | Netlist.And (a, b) -> values.(node) <- values.(a) && values.(b)
+    | Netlist.Or (a, b) -> values.(node) <- values.(a) || values.(b)
+    | Netlist.Xor (a, b) -> values.(node) <- values.(a) <> values.(b)
+    | Netlist.Mux (s, h, l) -> values.(node) <- (if values.(s) then values.(h) else values.(l))
+    | Netlist.Reg _ -> values.(node) <- reg_value_in t st node
+  in
+  Array.iter eval t.order;
+  let next = Array.map (fun r -> values.(Netlist.reg_next t.netlist r)) t.regs in
+  (values, next)
+
+let value frame node = frame.(node)
+
+let run t ?resolve ~inputs ~cycles () =
+  let rec loop i st acc =
+    if i >= cycles then List.rev acc
+    else begin
+      let frame, st' = cycle t st ~inputs:(inputs ~cycle:i) in
+      loop (i + 1) st' (frame :: acc)
+    end
+  in
+  loop 0 (initial ?resolve t) []
+
+let check_invariant t ?resolve ~inputs ~cycles ~property () =
+  let rec loop i st =
+    if i >= cycles then None
+    else begin
+      let frame, st' = cycle t st ~inputs:(inputs ~cycle:i) in
+      if not (value frame property) then Some i else loop (i + 1) st'
+    end
+  in
+  loop 0 (initial ?resolve t)

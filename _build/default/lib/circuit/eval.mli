@@ -1,0 +1,59 @@
+(** Cycle-accurate two-valued simulation.
+
+    Used to replay BMC counterexamples and as the ground-truth oracle in
+    tests.  A simulation starts from an initial register valuation
+    (respecting declared init values) and advances one clock cycle per
+    {!step}, reading primary inputs from a caller-supplied function. *)
+
+type t
+(** A compiled simulator: the netlist plus a topological evaluation order.
+    Reusable across runs. *)
+
+val compile : Netlist.t -> t
+(** @raise Invalid_argument if the netlist does not {!Netlist.validate}. *)
+
+val netlist : t -> Netlist.t
+
+type state
+(** Current register valuation. *)
+
+val initial : ?resolve:(Netlist.node -> bool) -> t -> state
+(** Initial state.  Registers with a declared init take it; nondeterministic
+    registers consult [resolve] (default: [fun _ -> false]). *)
+
+val state_of_regs : t -> (Netlist.node -> bool) -> state
+(** Build a state from an explicit per-register valuation. *)
+
+val reg_value : t -> state -> Netlist.node -> bool
+(** @raise Not_found if the node is not a register of this netlist. *)
+
+type frame
+(** All node values during one clock cycle. *)
+
+val cycle : t -> state -> inputs:(Netlist.node -> bool) -> frame * state
+(** Evaluate one cycle: compute every node value from the current state and
+    the given inputs, and return the successor state. *)
+
+val value : frame -> Netlist.node -> bool
+(** Value of any node in that cycle. *)
+
+val run :
+  t ->
+  ?resolve:(Netlist.node -> bool) ->
+  inputs:(cycle:int -> Netlist.node -> bool) ->
+  cycles:int ->
+  unit ->
+  frame list
+(** Simulate [cycles] cycles from the initial state; frame [i] (0-based) is
+    cycle [i].  [cycles = 0] gives []. *)
+
+val check_invariant :
+  t ->
+  ?resolve:(Netlist.node -> bool) ->
+  inputs:(cycle:int -> Netlist.node -> bool) ->
+  cycles:int ->
+  property:Netlist.node ->
+  unit ->
+  int option
+(** First cycle (0-based) at which [property] evaluates to false, scanning
+    [cycles] cycles; [None] if it holds throughout. *)

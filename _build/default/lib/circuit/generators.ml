@@ -1,0 +1,493 @@
+type expect =
+  | Holds
+  | Fails_at of int
+
+type case = {
+  name : string;
+  netlist : Netlist.t;
+  property : Netlist.node;
+  expect : expect option;
+  suggested_depth : int;
+}
+
+let pp_expect ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Fails_at k -> Format.fprintf ppf "fails@%d" k
+
+(* ------------------------------------------------------------------ *)
+(* Property-irrelevant noise.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic pseudo-random stream (xorshift-style LCG) so suites are
+   reproducible without touching the global Random state. *)
+let make_rng seed =
+  let state = ref (seed * 2654435761 + 1) in
+  fun bound ->
+    let s = !state in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    state := s;
+    abs s mod bound
+
+(* Attach [n] nondeterministically-initialised registers arranged as a
+   shifting bank with pseudo-random XOR feedback, mixed with the circuit's
+   primary inputs, plus ~2n dangling clutter gates.  Nothing here feeds the
+   property, so none of it can appear in an unsatisfiable core — it only
+   dilutes the decision heuristic, which is precisely the industrial effect
+   the paper exploits. *)
+let add_noise nl ~n ~seed =
+  if n > 0 then begin
+    let rng = make_rng seed in
+    let ins = Array.of_list (Netlist.inputs nl) in
+    let zs =
+      Array.init n (fun i -> Netlist.reg nl ~name:(Printf.sprintf "noise%d_%d" seed i) ~init:None)
+    in
+    let pick_input () =
+      if Array.length ins = 0 then Netlist.const_false nl else ins.(rng (Array.length ins))
+    in
+    Array.iteri
+      (fun i z ->
+        let shifted = zs.((i + n - 1) mod n) in
+        let tap = zs.(rng n) in
+        let fb = Netlist.xor_ nl shifted tap in
+        let mixed =
+          if rng 3 = 0 then Netlist.xor_ nl fb (Netlist.and_ nl (pick_input ()) zs.(rng n))
+          else fb
+        in
+        Netlist.set_next nl z mixed)
+      zs;
+    (* Dangling clutter, built as a few deep chains rather than a shallow
+       bag of gates: a wrong decision high up a chain only conflicts with
+       the implied values many levels later, which is what makes an unguided
+       heuristic pay real search effort here. *)
+    let pool = Array.append zs ins in
+    let pick () =
+      if Array.length pool = 0 then Netlist.const_false nl else pool.(rng (Array.length pool))
+    in
+    for _chain = 1 to 4 do
+      let prev = ref (pick ()) in
+      for _ = 1 to n do
+        let other = pick () in
+        let g =
+          match rng 3 with
+          | 0 -> Netlist.and_ nl !prev other
+          | 1 -> Netlist.or_ nl !prev other
+          | _ -> Netlist.xor_ nl !prev other
+        in
+        prev := g
+      done
+    done
+  end
+
+let finish ?(noise = 0) ~name ~nl ~property ~expect ~suggested_depth () =
+  add_noise nl ~n:noise ~seed:(Hashtbl.hash name land 0xffff);
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Generators.%s: %s" name msg));
+  let name = if noise > 0 then Printf.sprintf "%s_z%d" name noise else name in
+  { name; netlist = nl; property; expect; suggested_depth }
+
+(* ------------------------------------------------------------------ *)
+(* Failing-property designs.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let counter ?noise ~bits ~target () =
+  let nl = Netlist.create () in
+  let count = Word.regs nl ~prefix:"c" ~width:bits ~init:(Some 0) in
+  let incremented, _ = Word.increment nl count in
+  Word.connect nl count incremented;
+  let property = Netlist.not_ nl (Word.eq_const nl count target) in
+  finish ?noise
+    ~name:(Printf.sprintf "cnt%d_t%d" bits target)
+    ~nl ~property ~expect:(Some (Fails_at target)) ~suggested_depth:target ()
+
+let counter_en ?noise ~bits ~target () =
+  let nl = Netlist.create () in
+  let en = Netlist.input nl "en" in
+  let count = Word.regs nl ~prefix:"c" ~width:bits ~init:(Some 0) in
+  let incremented, _ = Word.increment nl count in
+  Word.connect nl count (Word.mux nl ~sel:en ~hi:incremented ~lo:count);
+  let property = Netlist.not_ nl (Word.eq_const nl count target) in
+  finish ?noise
+    ~name:(Printf.sprintf "cnte%d_t%d" bits target)
+    ~nl ~property ~expect:(Some (Fails_at target)) ~suggested_depth:target ()
+
+let shift_in ?noise ~len () =
+  let nl = Netlist.create () in
+  let data = Netlist.input nl "d" in
+  let stages = Word.regs nl ~prefix:"s" ~width:len ~init:(Some 0) in
+  Array.iteri
+    (fun i r -> Netlist.set_next nl r (if i = 0 then data else stages.(i - 1)))
+    stages;
+  let property = Netlist.not_ nl (Word.all_ones nl stages) in
+  finish ?noise
+    ~name:(Printf.sprintf "shift%d" len)
+    ~nl ~property ~expect:(Some (Fails_at len)) ~suggested_depth:len ()
+
+let fifo_counter nl ~bits =
+  let push = Netlist.input nl "push" and pop = Netlist.input nl "pop" in
+  let count = Word.regs nl ~prefix:"q" ~width:bits ~init:(Some 0) in
+  let maxv = (1 lsl bits) - 1 in
+  let full = Word.eq_const nl count maxv in
+  let empty = Word.is_zero nl count in
+  let inc, _ = Word.increment nl count in
+  let dec, _ = Word.decrement nl count in
+  let do_inc = Netlist.and_list nl [ push; Netlist.not_ nl pop; Netlist.not_ nl full ] in
+  let do_dec = Netlist.and_list nl [ pop; Netlist.not_ nl push; Netlist.not_ nl empty ] in
+  let next = Word.mux nl ~sel:do_inc ~hi:inc ~lo:(Word.mux nl ~sel:do_dec ~hi:dec ~lo:count) in
+  Word.connect nl count next;
+  (push, pop, full, empty)
+
+let fifo_overflow ?noise ~bits () =
+  let nl = Netlist.create () in
+  let push, pop, full, _empty = fifo_counter nl ~bits in
+  let error = Netlist.reg nl ~name:"err" ~init:(Some false) in
+  let overflow = Netlist.and_list nl [ push; Netlist.not_ nl pop; full ] in
+  Netlist.set_next nl error (Netlist.or_ nl error overflow);
+  let property = Netlist.not_ nl error in
+  (* fill for 2^bits - 1 cycles, overflow on the next, flag visible one
+     cycle later: shortest counterexample depth is 2^bits *)
+  let depth = 1 lsl bits in
+  finish ?noise
+    ~name:(Printf.sprintf "fifoovf%d" bits)
+    ~nl ~property ~expect:(Some (Fails_at depth)) ~suggested_depth:depth ()
+
+let factor ?noise ~bits ~target () =
+  let nl = Netlist.create () in
+  let x = Word.inputs nl ~prefix:"x" ~width:bits in
+  let y = Word.inputs nl ~prefix:"y" ~width:bits in
+  (* one state register so the model is sequential; it plays no role *)
+  let seen = Netlist.reg nl ~name:"seen" ~init:(Some false) in
+  Netlist.set_next nl seen (Netlist.const_true nl);
+  let product = Word.mul nl x y in
+  let property = Netlist.not_ nl (Word.eq_const nl product target) in
+  let expect =
+    (* does target admit a factorisation x*y mod 2^bits with bits-wide
+       operands?  brute force for the small widths used in tests *)
+    if bits <= 8 then begin
+      let found = ref false in
+      let m = (1 lsl bits) - 1 in
+      for a = 0 to m do
+        for b = 0 to m do
+          if a * b land m = target land m then found := true
+        done
+      done;
+      Some (if !found then Fails_at 0 else Holds)
+    end
+    else None
+  in
+  finish ?noise
+    ~name:(Printf.sprintf "factor%d_t%d" bits target)
+    ~nl ~property ~expect ~suggested_depth:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* Passing-property designs.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ring ?noise ~len () =
+  let nl = Netlist.create () in
+  let tick = Netlist.input nl "tick" in
+  let token = Word.regs nl ~prefix:"t" ~width:len ~init:(Some 1) in
+  Word.connect nl token (Word.mux nl ~sel:tick ~hi:(Word.rotate_left token) ~lo:token);
+  let property = Word.at_most_one nl token in
+  finish ?noise
+    ~name:(Printf.sprintf "ring%d" len)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * len) ()
+
+let lfsr_word nl ~prefix ~width ~taps ~seed_value ~enable =
+  let state = Word.regs nl ~prefix ~width ~init:(Some seed_value) in
+  let feedback =
+    List.fold_left
+      (fun acc tap -> Netlist.xor_ nl acc state.(tap))
+      (Netlist.const_false nl) taps
+  in
+  let advanced =
+    Array.init width (fun i -> if i = width - 1 then feedback else state.(i + 1))
+  in
+  Word.connect nl state (Word.mux nl ~sel:enable ~hi:advanced ~lo:state);
+  state
+
+let lfsr ?noise ~width () =
+  let nl = Netlist.create () in
+  (* taps include bit 0, so the all-zero state has no nonzero predecessor *)
+  let taps = if width >= 4 then [ 0; width - 1 ] else [ 0 ] in
+  let enable = Netlist.input nl "en" in
+  let state = lfsr_word nl ~prefix:"l" ~width ~taps ~seed_value:1 ~enable in
+  let property = Netlist.not_ nl (Word.is_zero nl state) in
+  finish ?noise
+    ~name:(Printf.sprintf "lfsr%d" width)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * width) ()
+
+let arbiter ?noise ~clients () =
+  let nl = Netlist.create () in
+  let reqs = Array.init clients (fun i -> Netlist.input nl (Printf.sprintf "req%d" i)) in
+  let tick = Netlist.input nl "tick" in
+  let token = Word.regs nl ~prefix:"tok" ~width:clients ~init:(Some 1) in
+  Word.connect nl token (Word.mux nl ~sel:tick ~hi:(Word.rotate_left token) ~lo:token);
+  let grants = Array.mapi (fun i t -> Netlist.and_ nl reqs.(i) t) token in
+  let property = Word.at_most_one nl grants in
+  finish ?noise
+    ~name:(Printf.sprintf "arb%d" clients)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * clients) ()
+
+let fifo_safe ?noise ~bits () =
+  let nl = Netlist.create () in
+  let _push, _pop, _full, empty = fifo_counter nl ~bits in
+  (* A shadow empty-flag maintained incrementally, one cycle ahead: the
+     invariant "flag = (count = 0)" is temporal — refuting its negation at
+     depth k needs reasoning across frames, unlike a purely combinational
+     mismatch. *)
+  let count_next =
+    List.map (fun r -> Netlist.reg_next nl r) (Netlist.regs nl) |> Array.of_list
+  in
+  let empty_next = Word.is_zero nl count_next in
+  let empty_flag = Netlist.reg nl ~name:"emptyflag" ~init:(Some true) in
+  Netlist.set_next nl empty_flag empty_next;
+  let property = Netlist.xnor_ nl empty_flag empty in
+  finish ?noise
+    ~name:(Printf.sprintf "fifo%d" bits)
+    ~nl ~property ~expect:(Some Holds)
+    ~suggested_depth:(min 32 ((1 lsl bits) + 4))
+    ()
+
+let traffic ?noise () =
+  let nl = Netlist.create () in
+  (* phases: ns-green, ns-yellow, ew-green, ew-yellow; advance on 'tick' *)
+  let tick = Netlist.input nl "tick" in
+  let phases = Word.regs nl ~prefix:"ph" ~width:4 ~init:(Some 1) in
+  let rotated = Word.rotate_left phases in
+  Word.connect nl phases (Word.mux nl ~sel:tick ~hi:rotated ~lo:phases);
+  let ns_green = phases.(0) and ew_green = phases.(2) in
+  let property = Netlist.not_ nl (Netlist.and_ nl ns_green ew_green) in
+  finish ?noise ~name:"traffic" ~nl ~property ~expect:(Some Holds) ~suggested_depth:16 ()
+
+let parity_pipe ?noise ~stages () =
+  let nl = Netlist.create () in
+  let data = Netlist.input nl "d" in
+  let delay = Word.regs nl ~prefix:"p" ~width:stages ~init:(Some 0) in
+  Array.iteri
+    (fun i r -> Netlist.set_next nl r (if i = 0 then data else delay.(i - 1)))
+    delay;
+  let tree_parity =
+    Array.fold_left (Netlist.xor_ nl) (Netlist.const_false nl) delay
+  in
+  (* incremental implementation: q' = q xor d xor (oldest stage leaving) *)
+  let q = Netlist.reg nl ~name:"q" ~init:(Some false) in
+  Netlist.set_next nl q (Netlist.xor_ nl (Netlist.xor_ nl q data) delay.(stages - 1));
+  let property = Netlist.xnor_ nl tree_parity q in
+  finish ?noise
+    ~name:(Printf.sprintf "parity%d" stages)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * stages) ()
+
+let johnson ?noise ~width () =
+  let nl = Netlist.create () in
+  let tick = Netlist.input nl "tick" in
+  let state = Word.regs nl ~prefix:"j" ~width ~init:(Some 0) in
+  let advanced =
+    Array.init width (fun i ->
+        if i = 0 then Netlist.not_ nl state.(width - 1) else state.(i - 1))
+  in
+  Word.connect nl state (Word.mux nl ~sel:tick ~hi:advanced ~lo:state);
+  let boundaries =
+    Array.init (width - 1) (fun i -> Netlist.xor_ nl state.(i) state.(i + 1))
+  in
+  let property = Word.at_most_one nl boundaries in
+  finish ?noise
+    ~name:(Printf.sprintf "johnson%d" width)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * width) ()
+
+let gray ?noise ~bits () =
+  let nl = Netlist.create () in
+  let en = Netlist.input nl "en" in
+  let count = Word.regs nl ~prefix:"b" ~width:bits ~init:(Some 0) in
+  let incremented, _ = Word.increment nl count in
+  Word.connect nl count (Word.mux nl ~sel:en ~hi:incremented ~lo:count);
+  let gray_out =
+    Array.init bits (fun i ->
+        if i = bits - 1 then count.(i) else Netlist.xor_ nl count.(i) count.(i + 1))
+  in
+  let prev = Word.regs nl ~prefix:"g" ~width:bits ~init:(Some 0) in
+  Word.connect nl prev gray_out;
+  let diff = Word.xor_ nl prev gray_out in
+  let property = Word.at_most_one nl diff in
+  finish ?noise
+    ~name:(Printf.sprintf "gray%d" bits)
+    ~nl ~property ~expect:(Some Holds)
+    ~suggested_depth:(min 48 ((1 lsl bits) + 4))
+    ()
+
+let random ~seed ~regs:nregs ~gates ~inputs:nins =
+  let rng = make_rng (seed + 1) in
+  let nl = Netlist.create () in
+  let ins = List.init nins (fun i -> Netlist.input nl (Printf.sprintf "w%d" i)) in
+  let rs =
+    List.init nregs (fun i ->
+        let init = match rng 3 with 0 -> Some false | 1 -> Some true | _ -> None in
+        Netlist.reg nl ~name:(Printf.sprintf "r%d" i) ~init)
+  in
+  let pool = ref (Netlist.const_false nl :: Netlist.const_true nl :: (ins @ rs)) in
+  let pick () =
+    let arr = Array.of_list !pool in
+    arr.(rng (Array.length arr))
+  in
+  for _ = 1 to gates do
+    let g =
+      match rng 6 with
+      | 0 -> Netlist.not_ nl (pick ())
+      | 1 -> Netlist.and_ nl (pick ()) (pick ())
+      | 2 -> Netlist.or_ nl (pick ()) (pick ())
+      | 3 -> Netlist.xor_ nl (pick ()) (pick ())
+      | 4 -> Netlist.mux nl ~sel:(pick ()) ~hi:(pick ()) ~lo:(pick ())
+      | _ -> Netlist.xnor_ nl (pick ()) (pick ())
+    in
+    pool := g :: !pool
+  done;
+  List.iter (fun r -> Netlist.set_next nl r (pick ())) rs;
+  let property = pick () in
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generators.random: " ^ msg));
+  {
+    name = Printf.sprintf "rand_s%d_r%d_g%d_i%d" seed nregs gates nins;
+    netlist = nl;
+    property;
+    expect = None;
+    suggested_depth = 8;
+  }
+
+let priority_arbiter ?noise ~clients () =
+  let nl = Netlist.create () in
+  let reqs = Array.init clients (fun i -> Netlist.input nl (Printf.sprintf "req%d" i)) in
+  (* grant the lowest-index active request, combinationally *)
+  let granted = Array.make clients (Netlist.const_false nl) in
+  let blocked = ref (Netlist.const_false nl) in
+  Array.iteri
+    (fun i r ->
+      granted.(i) <- Netlist.and_ nl r (Netlist.not_ nl !blocked);
+      blocked := Netlist.or_ nl !blocked r)
+    reqs;
+  (* latch the grants; the invariant is on the registered copy *)
+  let latched = Word.regs nl ~prefix:"g" ~width:clients ~init:(Some 0) in
+  Array.iteri (fun i r -> Netlist.set_next nl r granted.(i)) latched;
+  let property = Word.at_most_one nl latched in
+  finish ?noise
+    ~name:(Printf.sprintf "prio%d" clients)
+    ~nl ~property ~expect:(Some Holds) ~suggested_depth:(2 * clients) ()
+
+let elevator ?noise ~bits () =
+  let nl = Netlist.create () in
+  let up = Netlist.input nl "up" in
+  let down = Netlist.input nl "down" in
+  let door = Netlist.input nl "door" in
+  let pos = Word.regs nl ~prefix:"p" ~width:bits ~init:(Some 0) in
+  let at_top = Word.all_ones nl pos in
+  let at_bottom = Word.is_zero nl pos in
+  let door_open = Netlist.reg nl ~name:"open" ~init:(Some false) in
+  Netlist.set_next nl door_open door;
+  (* the interlock blocks motion while the door is open or opening *)
+  let may_move = Netlist.nor_ nl door_open door in
+  let inc, _ = Word.increment nl pos in
+  let dec, _ = Word.decrement nl pos in
+  let go_up = Netlist.and_list nl [ up; may_move; Netlist.not_ nl at_top ] in
+  let go_down =
+    Netlist.and_list nl [ down; Netlist.not_ nl up; may_move; Netlist.not_ nl at_bottom ]
+  in
+  let next = Word.mux nl ~sel:go_up ~hi:inc ~lo:(Word.mux nl ~sel:go_down ~hi:dec ~lo:pos) in
+  Word.connect nl pos next;
+  (* shadow of the previous position; the cab must stand still while the
+     door is open *)
+  let prev = Word.regs nl ~prefix:"q" ~width:bits ~init:(Some 0) in
+  Word.connect nl prev pos;
+  let property = Netlist.implies nl door_open (Word.eq nl pos prev) in
+  finish ?noise
+    ~name:(Printf.sprintf "elev%d" bits)
+    ~nl ~property ~expect:(Some Holds)
+    ~suggested_depth:(min 32 ((1 lsl bits) + 4))
+    ()
+
+let watchdog ?noise ~bits () =
+  let nl = Netlist.create () in
+  let kick = Netlist.input nl "kick" in
+  let timer = Word.regs nl ~prefix:"t" ~width:bits ~init:(Some 0) in
+  let inc, _ = Word.increment nl timer in
+  let zero = Word.const nl ~width:bits 0 in
+  Word.connect nl timer (Word.mux nl ~sel:kick ~hi:zero ~lo:inc);
+  let expired = Word.all_ones nl timer in
+  let property = Netlist.not_ nl expired in
+  (* never kicking lets the timer saturate: shortest failure 2^bits - 1 *)
+  let depth = (1 lsl bits) - 1 in
+  finish ?noise
+    ~name:(Printf.sprintf "wdog%d" bits)
+    ~nl ~property ~expect:(Some (Fails_at depth)) ~suggested_depth:depth ()
+
+(* ------------------------------------------------------------------ *)
+(* Suites.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let suite () =
+  [
+    (* failing properties (counterexample at a known depth) *)
+    counter ~bits:6 ~target:20 ();
+    counter ~bits:7 ~target:40 ~noise:16 ();
+    watchdog ~bits:6 ~noise:32 ();
+    counter_en ~bits:5 ~target:18 ();
+    counter_en ~bits:6 ~target:30 ~noise:32 ();
+    counter_en ~bits:6 ~target:40 ~noise:48 ();
+    shift_in ~len:16 ();
+    shift_in ~len:24 ~noise:24 ();
+    shift_in ~len:32 ~noise:48 ();
+    fifo_overflow ~bits:4 ();
+    fifo_overflow ~bits:4 ~noise:32 ();
+    fifo_overflow ~bits:5 ~noise:16 ();
+    (* passing properties (all instances unsatisfiable) *)
+    ring ~len:12 ();
+    ring ~len:16 ~noise:24 ();
+    ring ~len:20 ~noise:32 ();
+    lfsr ~width:12 ();
+    lfsr ~width:14 ~noise:24 ();
+    lfsr ~width:16 ~noise:32 ();
+    lfsr ~width:18 ~noise:48 ();
+    arbiter ~clients:8 ();
+    arbiter ~clients:12 ~noise:24 ();
+    arbiter ~clients:16 ~noise:48 ();
+    fifo_safe ~bits:4 ();
+    fifo_safe ~bits:5 ~noise:24 ();
+    fifo_safe ~bits:6 ~noise:48 ();
+    traffic ();
+    traffic ~noise:32 ();
+    priority_arbiter ~clients:12 ~noise:32 ();
+    parity_pipe ~stages:10 ();
+    parity_pipe ~stages:12 ~noise:24 ();
+    parity_pipe ~stages:14 ~noise:32 ();
+    johnson ~width:10 ();
+    johnson ~width:12 ~noise:24 ();
+    johnson ~width:14 ~noise:32 ();
+    gray ~bits:5 ();
+    gray ~bits:5 ~noise:24 ();
+    elevator ~bits:4 ~noise:32 ();
+  ]
+
+let tiny_suite () =
+  [
+    counter ~bits:3 ~target:5 ();
+    counter_en ~bits:3 ~target:4 ();
+    shift_in ~len:4 ();
+    fifo_overflow ~bits:2 ();
+    watchdog ~bits:3 ();
+    priority_arbiter ~clients:4 ();
+    elevator ~bits:3 ();
+    ring ~len:5 ();
+    lfsr ~width:5 ();
+    arbiter ~clients:4 ();
+    fifo_safe ~bits:3 ();
+    traffic ();
+    parity_pipe ~stages:4 ();
+    johnson ~width:5 ();
+    gray ~bits:3 ();
+  ]
+
+let fig7_case () = ring ~len:16 ~noise:24 ()
+
+let by_name name =
+  List.find_opt (fun c -> c.name = name) (suite () @ tiny_suite () @ [ fig7_case () ])

@@ -1,0 +1,125 @@
+(** Synthetic property-checking benchmarks.
+
+    Stand-in for the IBM Formal Verification Benchmark circuits used in the
+    paper's evaluation (proprietary; the published URL is long gone).  Each
+    generator builds a sequential circuit with an invariant property and,
+    where it is known analytically, the expected verdict.  The [noise]
+    parameter wraps the design in property-irrelevant logic — a
+    nondeterministically-initialised LFSR-like register bank mixed with the
+    primary inputs plus dangling combinational clutter — reproducing the
+    industrial situation the paper targets: most of the formula is outside
+    the unsatisfiable core, and a decision heuristic that does not know the
+    core wastes work there. *)
+
+type expect =
+  | Holds  (** the invariant is true in every reachable state *)
+  | Fails_at of int  (** shortest counterexample reaches depth k *)
+
+type case = {
+  name : string;
+  netlist : Netlist.t;
+  property : Netlist.node;
+  expect : expect option;  (** [None] when not known analytically *)
+  suggested_depth : int;  (** unrolling bound the harness should use *)
+}
+
+(** {2 Generators}
+
+    All [noise] arguments default to 0 (no irrelevant logic). *)
+
+val counter : ?noise:int -> bits:int -> target:int -> unit -> case
+(** Free-running [bits]-wide counter from 0; property: value never equals
+    [target].  Fails at depth [target] (for [target < 2^bits]). *)
+
+val counter_en : ?noise:int -> bits:int -> target:int -> unit -> case
+(** Counter that increments only when an enable input is high; fails at
+    depth [target] (enable held high). *)
+
+val shift_in : ?noise:int -> len:int -> unit -> case
+(** [len]-stage shift register fed by an input; property: the stages are
+    never all ones.  Fails at depth [len]. *)
+
+val fifo_overflow : ?noise:int -> bits:int -> unit -> case
+(** FIFO occupancy counter with a sticky overflow-error flag; property: the
+    flag never rises.  Fails at depth [2^bits] (fill, then push once
+    more). *)
+
+val ring : ?noise:int -> len:int -> unit -> case
+(** One-hot rotating token; property: at most one token bit set.  Holds. *)
+
+val lfsr : ?noise:int -> width:int -> unit -> case
+(** Fibonacci LFSR with a tap on bit 0, seeded non-zero; property: the state
+    never becomes all-zero.  Holds. *)
+
+val arbiter : ?noise:int -> clients:int -> unit -> case
+(** Round-robin token arbiter; property: never two grants at once.
+    Holds. *)
+
+val fifo_safe : ?noise:int -> bits:int -> unit -> case
+(** FIFO occupancy counter; property: never simultaneously full and empty.
+    Holds. *)
+
+val traffic : ?noise:int -> unit -> case
+(** Two-road traffic-light controller (one-hot, 4 phases); property: the two
+    green lights are never on together.  Holds. *)
+
+val parity_pipe : ?noise:int -> stages:int -> unit -> case
+(** Miter between a delay-line parity and an incrementally maintained
+    parity register; property: they always agree.  Holds. *)
+
+val johnson : ?noise:int -> width:int -> unit -> case
+(** Johnson (twisted-ring) counter; property: the state pattern has at most
+    one adjacent 0/1 boundary.  Holds. *)
+
+val gray : ?noise:int -> bits:int -> unit -> case
+(** Binary counter with Gray-coded output and a shadow copy of the previous
+    output; property: consecutive Gray outputs differ in exactly one bit.
+    Holds. *)
+
+val priority_arbiter : ?noise:int -> clients:int -> unit -> case
+(** Fixed-priority combinational arbiter with registered grants; property:
+    at most one latched grant.  Holds. *)
+
+val elevator : ?noise:int -> bits:int -> unit -> case
+(** Saturating position counter with a door interlock and a shadow of the
+    previous position; property: the cab never moves while the door is
+    open.  Holds. *)
+
+val watchdog : ?noise:int -> bits:int -> unit -> case
+(** Kick-resettable timer; property: the timer never saturates.  Fails at
+    depth [2^bits - 1] (never kick). *)
+
+val factor : ?noise:int -> bits:int -> target:int -> unit -> case
+(** Combinational factoring: two [bits]-wide free inputs are multiplied
+    (truncated product) and compared against [target]; the property says the
+    product never equals [target].  Fails at depth 0 when [target] has a
+    factorisation that fits, holds otherwise.  Multipliers are the classic
+    BDD worst case, so this family separates the SAT-based engines from the
+    symbolic one (the "complement" benchmark). *)
+
+val random : seed:int -> regs:int -> gates:int -> inputs:int -> case
+(** A pseudo-random (but seed-deterministic) valid sequential circuit: the
+    given number of registers (random initial values, including
+    nondeterministic), primary inputs, and random gates over the growing
+    node pool; register next-inputs and the property node are drawn from
+    the pool.  No [expect] — these exist for differential testing, where
+    engines are compared against each other and the explicit oracle. *)
+
+(** {2 Suites} *)
+
+val suite : unit -> case list
+(** The Table-1 stand-in: 37 property-checking instances of varied size,
+    failure depth and noise level, in paper-like pass/fail proportion. *)
+
+val tiny_suite : unit -> case list
+(** Small instances (≤ 20 registers, ≤ 8 inputs, no or little noise) whose
+    verdicts {!Reach.check} can confirm — used by the integration tests. *)
+
+val fig7_case : unit -> case
+(** The deep all-UNSAT instance used for the Figure 7 per-depth statistics
+    (the analogue of circuit 02_3_b2). *)
+
+val by_name : string -> case option
+(** Look a suite or tiny-suite case up by name. *)
+
+val pp_expect : Format.formatter -> expect -> unit

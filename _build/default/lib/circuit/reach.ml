@@ -1,0 +1,97 @@
+type verdict =
+  | Holds of { diameter : int }
+  | Fails_at of int
+  | Too_large
+
+let equal_verdict a b =
+  match (a, b) with
+  | Holds { diameter = d1 }, Holds { diameter = d2 } -> d1 = d2
+  | Fails_at k1, Fails_at k2 -> k1 = k2
+  | Too_large, Too_large -> true
+  | (Holds _ | Fails_at _ | Too_large), _ -> false
+
+let pp_verdict ppf = function
+  | Holds { diameter } -> Format.fprintf ppf "holds (diameter %d)" diameter
+  | Fails_at k -> Format.fprintf ppf "fails at depth %d" k
+  | Too_large -> Format.fprintf ppf "too large to enumerate"
+
+let check ?(max_regs = 22) ?(max_inputs = 10) nl ~property =
+  let sim = Eval.compile nl in
+  (* project away registers and inputs outside the property's cone of
+     influence: they can affect neither the property nor the cone's own
+     transitions, so dropping them shrinks the enumeration soundly *)
+  let cone = Netlist.transitive_fanin nl [ property ] in
+  let regs = Array.of_list (List.filter cone (Netlist.regs nl)) in
+  let ins = Array.of_list (List.filter cone (Netlist.inputs nl)) in
+  let nregs = Array.length regs and nins = Array.length ins in
+  if nregs > max_regs || nins > max_inputs then Too_large
+  else begin
+    let reg_pos = Hashtbl.create (max nregs 1) in
+    Array.iteri (fun i r -> Hashtbl.replace reg_pos r i) regs;
+    let in_pos = Hashtbl.create (max nins 1) in
+    Array.iteri (fun i n -> Hashtbl.replace in_pos n i) ins;
+    let encode st =
+      let code = ref 0 in
+      Array.iteri (fun i r -> if Eval.reg_value sim st r then code := !code lor (1 lsl i)) regs;
+      !code
+    in
+    (* out-of-cone registers and inputs are pinned to false: their value
+       cannot influence the property or the cone's transitions *)
+    let state_of_code code =
+      Eval.state_of_regs sim (fun r ->
+          match Hashtbl.find_opt reg_pos r with
+          | Some i -> code land (1 lsl i) <> 0
+          | None -> false)
+    in
+    let input_fun mask n =
+      match Hashtbl.find_opt in_pos n with
+      | Some i -> mask land (1 lsl i) <> 0
+      | None -> false
+    in
+    (* initial states: free cone registers range over both values *)
+    let free = Array.to_list regs |> List.filter (fun r -> Netlist.reg_init nl r = None) in
+    let base = Eval.initial sim in
+    let initial_codes =
+      let base_code = encode base in
+      let rec expand acc = function
+        | [] -> acc
+        | r :: rest ->
+          let bit = 1 lsl Hashtbl.find reg_pos r in
+          expand (List.concat_map (fun c -> [ c land lnot bit; c lor bit ]) acc) rest
+      in
+      List.sort_uniq Int.compare (expand [ base_code ] free)
+    in
+    let visited = Hashtbl.create 1024 in
+    let queue = Queue.create () in
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem visited c) then begin
+          Hashtbl.replace visited c 0;
+          Queue.add (c, 0) queue
+        end)
+      initial_codes;
+    let diameter = ref 0 in
+    let failure = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let code, dist = Queue.pop queue in
+         diameter := max !diameter dist;
+         let st = state_of_code code in
+         for mask = 0 to (1 lsl nins) - 1 do
+           let frame, st' = Eval.cycle sim st ~inputs:(input_fun mask) in
+           if not (Eval.value frame property) then begin
+             failure := Some dist;
+             raise Exit
+           end;
+           let code' = encode st' in
+           if not (Hashtbl.mem visited code') then begin
+             Hashtbl.replace visited code' (dist + 1);
+             Queue.add (code', dist + 1) queue
+           end
+         done
+       done
+     with Exit -> ());
+    match !failure with
+    | Some k -> Fails_at k
+    | None -> Holds { diameter = !diameter }
+  end

@@ -1,0 +1,31 @@
+(** Explicit-state invariant checking by breadth-first reachability.
+
+    The ground-truth oracle for small circuits: enumerate every reachable
+    register state (and every input valuation at each state) and test the
+    invariant.  Exponential in registers and inputs, so callers must keep
+    both small (the test suite stays ≤ 20 registers, ≤ 8 inputs).  BMC
+    results are cross-checked against this in the integration tests. *)
+
+type verdict =
+  | Holds of { diameter : int }
+      (** The invariant is true in every reachable state; [diameter] is the
+          longest shortest-path distance from an initial state, i.e. the
+          completeness threshold for this property. *)
+  | Fails_at of int
+      (** Shortest counterexample length: an initial state violating the
+          property gives [Fails_at 0]. *)
+  | Too_large
+      (** Gave up: register or input count above the configured limits. *)
+
+val check :
+  ?max_regs:int -> ?max_inputs:int -> Netlist.t -> property:Netlist.node -> verdict
+(** [check nl ~property] explores the reachable state space of the
+    property's cone of influence (registers and inputs outside the cone
+    cannot affect the verdict and are projected away first, so the limits
+    apply to the cone only).  Defaults: [max_regs = 22], [max_inputs = 10].
+    The [diameter] reported by [Holds] is that of the projected system.
+    @raise Invalid_argument if the netlist does not validate. *)
+
+val equal_verdict : verdict -> verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,202 @@
+exception Parse_error of string
+
+let fail lineno fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno s)))
+    fmt
+
+type decl =
+  | Dinput of string
+  | Dconst of string * bool
+  | Dnot of string * string
+  | Dand of string * string * string
+  | Dor of string * string * string
+  | Dxor of string * string * string
+  | Dmux of string * string * string * string
+  | Dreg of string * bool option
+  | Dnext of string * string
+  | Dprop of string
+
+let parse_line lineno line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | [ "input"; n ] -> Some (Dinput n)
+  | [ "const"; n; "0" ] -> Some (Dconst (n, false))
+  | [ "const"; n; "1" ] -> Some (Dconst (n, true))
+  | [ "not"; n; a ] -> Some (Dnot (n, a))
+  | [ "and"; n; a; b ] -> Some (Dand (n, a, b))
+  | [ "or"; n; a; b ] -> Some (Dor (n, a, b))
+  | [ "xor"; n; a; b ] -> Some (Dxor (n, a, b))
+  | [ "mux"; n; s; h; l ] -> Some (Dmux (n, s, h, l))
+  | [ "reg"; n; "init"; "0" ] -> Some (Dreg (n, Some false))
+  | [ "reg"; n; "init"; "1" ] -> Some (Dreg (n, Some true))
+  | [ "reg"; n; "init"; "x" ] -> Some (Dreg (n, None))
+  | [ "next"; r; s ] -> Some (Dnext (r, s))
+  | [ "prop"; n ] -> Some (Dprop n)
+  | w :: _ -> fail lineno "unrecognised declaration %S" w
+
+let decl_name = function
+  | Dinput n | Dconst (n, _) | Dnot (n, _) | Dand (n, _, _) | Dor (n, _, _)
+  | Dxor (n, _, _) | Dmux (n, _, _, _) | Dreg (n, _) ->
+    Some n
+  | Dnext _ | Dprop _ -> None
+
+let build decls =
+  let nl = Netlist.create () in
+  (* Pass 1: create a node for every named declaration.  Gates are created
+     as placeholders via fresh inputs?  No — we create in dependency-free
+     order by deferring gate construction: first inputs/consts/regs, then
+     repeatedly resolve gates whose operands exist.  Forward references
+     among combinational gates are legal as long as the result is acyclic. *)
+  let defined : (string, Netlist.node) Hashtbl.t = Hashtbl.create 64 in
+  let define lineno name node =
+    if Hashtbl.mem defined name then fail lineno "duplicate definition of %S" name;
+    Hashtbl.replace defined name node
+  in
+  let check_fresh lineno name =
+    if Hashtbl.mem defined name then fail lineno "duplicate definition of %S" name
+  in
+  List.iter
+    (fun (lineno, d) ->
+      match d with
+      | Dinput n ->
+        check_fresh lineno n;
+        define lineno n (Netlist.input nl n)
+      | Dconst (n, b) ->
+        define lineno n (if b then Netlist.const_true nl else Netlist.const_false nl)
+      | Dreg (n, init) ->
+        check_fresh lineno n;
+        define lineno n (Netlist.reg nl ~name:n ~init)
+      | Dnot _ | Dand _ | Dor _ | Dxor _ | Dmux _ | Dnext _ | Dprop _ -> ())
+    decls;
+  (* Pass 2: build gates, iterating until a fixpoint (handles forward
+     references); detect unresolvable (cyclic or undefined) leftovers. *)
+  let pending = ref (List.filter (fun (_, d) -> decl_name d <> None) decls) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun ((lineno, d) as item) ->
+        let look n = Hashtbl.find_opt defined n in
+        let binary f n a b =
+          match (look a, look b) with
+          | Some na, Some nb ->
+            define lineno n (f nl na nb);
+            true
+          | None, _ | _, None -> false
+        in
+        let try_build () =
+          match d with
+          | Dinput _ | Dconst _ | Dreg _ -> true (* already created *)
+          | Dnot (n, a) -> (
+            match look a with
+            | Some na ->
+              define lineno n (Netlist.not_ nl na);
+              true
+            | None -> false)
+          | Dand (n, a, b) -> binary Netlist.and_ n a b
+          | Dor (n, a, b) -> binary Netlist.or_ n a b
+          | Dxor (n, a, b) -> binary Netlist.xor_ n a b
+          | Dmux (n, s, h, l) -> (
+            match (look s, look h, look l) with
+            | Some ns, Some nh, Some nlo ->
+              define lineno n (Netlist.mux nl ~sel:ns ~hi:nh ~lo:nlo);
+              true
+            | _, _, _ -> false)
+          | Dnext _ | Dprop _ -> true
+        in
+        if try_build () then progress := true else still := item :: !still)
+      !pending;
+    pending := List.rev !still
+  done;
+  (match !pending with
+  | (lineno, d) :: _ ->
+    let n = Option.value ~default:"?" (decl_name d) in
+    fail lineno "cannot resolve %S (undefined operand or combinational cycle)" n
+  | [] -> ());
+  (* Pass 3: next and prop. *)
+  let prop = ref None in
+  List.iter
+    (fun (lineno, d) ->
+      match d with
+      | Dnext (r, s) -> (
+        match (Hashtbl.find_opt defined r, Hashtbl.find_opt defined s) with
+        | Some nr, Some ns -> (
+          match Netlist.gate nl nr with
+          | Netlist.Reg _ -> (
+            try Netlist.set_next nl nr ns
+            with Invalid_argument _ -> fail lineno "next: register %S connected twice" r)
+          | Netlist.Input _ | Netlist.Const _ | Netlist.Not _ | Netlist.And _
+          | Netlist.Or _ | Netlist.Xor _ | Netlist.Mux _ ->
+            fail lineno "next: %S is not a register" r)
+        | None, _ -> fail lineno "next: unknown register %S" r
+        | _, None -> fail lineno "next: unknown source %S" s)
+      | Dprop n -> (
+        if !prop <> None then fail lineno "duplicate prop declaration";
+        match Hashtbl.find_opt defined n with
+        | Some nn -> prop := Some nn
+        | None -> fail lineno "prop: unknown node %S" n)
+      | Dinput _ | Dconst _ | Dnot _ | Dand _ | Dor _ | Dxor _ | Dmux _ | Dreg _ -> ())
+    decls;
+  match !prop with
+  | None -> raise (Parse_error "missing prop declaration")
+  | Some p ->
+    (match Netlist.validate nl with
+    | Ok () -> (nl, p)
+    | Error msg -> raise (Parse_error msg))
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let decls =
+    List.mapi (fun i line -> (i + 1, parse_line (i + 1) line)) lines
+    |> List.filter_map (fun (i, d) -> Option.map (fun d -> (i, d)) d)
+  in
+  build decls
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let node_name nl n =
+  match Netlist.name_of nl n with Some s -> s | None -> Printf.sprintf "n%d" n
+
+let print ppf nl ~property =
+  let name = node_name nl in
+  for n = 0 to Netlist.num_nodes nl - 1 do
+    match Netlist.gate nl n with
+    | Netlist.Input s -> Format.fprintf ppf "input %s@." s
+    | Netlist.Const b -> Format.fprintf ppf "const %s %d@." (name n) (if b then 1 else 0)
+    | Netlist.Not a -> Format.fprintf ppf "not %s %s@." (name n) (name a)
+    | Netlist.And (a, b) -> Format.fprintf ppf "and %s %s %s@." (name n) (name a) (name b)
+    | Netlist.Or (a, b) -> Format.fprintf ppf "or %s %s %s@." (name n) (name a) (name b)
+    | Netlist.Xor (a, b) -> Format.fprintf ppf "xor %s %s %s@." (name n) (name a) (name b)
+    | Netlist.Mux (s, h, l) ->
+      Format.fprintf ppf "mux %s %s %s %s@." (name n) (name s) (name h) (name l)
+    | Netlist.Reg _ ->
+      let init =
+        match Netlist.reg_init nl n with Some true -> "1" | Some false -> "0" | None -> "x"
+      in
+      Format.fprintf ppf "reg %s init %s@." (name n) init
+  done;
+  List.iter
+    (fun r -> Format.fprintf ppf "next %s %s@." (name r) (name (Netlist.reg_next nl r)))
+    (Netlist.regs nl);
+  Format.fprintf ppf "prop %s@." (name property)
+
+let to_string nl ~property = Format.asprintf "%a" (fun ppf () -> print ppf nl ~property) ()
+
+let write_file path nl ~property =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try
+     print ppf nl ~property;
+     Format.pp_print_flush ppf ()
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

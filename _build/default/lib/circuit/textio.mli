@@ -1,0 +1,38 @@
+(** Textual netlist format (".rnl").
+
+    Line-oriented, whitespace-separated, ['#'] comments.  Declarations:
+
+    {v
+    input <name>
+    const <name> 0|1
+    not   <name> <a>
+    and   <name> <a> <b>
+    or    <name> <a> <b>
+    xor   <name> <a> <b>
+    mux   <name> <sel> <hi> <lo>
+    reg   <name> init 0|1|x
+    next  <reg> <src>
+    prop  <node>
+    v}
+
+    Forward references are allowed (the file is read in two passes).
+    Exactly one [prop] line is required: it designates the invariant
+    property node (the circuit is expected to keep it true in every
+    reachable state). *)
+
+exception Parse_error of string
+
+val parse_string : string -> Netlist.t * Netlist.node
+(** Returns the netlist and the property node.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Netlist.t * Netlist.node
+
+val print : Format.formatter -> Netlist.t -> property:Netlist.node -> unit
+(** Emit the netlist in the format above.  Unnamed internal nodes receive
+    generated names [nK].  Round-trips with {!parse_string} up to node
+    renaming. *)
+
+val to_string : Netlist.t -> property:Netlist.node -> string
+
+val write_file : string -> Netlist.t -> property:Netlist.node -> unit

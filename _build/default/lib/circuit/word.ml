@@ -1,0 +1,125 @@
+type word = Netlist.node array
+
+let const nl ~width v =
+  Array.init width (fun i ->
+      if (v lsr i) land 1 = 1 then Netlist.const_true nl else Netlist.const_false nl)
+
+let inputs nl ~prefix ~width =
+  Array.init width (fun i -> Netlist.input nl (Printf.sprintf "%s%d" prefix i))
+
+let regs nl ~prefix ~width ~init =
+  Array.init width (fun i ->
+      let bit = Option.map (fun v -> (v lsr i) land 1 = 1) init in
+      Netlist.reg nl ~name:(Printf.sprintf "%s%d" prefix i) ~init:bit)
+
+let connect nl rs ws =
+  if Array.length rs <> Array.length ws then invalid_arg "Word.connect: width mismatch";
+  Array.iteri (fun i r -> Netlist.set_next nl r ws.(i)) rs
+
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Word: width mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let not_ nl a = Array.map (Netlist.not_ nl) a
+
+let and_ nl a b = map2 (Netlist.and_ nl) a b
+
+let or_ nl a b = map2 (Netlist.or_ nl) a b
+
+let xor_ nl a b = map2 (Netlist.xor_ nl) a b
+
+let mux nl ~sel ~hi ~lo = map2 (fun h l -> Netlist.mux nl ~sel ~hi:h ~lo:l) hi lo
+
+let full_add nl a b cin =
+  let s = Netlist.xor_ nl (Netlist.xor_ nl a b) cin in
+  let cout = Netlist.or_ nl (Netlist.and_ nl a b) (Netlist.and_ nl cin (Netlist.xor_ nl a b)) in
+  (s, cout)
+
+let add nl a b =
+  if Array.length a <> Array.length b then invalid_arg "Word.add: width mismatch";
+  let carry = ref (Netlist.const_false nl) in
+  let sum =
+    Array.init (Array.length a) (fun i ->
+        let s, c = full_add nl a.(i) b.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let increment nl a =
+  let carry = ref (Netlist.const_true nl) in
+  let sum =
+    Array.init (Array.length a) (fun i ->
+        let s = Netlist.xor_ nl a.(i) !carry in
+        carry := Netlist.and_ nl a.(i) !carry;
+        s)
+  in
+  (sum, !carry)
+
+let decrement nl a =
+  (* a - 1 = a + (all ones); borrow-out is 1 iff a = 0 *)
+  let borrow = ref (Netlist.const_true nl) in
+  let diff =
+    Array.init (Array.length a) (fun i ->
+        let s = Netlist.xor_ nl a.(i) !borrow in
+        borrow := Netlist.and_ nl (Netlist.not_ nl a.(i)) !borrow;
+        s)
+  in
+  (diff, !borrow)
+
+let eq_const nl a v =
+  Netlist.and_list nl
+    (Array.to_list
+       (Array.mapi
+          (fun i bit -> if (v lsr i) land 1 = 1 then bit else Netlist.not_ nl bit)
+          a))
+
+let eq nl a b = Netlist.and_list nl (Array.to_list (map2 (Netlist.xnor_ nl) a b))
+
+let is_zero nl a = Netlist.and_list nl (Array.to_list (Array.map (Netlist.not_ nl) a))
+
+let all_ones nl a = Netlist.and_list nl (Array.to_list a)
+
+(* One-pass scan keeping "none seen yet" and "exactly one seen". *)
+let one_counts nl a =
+  let none = ref (Netlist.const_true nl) in
+  let one = ref (Netlist.const_false nl) in
+  Array.iter
+    (fun bit ->
+      let one' =
+        Netlist.or_ nl
+          (Netlist.and_ nl !one (Netlist.not_ nl bit))
+          (Netlist.and_ nl !none bit)
+      in
+      let none' = Netlist.and_ nl !none (Netlist.not_ nl bit) in
+      one := one';
+      none := none')
+    a;
+  (!none, !one)
+
+let exactly_one nl a =
+  let _, one = one_counts nl a in
+  one
+
+let at_most_one nl a =
+  let none, one = one_counts nl a in
+  Netlist.or_ nl none one
+
+let mul nl a b =
+  if Array.length a <> Array.length b then invalid_arg "Word.mul: width mismatch";
+  let width = Array.length a in
+  let zero = Array.make width (Netlist.const_false nl) in
+  let shifted i =
+    Array.init width (fun j -> if j < i then Netlist.const_false nl else a.(j - i))
+  in
+  let acc = ref zero in
+  for i = 0 to width - 1 do
+    let addend = mux nl ~sel:b.(i) ~hi:(shifted i) ~lo:zero in
+    let sum, _carry = add nl !acc addend in
+    acc := sum
+  done;
+  !acc
+
+let rotate_left a =
+  let n = Array.length a in
+  if n = 0 then [||] else Array.init n (fun i -> a.((i + n - 1) mod n))

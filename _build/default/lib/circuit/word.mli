@@ -1,0 +1,60 @@
+(** Word-level construction helpers.
+
+    A word is a little-endian array of nodes (index 0 = LSB).  These helpers
+    build the ripple-carry arithmetic and comparison logic the benchmark
+    generators and examples need, on top of the bit-level {!Netlist}
+    builders. *)
+
+type word = Netlist.node array
+
+val const : Netlist.t -> width:int -> int -> word
+(** [const nl ~width v] encodes [v land (2^width - 1)]. *)
+
+val inputs : Netlist.t -> prefix:string -> width:int -> word
+(** Fresh primary inputs [prefix0 .. prefix(width-1)]. *)
+
+val regs : Netlist.t -> prefix:string -> width:int -> init:int option -> word
+(** Fresh registers; [init = Some v] initialises to the binary encoding of
+    [v], [init = None] makes every bit nondeterministic. *)
+
+val connect : Netlist.t -> word -> word -> unit
+(** [connect nl rs ws] sets each register [rs.(i)]'s next input to
+    [ws.(i)].  @raise Invalid_argument on width mismatch. *)
+
+val not_ : Netlist.t -> word -> word
+
+val and_ : Netlist.t -> word -> word -> word
+
+val or_ : Netlist.t -> word -> word -> word
+
+val xor_ : Netlist.t -> word -> word -> word
+
+val mux : Netlist.t -> sel:Netlist.node -> hi:word -> lo:word -> word
+
+val add : Netlist.t -> word -> word -> word * Netlist.node
+(** Ripple-carry sum and carry-out. *)
+
+val increment : Netlist.t -> word -> word * Netlist.node
+
+val decrement : Netlist.t -> word -> word * Netlist.node
+(** Returns difference and borrow-out (1 when the input was zero). *)
+
+val eq_const : Netlist.t -> word -> int -> Netlist.node
+
+val eq : Netlist.t -> word -> word -> Netlist.node
+
+val is_zero : Netlist.t -> word -> Netlist.node
+
+val all_ones : Netlist.t -> word -> Netlist.node
+
+val exactly_one : Netlist.t -> word -> Netlist.node
+(** True when exactly one bit of the word is set. *)
+
+val at_most_one : Netlist.t -> word -> Netlist.node
+
+val mul : Netlist.t -> word -> word -> word
+(** Shift-and-add product, truncated to the width of the first operand.
+    @raise Invalid_argument on width mismatch. *)
+
+val rotate_left : word -> word
+(** Pure index shuffle: bit i of the result is bit (i-1) of the input. *)

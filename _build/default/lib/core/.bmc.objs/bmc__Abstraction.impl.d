@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Circuit Engine Format Hashtbl List Sat Score Shtrichman Sys Trace Unroll Varmap

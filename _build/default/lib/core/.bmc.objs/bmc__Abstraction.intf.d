@@ -1,0 +1,1 @@
+lib/core/abstraction.mli: Circuit Engine Format Trace

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Circuit Format List Printf Sat Score Shtrichman Sys Trace Unroll Varmap

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Circuit Engine List Printf Sat Score Shtrichman Sys Trace Unroll Varmap

@@ -1,0 +1,1 @@
+lib/core/induction.ml: Circuit Engine Format List Sat Score Shtrichman Sys Trace Unroll Varmap

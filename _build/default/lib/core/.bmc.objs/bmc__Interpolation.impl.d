@@ -1,0 +1,1 @@
+lib/core/interpolation.ml: Array Circuit Format List Printf Sat Sys Trace Unroll Varmap

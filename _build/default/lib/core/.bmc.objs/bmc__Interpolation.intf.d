@@ -1,0 +1,1 @@
+lib/core/interpolation.mli: Circuit Format Sat Trace

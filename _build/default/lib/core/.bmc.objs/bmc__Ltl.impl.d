@@ -1,0 +1,1 @@
+lib/core/ltl.ml: Array Circuit Engine Format Hashtbl List Printf Sat Score Shtrichman String Sys Trace Unroll Varmap

@@ -1,0 +1,1 @@
+lib/core/ltl.mli: Circuit Engine Format Trace

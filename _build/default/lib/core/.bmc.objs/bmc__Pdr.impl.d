@@ -1,0 +1,1 @@
+lib/core/pdr.ml: Array Circuit Format List Option Sat Sys Trace Unroll

@@ -1,0 +1,1 @@
+lib/core/pdr.mli: Circuit Format Trace

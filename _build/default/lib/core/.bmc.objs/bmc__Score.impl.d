@@ -1,0 +1,1 @@
+lib/core/score.ml: Array Hashtbl List Option Sat

@@ -1,0 +1,1 @@
+lib/core/shtrichman.ml: Array Unroll Varmap

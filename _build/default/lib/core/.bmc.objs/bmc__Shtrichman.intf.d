@@ -1,0 +1,1 @@
+lib/core/shtrichman.mli: Unroll

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Array Bdd Circuit Format Hashtbl List

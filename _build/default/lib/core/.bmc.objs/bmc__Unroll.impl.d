@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Array Circuit Fun List Option Sat Varmap

@@ -1,0 +1,1 @@
+lib/core/varmap.ml: Circuit Hashtbl Sat

@@ -1,0 +1,1 @@
+lib/core/varmap.mli: Circuit Sat

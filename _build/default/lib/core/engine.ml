@@ -1,0 +1,162 @@
+type mode =
+  | Standard
+  | Static
+  | Dynamic
+  | Shtrichman
+
+type config = {
+  mode : mode;
+  weighting : Score.weighting;
+  coi : bool;
+  budget : Sat.Solver.budget;
+  max_depth : int;
+  collect_cores : bool;
+}
+
+let default_config =
+  {
+    mode = Standard;
+    weighting = Score.Linear;
+    coi = false;
+    budget = Sat.Solver.no_budget;
+    max_depth = 20;
+    collect_cores = false;
+  }
+
+let config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
+    ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false) () =
+  { mode; weighting; coi; budget; max_depth; collect_cores }
+
+type depth_stat = {
+  depth : int;
+  outcome : Sat.Solver.outcome;
+  decisions : int;
+  implications : int;
+  conflicts : int;
+  core_size : int;
+  core_var_count : int;
+  switched : bool;
+  time : float;
+}
+
+type verdict =
+  | Falsified of Trace.t
+  | Bounded_pass of int
+  | Aborted of int
+
+type result = {
+  verdict : verdict;
+  per_depth : depth_stat list;
+  total_time : float;
+  total_decisions : int;
+  total_implications : int;
+  total_conflicts : int;
+}
+
+let pp_verdict ppf = function
+  | Falsified trace -> Format.fprintf ppf "falsified at depth %d" trace.Trace.depth
+  | Bounded_pass k -> Format.fprintf ppf "no counterexample up to depth %d" k
+  | Aborted k -> Format.fprintf ppf "aborted at depth %d (budget)" k
+
+let pp_mode ppf = function
+  | Standard -> Format.pp_print_string ppf "standard"
+  | Static -> Format.pp_print_string ppf "static"
+  | Dynamic -> Format.pp_print_string ppf "dynamic"
+  | Shtrichman -> Format.pp_print_string ppf "shtrichman"
+
+let mode_of_string = function
+  | "standard" -> Some Standard
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | "shtrichman" -> Some Shtrichman
+  | _ -> None
+
+let all_modes = [ Standard; Static; Dynamic; Shtrichman ]
+
+(* Does this mode consume unsat cores between instances? *)
+let uses_cores = function
+  | Static | Dynamic -> true
+  | Standard | Shtrichman -> false
+
+let order_mode cfg unroll score ~k =
+  match cfg.mode with
+  | Standard -> Sat.Order.Vsids
+  | Static ->
+    Sat.Order.Static (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
+  | Dynamic ->
+    Sat.Order.Dynamic (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
+  | Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
+
+let run ?(config = default_config) netlist ~property =
+  let cfg = config in
+  let unroll = Unroll.create ~coi:cfg.coi netlist ~property in
+  let score = Score.create ~weighting:cfg.weighting () in
+  let per_depth = ref [] in
+  let start = Sys.time () in
+  let with_proof = uses_cores cfg.mode || cfg.collect_cores in
+  let finish verdict =
+    let per_depth = List.rev !per_depth in
+    let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
+    {
+      verdict;
+      per_depth;
+      total_time = Sys.time () -. start;
+      total_decisions = sum (fun d -> d.decisions);
+      total_implications = sum (fun d -> d.implications);
+      total_conflicts = sum (fun d -> d.conflicts);
+    }
+  in
+  let rec loop k =
+    if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
+    else begin
+      let cnf = Unroll.instance unroll ~k in
+      let mode = order_mode cfg unroll score ~k in
+      let solver = Sat.Solver.create ~with_proof ~mode cnf in
+      let t0 = Sys.time () in
+      let outcome = Sat.Solver.solve ~budget:cfg.budget solver in
+      let time = Sys.time () -. t0 in
+      let stats = Sat.Solver.stats solver in
+      let core, core_vars =
+        match outcome with
+        | Sat.Solver.Unsat when with_proof ->
+          let core = Sat.Solver.unsat_core solver in
+          (core, Sat.Solver.core_vars solver)
+        | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
+      in
+      let stat =
+        {
+          depth = k;
+          outcome;
+          decisions = stats.Sat.Stats.decisions;
+          implications = stats.Sat.Stats.propagations;
+          conflicts = stats.Sat.Stats.conflicts;
+          core_size = List.length core;
+          core_var_count = List.length core_vars;
+          switched = stats.Sat.Stats.heuristic_switches > 0;
+          time;
+        }
+      in
+      per_depth := stat :: !per_depth;
+      match outcome with
+      | Sat.Solver.Sat ->
+        let trace = Trace.of_model unroll ~k ~model:(Sat.Solver.model solver) in
+        if not (Trace.replay trace netlist ~property) then
+          failwith
+            (Printf.sprintf
+               "Engine.run: counterexample at depth %d failed to replay (internal error)" k);
+        finish (Falsified trace)
+      | Sat.Solver.Unsat ->
+        if uses_cores cfg.mode then Score.update score ~instance:k ~core_vars;
+        loop (k + 1)
+      | Sat.Solver.Unknown -> finish (Aborted k)
+    end
+  in
+  loop 0
+
+let run_case ?config (case : Circuit.Generators.case) =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { default_config with max_depth = case.Circuit.Generators.suggested_depth }
+  in
+  run ~config case.Circuit.Generators.netlist ~property:case.Circuit.Generators.property

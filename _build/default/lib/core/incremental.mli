@@ -1,0 +1,24 @@
+(** Incremental BMC with refined decision orderings.
+
+    The paper's conclusion anticipates combining its ordering refinement with
+    the incremental-SAT techniques of Whittemore et al. (SATIRE, DAC 2001)
+    and Eén–Sörensson: this module is that combination.  One persistent
+    solver receives the transition-relation clauses frame by frame; the
+    depth-k property constraint [¬P(V^k)] is guarded by a fresh activation
+    variable a_k and enabled by {e assuming} a_k for instance k only, then
+    permanently disabled with the unit clause [¬a_k].  Learnt clauses,
+    literal activities and the proof graph all survive between instances —
+    the clause-reuse benefit — while the per-variable [bmc_score] ranking is
+    refreshed from each instance's unsatisfiable core exactly as in the
+    non-incremental engine.
+
+    Results use the {!Engine} types, so the two engines are drop-in
+    comparable (benchmark A3). *)
+
+val run :
+  ?config:Engine.config -> Circuit.Netlist.t -> property:Circuit.Netlist.node -> Engine.result
+(** Like {!Engine.run}, with one persistent incremental solver underneath.
+    All four ordering modes are supported; per-depth statistics report the
+    {e delta} of the solver counters for that instance. *)
+
+val run_case : ?config:Engine.config -> Circuit.Generators.case -> Engine.result

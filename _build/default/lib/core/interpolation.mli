@@ -1,0 +1,54 @@
+(** Interpolation-based unbounded model checking (McMillan, CAV 2003).
+
+    The missing link between the paper's machinery and unbounded proofs:
+    when a BMC instance is refuted, its resolution proof (the same data the
+    paper's simplified CDG records, enriched with clause literals) yields a
+    Craig interpolant for the split
+
+    {v A = R(V⁰) ∧ T(V⁰,W⁰,V¹)        B = ⋀_{2..k} T ∧ (¬P(V¹) ∨ ... ∨ ¬P(V^k)) v}
+
+    The interpolant I, a formula over the frame-1 registers, is an
+    over-approximation of the image of R that still cannot reach a bad
+    state within k−1 steps.  Iterating R ← R ∨ I either converges (I ⊨ R:
+    a safe inductive over-approximation of the reachable states — the
+    property is proved for {e every} depth) or goes satisfiable, in which
+    case the bound k is increased; with R still the initial predicate a
+    satisfiable instance is a genuine counterexample.
+
+    Interpolants are instantiated as circuit gates over the register nodes,
+    so R lives in the netlist itself and is Tseitin-encoded like any other
+    logic. *)
+
+type verdict =
+  | Proved of { bound : int; iterations : int }
+      (** fixpoint reached while refuting at this unrolling bound *)
+  | Falsified of Trace.t
+  | Unknown of int  (** gave up after this bound *)
+
+type result = {
+  verdict : verdict;
+  total_time : float;
+  interpolants : int;  (** interpolants computed across all bounds *)
+}
+
+val prove :
+  ?max_bound:int ->
+  ?max_iterations:int ->
+  ?budget:Sat.Solver.budget ->
+  Circuit.Netlist.t ->
+  property:Circuit.Netlist.node ->
+  result
+(** [prove nl ~property] runs the interpolation loop.  Defaults:
+    [max_bound = 32], [max_iterations = 64] interpolants per bound, no
+    solver budget.  The input netlist is copied; interpolant gates never
+    leak into the caller's circuit.
+    @raise Invalid_argument if the netlist does not validate. *)
+
+val prove_case :
+  ?max_bound:int ->
+  ?max_iterations:int ->
+  ?budget:Sat.Solver.budget ->
+  Circuit.Generators.case ->
+  result
+
+val pp_verdict : Format.formatter -> verdict -> unit

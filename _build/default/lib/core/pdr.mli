@@ -1,0 +1,49 @@
+(** IC3 / property-directed reachability (Bradley, VMCAI 2011).
+
+    The modern unbounded-proof engine, included as the end point of the
+    lineage the paper sits in: BMC refutes with bounded unrollings, the
+    refined ordering accelerates the UNSAT sequence, cores give
+    abstractions and induction gives proofs — IC3 replaces the unrolling
+    altogether with incremental relative-induction queries over a single
+    transition step.
+
+    Frames F₀ ⊇ F₁ ⊇ ... are sets of blocked cubes over the registers
+    (F₀ is the initial-state predicate).  A violation of P in F_k spawns
+    proof obligations that are recursively blocked by one-step queries
+    [F_{i−1} ∧ ¬s ∧ T ∧ s′]; blocked cubes are literal-dropped
+    (generalised) while the query stays UNSAT and the cube stays disjoint
+    from the initial states, and clauses are propagated forward.  Two
+    adjacent frames becoming equal yields an inductive invariant; an
+    obligation chain reaching the initial states yields a counterexample,
+    which is replayed on the simulator before being reported.
+
+    Queries are answered by fresh solvers over a two-frame unrolling of the
+    transition relation — deliberately simple; the circuits here are small
+    and every query is independent. *)
+
+type verdict =
+  | Proved of { frames : int; invariant_clauses : int }
+      (** an inductive invariant was found at this frame count *)
+  | Falsified of Trace.t  (** replayed counterexample *)
+  | Unknown of { frames : int; queries : int }
+      (** resource limit hit (queries or frames) *)
+
+type result = {
+  verdict : verdict;
+  queries : int;  (** SAT queries issued *)
+  total_time : float;
+}
+
+val prove :
+  ?max_frames:int ->
+  ?max_queries:int ->
+  Circuit.Netlist.t ->
+  property:Circuit.Netlist.node ->
+  result
+(** [prove nl ~property] runs IC3.  Defaults: [max_frames = 64],
+    [max_queries = 200_000].
+    @raise Invalid_argument if the netlist does not validate. *)
+
+val prove_case : ?max_frames:int -> ?max_queries:int -> Circuit.Generators.case -> result
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,35 @@
+type weighting =
+  | Linear
+  | Uniform
+  | Last_only
+
+type t = {
+  weighting : weighting;
+  scores : (Sat.Lit.var, float) Hashtbl.t;
+}
+
+let create ?(weighting = Linear) () = { weighting; scores = Hashtbl.create 256 }
+
+let weighting t = t.weighting
+
+let update t ~instance ~core_vars =
+  (match t.weighting with Last_only -> Hashtbl.reset t.scores | Linear | Uniform -> ());
+  let w =
+    match t.weighting with
+    | Linear -> float_of_int (max instance 1)
+    | Uniform | Last_only -> 1.0
+  in
+  List.iter
+    (fun v ->
+      let old = Option.value ~default:0.0 (Hashtbl.find_opt t.scores v) in
+      Hashtbl.replace t.scores v (old +. w))
+    core_vars
+
+let score t v = Option.value ~default:0.0 (Hashtbl.find_opt t.scores v)
+
+let rank_array t ~num_vars =
+  let a = Array.make (max num_vars 1) 0.0 in
+  Hashtbl.iter (fun v s -> if v < num_vars then a.(v) <- s) t.scores;
+  a
+
+let num_ranked t = Hashtbl.length t.scores

@@ -1,0 +1,10 @@
+let rank unroll ~k =
+  let vm = Unroll.varmap unroll in
+  let n = Varmap.num_vars vm in
+  let a = Array.make (max n 1) 0.0 in
+  for v = 0 to n - 1 do
+    match Varmap.key_of vm v with
+    | Some (_, frame) when frame <= k -> a.(v) <- float_of_int (frame + 1)
+    | Some _ | None -> ()
+  done;
+  a

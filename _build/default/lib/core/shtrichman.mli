@@ -1,0 +1,15 @@
+(** Shtrichman's time-axis decision ordering (related work, CAV 2000).
+
+    Shtrichman viewed the BMC instance as a combinational circuit on a plane
+    whose x-axis is time frames and y-axis is registers, ran BFS over the
+    variable dependency graph starting from the constraint (the negated
+    property at frame k), and sorted decision variables by their position on
+    the {e time} axis.  The paper positions its own method as sorting along
+    the {e register} axis instead; this module implements the time-axis
+    baseline so the two can be compared (benchmark A2). *)
+
+val rank : Unroll.t -> k:int -> float array
+(** A per-variable rank for the depth-k instance: variables of frame k get
+    the highest rank, descending towards frame 0 — the BFS-from-the-property
+    visit order projected onto the time axis.  Suitable for
+    {!Sat.Order.Static}. *)

@@ -1,0 +1,107 @@
+type verdict =
+  | Holds of { diameter : int }
+  | Fails_at of int
+  | Blowup of { iterations : int; nodes : int }
+
+let equal_verdict a b =
+  match (a, b) with
+  | Holds { diameter = d1 }, Holds { diameter = d2 } -> d1 = d2
+  | Fails_at k1, Fails_at k2 -> k1 = k2
+  | Blowup { iterations = i1; nodes = n1 }, Blowup { iterations = i2; nodes = n2 } ->
+    i1 = i2 && n1 = n2
+  | (Holds _ | Fails_at _ | Blowup _), _ -> false
+
+let pp_verdict ppf = function
+  | Holds { diameter } -> Format.fprintf ppf "holds (diameter %d)" diameter
+  | Fails_at k -> Format.fprintf ppf "fails at depth %d" k
+  | Blowup { iterations; nodes } ->
+    Format.fprintf ppf "BDD blow-up after %d images (%d nodes)" iterations nodes
+
+(* Variable order: register i owns present variable 2i and next-state
+   variable 2i+1 (interleaving keeps the next→present renaming monotone);
+   inputs follow after all state variables. *)
+let check ?(node_limit = 2_000_000) nl ~property =
+  (match Circuit.Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Symbolic.check: " ^ msg));
+  let cone = Circuit.Netlist.transitive_fanin nl [ property ] in
+  let regs = Array.of_list (List.filter cone (Circuit.Netlist.regs nl)) in
+  let inputs = Array.of_list (List.filter cone (Circuit.Netlist.inputs nl)) in
+  let nregs = Array.length regs in
+  let man = Bdd.manager ~node_limit () in
+  let present_var i = 2 * i in
+  let next_var i = (2 * i) + 1 in
+  let input_var j = (2 * nregs) + j in
+  let reg_index = Hashtbl.create (max nregs 1) in
+  Array.iteri (fun i r -> Hashtbl.replace reg_index r i) regs;
+  let input_index = Hashtbl.create (max (Array.length inputs) 1) in
+  Array.iteri (fun j n -> Hashtbl.replace input_index n j) inputs;
+  (* combinational functions over present-state and input variables *)
+  let memo = Hashtbl.create 256 in
+  let rec fn node =
+    match Hashtbl.find_opt memo node with
+    | Some b -> b
+    | None ->
+      let b =
+        match Circuit.Netlist.gate nl node with
+        | Circuit.Netlist.Input _ -> (
+          match Hashtbl.find_opt input_index node with
+          | Some j -> Bdd.var man (input_var j)
+          | None -> Bdd.zero man (* out of cone: value irrelevant, pin to 0 *))
+        | Circuit.Netlist.Const b -> if b then Bdd.one man else Bdd.zero man
+        | Circuit.Netlist.Not a -> Bdd.not_ man (fn a)
+        | Circuit.Netlist.And (a, b) -> Bdd.and_ man (fn a) (fn b)
+        | Circuit.Netlist.Or (a, b) -> Bdd.or_ man (fn a) (fn b)
+        | Circuit.Netlist.Xor (a, b) -> Bdd.xor_ man (fn a) (fn b)
+        | Circuit.Netlist.Mux (s, h, l) -> Bdd.ite man (fn s) (fn h) (fn l)
+        | Circuit.Netlist.Reg _ -> (
+          match Hashtbl.find_opt reg_index node with
+          | Some i -> Bdd.var man (present_var i)
+          | None -> Bdd.zero man)
+      in
+      Hashtbl.replace memo node b;
+      b
+  in
+  let iterations = ref 0 in
+  try
+    let bad = Bdd.not_ man (fn property) in
+    (* transition relation: ⋀ᵢ (nextᵢ ↔ fᵢ) *)
+    let trans = ref (Bdd.one man) in
+    Array.iteri
+      (fun i r ->
+        let f = fn (Circuit.Netlist.reg_next nl r) in
+        trans := Bdd.and_ man !trans (Bdd.xnor_ man (Bdd.var man (next_var i)) f))
+      regs;
+    let trans = !trans in
+    let init =
+      Array.to_list regs
+      |> List.mapi (fun i r -> (i, Circuit.Netlist.reg_init nl r))
+      |> List.fold_left
+           (fun acc (i, init) ->
+             match init with
+             | Some true -> Bdd.and_ man acc (Bdd.var man (present_var i))
+             | Some false -> Bdd.and_ man acc (Bdd.nvar man (present_var i))
+             | None -> acc)
+           (Bdd.one man)
+    in
+    let quantified =
+      List.init nregs present_var @ List.init (Array.length inputs) input_var
+    in
+    let rename_next_to_present b = Bdd.rename man (fun v -> v - 1) b in
+    let image r =
+      rename_next_to_present (Bdd.exists man quantified (Bdd.and_ man r trans))
+    in
+    (* frontier BFS so the first violation depth is exact *)
+    let rec loop reached frontier depth =
+      if not (Bdd.is_zero (Bdd.and_ man frontier bad)) then Fails_at depth
+      else begin
+        incr iterations;
+        let next = image frontier in
+        let fresh = Bdd.and_ man next (Bdd.not_ man reached) in
+        if Bdd.is_zero fresh then Holds { diameter = depth }
+        else loop (Bdd.or_ man reached fresh) fresh (depth + 1)
+      end
+    in
+    loop init init 0
+  with Bdd.Node_limit ->
+    Blowup { iterations = !iterations; nodes = Bdd.num_nodes man }

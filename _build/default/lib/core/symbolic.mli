@@ -1,0 +1,34 @@
+(** Symbolic (BDD-based) invariant checking.
+
+    The paper's opening sentence frames BMC as "a complement to model
+    checking based on Binary Decision Diagrams"; this module is the other
+    half of that sentence, so the complement relation itself can be
+    demonstrated (see the [complement] benchmark artefact).
+
+    Classic forward reachability: present-state and next-state variables
+    interleaved in the BDD order, a monolithic transition relation
+    [⋀ᵢ (s'ᵢ ↔ fᵢ(s, x))], breadth-first image computation from the
+    initial states, and a frontier-based loop that reports the exact depth
+    of the first violation — the same semantics as {!Circuit.Reach} and
+    the BMC engines, so all three cross-validate.
+
+    Like {!Circuit.Reach}, the check first projects the circuit onto the
+    property's cone of influence. *)
+
+type verdict =
+  | Holds of { diameter : int }
+      (** invariant; [diameter] = BFS depth of the reachable cone states *)
+  | Fails_at of int  (** shortest counterexample depth *)
+  | Blowup of { iterations : int; nodes : int }
+      (** the BDD manager hit its node limit after completing this many
+          image steps *)
+
+val check :
+  ?node_limit:int -> Circuit.Netlist.t -> property:Circuit.Netlist.node -> verdict
+(** [check nl ~property] runs the fixpoint.  [node_limit] (default
+    2_000_000) bounds the BDD manager.
+    @raise Invalid_argument if the netlist does not validate. *)
+
+val equal_verdict : verdict -> verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

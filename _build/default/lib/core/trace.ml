@@ -1,0 +1,54 @@
+type t = {
+  depth : int;
+  init_regs : (Circuit.Netlist.node * bool) list;
+  inputs : (Circuit.Netlist.node * bool) list array;
+}
+
+let of_model unroll ~k ~model =
+  let nl = Unroll.netlist unroll in
+  let value node frame =
+    let v = Unroll.var_of unroll ~node ~frame in
+    v < Array.length model && model.(v)
+  in
+  let init_regs = List.map (fun r -> (r, value r 0)) (Circuit.Netlist.regs nl) in
+  let inputs =
+    Array.init (k + 1) (fun f -> List.map (fun i -> (i, value i f)) (Circuit.Netlist.inputs nl))
+  in
+  { depth = k; init_regs; inputs }
+
+let replay t nl ~property =
+  let sim = Circuit.Eval.compile nl in
+  let resolve r =
+    match List.assoc_opt r t.init_regs with Some b -> b | None -> false
+  in
+  let input_fun ~cycle node =
+    if cycle <= t.depth then
+      match List.assoc_opt node t.inputs.(cycle) with Some b -> b | None -> false
+    else false
+  in
+  match
+    Circuit.Eval.check_invariant sim ~resolve ~inputs:input_fun ~cycles:(t.depth + 1) ~property ()
+  with
+  | Some k -> k = t.depth
+  | None -> false
+
+let node_label netlist node =
+  match netlist with
+  | Some nl -> (
+    match Circuit.Netlist.name_of nl node with Some s -> s | None -> Printf.sprintf "n%d" node)
+  | None -> Printf.sprintf "n%d" node
+
+let pp ?netlist () ppf t =
+  let label = node_label netlist in
+  Format.fprintf ppf "@[<v>counterexample of depth %d@," t.depth;
+  Format.fprintf ppf "initial registers:@,";
+  List.iter
+    (fun (r, b) -> Format.fprintf ppf "  %s = %d@," (label r) (if b then 1 else 0))
+    t.init_regs;
+  Array.iteri
+    (fun f vals ->
+      Format.fprintf ppf "frame %d inputs:" f;
+      List.iter (fun (n, b) -> Format.fprintf ppf " %s=%d" (label n) (if b then 1 else 0)) vals;
+      Format.fprintf ppf "@,")
+    t.inputs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Counterexample traces.
+
+    When a BMC instance is satisfiable, the satisfying assignment describes
+    a length-k path from an initial state to a property violation.  A trace
+    packages the parts needed to replay it on the circuit: the initial
+    values of nondeterministic registers and the primary-input values at
+    every frame.  {!replay} re-simulates the trace and confirms the
+    violation — the engine only ever reports replayed traces. *)
+
+type t = {
+  depth : int;  (** frame at which the property is violated *)
+  init_regs : (Circuit.Netlist.node * bool) list;
+      (** initial values of {e all} registers, as chosen by the solver *)
+  inputs : (Circuit.Netlist.node * bool) list array;
+      (** [inputs.(f)] = primary-input values at frame [f]; length
+          [depth + 1] *)
+}
+
+val of_model : Unroll.t -> k:int -> model:bool array -> t
+(** Extract a trace from a satisfying assignment of the depth-k instance. *)
+
+val replay : t -> Circuit.Netlist.t -> property:Circuit.Netlist.node -> bool
+(** [true] iff simulating the trace violates the property at [depth]. *)
+
+val pp : ?netlist:Circuit.Netlist.t -> unit -> Format.formatter -> t -> unit
+(** Waveform-style listing; with [netlist], nodes print by name. *)

@@ -1,0 +1,1 @@
+lib/sat/checker.ml: Array Buffer Cnf Hashtbl List Lit Option Printf String

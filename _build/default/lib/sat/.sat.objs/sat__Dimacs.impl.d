@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Cnf Format List Lit Printf String

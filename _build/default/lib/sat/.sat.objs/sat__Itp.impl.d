@@ -1,0 +1,1 @@
+lib/sat/itp.ml: Array Format Hashtbl Int List Lit Set

@@ -1,0 +1,1 @@
+lib/sat/order.ml: Array Cnf Lit

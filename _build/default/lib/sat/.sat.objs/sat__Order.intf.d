@@ -1,0 +1,1 @@
+lib/sat/order.mli: Cnf Lit

@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Array Int List Printf Vec

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Checker Cnf Float Format Hashtbl Int Itp List Lit Luby Option Order Proof Stats Sys Vec

@@ -1,0 +1,1 @@
+lib/sat/solver.mli: Checker Cnf Format Itp Lit Order Stats

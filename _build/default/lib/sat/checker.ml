@@ -1,0 +1,138 @@
+type event =
+  | Learnt of Lit.t list
+  | Deleted of Lit.t list
+
+(* Naive propagation state: clauses as literal lists, assignments as an
+   association from variables to booleans. *)
+type active = {
+  mutable clauses : Lit.t list list; (* reverse order of addition *)
+}
+
+let clause_key lits = List.sort_uniq Lit.compare lits
+
+(* Reverse unit propagation: assume the negation of every literal of
+   [clause]; propagate units across [clauses]; succeed iff a conflict
+   appears. *)
+let rup clauses clause =
+  let assign : (Lit.var, bool) Hashtbl.t = Hashtbl.create 64 in
+  let set l = Hashtbl.replace assign (Lit.var l) (Lit.is_pos l) in
+  let value l =
+    match Hashtbl.find_opt assign (Lit.var l) with
+    | Some b -> Some (b = Lit.is_pos l)
+    | None -> None
+  in
+  (* the negated clause seeds the assignment; a clause with complementary
+     literals is trivially RUP *)
+  let conflict = ref false in
+  List.iter
+    (fun l ->
+      match value l with
+      | Some true -> conflict := true (* already true: ¬C inconsistent *)
+      | Some false | None -> set (Lit.negate l))
+    clause;
+  let progress = ref true in
+  while (not !conflict) && !progress do
+    progress := false;
+    List.iter
+      (fun c ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match value l with
+              | Some true -> satisfied := true
+              | Some false -> ()
+              | None -> unassigned := l :: !unassigned)
+            c;
+          if not !satisfied then begin
+            match !unassigned with
+            | [] -> conflict := true
+            | [ u ] ->
+              set u;
+              progress := true
+            | _ :: _ :: _ -> ()
+          end
+        end)
+      clauses
+  done;
+  !conflict
+
+let check_refutation cnf events =
+  let active = { clauses = [] } in
+  (* duplicate literals would defeat the unit test below; tautologies are
+     harmless but may as well be normalised too *)
+  Cnf.iter_clauses
+    (fun _ c -> active.clauses <- List.sort_uniq Lit.compare (Array.to_list c) :: active.clauses)
+    cnf;
+  let refuted = ref false in
+  let step i event =
+    match event with
+    | Learnt lits ->
+      if !refuted then Ok () (* anything after the empty clause is moot *)
+      else if rup active.clauses lits then begin
+        if lits = [] then refuted := true;
+        active.clauses <- lits :: active.clauses;
+        Ok ()
+      end
+      else
+        Error
+          (Printf.sprintf "step %d: learnt clause {%s} is not a RUP consequence" i
+             (String.concat ", " (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits)))
+    | Deleted lits ->
+      let key = clause_key lits in
+      let rec remove = function
+        | [] -> None
+        | c :: rest when clause_key c = key -> Some rest
+        | c :: rest -> Option.map (fun r -> c :: r) (remove rest)
+      in
+      (match remove active.clauses with
+      | Some rest -> active.clauses <- rest
+      | None -> () (* deleting an absent clause is harmless *));
+      Ok ()
+  in
+  let rec walk i = function
+    | [] -> if !refuted then Ok () else Error "proof does not derive the empty clause"
+    | e :: rest -> (
+      match step i e with
+      | Ok () -> walk (i + 1) rest
+      | Error _ as err -> err)
+  in
+  walk 0 events
+
+let to_drat events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun event ->
+      let lits, prefix =
+        match event with Learnt l -> (l, "") | Deleted l -> (l, "d ")
+      in
+      Buffer.add_string buf prefix;
+      List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " ")) lits;
+      Buffer.add_string buf "0\n")
+    events;
+  Buffer.contents buf
+
+let of_drat text =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then None
+    else begin
+      let deleted = String.length line >= 2 && String.sub line 0 2 = "d " in
+      let body = if deleted then String.sub line 2 (String.length line - 2) else line in
+      let nums =
+        String.split_on_char ' ' body
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match int_of_string_opt s with
+               | Some n -> n
+               | None -> failwith (Printf.sprintf "Checker.of_drat: bad token %S" s))
+      in
+      match List.rev nums with
+      | 0 :: rev_lits ->
+        let lits = List.rev_map Lit.of_dimacs rev_lits in
+        Some (if deleted then Deleted lits else Learnt lits)
+      | _ -> failwith "Checker.of_drat: missing terminating 0"
+    end
+  in
+  String.split_on_char '\n' text |> List.filter_map parse_line

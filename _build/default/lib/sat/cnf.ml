@@ -1,0 +1,76 @@
+type clause = Lit.t array
+
+type t = {
+  mutable num_vars : int;
+  clauses : clause Vec.t;
+  mutable num_literals : int;
+}
+
+let create ?(num_vars = 0) () =
+  if num_vars < 0 then invalid_arg "Cnf.create";
+  { num_vars; clauses = Vec.create ~dummy:[||] (); num_literals = 0 }
+
+let num_vars f = f.num_vars
+
+let num_clauses f = Vec.length f.clauses
+
+let fresh_var f =
+  let v = f.num_vars in
+  f.num_vars <- v + 1;
+  v
+
+let ensure_vars f n = if n > f.num_vars then f.num_vars <- n
+
+let note_lits f c =
+  Array.iter (fun l -> ensure_vars f (Lit.var l + 1)) c;
+  f.num_literals <- f.num_literals + Array.length c
+
+let add_clause_a f c =
+  let c = Array.copy c in
+  note_lits f c;
+  Vec.push f.clauses c
+
+let add_clause f lits =
+  let c = Array.of_list lits in
+  note_lits f c;
+  Vec.push f.clauses c
+
+let get_clause f i = Vec.get f.clauses i
+
+let iter_clauses g f = Vec.iteri g f.clauses
+
+let fold_clauses g acc f = Vec.fold g acc f.clauses
+
+let num_literals f = f.num_literals
+
+let normalize_clause lits =
+  let sorted = List.sort_uniq Lit.compare lits in
+  let rec tautology = function
+    | a :: (b :: _ as rest) ->
+      (Lit.var a = Lit.var b && a <> b) || tautology rest
+    | [ _ ] | [] -> false
+  in
+  if tautology sorted then None else Some sorted
+
+let eval_clause c assign = Array.exists (fun l -> assign (Lit.var l) = Lit.is_pos l) c
+
+let eval f assign =
+  let sat = ref true in
+  Vec.iter (fun c -> if not (eval_clause c assign) then sat := false) f.clauses;
+  !sat
+
+let copy f =
+  let g = create ~num_vars:f.num_vars () in
+  Vec.iter (fun c -> Vec.push g.clauses (Array.copy c)) f.clauses;
+  g.num_literals <- f.num_literals;
+  g
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>p cnf %d %d" f.num_vars (num_clauses f);
+  Vec.iter
+    (fun c ->
+      Format.fprintf ppf "@,%a 0"
+        (Format.pp_print_array ~pp_sep:Format.pp_print_space Lit.pp)
+        c)
+    f.clauses;
+  Format.fprintf ppf "@]"

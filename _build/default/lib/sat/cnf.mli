@@ -1,0 +1,58 @@
+(** CNF formulas.
+
+    A formula is a conjunction of clauses over variables [0 .. num_vars-1];
+    each clause is a disjunction of literals.  This module is the neutral
+    exchange format between the circuit encoder, the DIMACS reader and the
+    solver; it performs no solving itself. *)
+
+type clause = Lit.t array
+(** A clause, as added by the client.  Order is preserved. *)
+
+type t
+
+val create : ?num_vars:int -> unit -> t
+(** Fresh formula with [num_vars] pre-allocated variables (default 0). *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+
+val fresh_var : t -> Lit.var
+(** Allocate one new variable and return it. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars f n] grows the variable count to at least [n]. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Append a clause.  Literals over not-yet-declared variables grow the
+    variable count automatically.  The empty clause is legal (and makes the
+    formula trivially unsatisfiable). *)
+
+val add_clause_a : t -> Lit.t array -> unit
+(** Like {!add_clause} from an array; the array is copied. *)
+
+val get_clause : t -> int -> clause
+(** [get_clause f i] is the [i]-th clause (0-based, in insertion order).
+    The returned array must not be mutated. *)
+
+val iter_clauses : (int -> clause -> unit) -> t -> unit
+(** Iterate clauses with their indices, in insertion order. *)
+
+val fold_clauses : ('acc -> clause -> 'acc) -> 'acc -> t -> 'acc
+
+val num_literals : t -> int
+(** Total number of literal occurrences over all clauses. *)
+
+val normalize_clause : Lit.t list -> Lit.t list option
+(** Sort, remove duplicate literals; [None] if the clause is a tautology
+    (contains [l] and [¬l]). *)
+
+val eval : t -> (Lit.var -> bool) -> bool
+(** Evaluate the formula under a total assignment.  O(size). *)
+
+val eval_clause : clause -> (Lit.var -> bool) -> bool
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing, one clause per line in DIMACS notation. *)

@@ -1,0 +1,25 @@
+(** DIMACS CNF reader / writer.
+
+    Accepts the standard format: optional [c]-comment lines, one
+    [p cnf <vars> <clauses>] header, then whitespace-separated non-zero
+    integers with [0] terminating each clause.  Clauses may span lines.
+    The declared counts are checked loosely: more variables than declared is
+    an error, fewer clauses than declared is an error, extra clauses are
+    accepted with a warning channel left to the caller. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (includes a line number). *)
+
+val parse_string : string -> Cnf.t
+
+val parse_channel : in_channel -> Cnf.t
+
+val parse_file : string -> Cnf.t
+(** @raise Sys_error if the file cannot be opened. *)
+
+val print : Format.formatter -> Cnf.t -> unit
+(** Write in DIMACS format, header included. *)
+
+val to_string : Cnf.t -> string
+
+val write_file : string -> Cnf.t -> unit

@@ -1,0 +1,106 @@
+type form =
+  | Ftrue
+  | Ffalse
+  | Flit of Lit.t
+  | Fand of form * form
+  | For of form * form
+
+let fand a b =
+  match (a, b) with
+  | Ffalse, _ | _, Ffalse -> Ffalse
+  | Ftrue, x | x, Ftrue -> x
+  | _ -> Fand (a, b)
+
+let for_ a b =
+  match (a, b) with
+  | Ftrue, _ | _, Ftrue -> Ftrue
+  | Ffalse, x | x, Ffalse -> x
+  | _ -> For (a, b)
+
+module LitSet = Set.Make (Lit)
+
+let compute ~clause_lits ~antecedents ~final ~side ~b_vars =
+  (* memo: clause id -> (literal set, partial interpolant) *)
+  let memo : (int, LitSet.t * form) Hashtbl.t = Hashtbl.create 256 in
+  let rec node id =
+    match Hashtbl.find_opt memo id with
+    | Some r -> r
+    | None ->
+      let r =
+        match antecedents id with
+        | None ->
+          (* leaf *)
+          let lits = LitSet.of_list (clause_lits id) in
+          let itp =
+            match side id with
+            | `B -> Ftrue
+            | `A ->
+              LitSet.fold
+                (fun l acc -> if b_vars (Lit.var l) then for_ acc (Flit l) else acc)
+                lits Ffalse
+          in
+          (lits, itp)
+        | Some chain -> resolve_chain chain
+      in
+      Hashtbl.replace memo id r;
+      r
+  and resolve_chain chain =
+    if Array.length chain = 0 then invalid_arg "Itp.compute: empty chain";
+    let acc = ref (node chain.(0)) in
+    for i = 1 to Array.length chain - 1 do
+      let cur_set, cur_itp = !acc in
+      let ant_set, ant_itp = node chain.(i) in
+      (* the pivot: a literal of the current clause whose negation is in
+         the antecedent *)
+      let pivot =
+        LitSet.fold
+          (fun l found ->
+            match found with
+            | Some _ -> found
+            | None -> if LitSet.mem (Lit.negate l) ant_set then Some l else None)
+          cur_set None
+      in
+      match pivot with
+      | None -> invalid_arg "Itp.compute: chain step does not resolve"
+      | Some l ->
+        let set =
+          LitSet.union (LitSet.remove l cur_set) (LitSet.remove (Lit.negate l) ant_set)
+        in
+        let itp =
+          if b_vars (Lit.var l) then fand cur_itp ant_itp else for_ cur_itp ant_itp
+        in
+        acc := (set, itp)
+    done;
+    !acc
+  in
+  let set, itp = resolve_chain final in
+  if not (LitSet.is_empty set) then
+    invalid_arg "Itp.compute: the final chain does not derive the empty clause";
+  itp
+
+let rec eval f assign =
+  match f with
+  | Ftrue -> true
+  | Ffalse -> false
+  | Flit l -> assign (Lit.var l) = Lit.is_pos l
+  | Fand (a, b) -> eval a assign && eval b assign
+  | For (a, b) -> eval a assign || eval b assign
+
+let variables f =
+  let tbl = Hashtbl.create 16 in
+  let rec go = function
+    | Ftrue | Ffalse -> ()
+    | Flit l -> Hashtbl.replace tbl (Lit.var l) ()
+    | Fand (a, b) | For (a, b) ->
+      go a;
+      go b
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort Int.compare
+
+let rec pp ppf = function
+  | Ftrue -> Format.pp_print_string ppf "true"
+  | Ffalse -> Format.pp_print_string ppf "false"
+  | Flit l -> Lit.pp ppf l
+  | Fand (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | For (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b

@@ -1,0 +1,48 @@
+(** Craig interpolants from resolution proofs (McMillan, CAV 2003).
+
+    Given a refutation of A ∧ B recorded as resolution chains (the
+    antecedent lists of {!Proof}, whose order is exactly the order conflict
+    analysis resolved on them), compute a formula I with
+
+    - A ⊨ I,
+    - I ∧ B unsatisfiable,
+    - vars(I) ⊆ vars(A) ∩ vars(B).
+
+    Using McMillan's labelling: an A-leaf contributes the disjunction of its
+    B-shared literals, a B-leaf contributes ⊤; a resolution on an A-local
+    pivot joins partial interpolants with ∨, on a shared pivot with ∧.
+
+    This is what turns the paper's bounded UNSAT answers into unbounded
+    proofs in {!Bmc.Interpolation}: the interpolant of the
+    (initial-step, rest) split of a refuted BMC instance over-approximates
+    the image of the initial states while staying bad-state-free. *)
+
+(** Interpolant formulas over SAT literals. *)
+type form =
+  | Ftrue
+  | Ffalse
+  | Flit of Lit.t
+  | Fand of form * form
+  | For of form * form
+
+val compute :
+  clause_lits:(int -> Lit.t list) ->
+  antecedents:(int -> int array option) ->
+  final:int array ->
+  side:(int -> [ `A | `B ]) ->
+  b_vars:(Lit.var -> bool) ->
+  form
+(** [compute ~clause_lits ~antecedents ~final ~side ~b_vars] replays every
+    chain reachable from the final conflict.  [clause_lits] must return the
+    literals of {e any} clause ID (original or learnt); [antecedents]
+    returns [None] exactly on leaves; [side] classifies leaves; [b_vars]
+    says whether a variable occurs in the B-side leaves.
+    @raise Invalid_argument if a chain does not resolve (no pivot found) —
+    a corrupted proof. *)
+
+val eval : form -> (Lit.var -> bool) -> bool
+
+val variables : form -> Lit.var list
+(** Ascending, without duplicates. *)
+
+val pp : Format.formatter -> form -> unit

@@ -1,0 +1,39 @@
+type t = int
+
+type var = int
+
+let make v positive =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (v * 2) + if positive then 0 else 1
+
+let pos v = make v true
+
+let neg v = make v false
+
+let var l = l lsr 1
+
+let is_pos l = l land 1 = 0
+
+let negate l = l lxor 1
+
+let to_index l = l
+
+let of_index i =
+  if i < 0 then invalid_arg "Lit.of_index: negative index";
+  i
+
+let to_dimacs l =
+  let v = var l + 1 in
+  if is_pos l then v else -v
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if n > 0 then pos (n - 1) else neg (-n - 1)
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash l = l
+
+let pp ppf l = Format.pp_print_int ppf (to_dimacs l)

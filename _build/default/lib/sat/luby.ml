@@ -1,0 +1,18 @@
+(* Knuth's closed form: find the smallest k with i <= 2^k - 1; if i is
+   exactly 2^k - 1 the term is 2^(k-1), otherwise recurse on
+   i - (2^(k-1) - 1). *)
+let rec term i =
+  if i < 1 then invalid_arg "Luby.term";
+  let rec find k = if (1 lsl k) - 1 >= i then k else find (k + 1) in
+  let k = find 1 in
+  if (1 lsl k) - 1 = i then 1 lsl (k - 1) else term (i - ((1 lsl (k - 1)) - 1))
+
+type t = { base : int; mutable index : int }
+
+let create ~base =
+  if base < 1 then invalid_arg "Luby.create";
+  { base; index = 0 }
+
+let next t =
+  t.index <- t.index + 1;
+  t.base * term t.index

@@ -1,0 +1,16 @@
+(** The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    The standard universal restart strategy; the solver multiplies each term
+    by a base conflict budget. *)
+
+val term : int -> int
+(** [term i] is the [i]-th term of the Luby sequence, [i >= 1].
+    @raise Invalid_argument on [i < 1]. *)
+
+type t
+(** Stateful generator. *)
+
+val create : base:int -> t
+(** [create ~base] yields [base * term i] on successive {!next} calls. *)
+
+val next : t -> int

@@ -1,0 +1,81 @@
+type node =
+  | Original
+  | Learnt of int array (* antecedent ids *)
+
+type t = {
+  nodes : node Vec.t;
+  mutable n_original : int;
+  mutable n_learnt : int;
+  mutable n_edges : int;
+  mutable final : int array option;
+}
+
+let create () =
+  { nodes = Vec.create ~dummy:Original (); n_original = 0; n_learnt = 0; n_edges = 0; final = None }
+
+let register_original t =
+  let id = Vec.length t.nodes in
+  Vec.push t.nodes Original;
+  t.n_original <- t.n_original + 1;
+  id
+
+let check_ant t id =
+  if id < 0 || id >= Vec.length t.nodes then
+    invalid_arg (Printf.sprintf "Proof: unknown antecedent id %d" id)
+
+let register_learnt t ~antecedents =
+  List.iter (check_ant t) antecedents;
+  let ants = Array.of_list antecedents in
+  let id = Vec.length t.nodes in
+  Vec.push t.nodes (Learnt ants);
+  t.n_learnt <- t.n_learnt + 1;
+  t.n_edges <- t.n_edges + Array.length ants;
+  id
+
+let set_final t ~antecedents =
+  List.iter (check_ant t) antecedents;
+  t.final <- Some (Array.of_list antecedents);
+  t.n_edges <- t.n_edges + List.length antecedents
+
+let has_final t = t.final <> None
+
+let clear_final t = t.final <- None
+
+let core t =
+  match t.final with
+  | None -> invalid_arg "Proof.core: no final conflict recorded"
+  | Some roots ->
+    let n = Vec.length t.nodes in
+    let visited = Array.make n false in
+    let acc = ref [] in
+    let stack = ref (Array.to_list roots) in
+    let visit id =
+      if not visited.(id) then begin
+        visited.(id) <- true;
+        match Vec.get t.nodes id with
+        | Original -> acc := id :: !acc
+        | Learnt ants -> Array.iter (fun a -> stack := a :: !stack) ants
+      end
+    in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | id :: rest ->
+        stack := rest;
+        visit id;
+        loop ()
+    in
+    loop ();
+    List.sort Int.compare !acc
+
+let antecedents t id =
+  if id < 0 || id >= Vec.length t.nodes then None
+  else match Vec.get t.nodes id with Original -> None | Learnt ants -> Some ants
+
+let final t = t.final
+
+let num_original t = t.n_original
+
+let num_learnt t = t.n_learnt
+
+let num_edges t = t.n_edges

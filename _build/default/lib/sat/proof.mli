@@ -1,0 +1,53 @@
+(** Simplified Conflict Dependency Graph (paper, Section 3.1).
+
+    Every clause the solver ever sees — original or learnt — is assigned an
+    integer {e pseudo ID}.  For each learnt (conflict) clause we record only
+    the IDs of its antecedents: the clauses resolved on while deriving it.
+    When the formula is refuted, the final (empty-clause) conflict records its
+    antecedents too.  The {e unsatisfiable core} is then the set of original
+    clauses reachable backwards from the final conflict.
+
+    Crucially the graph stores no literals, so the solver remains free to
+    delete learnt clauses from its database: deletion never breaks the
+    dependency information, which is the point of the paper's simplification.
+    The memory cost is one small [int array] per learnt clause. *)
+
+type t
+
+val create : unit -> t
+
+val register_original : t -> int
+(** Allocate a pseudo ID for an original clause.  IDs are dense from 0, in
+    registration order, so they coincide with {!Cnf} clause indices when
+    originals are registered first and in order. *)
+
+val register_learnt : t -> antecedents:int list -> int
+(** Allocate a pseudo ID for a learnt clause derived by resolving the listed
+    antecedents.  @raise Invalid_argument if an antecedent ID is unknown. *)
+
+val set_final : t -> antecedents:int list -> unit
+(** Record the final, unresolvable conflict (the empty clause). *)
+
+val has_final : t -> bool
+
+val clear_final : t -> unit
+(** Forget the final conflict (incremental solving: each solve call records
+    its own refutation; the clause graph itself is kept). *)
+
+val core : t -> int list
+(** Original-clause IDs reachable from the final conflict, ascending.
+    @raise Invalid_argument if {!set_final} was never called. *)
+
+val antecedents : t -> int -> int array option
+(** The antecedent list of a learnt clause's pseudo ID (derivation order);
+    [None] for originals or unknown IDs. *)
+
+val final : t -> int array option
+(** The final conflict's antecedents, if recorded. *)
+
+val num_original : t -> int
+
+val num_learnt : t -> int
+
+val num_edges : t -> int
+(** Total antecedent references stored — the memory-overhead figure. *)

@@ -1,0 +1,225 @@
+type result = {
+  simplified : Cnf.t;
+  reconstruct : bool array -> bool array;
+  eliminated_vars : int;
+  subsumed_clauses : int;
+  strengthened_clauses : int;
+}
+
+module LitSet = Set.Make (Lit)
+
+(* Working representation: a growable store of live clauses as literal
+   sets, plus occurrence lists per literal. *)
+type state = {
+  mutable clauses : LitSet.t option array; (* None = removed *)
+  mutable n_clauses : int;
+  occ : (Lit.t, int list ref) Hashtbl.t; (* literal -> clause indices (may be stale) *)
+  mutable subsumed : int;
+  mutable strengthened : int;
+}
+
+let occ_list st l =
+  match Hashtbl.find_opt st.occ l with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace st.occ l r;
+    r
+
+let add_clause st set =
+  if st.n_clauses = Array.length st.clauses then begin
+    let bigger = Array.make (max 16 (2 * st.n_clauses)) None in
+    Array.blit st.clauses 0 bigger 0 st.n_clauses;
+    st.clauses <- bigger
+  end;
+  let idx = st.n_clauses in
+  st.clauses.(idx) <- Some set;
+  st.n_clauses <- st.n_clauses + 1;
+  LitSet.iter (fun l -> occ_list st l := idx :: !(occ_list st l)) set
+
+let live_occurrences st l =
+  let r = occ_list st l in
+  let live =
+    List.filter
+      (fun i -> match st.clauses.(i) with Some s -> LitSet.mem l s | None -> false)
+      !r
+  in
+  r := live;
+  live
+
+let tautology set = LitSet.exists (fun l -> LitSet.mem (Lit.negate l) set) set
+
+(* ------------------------------------------------------------------ *)
+(* Subsumption and self-subsuming resolution.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* For every clause C, find the clauses D ⊇ C (via the occurrence list of
+   C's rarest literal) and remove them; and for each literal l of C, if
+   C[l := ¬l] ⊆ D then D can drop ¬l. *)
+let subsumption_round st =
+  let changed = ref false in
+  for ci = 0 to st.n_clauses - 1 do
+    match st.clauses.(ci) with
+    | None -> ()
+    | Some c ->
+      if not (LitSet.is_empty c) then begin
+        (* plain subsumption: candidates must contain c's first literal *)
+        let pivot =
+          LitSet.fold
+            (fun l best ->
+              match best with
+              | None -> Some l
+              | Some b ->
+                if List.length (live_occurrences st l) < List.length (live_occurrences st b)
+                then Some l
+                else best)
+            c None
+        in
+        (match pivot with
+        | None -> ()
+        | Some p ->
+          List.iter
+            (fun di ->
+              if di <> ci then
+                match st.clauses.(di) with
+                | Some d when LitSet.subset c d ->
+                  st.clauses.(di) <- None;
+                  st.subsumed <- st.subsumed + 1;
+                  changed := true
+                | Some _ | None -> ())
+            (live_occurrences st p));
+        (* self-subsuming resolution: for l ∈ c, look at clauses containing
+           ¬l that include c \ {l}; they lose ¬l *)
+        LitSet.iter
+          (fun l ->
+            let rest = LitSet.remove l c in
+            List.iter
+              (fun di ->
+                if di <> ci then
+                  match st.clauses.(di) with
+                  | Some d when LitSet.mem (Lit.negate l) d && LitSet.subset rest d ->
+                    let d' = LitSet.remove (Lit.negate l) d in
+                    st.clauses.(di) <- None;
+                    st.strengthened <- st.strengthened + 1;
+                    add_clause st d';
+                    changed := true
+                  | Some _ | None -> ())
+              (live_occurrences st (Lit.negate l)))
+          c
+      end
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Bounded variable elimination.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let eliminate_round st ~num_vars ~max_occurrences saved order =
+  let changed = ref false in
+  for v = 0 to num_vars - 1 do
+    if not (Hashtbl.mem saved v) then begin
+      let pos = live_occurrences st (Lit.pos v) in
+      let neg = live_occurrences st (Lit.neg v) in
+      let np = List.length pos and nn = List.length neg in
+      if np + nn > 0 && np <= max_occurrences && nn <= max_occurrences then begin
+        let clause_of i = Option.get st.clauses.(i) in
+        let resolvents =
+          List.concat_map
+            (fun pi ->
+              List.filter_map
+                (fun ni ->
+                  let r =
+                    LitSet.union
+                      (LitSet.remove (Lit.pos v) (clause_of pi))
+                      (LitSet.remove (Lit.neg v) (clause_of ni))
+                  in
+                  if tautology r then None else Some r)
+                neg)
+            pos
+        in
+        if List.length resolvents <= np + nn then begin
+          (* record the removed occurrences for model reconstruction *)
+          Hashtbl.replace saved v (List.map clause_of pos, List.map clause_of neg);
+          order := v :: !order;
+          List.iter (fun i -> st.clauses.(i) <- None) pos;
+          List.iter (fun i -> st.clauses.(i) <- None) neg;
+          List.iter (add_clause st) resolvents;
+          changed := true
+        end
+      end
+    end
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Entry point.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let preprocess ?(max_occurrences = 10) ?(rounds = 3) cnf =
+  let num_vars = Cnf.num_vars cnf in
+  let st =
+    {
+      clauses = Array.make (max 16 (Cnf.num_clauses cnf)) None;
+      n_clauses = 0;
+      occ = Hashtbl.create 256;
+      subsumed = 0;
+      strengthened = 0;
+    }
+  in
+  Cnf.iter_clauses
+    (fun _ c ->
+      let set = LitSet.of_list (Array.to_list c) in
+      if not (tautology set) then add_clause st set)
+    cnf;
+  (* eliminated variable -> (positive occurrences, negative occurrences),
+     in insertion order of elimination via a list of vars *)
+  let saved : (Lit.var, LitSet.t list * LitSet.t list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  (* [order] holds eliminated variables most-recent-first, which is the
+     order reconstruction must fix them in *)
+  let round () =
+    let s = subsumption_round st in
+    let e = eliminate_round st ~num_vars ~max_occurrences saved order in
+    s || e
+  in
+  let rec iterate n = if n > 0 && round () then iterate (n - 1) in
+  iterate rounds;
+  let simplified = Cnf.create ~num_vars () in
+  Array.iteri
+    (fun _ c ->
+      match c with
+      | Some set -> Cnf.add_clause simplified (LitSet.elements set)
+      | None -> ())
+    (Array.sub st.clauses 0 st.n_clauses);
+  let elimination_order = !order (* most recently eliminated first *) in
+  let reconstruct model =
+    let m = Array.make num_vars false in
+    Array.blit model 0 m 0 (min (Array.length model) num_vars);
+    (* fix eliminated variables most-recent-first: when v was eliminated,
+       the remaining formula contained no occurrence of v, so later (i.e.
+       earlier-eliminated) variables may depend on v's value *)
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt saved v with
+        | None -> ()
+        | Some (pos, _neg) ->
+          let lit_true l = m.(Lit.var l) = Lit.is_pos l in
+          (* v := false satisfies every negative occurrence; it is forced
+             true iff some positive occurrence has no other true literal *)
+          let forced =
+            List.exists
+              (fun clause ->
+                not (LitSet.exists (fun l -> Lit.var l <> v && lit_true l) clause))
+              pos
+          in
+          m.(v) <- forced)
+      elimination_order;
+    m
+  in
+  {
+    simplified;
+    reconstruct;
+    eliminated_vars = Hashtbl.length saved;
+    subsumed_clauses = st.subsumed;
+    strengthened_clauses = st.strengthened;
+  }

@@ -1,0 +1,31 @@
+(** CNF preprocessing: subsumption, self-subsuming resolution and bounded
+    variable elimination (Eén–Biere's SatELite recipe).
+
+    Preprocessing rewrites the formula into an equisatisfiable one that is
+    usually smaller and faster to solve; a satisfying assignment of the
+    simplified formula extends to one of the original through
+    {!result.reconstruct} (eliminated variables are fixed in reverse
+    elimination order so that their saved occurrence lists are satisfied).
+
+    Preprocessing deliberately does {e not} compose with unsat-core
+    extraction or DRAT logging — resolvents have no home in the original
+    clause numbering — so the BMC engines never use it; it serves the
+    standalone DIMACS solver ([satcheck --preprocess]). *)
+
+type result = {
+  simplified : Cnf.t;
+  reconstruct : bool array -> bool array;
+      (** extend a model of [simplified] (indexed by the {e original}
+          variable numbering, which is preserved) to a model of the input *)
+  eliminated_vars : int;
+  subsumed_clauses : int;
+  strengthened_clauses : int;
+}
+
+val preprocess : ?max_occurrences:int -> ?rounds:int -> Cnf.t -> result
+(** [preprocess cnf] applies, per round, subsumption + self-subsuming
+    resolution followed by bounded variable elimination, until a fixpoint
+    or [rounds] (default 3).  Variables occurring more than
+    [max_occurrences] times (default 10) are never eliminated, and an
+    elimination must not grow the clause count.  Variable numbering is
+    preserved (eliminated variables simply stop occurring). *)

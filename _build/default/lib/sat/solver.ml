@@ -1,0 +1,771 @@
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_seconds : float option;
+}
+
+let no_budget = { max_conflicts = None; max_propagations = None; max_seconds = None }
+
+type clause = {
+  cid : int; (* proof pseudo ID; also original-clause index for originals *)
+  mutable lits : Lit.t array; (* lits.(0) and lits.(1) are watched *)
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { cid = -1; lits = [||]; learnt = false; activity = 0.0; deleted = true }
+
+(* Assignment cells: -1 unassigned, 0 false, 1 true. *)
+let unassigned = -1
+
+type t = {
+  cnf : Cnf.t; (* snapshot of the original formula, for core reporting *)
+  mutable nvars : int;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by watched literal *)
+  mutable assigns : int array; (* per var *)
+  mutable level : int array; (* per var *)
+  mutable reason : clause option array; (* per var *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t; (* trail index at the start of each decision level *)
+  mutable qhead : int;
+  mutable order : Order.t;
+  proof : Proof.t option;
+  proof_to_cnf : (int, int) Hashtbl.t; (* proof pseudo ID -> clause index *)
+  learnt_lits : (int, Lit.t list) Hashtbl.t; (* proof ID -> literals (proof mode) *)
+  drat : Checker.event Vec.t option; (* clausal proof, when requested *)
+  stats : Stats.t;
+  mutable seen : bool array; (* conflict-analysis scratch, always reset after use *)
+  mutable trail_height : int array; (* per var: position on the trail when assigned *)
+  minimize : bool; (* conflict-clause minimisation (off in faithful-Chaff mode) *)
+  mutable ok : bool; (* false once a top-level conflict is recorded *)
+  mutable result : outcome option;
+  mutable conflicts_since_decay : int;
+  mutable max_learnts : int;
+  mutable dynamic_threshold : int; (* decisions before the dynamic fallback fires *)
+  luby : Luby.t;
+  mutable assumptions : Lit.t array; (* for the solve call in progress *)
+  mutable failed_assumptions : Lit.t list; (* valid after assumption-UNSAT *)
+}
+
+let value_var t v = t.assigns.(v)
+
+let value_lit t l =
+  let v = t.assigns.(Lit.var l) in
+  if v = unassigned then unassigned else if Lit.is_pos l then v else 1 - v
+
+let decision_level t = Vec.length t.trail_lim
+
+let watch_list t l = t.watches.(Lit.to_index l)
+
+let attach_watches t c =
+  Vec.push (watch_list t c.lits.(0)) c;
+  Vec.push (watch_list t c.lits.(1)) c
+
+(* Make [l] true with [reason].  Precondition: [l] is unassigned. *)
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assigns.(v) <- (if Lit.is_pos l then 1 else 0);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail_height.(v) <- Vec.length t.trail;
+  Vec.push t.trail l
+
+(* Antecedents must form a proper (trivial-resolution) chain so that proof
+   consumers like interpolation can replay them literally: resolving the
+   pivots in decreasing trail order guarantees a removed literal never
+   re-enters, because a reason clause only mentions variables assigned
+   before its head. *)
+let linearize_steps t first_cid steps =
+  let sorted =
+    List.sort (fun (v1, _) (v2, _) -> compare t.trail_height.(v2) t.trail_height.(v1)) steps
+  in
+  first_cid :: List.map (fun (_, cid) -> cid) sorted
+
+(* Resolve a top-level conflict down to the empty clause, collecting the
+   antecedent IDs for the proof's final node. *)
+let final_analysis t conflict =
+  let steps = ref [] in
+  let queue = ref (Array.to_list conflict.lits) in
+  let to_clear = ref [] in
+  let rec loop () =
+    match !queue with
+    | [] -> ()
+    | q :: rest ->
+      queue := rest;
+      let v = Lit.var q in
+      if not t.seen.(v) then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        (match t.reason.(v) with
+        | Some r ->
+          steps := (v, r.cid) :: !steps;
+          Array.iter (fun l -> queue := l :: !queue) r.lits
+        | None -> () (* level-0 assignment without reason cannot happen here *))
+      end;
+      loop ()
+  in
+  loop ();
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  linearize_steps t conflict.cid !steps
+
+(* Every original clause is registered in the proof (even ones we drop or
+   leave unwatched) and its pseudo ID recorded against its clause index.
+   Attachment is assignment-aware because clauses may arrive incrementally,
+   after level-0 propagation: watches must sit on non-false literals, a
+   clause with a single non-false literal is a (possibly pending) unit, and
+   a clause with none is a top-level conflict. *)
+let add_original t index lits =
+  let cid =
+    match t.proof with
+    | Some p ->
+      let id = Proof.register_original p in
+      Hashtbl.replace t.proof_to_cnf id index;
+      id
+    | None -> index
+  in
+  match Cnf.normalize_clause (Array.to_list lits) with
+  | None -> () (* tautology: never needed, never a core member *)
+  | Some lits ->
+    let arr = Array.of_list lits in
+    let c = { cid; lits = arr; learnt = false; activity = 0.0; deleted = false } in
+    let n = Array.length arr in
+    (* move the non-false (at level 0) literals to the front *)
+    let nf = ref 0 in
+    for i = 0 to n - 1 do
+      if value_lit t arr.(i) <> 0 then begin
+        let tmp = arr.(!nf) in
+        arr.(!nf) <- arr.(i);
+        arr.(i) <- tmp;
+        incr nf
+      end
+    done;
+    if !nf = 0 then begin
+      (* conflicts with the level-0 assignment: the formula is refuted *)
+      t.ok <- false;
+      (match t.drat with Some d -> Vec.push d (Checker.Learnt []) | None -> ());
+      match t.proof with
+      | Some p ->
+        if not (Proof.has_final p) then
+          Proof.set_final p ~antecedents:(final_analysis t c)
+      | None -> ()
+    end
+    else if !nf = 1 then begin
+      (match value_lit t arr.(0) with
+      | 1 -> () (* already satisfied *)
+      | _ -> enqueue t arr.(0) (Some c));
+      if n >= 2 then attach_watches t c
+    end
+    else attach_watches t c
+
+let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode = Order.Vsids)
+    cnf =
+  let cnf = Cnf.copy cnf in
+  let nvars = Cnf.num_vars cnf in
+  let nlits = max (2 * nvars) 1 in
+  let order = Order.create ~num_vars:nvars mode in
+  Order.init_activity order cnf;
+  let t =
+    {
+      cnf;
+      nvars;
+      learnts = Vec.create ~dummy:dummy_clause ();
+      watches = Array.init nlits (fun _ -> Vec.create ~dummy:dummy_clause ());
+      assigns = Array.make (max nvars 1) unassigned;
+      level = Array.make (max nvars 1) 0;
+      reason = Array.make (max nvars 1) None;
+      trail = Vec.create ~dummy:(Lit.pos 0) ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      order;
+      proof = (if with_proof then Some (Proof.create ()) else None);
+      proof_to_cnf = Hashtbl.create 256;
+      learnt_lits = Hashtbl.create 256;
+      drat = (if with_drat then Some (Vec.create ~dummy:(Checker.Learnt []) ()) else None);
+      stats = Stats.create ();
+      seen = Array.make (max nvars 1) false;
+      trail_height = Array.make (max nvars 1) 0;
+      minimize;
+      ok = true;
+      result = None;
+      conflicts_since_decay = 0;
+      max_learnts = max 4000 (Cnf.num_clauses cnf / 3);
+      dynamic_threshold = max 1 (Cnf.num_literals cnf / 64);
+      luby = Luby.create ~base:128;
+      assumptions = [||];
+      failed_assumptions = [];
+    }
+  in
+  Cnf.iter_clauses (fun i c -> add_original t i c) cnf;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Incremental interface: growing the variable space and the formula.  *)
+(* ------------------------------------------------------------------ *)
+
+let grow_array src size init =
+  let dst = Array.make size init in
+  Array.blit src 0 dst 0 (Array.length src);
+  dst
+
+let ensure_vars t n =
+  if n > t.nvars then begin
+    let nlits = max (2 * n) 1 in
+    t.assigns <- grow_array t.assigns (max n 1) unassigned;
+    t.level <- grow_array t.level (max n 1) 0;
+    t.reason <- grow_array t.reason (max n 1) None;
+    t.seen <- grow_array t.seen (max n 1) false;
+    t.trail_height <- grow_array t.trail_height (max n 1) 0;
+    let watches = Array.init nlits (fun _ -> Vec.create ~dummy:dummy_clause ()) in
+    Array.blit t.watches 0 watches 0 (Array.length t.watches);
+    t.watches <- watches;
+    Order.grow t.order ~num_vars:n;
+    Cnf.ensure_vars t.cnf n;
+    t.nvars <- n
+  end
+
+let new_var t =
+  let v = t.nvars in
+  ensure_vars t (v + 1);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Boolean constraint propagation (two watched literals).              *)
+(* ------------------------------------------------------------------ *)
+
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.length t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    let false_lit = Lit.negate p in
+    let ws = watch_list t false_lit in
+    let len = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < len do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        (* ensure the falsified watch sits at position 1 *)
+        if Lit.equal c.lits.(0) false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if value_lit t c.lits.(0) = 1 then begin
+          (* clause already satisfied: keep the watch *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let n = Array.length c.lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < n do
+            if value_lit t c.lits.(!k) <> 0 then found := true else incr k
+          done;
+          if !found then begin
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push (watch_list t c.lits.(1)) c
+            (* watch moved: do not keep it in this list *)
+          end
+          else begin
+            (* unit or conflicting *)
+            Vec.set ws !j c;
+            incr j;
+            match value_lit t c.lits.(0) with
+            | 0 ->
+              (* conflict: keep the remaining watches and stop *)
+              while !i < len do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done;
+              conflict := Some c
+            | v when v = unassigned ->
+              t.stats.propagations <- t.stats.propagations + 1;
+              enqueue t c.lits.(0) (Some c)
+            | _ -> () (* already true: nothing to do *)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    let n = Vec.length t.trail in
+    for i = n - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- unassigned;
+      t.reason.(v) <- None;
+      Order.on_unassign t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- bound
+  end
+
+(* Add a clause between solve calls (incremental use).  The solver first
+   retracts all decisions; learnt clauses and literal activities survive. *)
+let add_clause t lits =
+  cancel_until t 0;
+  t.result <- None;
+  List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
+  Cnf.add_clause t.cnf lits;
+  let index = Cnf.num_clauses t.cnf - 1 in
+  List.iter (fun l -> Order.bump_by t.order l 1.0) lits;
+  add_original t index (Array.of_list lits)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (first UIP).                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns (learnt literals with the asserting literal first, backtrack
+   level, antecedent clause IDs).  Precondition: decision_level > 0. *)
+let analyze t conflict =
+  let learnt = ref [] in
+  let steps = ref [] in
+  let path_count = ref 0 in
+  let p = ref None in
+  let index = ref (Vec.length t.trail - 1) in
+  let confl = ref conflict in
+  let to_clear = ref [] in
+  let current = decision_level t in
+  (* A false literal assigned at level 0 is silently dropped from the learnt
+     clause; soundness of the recorded derivation then requires resolving
+     against its reason chain, so those clause IDs join the antecedents. *)
+  let resolve_level0 v0 =
+    let stack = ref [ v0 ] in
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        if not t.seen.(v) then begin
+          t.seen.(v) <- true;
+          to_clear := v :: !to_clear;
+          (match t.reason.(v) with
+          | Some r ->
+            steps := (v, r.cid) :: !steps;
+            Array.iter
+              (fun l ->
+                let u = Lit.var l in
+                if u <> v && t.level.(u) = 0 then stack := u :: !stack)
+              r.lits
+          | None -> ())
+        end;
+        drain ()
+    in
+    drain ()
+  in
+  let first_cid = conflict.cid in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    if c != conflict then steps := (Lit.var (Option.get !p), c.cid) :: !steps;
+    if c.learnt then c.activity <- c.activity +. 1.0;
+    let start = match !p with None -> 0 | Some _ -> 1 in
+    for jj = start to Array.length c.lits - 1 do
+      let q = c.lits.(jj) in
+      let v = Lit.var q in
+      if not t.seen.(v) then begin
+        if t.level.(v) > 0 then begin
+          t.seen.(v) <- true;
+          to_clear := v :: !to_clear;
+          if t.level.(v) >= current then incr path_count
+          else learnt := q :: !learnt
+        end
+        else resolve_level0 v
+      end
+    done;
+    (* next trail literal that participates in the conflict *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    let pl = Vec.get t.trail !index in
+    decr index;
+    t.seen.(Lit.var pl) <- false;
+    p := Some pl;
+    decr path_count;
+    if !path_count > 0 then begin
+      match t.reason.(Lit.var pl) with
+      | Some r -> confl := r
+      | None -> assert false (* only the UIP can lack a reason *)
+    end
+    else continue := false
+  done;
+  let uip = match !p with Some pl -> pl | None -> assert false in
+  (* Conflict-clause minimisation (optional): a tail literal q is redundant
+     when its reason clause only contains literals already in the clause or
+     assigned at level 0 — dropping it is one more resolution step, so the
+     reason (and any level-0 chains) joins the antecedents. *)
+  let tail =
+    if not t.minimize then !learnt
+    else begin
+      let redundant q =
+        match t.reason.(Lit.var q) with
+        | None -> false
+        | Some r ->
+          let ok = ref true in
+          Array.iter
+            (fun l ->
+              let v = Lit.var l in
+              if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then ok := false)
+            r.lits;
+          if !ok then begin
+            steps := (Lit.var q, r.cid) :: !steps;
+            Array.iter
+              (fun l ->
+                let v = Lit.var l in
+                if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) = 0 then
+                  resolve_level0 v)
+              r.lits
+          end;
+          !ok
+      in
+      List.filter (fun q -> not (redundant q)) !learnt
+    end
+  in
+  let learnt_lits = Lit.negate uip :: tail in
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  (* backtrack level: highest level among the non-asserting literals *)
+  let bt_level = List.fold_left (fun acc q -> max acc t.level.(Lit.var q)) 0 tail in
+  (learnt_lits, bt_level, linearize_steps t first_cid !steps)
+
+(* An assumption literal [p] was found already false: resolve backwards from
+   its complement's implication to find which assumptions and which clauses
+   are responsible.  All open decision levels hold assumptions when this is
+   called.  Returns the failed assumptions and the antecedent IDs. *)
+let analyze_final_assumption t p =
+  let steps = ref [] in
+  let failed = ref [ p ] in
+  let to_clear = ref [] in
+  let queue = ref [ Lit.var p ] in
+  let rec drain () =
+    match !queue with
+    | [] -> ()
+    | v :: rest ->
+      queue := rest;
+      if not t.seen.(v) then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        (match t.reason.(v) with
+        | Some r ->
+          steps := (v, r.cid) :: !steps;
+          Array.iter
+            (fun l ->
+              let u = Lit.var l in
+              if u <> v then queue := u :: !queue)
+            r.lits
+        | None ->
+          if t.level.(v) > 0 then
+            (* an assumption decision: record the literal as assumed *)
+            failed := Lit.make v (t.assigns.(v) = 1) :: !failed)
+      end;
+      drain ()
+  in
+  drain ();
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  let sorted =
+    List.sort (fun (v1, _) (v2, _) -> compare t.trail_height.(v2) t.trail_height.(v1)) !steps
+  in
+  (List.rev !failed, List.map snd sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Learning.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let record_learnt t lits ants =
+  let cid =
+    match t.proof with
+    | Some p ->
+      let id = Proof.register_learnt p ~antecedents:ants in
+      Hashtbl.replace t.learnt_lits id lits;
+      id
+    | None -> -1
+  in
+  (match t.drat with Some d -> Vec.push d (Checker.Learnt lits) | None -> ());
+  t.stats.learned <- t.stats.learned + 1;
+  (* Chaff's new_lit_counts: every literal of the new conflict clause gets
+     one activity point. *)
+  List.iter (Order.bump t.order) lits;
+  match lits with
+  | [] -> assert false
+  | [ l ] ->
+    let c = { cid; lits = [| l |]; learnt = true; activity = 1.0; deleted = false } in
+    enqueue t l (Some c)
+  | first :: _ ->
+    let arr = Array.of_list lits in
+    (* the second watch must be a literal from the backtrack level *)
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if t.level.(Lit.var arr.(k)) > t.level.(Lit.var arr.(!best)) then best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let c = { cid; lits = arr; learnt = true; activity = 1.0; deleted = false } in
+    Vec.push t.learnts c;
+    attach_watches t c;
+    t.stats.propagations <- t.stats.propagations + 1;
+    enqueue t first (Some c)
+
+(* ------------------------------------------------------------------ *)
+(* Clause-database reduction.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  value_var t v <> unassigned
+  && match t.reason.(v) with Some r -> r == c | None -> false
+
+let reduce_db t =
+  let cs = Vec.to_array t.learnts in
+  Array.sort (fun a b -> Float.compare a.activity b.activity) cs;
+  let target = Array.length cs / 2 in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if !removed < target && i < target && Array.length c.lits > 2 && not (locked t c) then begin
+        c.deleted <- true;
+        (match t.drat with
+        | Some d -> Vec.push d (Checker.Deleted (Array.to_list c.lits))
+        | None -> ());
+        incr removed
+      end)
+    cs;
+  t.stats.deleted <- t.stats.deleted + !removed;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
+  t.max_learnts <- t.max_learnts + (t.max_learnts / 10)
+
+(* ------------------------------------------------------------------ *)
+(* Periodic decay (Chaff's score halving).                             *)
+(* ------------------------------------------------------------------ *)
+
+let decay_period = 256
+
+let maybe_decay t =
+  t.conflicts_since_decay <- t.conflicts_since_decay + 1;
+  if t.conflicts_since_decay >= decay_period then begin
+    t.conflicts_since_decay <- 0;
+    Order.halve_all t.order;
+    Vec.iter (fun c -> c.activity <- c.activity *. 0.5) t.learnts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Main search loop.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let budget_exceeded t budget start_time =
+  (match budget.max_conflicts with Some m -> t.stats.conflicts >= m | None -> false)
+  || (match budget.max_propagations with
+     | Some m -> t.stats.propagations >= m
+     | None -> false)
+  ||
+  match budget.max_seconds with
+  | Some s -> Sys.time () -. start_time >= s
+  | None -> false
+
+exception Done of outcome
+
+let handle_conflict t conflict =
+  t.stats.conflicts <- t.stats.conflicts + 1;
+  if decision_level t = 0 then begin
+    (match t.proof with
+    | Some p ->
+      if not (Proof.has_final p) then
+        Proof.set_final p ~antecedents:(final_analysis t conflict)
+    | None -> ());
+    (match t.drat with Some d -> Vec.push d (Checker.Learnt []) | None -> ());
+    t.ok <- false;
+    raise (Done Unsat)
+  end;
+  let learnt, bt_level, ants = analyze t conflict in
+  cancel_until t bt_level;
+  record_learnt t learnt ants;
+  maybe_decay t
+
+let pick_decision t =
+  (* the dynamic fallback of Section 3.3 *)
+  if
+    Order.is_dynamic t.order
+    && Order.mode_uses_rank t.order
+    && t.stats.decisions > t.dynamic_threshold
+  then begin
+    Order.switch_to_vsids t.order;
+    t.stats.heuristic_switches <- t.stats.heuristic_switches + 1
+  end;
+  Order.pop_best t.order ~is_unassigned:(fun v -> value_var t v = unassigned)
+
+let search t budget start_time =
+  let conflicts_until_restart = ref (Luby.next t.luby) in
+  let new_level () = Vec.push t.trail_lim (Vec.length t.trail) in
+  let rec loop () =
+    match propagate t with
+    | Some conflict ->
+      handle_conflict t conflict;
+      decr conflicts_until_restart;
+      if budget_exceeded t budget start_time then raise (Done Unknown);
+      if !conflicts_until_restart <= 0 then begin
+        t.stats.restarts <- t.stats.restarts + 1;
+        conflicts_until_restart := Luby.next t.luby;
+        cancel_until t 0
+      end;
+      loop ()
+    | None ->
+      let dl = decision_level t in
+      if dl < Array.length t.assumptions then begin
+        (* assumption prefix: assume the next one, or detect failure *)
+        let p = t.assumptions.(dl) in
+        match value_lit t p with
+        | 1 ->
+          new_level ();
+          loop ()
+        | v when v = unassigned ->
+          new_level ();
+          enqueue t p None;
+          loop ()
+        | _ ->
+          let failed, ants = analyze_final_assumption t p in
+          t.failed_assumptions <- failed;
+          (match t.proof with
+          | Some pr -> if not (Proof.has_final pr) then Proof.set_final pr ~antecedents:ants
+          | None -> ());
+          raise (Done Unsat)
+      end
+      else begin
+        if Vec.length t.learnts >= t.max_learnts then reduce_db t;
+        match pick_decision t with
+        | None -> raise (Done Sat)
+        | Some l ->
+          if t.stats.decisions land 1023 = 0 && budget_exceeded t budget start_time then
+            raise (Done Unknown);
+          t.stats.decisions <- t.stats.decisions + 1;
+          new_level ();
+          t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
+          enqueue t l None;
+          loop ()
+      end
+  in
+  loop ()
+
+let solve ?(budget = no_budget) ?(assumptions = []) t =
+  t.failed_assumptions <- [];
+  let r =
+    if not t.ok then Unsat
+    else begin
+      cancel_until t 0;
+      (match t.proof with Some p -> Proof.clear_final p | None -> ());
+      List.iter (fun l -> ensure_vars t (Lit.var l + 1)) assumptions;
+      t.assumptions <- Array.of_list assumptions;
+      t.dynamic_threshold <- max 1 (Cnf.num_literals t.cnf / 64);
+      Order.rebuild t.order ~is_unassigned:(fun v -> value_var t v = unassigned);
+      let start_time = Sys.time () in
+      try search t budget start_time with Done r -> r
+    end
+  in
+  (* keep the model available after Sat; reset nothing *)
+  t.result <- Some r;
+  r
+
+let model t =
+  match t.result with
+  | Some Sat -> Array.init t.nvars (fun v -> t.assigns.(v) = 1)
+  | Some (Unsat | Unknown) | None -> invalid_arg "Solver.model: no satisfying assignment"
+
+let unsat_core t =
+  match (t.result, t.proof) with
+  | Some Unsat, Some p ->
+    Proof.core p
+    |> List.map (fun id -> Hashtbl.find t.proof_to_cnf id)
+    |> List.sort Int.compare
+  | Some Unsat, None -> invalid_arg "Solver.unsat_core: proof logging was off"
+  | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.unsat_core: not UNSAT"
+
+let core_vars t =
+  let core = unsat_core t in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      Array.iter (fun l -> Hashtbl.replace tbl (Lit.var l) ()) (Cnf.get_clause t.cnf i))
+    core;
+  Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort Int.compare
+
+let stats t = t.stats
+
+let num_vars t = t.nvars
+
+let proof_edges t = match t.proof with Some p -> Proof.num_edges p | None -> 0
+
+let drat_events t =
+  match t.drat with
+  | Some d -> Vec.to_list d
+  | None -> invalid_arg "Solver.drat_events: DRAT logging was off"
+
+(* McMillan interpolant for the (A, B) split of the original clauses. *)
+let interpolant t ~a_side =
+  match (t.result, t.proof) with
+  | Some Unsat, Some p ->
+    let final =
+      match Proof.final p with
+      | Some f -> f
+      | None -> invalid_arg "Solver.interpolant: no final conflict recorded"
+    in
+    let b_vars = Array.make (max t.nvars 1) false in
+    Cnf.iter_clauses
+      (fun i c ->
+        if not (a_side i) then Array.iter (fun l -> b_vars.(Lit.var l) <- true) c)
+      t.cnf;
+    let clause_lits id =
+      match Hashtbl.find_opt t.learnt_lits id with
+      | Some lits -> lits
+      | None -> (
+        let original = Cnf.get_clause t.cnf (Hashtbl.find t.proof_to_cnf id) in
+        match Cnf.normalize_clause (Array.to_list original) with
+        | Some lits -> lits
+        | None -> invalid_arg "Solver.interpolant: tautology in the proof")
+    in
+    Itp.compute ~clause_lits
+      ~antecedents:(fun id -> Proof.antecedents p id)
+      ~final
+      ~side:(fun id -> if a_side (Hashtbl.find t.proof_to_cnf id) then `A else `B)
+      ~b_vars:(fun v -> v >= 0 && v < Array.length b_vars && b_vars.(v))
+  | Some Unsat, None -> invalid_arg "Solver.interpolant: proof logging was off"
+  | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.interpolant: not UNSAT"
+
+let failed_assumptions t =
+  match t.result with
+  | Some Unsat -> t.failed_assumptions
+  | Some (Sat | Unknown) | None -> invalid_arg "Solver.failed_assumptions: not UNSAT"
+
+let set_mode t mode =
+  cancel_until t 0;
+  Order.set_mode t.order mode
+
+let num_clauses t = Cnf.num_clauses t.cnf
+
+let outcome_opt t = t.result
+
+let pp_outcome ppf = function
+  | Sat -> Format.pp_print_string ppf "SAT"
+  | Unsat -> Format.pp_print_string ppf "UNSAT"
+  | Unknown -> Format.pp_print_string ppf "UNKNOWN"

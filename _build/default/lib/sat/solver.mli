@@ -1,0 +1,123 @@
+(** A Chaff-style CDCL SAT solver (paper, Section 2 and 3.3).
+
+    The solver implements the DLL search loop of the paper's Figure 1 with
+    the machinery the paper's method is defined against:
+
+    - two-watched-literal Boolean constraint propagation;
+    - first-UIP conflict analysis with conflict-clause learning and
+      non-chronological backtracking;
+    - Chaff's per-literal VSIDS decision heuristic ([cha_score] halved every
+      256 conflicts, incremented by conflict-clause occurrences), optionally
+      combined with an external per-variable ranking ({!Order.mode});
+    - periodic deletion of low-activity conflict clauses;
+    - Luby restarts;
+    - an optional simplified Conflict Dependency Graph ({!Proof}) from which
+      the unsatisfiable core is extracted after an UNSAT answer, without
+      interfering with clause deletion.
+
+    The solver is incremental: after a {!solve} call, more clauses can be
+    added with {!add_clause} (and variables with {!new_var}), and {!solve}
+    can be called again — learnt clauses, literal activities and the proof
+    graph survive between calls.  A call may pass {e assumptions}: literals
+    temporarily forced true; an [Unsat] answer then means "unsatisfiable
+    under these assumptions" and {!failed_assumptions} names a responsible
+    subset, while the {!unsat_core} machinery reports the clauses used.
+    This is the substrate for the incremental-BMC combination the paper's
+    conclusion anticipates. *)
+
+type t
+
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown  (** resource budget exhausted *)
+
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_seconds : float option;  (** CPU seconds, via [Sys.time] *)
+}
+
+val no_budget : budget
+
+val create :
+  ?with_proof:bool -> ?with_drat:bool -> ?minimize:bool -> ?mode:Order.mode -> Cnf.t -> t
+(** [create cnf] prepares a solver over a snapshot of [cnf] (later mutations
+    of [cnf] are not seen).  [with_proof] (default [false]) enables the
+    simplified-CDG bookkeeping needed for {!unsat_core}.  [minimize]
+    (default [false]) enables conflict-clause minimisation — off by default
+    because the paper's substrate, Chaff, predates it.  [mode] selects the
+    decision ordering (default {!Order.Vsids}); in [Dynamic] mode the
+    fallback threshold is [num_literals cnf / 64] decisions, as in the
+    paper.  [with_drat] (default [false]) additionally records the clausal
+    (DRAT) proof for {!drat_events} / {!Checker}. *)
+
+val solve : ?budget:budget -> ?assumptions:Lit.t list -> t -> outcome
+(** Run the search, optionally under assumptions.  Each call starts from
+    decision level 0 but keeps learnt clauses and activities.  With
+    assumptions, [Unsat] is relative to them unless the formula itself is
+    refuted. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause between solve calls.  Retracts all decisions first.
+    Variables beyond {!num_vars} are created automatically. *)
+
+val new_var : t -> Lit.var
+(** Allocate a fresh variable (incremental use). *)
+
+val failed_assumptions : t -> Lit.t list
+(** After an [Unsat] answer under assumptions: a subset of the assumptions
+    responsible for the conflict (empty when the formula itself is
+    unsatisfiable).
+    @raise Invalid_argument unless the last outcome was [Unsat]. *)
+
+val set_mode : t -> Order.mode -> unit
+(** Replace the decision-ordering mode before the next {!solve} call,
+    keeping accumulated literal activities (incremental use). *)
+
+val num_clauses : t -> int
+(** Clauses added so far (original ones, not learnt). *)
+
+val model : t -> bool array
+(** Satisfying assignment indexed by variable.
+    @raise Invalid_argument unless the outcome was [Sat]. *)
+
+val unsat_core : t -> int list
+(** Indices (into the original formula's clause list) of an unsatisfiable
+    core, ascending.
+    @raise Invalid_argument unless the outcome was [Unsat] and the solver
+    was created [~with_proof:true]. *)
+
+val core_vars : t -> Lit.var list
+(** Variables appearing in the {!unsat_core} clauses, ascending — the
+    [unsatVars] of the paper's Figure 5.
+    @raise Invalid_argument as {!unsat_core}. *)
+
+val interpolant : t -> a_side:(int -> bool) -> Itp.form
+(** After an unconditional [Unsat] with proof logging: the McMillan
+    interpolant of the partition that puts original clause [i] in A iff
+    [a_side i].  A ⊨ I, I ∧ B is unsatisfiable, and I only mentions
+    variables shared between the two sides.
+    @raise Invalid_argument unless the outcome was [Unsat] with
+    [~with_proof:true] and no assumptions. *)
+
+val stats : t -> Stats.t
+
+val num_vars : t -> int
+
+val drat_events : t -> Checker.event list
+(** The clausal proof recorded so far, in derivation order (ends with the
+    empty clause after an unconditional UNSAT answer).  Meaningful for
+    single-shot solving without assumptions; feed it to
+    {!Checker.check_refutation}.
+    @raise Invalid_argument if the solver was not created
+    [~with_drat:true]. *)
+
+val proof_edges : t -> int
+(** Antecedent references stored in the CDG (0 when proof logging is off) —
+    the memory-overhead figure of Section 3.1. *)
+
+val outcome_opt : t -> outcome option
+(** The cached outcome, if {!solve} already ran. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

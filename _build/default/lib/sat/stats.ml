@@ -1,0 +1,41 @@
+type t = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learned : int;
+  mutable deleted : int;
+  mutable max_decision_level : int;
+  mutable heuristic_switches : int;
+}
+
+let create () =
+  {
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learned = 0;
+    deleted = 0;
+    max_decision_level = 0;
+    heuristic_switches = 0;
+  }
+
+let copy s = { s with decisions = s.decisions }
+
+let add acc s =
+  acc.decisions <- acc.decisions + s.decisions;
+  acc.propagations <- acc.propagations + s.propagations;
+  acc.conflicts <- acc.conflicts + s.conflicts;
+  acc.restarts <- acc.restarts + s.restarts;
+  acc.learned <- acc.learned + s.learned;
+  acc.deleted <- acc.deleted + s.deleted;
+  acc.max_decision_level <- max acc.max_decision_level s.max_decision_level;
+  acc.heuristic_switches <- acc.heuristic_switches + s.heuristic_switches
+
+let pp ppf s =
+  Format.fprintf ppf
+    "decisions=%d implications=%d conflicts=%d restarts=%d learned=%d deleted=%d \
+     max_level=%d switches=%d"
+    s.decisions s.propagations s.conflicts s.restarts s.learned s.deleted
+    s.max_decision_level s.heuristic_switches

@@ -1,0 +1,25 @@
+(** Search statistics for one solver run.
+
+    "Implications" is the paper's name for unit propagations (Figure 7 plots
+    both decisions and implications per unrolling depth). *)
+
+type t = {
+  mutable decisions : int;
+  mutable propagations : int;  (** implications derived by BCP *)
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learned : int;  (** conflict clauses added *)
+  mutable deleted : int;  (** conflict clauses removed by reduction *)
+  mutable max_decision_level : int;
+  mutable heuristic_switches : int;
+      (** dynamic mode: times the solver fell back to pure VSIDS *)
+}
+
+val create : unit -> t
+
+val copy : t -> t
+
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc] (max for [max_decision_level]). *)
+
+val pp : Format.formatter -> t -> unit

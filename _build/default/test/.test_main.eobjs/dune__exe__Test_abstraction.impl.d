@@ -1,0 +1,1 @@
+test/test_abstraction.ml: Alcotest Bmc Circuit List QCheck QCheck_alcotest String

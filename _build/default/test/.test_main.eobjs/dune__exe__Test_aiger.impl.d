@@ -1,0 +1,1 @@
+test/test_aiger.ml: Alcotest Bmc Circuit Filename List QCheck QCheck_alcotest String Sys

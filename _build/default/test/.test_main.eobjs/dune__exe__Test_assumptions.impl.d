@@ -1,0 +1,1 @@
+test/test_assumptions.ml: Alcotest Array Format List QCheck QCheck_alcotest Sat

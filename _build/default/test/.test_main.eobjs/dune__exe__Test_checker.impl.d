@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Format List QCheck QCheck_alcotest Sat String

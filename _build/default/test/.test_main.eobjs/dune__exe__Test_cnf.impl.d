@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Gen List QCheck QCheck_alcotest Sat

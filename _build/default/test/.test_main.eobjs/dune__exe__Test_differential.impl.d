@@ -1,0 +1,1 @@
+test/test_differential.ml: Bmc Circuit List QCheck QCheck_alcotest Sat

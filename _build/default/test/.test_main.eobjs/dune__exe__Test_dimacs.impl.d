@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Array Filename List Printf QCheck QCheck_alcotest Sat Sys

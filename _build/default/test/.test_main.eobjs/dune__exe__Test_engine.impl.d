@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bmc Circuit Format List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Bmc Circuit Format List String

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Bmc Circuit Format List Printf Sat

@@ -1,0 +1,1 @@
+test/test_induction.ml: Alcotest Bmc Circuit Format List QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_interpolation.ml: Alcotest Array Bmc Circuit Format List QCheck QCheck_alcotest Sat

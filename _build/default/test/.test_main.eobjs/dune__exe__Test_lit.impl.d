@@ -1,0 +1,1 @@
+test/test_lit.ml: Alcotest QCheck QCheck_alcotest Sat

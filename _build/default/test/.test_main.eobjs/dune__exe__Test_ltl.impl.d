@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest Bmc Circuit Format Fun List Option Printf QCheck QCheck_alcotest

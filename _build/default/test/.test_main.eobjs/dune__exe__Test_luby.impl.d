@@ -1,0 +1,1 @@
+test/test_luby.ml: Alcotest List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Gen List QCheck QCheck_alcotest Sat

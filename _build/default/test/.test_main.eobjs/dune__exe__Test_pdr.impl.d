@@ -1,0 +1,1 @@
+test/test_pdr.ml: Alcotest Bmc Circuit Format List QCheck QCheck_alcotest

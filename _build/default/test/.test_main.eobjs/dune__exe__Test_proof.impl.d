@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Array Int List QCheck QCheck_alcotest Random Sat

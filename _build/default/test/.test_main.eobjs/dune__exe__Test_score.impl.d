@@ -1,0 +1,1 @@
+test/test_score.ml: Alcotest Array Bmc Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shtrichman.ml: Alcotest Array Bmc Circuit List

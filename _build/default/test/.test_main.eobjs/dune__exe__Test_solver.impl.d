@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Format Fun Hashtbl Int List QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Bmc Circuit List QCheck QCheck_alcotest

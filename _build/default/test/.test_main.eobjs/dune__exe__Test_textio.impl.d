@@ -1,0 +1,1 @@
+test/test_textio.ml: Alcotest Circuit Filename List Sys

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bmc Circuit Format List String

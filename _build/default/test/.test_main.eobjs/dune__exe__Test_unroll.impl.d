@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Array Bmc Circuit Format Gen List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_varmap.ml: Alcotest Bmc Gen List QCheck QCheck_alcotest

@@ -1,0 +1,187 @@
+(* Incremental solving and assumptions. *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+let outcome_str o = Format.asprintf "%a" Sat.Solver.pp_outcome o
+
+let test_sat_under_assumptions () =
+  let s = Sat.Solver.create (mk_cnf [ [ (0, true); (1, true) ] ]) in
+  (match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg 0 ] s with
+  | Sat.Solver.Sat ->
+    let m = Sat.Solver.model s in
+    Alcotest.(check bool) "assumption respected" false m.(0);
+    Alcotest.(check bool) "clause satisfied" true m.(1)
+  | o -> Alcotest.failf "expected SAT, got %a" Sat.Solver.pp_outcome o)
+
+let test_unsat_under_assumptions_recoverable () =
+  let s = Sat.Solver.create (mk_cnf [ [ (0, true); (1, true) ] ]) in
+  (match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg 0; Sat.Lit.neg 1 ] s with
+  | Sat.Solver.Unsat ->
+    let failed = Sat.Solver.failed_assumptions s in
+    Alcotest.(check bool) "failed set nonempty" true (failed <> [])
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  (* without the assumptions the formula is still satisfiable *)
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat -> ()
+  | o -> Alcotest.failf "expected SAT on retry, got %a" Sat.Solver.pp_outcome o
+
+let test_failed_assumptions_subset () =
+  (* x0=T, x1 free; assuming [¬x1; ¬x0] fails only because of ¬x0 *)
+  let s = Sat.Solver.create ~with_proof:true (mk_cnf [ [ (0, true) ] ]) in
+  match Sat.Solver.solve ~assumptions:[ Sat.Lit.neg 1; Sat.Lit.neg 0 ] s with
+  | Sat.Solver.Unsat ->
+    let failed = Sat.Solver.failed_assumptions s in
+    Alcotest.(check bool) "mentions ~x0" true
+      (List.exists (Sat.Lit.equal (Sat.Lit.neg 0)) failed);
+    Alcotest.(check bool) "does not mention ~x1" false
+      (List.exists (Sat.Lit.equal (Sat.Lit.neg 1)) failed);
+    (* the core under assumptions must name the unit clause *)
+    Alcotest.(check (list int)) "core" [ 0 ] (Sat.Solver.unsat_core s)
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o
+
+let test_incremental_add_clause () =
+  let s = Sat.Solver.create ~with_proof:true (mk_cnf [ [ (0, true); (1, true) ] ]) in
+  Alcotest.(check string) "initially SAT" "SAT" (outcome_str (Sat.Solver.solve s));
+  Sat.Solver.add_clause s [ Sat.Lit.neg 0 ];
+  Alcotest.(check string) "still SAT" "SAT" (outcome_str (Sat.Solver.solve s));
+  Sat.Solver.add_clause s [ Sat.Lit.neg 1 ];
+  Alcotest.(check string) "now UNSAT" "UNSAT" (outcome_str (Sat.Solver.solve s));
+  let core = Sat.Solver.unsat_core s in
+  Alcotest.(check (list int)) "core spans all three clauses" [ 0; 1; 2 ] core
+
+let test_add_clause_grows_vars () =
+  let s = Sat.Solver.create (mk_cnf [ [ (0, true) ] ]) in
+  Sat.Solver.add_clause s [ Sat.Lit.pos 7 ];
+  Alcotest.(check bool) "vars grown" true (Sat.Solver.num_vars s >= 8);
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat -> Alcotest.(check bool) "new var assigned" true (Sat.Solver.model s).(7)
+  | o -> Alcotest.failf "expected SAT, got %a" Sat.Solver.pp_outcome o
+
+let test_new_var () =
+  let s = Sat.Solver.create (Sat.Cnf.create ()) in
+  let v = Sat.Solver.new_var s in
+  let w = Sat.Solver.new_var s in
+  Alcotest.(check bool) "fresh" true (v <> w);
+  Sat.Solver.add_clause s [ Sat.Lit.pos v ];
+  Sat.Solver.add_clause s [ Sat.Lit.neg v; Sat.Lit.pos w ];
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat ->
+    let m = Sat.Solver.model s in
+    Alcotest.(check bool) "chain propagated" true (m.(v) && m.(w))
+  | o -> Alcotest.failf "expected SAT, got %a" Sat.Solver.pp_outcome o
+
+let test_activation_literal_pattern () =
+  (* the guard pattern used by the incremental BMC engine *)
+  let s = Sat.Solver.create (mk_cnf [ [ (0, true) ] ]) in
+  let a = Sat.Solver.new_var s in
+  (* guarded constraint: ¬x0 when a *)
+  Sat.Solver.add_clause s [ Sat.Lit.neg 0; Sat.Lit.neg a ];
+  (match Sat.Solver.solve ~assumptions:[ Sat.Lit.pos a ] s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "guarded: expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  (* disable the guard; the formula is satisfiable again *)
+  Sat.Solver.add_clause s [ Sat.Lit.neg a ];
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat -> ()
+  | o -> Alcotest.failf "disabled: expected SAT, got %a" Sat.Solver.pp_outcome o
+
+let test_learnt_clauses_survive () =
+  (* solving twice must not redo the work: the second call's conflict count
+     is no larger than the first's *)
+  let clauses =
+    (* small pigeonhole: 4 pigeons, 3 holes *)
+    let v p h = (p * 3) + h in
+    List.init 4 (fun p -> List.init 3 (fun h -> (v p h, true)))
+    @ List.concat
+        (List.init 3 (fun h ->
+             List.concat
+               (List.init 4 (fun p1 ->
+                    List.init (4 - p1 - 1) (fun d -> [ (v p1 h, false); (v (p1 + d + 1) h, false) ])))))
+  in
+  let s = Sat.Solver.create (mk_cnf clauses) in
+  (* assumptions on a variable outside the pigeonhole keep UNSAT relative *)
+  let extra = Sat.Solver.new_var s in
+  let o1 = Sat.Solver.solve ~assumptions:[ Sat.Lit.pos extra ] s in
+  let n1 = (Sat.Solver.stats s).Sat.Stats.conflicts in
+  let o2 = Sat.Solver.solve ~assumptions:[ Sat.Lit.neg extra ] s in
+  let n2 = (Sat.Solver.stats s).Sat.Stats.conflicts in
+  match (o1, o2) with
+  | Sat.Solver.Unsat, Sat.Solver.Unsat ->
+    Alcotest.(check bool) "second solve cheaper (clause reuse)" true (n2 - n1 <= n1)
+  | _, _ -> Alcotest.fail "expected UNSAT twice"
+
+let test_set_mode_between_solves () =
+  let cnf = mk_cnf [ [ (0, true); (1, true) ]; [ (2, true); (3, true) ] ] in
+  let s = Sat.Solver.create cnf in
+  Alcotest.(check string) "vsids" "SAT" (outcome_str (Sat.Solver.solve s));
+  let rank = [| 0.0; 0.0; 9.0; 9.0 |] in
+  Sat.Solver.set_mode s (Sat.Order.Static rank);
+  Alcotest.(check string) "static" "SAT" (outcome_str (Sat.Solver.solve s))
+
+(* Differential: random incremental sessions against brute force. *)
+let prop_incremental_differential =
+  let gen =
+    let open QCheck.Gen in
+    let clause nv = list_size (1 -- 3) (pair (0 -- (nv - 1)) bool) in
+    (2 -- 6) >>= fun nv ->
+    triple (return nv)
+      (list_size (1 -- 8) (clause nv))
+      (list_size (1 -- 3) (pair (list_size (0 -- 2) (pair (0 -- (nv - 1)) bool)) (clause nv)))
+  in
+  QCheck.Test.make ~name:"incremental sessions agree with brute force" ~count:300
+    (QCheck.make gen) (fun (nv, base, rounds) ->
+      let cnf = mk_cnf ~num_vars:nv base in
+      let s = Sat.Solver.create ~with_proof:true cnf in
+      let reference = Sat.Cnf.copy cnf in
+      let brute extra_units =
+        let n = Sat.Cnf.num_vars reference in
+        let assign = Array.make (max n 1) false in
+        let rec go i =
+          if i = n then
+            Sat.Cnf.eval reference (fun v -> assign.(v))
+            && List.for_all (fun l -> assign.(Sat.Lit.var l) = Sat.Lit.is_pos l) extra_units
+          else begin
+            assign.(i) <- false;
+            go (i + 1)
+            ||
+            (assign.(i) <- true;
+             go (i + 1))
+          end
+        in
+        go 0
+      in
+      List.for_all
+        (fun (assumption_spec, clause_spec) ->
+          let assumptions = List.map lit assumption_spec in
+          let expect = brute assumptions in
+          let got =
+            match Sat.Solver.solve ~assumptions s with
+            | Sat.Solver.Sat -> true
+            | Sat.Solver.Unsat -> false
+            | Sat.Solver.Unknown -> not expect (* force a failure *)
+          in
+          let step_ok = got = expect in
+          let cl = List.map lit clause_spec in
+          Sat.Cnf.add_clause reference cl;
+          Sat.Solver.add_clause s cl;
+          step_ok)
+        rounds)
+
+let tests =
+  [
+    Alcotest.test_case "sat under assumptions" `Quick test_sat_under_assumptions;
+    Alcotest.test_case "unsat recoverable" `Quick test_unsat_under_assumptions_recoverable;
+    Alcotest.test_case "failed subset + core" `Quick test_failed_assumptions_subset;
+    Alcotest.test_case "incremental add" `Quick test_incremental_add_clause;
+    Alcotest.test_case "add grows vars" `Quick test_add_clause_grows_vars;
+    Alcotest.test_case "new_var" `Quick test_new_var;
+    Alcotest.test_case "activation pattern" `Quick test_activation_literal_pattern;
+    Alcotest.test_case "clause reuse" `Quick test_learnt_clauses_survive;
+    Alcotest.test_case "set_mode" `Quick test_set_mode_between_solves;
+    QCheck_alcotest.to_alcotest prop_incremental_differential;
+  ]

@@ -1,0 +1,194 @@
+(* The ROBDD package: canonicity, operations vs truth tables, quantifiers,
+   renaming, counting. *)
+
+let test_terminals () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "not zero = one" true (Bdd.is_one (Bdd.not_ m (Bdd.zero m)))
+
+let test_canonicity () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  (* x∧y built two different ways is physically the same node *)
+  let a = Bdd.and_ m x y in
+  let b = Bdd.not_ m (Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m y)) in
+  Alcotest.(check bool) "De Morgan canonical" true (Bdd.equal a b);
+  (* tautology collapses to one *)
+  Alcotest.(check bool) "x ∨ ¬x = 1" true (Bdd.is_one (Bdd.or_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x ∧ ¬x = 0" true (Bdd.is_zero (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x xor x = 0" true (Bdd.is_zero (Bdd.xor_ m x x))
+
+let test_ite () =
+  let m = Bdd.manager () in
+  let s = Bdd.var m 0 and h = Bdd.var m 1 and l = Bdd.var m 2 in
+  let f = Bdd.ite m s h l in
+  List.iter
+    (fun (sv, hv, lv) ->
+      let assign i = match i with 0 -> sv | 1 -> hv | _ -> lv in
+      Alcotest.(check bool) "ite semantics" (if sv then hv else lv) (Bdd.eval f assign))
+    [ (false, false, true); (false, true, false); (true, false, true); (true, true, false) ]
+
+let test_quantifiers () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x y in
+  Alcotest.(check bool) "∃x. x∧y = y" true (Bdd.equal (Bdd.exists m [ 0 ] f) y);
+  Alcotest.(check bool) "∀x. x∧y = 0" true (Bdd.is_zero (Bdd.forall m [ 0 ] f));
+  Alcotest.(check bool) "∃xy. x∧y = 1" true (Bdd.is_one (Bdd.exists m [ 0; 1 ] f));
+  let g = Bdd.or_ m x y in
+  Alcotest.(check bool) "∀x. x∨y = y" true (Bdd.equal (Bdd.forall m [ 0 ] g) y)
+
+let test_restrict () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.xor_ m x y in
+  Alcotest.(check bool) "f[x:=1] = ¬y" true
+    (Bdd.equal (Bdd.restrict m 0 true f) (Bdd.not_ m y));
+  Alcotest.(check bool) "f[x:=0] = y" true (Bdd.equal (Bdd.restrict m 0 false f) y)
+
+let test_rename () =
+  let m = Bdd.manager () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 2) in
+  let g = Bdd.rename m (fun v -> v + 1) f in
+  Alcotest.(check (list int)) "support shifted" [ 1; 3 ] (Bdd.support g);
+  Alcotest.check_raises "non-monotone rename rejected"
+    (Invalid_argument "Bdd.rename: mapping is not order-preserving") (fun () ->
+      ignore (Bdd.rename m (fun v -> 2 - v) f))
+
+let test_support_and_size () =
+  let m = Bdd.manager () in
+  let f = Bdd.xor_ m (Bdd.var m 1) (Bdd.var m 4) in
+  Alcotest.(check (list int)) "support" [ 1; 4 ] (Bdd.support f);
+  Alcotest.(check int) "xor of two vars has 3 nodes" 3 (Bdd.size f);
+  Alcotest.(check (list int)) "terminal support empty" [] (Bdd.support (Bdd.one m))
+
+let test_sat_count () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check (float 1e-9)) "x∧y over 2 vars" 1.0 (Bdd.sat_count (Bdd.and_ m x y) ~nvars:2);
+  Alcotest.(check (float 1e-9)) "x∨y over 2 vars" 3.0 (Bdd.sat_count (Bdd.or_ m x y) ~nvars:2);
+  Alcotest.(check (float 1e-9)) "x over 3 vars" 4.0 (Bdd.sat_count x ~nvars:3);
+  Alcotest.(check (float 1e-9)) "one over 4 vars" 16.0 (Bdd.sat_count (Bdd.one m) ~nvars:4)
+
+let test_any_sat () =
+  let m = Bdd.manager () in
+  let f = Bdd.and_ m (Bdd.nvar m 0) (Bdd.var m 2) in
+  let partial = Bdd.any_sat f in
+  let assign i = match List.assoc_opt i partial with Some b -> b | None -> false in
+  Alcotest.(check bool) "assignment satisfies" true (Bdd.eval f assign);
+  Alcotest.check_raises "any_sat of zero" Not_found (fun () ->
+      ignore (Bdd.any_sat (Bdd.zero m)))
+
+let test_node_limit () =
+  let m = Bdd.manager ~node_limit:8 () in
+  match
+    (* a parity chain needs more than 8 nodes *)
+    List.fold_left
+      (fun acc i -> Bdd.xor_ m acc (Bdd.var m i))
+      (Bdd.zero m)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  with
+  | exception Bdd.Node_limit -> ()
+  | _ -> Alcotest.fail "expected Node_limit"
+
+(* Random expressions: BDD agrees with direct evaluation on every assignment
+   and with enumeration for sat_count. *)
+type expr =
+  | V of int
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Exor of expr * expr
+
+let rec expr_gen nv depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun i -> V i) (0 -- (nv - 1))
+  else
+    frequency
+      [
+        (1, map (fun i -> V i) (0 -- (nv - 1)));
+        (2, map (fun e -> Enot e) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Eand (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Eor (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Exor (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+      ]
+
+let rec eval_expr e a =
+  match e with
+  | V i -> a i
+  | Enot x -> not (eval_expr x a)
+  | Eand (x, y) -> eval_expr x a && eval_expr y a
+  | Eor (x, y) -> eval_expr x a || eval_expr y a
+  | Exor (x, y) -> eval_expr x a <> eval_expr y a
+
+let rec build m e =
+  match e with
+  | V i -> Bdd.var m i
+  | Enot x -> Bdd.not_ m (build m x)
+  | Eand (x, y) -> Bdd.and_ m (build m x) (build m y)
+  | Eor (x, y) -> Bdd.or_ m (build m x) (build m y)
+  | Exor (x, y) -> Bdd.xor_ m (build m x) (build m y)
+
+let nv = 5
+
+let prop_agrees_with_truth_table =
+  QCheck.Test.make ~name:"BDD = truth table on random expressions" ~count:300
+    (QCheck.make (expr_gen nv 4)) (fun e ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let ok = ref true in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let a i = mask land (1 lsl i) <> 0 in
+        if Bdd.eval b a <> eval_expr e a then ok := false
+      done;
+      !ok)
+
+let prop_sat_count_matches_enumeration =
+  QCheck.Test.make ~name:"sat_count = enumeration" ~count:200 (QCheck.make (expr_gen nv 4))
+    (fun e ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let count = ref 0 in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let a i = mask land (1 lsl i) <> 0 in
+        if eval_expr e a then incr count
+      done;
+      abs_float (Bdd.sat_count b ~nvars:nv -. float_of_int !count) < 0.5)
+
+let prop_exists_is_or_of_cofactors =
+  QCheck.Test.make ~name:"∃v.f = f[v:=0] ∨ f[v:=1]" ~count:200
+    QCheck.(pair (make (expr_gen nv 4)) (int_bound (nv - 1)))
+    (fun (e, v) ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let lhs = Bdd.exists m [ v ] b in
+      let rhs = Bdd.or_ m (Bdd.restrict m v false b) (Bdd.restrict m v true b) in
+      Bdd.equal lhs rhs)
+
+let prop_canonical_across_construction_order =
+  QCheck.Test.make ~name:"equivalent expressions share one node" ~count:200
+    (QCheck.make (expr_gen nv 3)) (fun e ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      (* double negation and De Morgan'd reconstruction hit the same node *)
+      let b' = Bdd.not_ m (Bdd.not_ m b) in
+      Bdd.equal b b')
+
+let tests =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "ite" `Quick test_ite;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "support/size" `Quick test_support_and_size;
+    Alcotest.test_case "sat_count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "node limit" `Quick test_node_limit;
+    QCheck_alcotest.to_alcotest prop_agrees_with_truth_table;
+    QCheck_alcotest.to_alcotest prop_sat_count_matches_enumeration;
+    QCheck_alcotest.to_alcotest prop_exists_is_or_of_cofactors;
+    QCheck_alcotest.to_alcotest prop_canonical_across_construction_order;
+  ]

@@ -1,0 +1,140 @@
+(* The independent RUP refutation checker (paper reference [18]). *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+let php n holes =
+  let v p h = (p * holes) + h in
+  let per_pigeon = List.init n (fun p -> List.init holes (fun h -> (v p h, true))) in
+  let no_share =
+    List.concat
+      (List.init holes (fun h ->
+           List.concat
+             (List.init n (fun p1 ->
+                  List.init (n - p1 - 1) (fun d -> [ (v p1 h, false); (v (p1 + d + 1) h, false) ])))))
+  in
+  per_pigeon @ no_share
+
+let solve_drat clauses =
+  let cnf = mk_cnf clauses in
+  let s = Sat.Solver.create ~with_drat:true cnf in
+  (cnf, Sat.Solver.solve s, s)
+
+let test_trivial_refutation_validates () =
+  let cnf, o, s = solve_drat [ [ (0, true) ]; [ (0, false) ] ] in
+  Alcotest.(check string) "unsat" "UNSAT" (Format.asprintf "%a" Sat.Solver.pp_outcome o);
+  match Sat.Checker.check_refutation cnf (Sat.Solver.drat_events s) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_php_refutation_validates () =
+  let cnf, o, s = solve_drat (php 5 4) in
+  Alcotest.(check string) "unsat" "UNSAT" (Format.asprintf "%a" Sat.Solver.pp_outcome o);
+  (* a real proof: several learnt clauses before the empty one *)
+  let events = Sat.Solver.drat_events s in
+  Alcotest.(check bool) "nontrivial proof" true (List.length events > 3);
+  match Sat.Checker.check_refutation cnf events with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_minimized_proofs_validate () =
+  let cnf = mk_cnf (php 5 4) in
+  let s = Sat.Solver.create ~with_drat:true ~minimize:true cnf in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  match Sat.Checker.check_refutation cnf (Sat.Solver.drat_events s) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("minimized proof rejected: " ^ msg)
+
+let test_bogus_proof_rejected () =
+  (* the empty clause is not RUP for a satisfiable formula *)
+  let cnf = mk_cnf [ [ (0, true); (1, true) ] ] in
+  match Sat.Checker.check_refutation cnf [ Sat.Checker.Learnt [] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bogus empty-clause proof accepted"
+
+let test_unjustified_clause_rejected () =
+  (* a learnt clause that does not follow by RUP must be refused even if a
+     later step would make the proof complete *)
+  let cnf = mk_cnf [ [ (0, true); (1, true) ] ] in
+  match
+    Sat.Checker.check_refutation cnf
+      [ Sat.Checker.Learnt [ lit (0, true) ]; Sat.Checker.Learnt [] ]
+  with
+  | Error msg -> Alcotest.(check bool) "blames step 0" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "unjustified unit accepted"
+
+let test_incomplete_proof_rejected () =
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, false) ] ] in
+  match Sat.Checker.check_refutation cnf [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty proof accepted"
+
+let test_deletion_respected () =
+  (* deleting the clause a later step depends on must invalidate the proof *)
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, false); (1, true) ]; [ (1, false) ] ] in
+  let ok_proof = [ Sat.Checker.Learnt [ lit (1, true) ]; Sat.Checker.Learnt [] ] in
+  (match Sat.Checker.check_refutation cnf ok_proof with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let broken =
+    [
+      Sat.Checker.Deleted [ lit (0, true) ];
+      Sat.Checker.Learnt [ lit (1, true) ];
+      Sat.Checker.Learnt [];
+    ]
+  in
+  match Sat.Checker.check_refutation cnf broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "proof depending on a deleted clause accepted"
+
+let test_drat_text_roundtrip () =
+  let events =
+    [
+      Sat.Checker.Learnt [ lit (0, true); lit (2, false) ];
+      Sat.Checker.Deleted [ lit (1, true) ];
+      Sat.Checker.Learnt [];
+    ]
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Sat.Checker.of_drat (Sat.Checker.to_drat events) = events)
+
+let test_drat_text_format () =
+  let text =
+    Sat.Checker.to_drat [ Sat.Checker.Learnt [ lit (0, true) ]; Sat.Checker.Deleted [ lit (1, false) ] ]
+  in
+  Alcotest.(check string) "format" "1 0\nd -2 0\n" text
+
+(* Fuzz: every refutation the solver produces passes the checker. *)
+let prop_all_refutations_validate =
+  let gen =
+    let open QCheck.Gen in
+    let clause nv = list_size (1 -- 3) (pair (0 -- (nv - 1)) bool) in
+    (2 -- 7) >>= fun nv -> pair (return nv) (list_size (1 -- 25) (clause nv))
+  in
+  QCheck.Test.make ~name:"solver refutations always pass the RUP checker" ~count:300
+    (QCheck.make gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let s = Sat.Solver.create ~with_drat:true cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Unsat -> Sat.Checker.check_refutation cnf (Sat.Solver.drat_events s) = Ok ()
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true)
+
+let tests =
+  [
+    Alcotest.test_case "trivial refutation" `Quick test_trivial_refutation_validates;
+    Alcotest.test_case "php refutation" `Quick test_php_refutation_validates;
+    Alcotest.test_case "minimized proofs" `Quick test_minimized_proofs_validate;
+    Alcotest.test_case "bogus proof rejected" `Quick test_bogus_proof_rejected;
+    Alcotest.test_case "unjustified clause rejected" `Quick test_unjustified_clause_rejected;
+    Alcotest.test_case "incomplete proof rejected" `Quick test_incomplete_proof_rejected;
+    Alcotest.test_case "deletion respected" `Quick test_deletion_respected;
+    Alcotest.test_case "text roundtrip" `Quick test_drat_text_roundtrip;
+    Alcotest.test_case "text format" `Quick test_drat_text_format;
+    QCheck_alcotest.to_alcotest prop_all_refutations_validate;
+  ]

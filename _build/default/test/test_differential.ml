@@ -1,0 +1,168 @@
+(* Cross-engine differential testing on random circuits.
+
+   Every engine in the repository claims to decide the same question — "is
+   the invariant violated within k steps, and if not, does it hold?" — so on
+   circuits small enough for the explicit-state oracle they must all agree:
+
+     explicit Reach  =  symbolic (BDD)  =  BMC  =  incremental BMC
+
+   and where the oracle proves the property, induction/abstraction may only
+   ever say Proved or Unknown, never Falsified.  Random circuits exercise
+   gate mixes, nondeterministic initial values and degenerate properties
+   (constants, inputs as properties) that the hand-written generators never
+   produce. *)
+
+let random_case_gen =
+  let open QCheck.Gen in
+  let* seed = 0 -- 100_000 in
+  let* regs = 1 -- 6 in
+  let* gates = 1 -- 25 in
+  let* inputs = 0 -- 3 in
+  return (Circuit.Generators.random ~seed ~regs ~gates ~inputs)
+
+let arb =
+  QCheck.make ~print:(fun (c : Circuit.Generators.case) -> c.name) random_case_gen
+
+let bmc_modes = Bmc.Engine.all_modes
+
+let prop_bmc_engines_match_oracle =
+  QCheck.Test.make ~name:"random circuits: BMC (all modes) = explicit oracle" ~count:60 arb
+    (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle ->
+        let depth =
+          match oracle with
+          | Circuit.Reach.Fails_at j -> j + 2
+          | Circuit.Reach.Holds { diameter } -> diameter + 2
+          | Circuit.Reach.Too_large -> assert false
+        in
+        List.for_all
+          (fun mode ->
+            let config = Bmc.Engine.config ~mode ~max_depth:depth () in
+            let r = Bmc.Engine.run ~config case.netlist ~property:case.property in
+            match (oracle, r.verdict) with
+            | Circuit.Reach.Fails_at j, Bmc.Engine.Falsified t -> t.Bmc.Trace.depth = j
+            | Circuit.Reach.Holds _, Bmc.Engine.Bounded_pass _ -> true
+            | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _
+              ->
+              false)
+          bmc_modes)
+
+let prop_incremental_matches_oracle =
+  QCheck.Test.make ~name:"random circuits: incremental BMC = explicit oracle" ~count:60 arb
+    (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle ->
+        let depth =
+          match oracle with
+          | Circuit.Reach.Fails_at j -> j + 2
+          | Circuit.Reach.Holds { diameter } -> diameter + 2
+          | Circuit.Reach.Too_large -> assert false
+        in
+        let config = Bmc.Engine.config ~mode:Bmc.Engine.Dynamic ~max_depth:depth () in
+        let r = Bmc.Incremental.run ~config case.netlist ~property:case.property in
+        (match (oracle, r.verdict) with
+        | Circuit.Reach.Fails_at j, Bmc.Engine.Falsified t -> t.Bmc.Trace.depth = j
+        | Circuit.Reach.Holds _, Bmc.Engine.Bounded_pass _ -> true
+        | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+          false))
+
+let prop_symbolic_matches_oracle =
+  QCheck.Test.make ~name:"random circuits: symbolic = explicit oracle (with diameters)"
+    ~count:80 arb (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle -> (
+        match (oracle, Bmc.Symbolic.check case.netlist ~property:case.property) with
+        | Circuit.Reach.Fails_at a, Bmc.Symbolic.Fails_at b -> a = b
+        | Circuit.Reach.Holds { diameter = a }, Bmc.Symbolic.Holds { diameter = b } -> a = b
+        | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+          false))
+
+let prop_proof_engines_never_unsound =
+  QCheck.Test.make ~name:"random circuits: induction/abstraction never contradict the oracle"
+    ~count:40 arb (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle ->
+        let config = Bmc.Engine.config ~mode:Bmc.Engine.Static ~max_depth:8 () in
+        let ind = (Bmc.Induction.prove ~config case.netlist ~property:case.property).verdict in
+        let abs =
+          (Bmc.Abstraction.prove ~config case.netlist ~property:case.property).verdict
+        in
+        let ind_ok =
+          match (oracle, ind) with
+          | Circuit.Reach.Holds _, (Bmc.Induction.Proved _ | Bmc.Induction.Unknown _) -> true
+          | Circuit.Reach.Fails_at j, Bmc.Induction.Falsified t ->
+            j = t.Bmc.Trace.depth
+          | Circuit.Reach.Fails_at j, Bmc.Induction.Unknown _ -> j > 8
+          | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+            false
+        in
+        let abs_ok =
+          match (oracle, abs) with
+          | Circuit.Reach.Holds _, (Bmc.Abstraction.Proved _ | Bmc.Abstraction.Unknown _) ->
+            true
+          | Circuit.Reach.Fails_at j, Bmc.Abstraction.Falsified t -> j = t.Bmc.Trace.depth
+          | Circuit.Reach.Fails_at j, Bmc.Abstraction.Unknown _ -> j > 8
+          | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+            false
+        in
+        ind_ok && abs_ok)
+
+let prop_formats_preserve_random_circuits =
+  QCheck.Test.make ~name:"random circuits: .rnl and AIGER roundtrips preserve the verdict"
+    ~count:60 arb (fun case ->
+      let reference = Circuit.Reach.check case.netlist ~property:case.property in
+      let via_rnl =
+        let nl, p =
+          Circuit.Textio.parse_string
+            (Circuit.Textio.to_string case.netlist ~property:case.property)
+        in
+        Circuit.Reach.check nl ~property:p
+      in
+      let via_aiger =
+        let nl, p =
+          Circuit.Aiger.parse_string
+            (Circuit.Aiger.to_binary case.netlist ~property:case.property)
+        in
+        Circuit.Reach.check nl ~property:p
+      in
+      (* the cone can change shape under lowering, so compare only the
+         verdict kind and depth, not diameters *)
+      let same a b =
+        match (a, b) with
+        | Circuit.Reach.Fails_at x, Circuit.Reach.Fails_at y -> x = y
+        | Circuit.Reach.Holds _, Circuit.Reach.Holds _ -> true
+        | Circuit.Reach.Too_large, _ | _, Circuit.Reach.Too_large -> true
+        | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _), _ -> false
+      in
+      same reference via_rnl && same reference via_aiger)
+
+let prop_drat_on_random_bmc_instances =
+  QCheck.Test.make ~name:"random circuits: BMC instances' refutations pass the RUP checker"
+    ~count:40 arb (fun case ->
+      let u = Bmc.Unroll.create case.netlist ~property:case.property in
+      let ok = ref true in
+      for k = 0 to 3 do
+        let cnf = Bmc.Unroll.instance u ~k in
+        let s = Sat.Solver.create ~with_drat:true cnf in
+        match Sat.Solver.solve s with
+        | Sat.Solver.Unsat ->
+          if Sat.Checker.check_refutation cnf (Sat.Solver.drat_events s) <> Ok () then
+            ok := false
+        | Sat.Solver.Sat | Sat.Solver.Unknown -> ()
+      done;
+      !ok)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_bmc_engines_match_oracle;
+    QCheck_alcotest.to_alcotest prop_incremental_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_symbolic_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_proof_engines_never_unsound;
+    QCheck_alcotest.to_alcotest prop_formats_preserve_random_circuits;
+    QCheck_alcotest.to_alcotest prop_drat_on_random_bmc_instances;
+  ]

@@ -1,0 +1,186 @@
+(* The refine_order_bmc driver: integration against the oracle, per-depth
+   statistics, budgets, core refinement behaviour. *)
+
+let modes = Bmc.Engine.all_modes
+
+let verdict_matches (expect : Circuit.Generators.expect) (v : Bmc.Engine.verdict) =
+  match (expect, v) with
+  | Circuit.Generators.Fails_at k, Bmc.Engine.Falsified t -> t.Bmc.Trace.depth = k
+  | Circuit.Generators.Holds, Bmc.Engine.Bounded_pass _ -> true
+  | ( (Circuit.Generators.Fails_at _ | Circuit.Generators.Holds),
+      (Bmc.Engine.Falsified _ | Bmc.Engine.Bounded_pass _ | Bmc.Engine.Aborted _) ) ->
+    false
+
+(* Every mode must agree with the analytic verdict on every tiny case. *)
+let test_all_modes_all_tiny_cases () =
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      match case.expect with
+      | None -> ()
+      | Some expect ->
+        List.iter
+          (fun mode ->
+            let config = Bmc.Engine.config ~mode ~max_depth:case.suggested_depth () in
+            let r = Bmc.Engine.run_case ~config case in
+            if not (verdict_matches expect r.verdict) then
+              Alcotest.failf "%s in mode %a: expected %a, got %a" case.name Bmc.Engine.pp_mode
+                mode Circuit.Generators.pp_expect expect Bmc.Engine.pp_verdict r.verdict)
+          modes)
+    (Circuit.Generators.tiny_suite ())
+
+let test_per_depth_stats_shape () =
+  let case = Circuit.Generators.counter ~bits:3 ~target:5 () in
+  let r =
+    Bmc.Engine.run_case ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Static ~max_depth:10 ()) case
+  in
+  Alcotest.(check int) "one stat per depth 0..5" 6 (List.length r.per_depth);
+  List.iteri
+    (fun i (d : Bmc.Engine.depth_stat) -> Alcotest.(check int) "depths ascending" i d.depth)
+    r.per_depth;
+  let last = List.nth r.per_depth 5 in
+  Alcotest.(check string) "last is SAT" "SAT" (Format.asprintf "%a" Sat.Solver.pp_outcome last.outcome)
+
+let test_core_refinement_populates_scores () =
+  (* in Static mode, UNSAT depths must report non-empty cores *)
+  let case = Circuit.Generators.ring ~len:4 () in
+  let r =
+    Bmc.Engine.run_case ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Static ~max_depth:5 ()) case
+  in
+  List.iter
+    (fun (d : Bmc.Engine.depth_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core at depth %d nonempty" d.depth)
+        true (d.core_size > 0 && d.core_var_count > 0))
+    r.per_depth
+
+let test_standard_mode_skips_proof_logging () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  let r =
+    Bmc.Engine.run_case ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Standard ~max_depth:4 ()) case
+  in
+  List.iter
+    (fun (d : Bmc.Engine.depth_stat) ->
+      Alcotest.(check int) "no cores collected" 0 d.core_size)
+    r.per_depth
+
+let test_collect_cores_flag () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  let r =
+    Bmc.Engine.run_case
+      ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Standard ~collect_cores:true ~max_depth:4 ())
+      case
+  in
+  List.iter
+    (fun (d : Bmc.Engine.depth_stat) ->
+      Alcotest.(check bool) "cores collected in standard mode" true (d.core_size > 0))
+    r.per_depth
+
+let test_budget_aborts () =
+  let case = Circuit.Generators.parity_pipe ~stages:12 () in
+  let budget =
+    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 10; max_seconds = None }
+  in
+  let r =
+    Bmc.Engine.run_case
+      ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Standard ~budget ~max_depth:24 ())
+      case
+  in
+  match r.verdict with
+  | Bmc.Engine.Aborted _ -> ()
+  | v -> Alcotest.failf "expected abort on tiny budget, got %a" Bmc.Engine.pp_verdict v
+
+let test_coi_equivalent_results () =
+  let case = Circuit.Generators.counter ~bits:3 ~target:5 ~noise:6 () in
+  let run coi =
+    Bmc.Engine.run ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Dynamic ~coi ~max_depth:6 ())
+      case.netlist ~property:case.property
+  in
+  match ((run false).verdict, (run true).verdict) with
+  | Bmc.Engine.Falsified a, Bmc.Engine.Falsified b ->
+    Alcotest.(check int) "same depth with and without COI" a.Bmc.Trace.depth b.Bmc.Trace.depth
+  | _, _ -> Alcotest.fail "both runs must falsify"
+
+let test_totals_are_sums () =
+  let case = Circuit.Generators.fifo_safe ~bits:3 () in
+  let r =
+    Bmc.Engine.run_case ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Dynamic ~max_depth:6 ()) case
+  in
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 r.per_depth in
+  Alcotest.(check int) "decisions" (sum (fun (d : Bmc.Engine.depth_stat) -> d.decisions))
+    r.total_decisions;
+  Alcotest.(check int) "implications" (sum (fun (d : Bmc.Engine.depth_stat) -> d.implications))
+    r.total_implications;
+  Alcotest.(check int) "conflicts" (sum (fun (d : Bmc.Engine.depth_stat) -> d.conflicts))
+    r.total_conflicts
+
+let test_weightings_agree_on_verdict () =
+  let case = Circuit.Generators.johnson ~width:5 () in
+  List.iter
+    (fun weighting ->
+      let r =
+        Bmc.Engine.run_case
+          ~config:(Bmc.Engine.config ~mode:Bmc.Engine.Static ~weighting ~max_depth:8 ())
+          case
+      in
+      match r.verdict with
+      | Bmc.Engine.Bounded_pass 8 -> ()
+      | v -> Alcotest.failf "weighting changed verdict: %a" Bmc.Engine.pp_verdict v)
+    [ Bmc.Score.Linear; Bmc.Score.Uniform; Bmc.Score.Last_only ]
+
+let test_mode_round_trip () =
+  List.iter
+    (fun m ->
+      let s = Format.asprintf "%a" Bmc.Engine.pp_mode m in
+      match Bmc.Engine.mode_of_string s with
+      | Some m' -> Alcotest.(check bool) ("roundtrip " ^ s) true (m = m')
+      | None -> Alcotest.failf "mode %s does not parse back" s)
+    modes;
+  Alcotest.(check bool) "unknown mode rejected" true (Bmc.Engine.mode_of_string "vsids" = None)
+
+(* Randomised integration: random small circuits, engine vs oracle. *)
+let random_case_gen =
+  let open QCheck.Gen in
+  let noise = oneofl [ 0; 2; 4 ] in
+  oneof
+    [
+      (pair (1 -- 6) noise >|= fun (t, z) ->
+       Circuit.Generators.counter ~bits:3 ~target:t ~noise:z ());
+      (pair (1 -- 6) noise >|= fun (t, z) ->
+       Circuit.Generators.counter_en ~bits:3 ~target:t ~noise:z ());
+      (pair (2 -- 5) noise >|= fun (l, z) -> Circuit.Generators.shift_in ~len:l ~noise:z ());
+      (pair (3 -- 6) noise >|= fun (l, z) -> Circuit.Generators.ring ~len:l ~noise:z ());
+      (pair (2 -- 4) noise >|= fun (s, z) ->
+       Circuit.Generators.parity_pipe ~stages:s ~noise:z ());
+      (pair (4 -- 6) noise >|= fun (w, z) -> Circuit.Generators.johnson ~width:w ~noise:z ());
+    ]
+
+let prop_engine_matches_oracle =
+  QCheck.Test.make ~name:"engine verdict = oracle verdict (all modes)" ~count:40
+    (QCheck.make ~print:(fun (c : Circuit.Generators.case) -> c.name) random_case_gen)
+    (fun case ->
+      let oracle = Circuit.Reach.check case.netlist ~property:case.property in
+      List.for_all
+        (fun mode ->
+          let config = Bmc.Engine.config ~mode ~max_depth:case.suggested_depth () in
+          let r = Bmc.Engine.run_case ~config case in
+          match (oracle, r.verdict) with
+          | Circuit.Reach.Fails_at k, Bmc.Engine.Falsified t -> t.Bmc.Trace.depth = k
+          | Circuit.Reach.Holds _, Bmc.Engine.Bounded_pass _ -> true
+          | Circuit.Reach.Too_large, _ -> true
+          | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _), _ -> false)
+        modes)
+
+let tests =
+  [
+    Alcotest.test_case "all modes, all tiny cases" `Slow test_all_modes_all_tiny_cases;
+    Alcotest.test_case "per-depth stats" `Quick test_per_depth_stats_shape;
+    Alcotest.test_case "core refinement" `Quick test_core_refinement_populates_scores;
+    Alcotest.test_case "standard skips proofs" `Quick test_standard_mode_skips_proof_logging;
+    Alcotest.test_case "collect_cores flag" `Quick test_collect_cores_flag;
+    Alcotest.test_case "budget aborts" `Quick test_budget_aborts;
+    Alcotest.test_case "COI equivalence" `Quick test_coi_equivalent_results;
+    Alcotest.test_case "totals are sums" `Quick test_totals_are_sums;
+    Alcotest.test_case "weightings agree" `Quick test_weightings_agree_on_verdict;
+    Alcotest.test_case "mode round trip" `Quick test_mode_round_trip;
+    QCheck_alcotest.to_alcotest prop_engine_matches_oracle;
+  ]

@@ -1,0 +1,134 @@
+(* Cycle-accurate simulator. *)
+
+let build_counter bits =
+  let nl = Circuit.Netlist.create () in
+  let count = Circuit.Word.regs nl ~prefix:"c" ~width:bits ~init:(Some 0) in
+  let inc, _ = Circuit.Word.increment nl count in
+  Circuit.Word.connect nl count inc;
+  (nl, count)
+
+let word_of sim st regs =
+  Array.to_list regs
+  |> List.fold_left
+       (fun (acc, bit) r ->
+         ((acc lor if Circuit.Eval.reg_value sim st r then 1 lsl bit else 0), bit + 1))
+       (0, 0)
+  |> fst
+
+let test_counter_counts () =
+  let nl, count = build_counter 4 in
+  let sim = Circuit.Eval.compile nl in
+  let rec advance st n = if n = 0 then st else
+    let _, st' = Circuit.Eval.cycle sim st ~inputs:(fun _ -> false) in
+    advance st' (n - 1)
+  in
+  let st = advance (Circuit.Eval.initial sim) 5 in
+  Alcotest.(check int) "after 5 cycles" 5 (word_of sim st count);
+  let st = advance st 12 in
+  Alcotest.(check int) "wraps at 16" ((5 + 12) mod 16) (word_of sim st count)
+
+let test_initial_values () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.reg nl ~name:"a" ~init:(Some true) in
+  let b = Circuit.Netlist.reg nl ~name:"b" ~init:(Some false) in
+  let c = Circuit.Netlist.reg nl ~name:"c" ~init:None in
+  Circuit.Netlist.set_next nl a a;
+  Circuit.Netlist.set_next nl b b;
+  Circuit.Netlist.set_next nl c c;
+  let sim = Circuit.Eval.compile nl in
+  let st = Circuit.Eval.initial ~resolve:(fun r -> r = c) sim in
+  Alcotest.(check bool) "a init" true (Circuit.Eval.reg_value sim st a);
+  Alcotest.(check bool) "b init" false (Circuit.Eval.reg_value sim st b);
+  Alcotest.(check bool) "c resolved" true (Circuit.Eval.reg_value sim st c)
+
+let test_gate_semantics_in_frame () =
+  let nl = Circuit.Netlist.create () in
+  let x = Circuit.Netlist.input nl "x" in
+  let y = Circuit.Netlist.input nl "y" in
+  let gates =
+    [
+      Circuit.Netlist.and_ nl x y;
+      Circuit.Netlist.or_ nl x y;
+      Circuit.Netlist.xor_ nl x y;
+      Circuit.Netlist.not_ nl x;
+      Circuit.Netlist.mux nl ~sel:x ~hi:y ~lo:(Circuit.Netlist.not_ nl y);
+    ]
+  in
+  let sim = Circuit.Eval.compile nl in
+  List.iter
+    (fun (xv, yv) ->
+      let frame, _ =
+        Circuit.Eval.cycle sim (Circuit.Eval.initial sim) ~inputs:(fun n ->
+            if n = x then xv else yv)
+      in
+      let v n = Circuit.Eval.value frame n in
+      match gates with
+      | [ a; o; xr; n; m ] ->
+        Alcotest.(check bool) "and" (xv && yv) (v a);
+        Alcotest.(check bool) "or" (xv || yv) (v o);
+        Alcotest.(check bool) "xor" (xv <> yv) (v xr);
+        Alcotest.(check bool) "not" (not xv) (v n);
+        Alcotest.(check bool) "mux" (if xv then yv else not yv) (v m)
+      | _ -> Alcotest.fail "setup")
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_run_produces_frames () =
+  let nl, _ = build_counter 3 in
+  let sim = Circuit.Eval.compile nl in
+  let frames = Circuit.Eval.run sim ~inputs:(fun ~cycle:_ _ -> false) ~cycles:4 () in
+  Alcotest.(check int) "frame count" 4 (List.length frames);
+  let frames0 = Circuit.Eval.run sim ~inputs:(fun ~cycle:_ _ -> false) ~cycles:0 () in
+  Alcotest.(check int) "zero cycles" 0 (List.length frames0)
+
+let test_check_invariant () =
+  let nl, count = build_counter 3 in
+  let target = Circuit.Word.eq_const nl count 5 in
+  let property = Circuit.Netlist.not_ nl target in
+  let sim = Circuit.Eval.compile nl in
+  Alcotest.(check (option int)) "violated at cycle 5" (Some 5)
+    (Circuit.Eval.check_invariant sim ~inputs:(fun ~cycle:_ _ -> false) ~cycles:10 ~property ());
+  Alcotest.(check (option int)) "holds within 5" None
+    (Circuit.Eval.check_invariant sim ~inputs:(fun ~cycle:_ _ -> false) ~cycles:5 ~property ())
+
+let test_compile_rejects_invalid () =
+  let nl = Circuit.Netlist.create () in
+  let _r = Circuit.Netlist.reg nl ~name:"r" ~init:None in
+  match Circuit.Eval.compile nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unconnected register must not compile"
+
+(* Simulating a shift register reproduces the delayed input stream. *)
+let prop_shift_register_delays =
+  QCheck.Test.make ~name:"shift register = delayed input" ~count:100
+    QCheck.(list_of_size Gen.(5 -- 20) bool)
+    (fun stream ->
+      let nl = Circuit.Netlist.create () in
+      let d = Circuit.Netlist.input nl "d" in
+      let s1 = Circuit.Netlist.reg nl ~name:"s1" ~init:(Some false) in
+      let s2 = Circuit.Netlist.reg nl ~name:"s2" ~init:(Some false) in
+      Circuit.Netlist.set_next nl s1 d;
+      Circuit.Netlist.set_next nl s2 s1;
+      let sim = Circuit.Eval.compile nl in
+      let arr = Array.of_list stream in
+      let frames =
+        Circuit.Eval.run sim
+          ~inputs:(fun ~cycle _ -> arr.(cycle))
+          ~cycles:(Array.length arr) ()
+      in
+      List.for_all Fun.id
+        (List.mapi
+           (fun i frame ->
+             let expect_s2 = if i >= 2 then arr.(i - 2) else false in
+             Circuit.Eval.value frame s2 = expect_s2)
+           frames))
+
+let tests =
+  [
+    Alcotest.test_case "counter counts" `Quick test_counter_counts;
+    Alcotest.test_case "initial values" `Quick test_initial_values;
+    Alcotest.test_case "gate semantics" `Quick test_gate_semantics_in_frame;
+    Alcotest.test_case "run frames" `Quick test_run_produces_frames;
+    Alcotest.test_case "check_invariant" `Quick test_check_invariant;
+    Alcotest.test_case "compile rejects invalid" `Quick test_compile_rejects_invalid;
+    QCheck_alcotest.to_alcotest prop_shift_register_delays;
+  ]

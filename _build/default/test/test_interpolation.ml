@@ -1,0 +1,164 @@
+(* Interpolation-based model checking, plus the Craig-interpolant extractor
+   it is built on. *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+(* --- the extractor ------------------------------------------------- *)
+
+let test_interpolant_conditions_basic () =
+  (* A = (x0), B = (¬x0): interpolant must be x0 itself *)
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, false) ] ] in
+  let s = Sat.Solver.create ~with_proof:true cnf in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  let itp = Sat.Solver.interpolant s ~a_side:(fun i -> i = 0) in
+  Alcotest.(check bool) "I true when x0 true" true (Sat.Itp.eval itp (fun _ -> true));
+  Alcotest.(check bool) "I false when x0 false" false (Sat.Itp.eval itp (fun _ -> false))
+
+let test_interpolant_shared_vars_only () =
+  (* A = (¬x0 ∨ x1) ∧ (x0), B = (¬x1 ∨ x2) ∧ (¬x2): shared variable is x1 *)
+  let cnf =
+    mk_cnf [ [ (0, false); (1, true) ]; [ (0, true) ]; [ (1, false); (2, true) ]; [ (2, false) ] ]
+  in
+  let s = Sat.Solver.create ~with_proof:true cnf in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  let itp = Sat.Solver.interpolant s ~a_side:(fun i -> i < 2) in
+  List.iter
+    (fun v -> Alcotest.(check int) "only x1 appears" 1 v)
+    (Sat.Itp.variables itp)
+
+let test_whole_formula_in_a () =
+  (* B empty: the interpolant must be unsatisfiable itself (⟂-equivalent) *)
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, false) ] ] in
+  let s = Sat.Solver.create ~with_proof:true cnf in
+  ignore (Sat.Solver.solve s);
+  let itp = Sat.Solver.interpolant s ~a_side:(fun _ -> true) in
+  Alcotest.(check bool) "I unsat" false
+    (Sat.Itp.eval itp (fun _ -> true) || Sat.Itp.eval itp (fun _ -> false))
+
+let test_whole_formula_in_b () =
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, false) ] ] in
+  let s = Sat.Solver.create ~with_proof:true cnf in
+  ignore (Sat.Solver.solve s);
+  let itp = Sat.Solver.interpolant s ~a_side:(fun _ -> false) in
+  Alcotest.(check bool) "I valid" true
+    (Sat.Itp.eval itp (fun _ -> true) && Sat.Itp.eval itp (fun _ -> false))
+
+(* Craig conditions on random refutations and random partitions. *)
+let prop_craig_conditions =
+  let gen =
+    let open QCheck.Gen in
+    let clause nv = list_size (1 -- 3) (pair (0 -- (nv - 1)) bool) in
+    (2 -- 6) >>= fun nv ->
+    triple (return nv) (list_size (2 -- 20) (clause nv)) (list_size (return 20) bool)
+  in
+  QCheck.Test.make ~name:"Craig conditions on random splits" ~count:300 (QCheck.make gen)
+    (fun (nv, cls, mask) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let s = Sat.Solver.create ~with_proof:true cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true
+      | Sat.Solver.Unsat ->
+        let mask = Array.of_list mask in
+        let a_side i = i < Array.length mask && mask.(i) in
+        let itp = Sat.Solver.interpolant s ~a_side in
+        (* check over all assignments: A ⊨ I and I ∧ B unsat *)
+        let ok = ref true in
+        let a = Array.make nv false in
+        let rec go i =
+          if i = nv then begin
+            let assign v = a.(v) in
+            let side_true side =
+              let all = ref true in
+              Sat.Cnf.iter_clauses
+                (fun ci c ->
+                  if a_side ci = side && not (Sat.Cnf.eval_clause c assign) then all := false)
+                cnf;
+              !all
+            in
+            let iv = Sat.Itp.eval itp assign in
+            if side_true true && not iv then ok := false;
+            if iv && side_true false then ok := false
+          end
+          else begin
+            a.(i) <- false;
+            go (i + 1);
+            a.(i) <- true;
+            go (i + 1)
+          end
+        in
+        go 0;
+        !ok)
+
+(* --- the model-checking loop --------------------------------------- *)
+
+let test_tiny_suite_decided () =
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      match (case.expect, (Bmc.Interpolation.prove_case case).verdict) with
+      | Some Circuit.Generators.Holds, Bmc.Interpolation.Proved _ -> ()
+      | Some (Circuit.Generators.Fails_at k), Bmc.Interpolation.Falsified t ->
+        Alcotest.(check int) (case.name ^ ": exact depth") k t.Bmc.Trace.depth
+      | e, v ->
+        Alcotest.failf "%s: expect %s, got %a" case.name
+          (match e with
+          | Some x -> Format.asprintf "%a" Circuit.Generators.pp_expect x
+          | None -> "?")
+          Bmc.Interpolation.pp_verdict v)
+    (Circuit.Generators.tiny_suite ())
+
+let test_noise_beyond_enumeration () =
+  let case = Circuit.Generators.ring ~len:12 ~noise:32 () in
+  match (Bmc.Interpolation.prove_case case).verdict with
+  | Bmc.Interpolation.Proved _ -> ()
+  | v -> Alcotest.failf "expected proof, got %a" Bmc.Interpolation.pp_verdict v
+
+let test_caller_netlist_untouched () =
+  let case = Circuit.Generators.ring ~len:5 () in
+  let before = Circuit.Netlist.num_nodes case.netlist in
+  ignore (Bmc.Interpolation.prove_case case);
+  Alcotest.(check int) "no interpolant gates leak into the input" before
+    (Circuit.Netlist.num_nodes case.netlist)
+
+let prop_interpolation_matches_oracle =
+  let gen =
+    let open QCheck.Gen in
+    let* seed = 0 -- 100_000 in
+    let* regs = 1 -- 5 in
+    let* gates = 1 -- 20 in
+    let* inputs = 0 -- 2 in
+    return (Circuit.Generators.random ~seed ~regs ~gates ~inputs)
+  in
+  QCheck.Test.make ~name:"interpolation = oracle on random circuits" ~count:40
+    (QCheck.make ~print:(fun (c : Circuit.Generators.case) -> c.name) gen)
+    (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle -> (
+        match (oracle, (Bmc.Interpolation.prove_case ~max_bound:12 case).verdict) with
+        | Circuit.Reach.Holds _, Bmc.Interpolation.Proved _ -> true
+        | Circuit.Reach.Fails_at j, Bmc.Interpolation.Falsified t -> t.Bmc.Trace.depth = j
+        | _, Bmc.Interpolation.Unknown _ -> true
+        | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+          false))
+
+let tests =
+  [
+    Alcotest.test_case "basic conditions" `Quick test_interpolant_conditions_basic;
+    Alcotest.test_case "shared vars only" `Quick test_interpolant_shared_vars_only;
+    Alcotest.test_case "all in A" `Quick test_whole_formula_in_a;
+    Alcotest.test_case "all in B" `Quick test_whole_formula_in_b;
+    QCheck_alcotest.to_alcotest prop_craig_conditions;
+    Alcotest.test_case "tiny suite decided" `Slow test_tiny_suite_decided;
+    Alcotest.test_case "noise beyond enumeration" `Quick test_noise_beyond_enumeration;
+    Alcotest.test_case "caller netlist untouched" `Quick test_caller_netlist_untouched;
+    QCheck_alcotest.to_alcotest prop_interpolation_matches_oracle;
+  ]

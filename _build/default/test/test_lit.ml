@@ -1,0 +1,63 @@
+(* Literal encoding invariants. *)
+
+let test_make () =
+  let l = Sat.Lit.make 3 true in
+  Alcotest.(check int) "var" 3 (Sat.Lit.var l);
+  Alcotest.(check bool) "is_pos" true (Sat.Lit.is_pos l);
+  let m = Sat.Lit.make 3 false in
+  Alcotest.(check int) "var" 3 (Sat.Lit.var m);
+  Alcotest.(check bool) "is_pos" false (Sat.Lit.is_pos m);
+  Alcotest.(check bool) "distinct" false (Sat.Lit.equal l m)
+
+let test_negate () =
+  let l = Sat.Lit.pos 5 in
+  Alcotest.(check bool) "double negation" true (Sat.Lit.equal l (Sat.Lit.negate (Sat.Lit.negate l)));
+  Alcotest.(check bool) "negate flips" true (Sat.Lit.equal (Sat.Lit.neg 5) (Sat.Lit.negate l))
+
+let test_dimacs () =
+  Alcotest.(check int) "pos" 6 (Sat.Lit.to_dimacs (Sat.Lit.pos 5));
+  Alcotest.(check int) "neg" (-6) (Sat.Lit.to_dimacs (Sat.Lit.neg 5));
+  Alcotest.(check bool) "roundtrip pos" true
+    (Sat.Lit.equal (Sat.Lit.pos 5) (Sat.Lit.of_dimacs 6));
+  Alcotest.(check bool) "roundtrip neg" true
+    (Sat.Lit.equal (Sat.Lit.neg 5) (Sat.Lit.of_dimacs (-6)));
+  Alcotest.check_raises "zero" (Invalid_argument "Lit.of_dimacs: zero") (fun () ->
+      ignore (Sat.Lit.of_dimacs 0))
+
+let test_index () =
+  Alcotest.(check int) "pos even" 10 (Sat.Lit.to_index (Sat.Lit.pos 5));
+  Alcotest.(check int) "neg odd" 11 (Sat.Lit.to_index (Sat.Lit.neg 5));
+  Alcotest.check_raises "negative var" (Invalid_argument "Lit.make: negative variable")
+    (fun () -> ignore (Sat.Lit.make (-1) true))
+
+let prop_roundtrip_index =
+  QCheck.Test.make ~name:"to_index/of_index roundtrip" ~count:500
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (v, s) ->
+      let l = Sat.Lit.make v s in
+      Sat.Lit.equal l (Sat.Lit.of_index (Sat.Lit.to_index l)))
+
+let prop_roundtrip_dimacs =
+  QCheck.Test.make ~name:"to_dimacs/of_dimacs roundtrip" ~count:500
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (v, s) ->
+      let l = Sat.Lit.make v s in
+      Sat.Lit.equal l (Sat.Lit.of_dimacs (Sat.Lit.to_dimacs l)))
+
+let prop_negate_changes_index =
+  QCheck.Test.make ~name:"negate toggles parity of index" ~count:500
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (v, s) ->
+      let l = Sat.Lit.make v s in
+      abs (Sat.Lit.to_index l - Sat.Lit.to_index (Sat.Lit.negate l)) = 1)
+
+let tests =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "negate" `Quick test_negate;
+    Alcotest.test_case "dimacs" `Quick test_dimacs;
+    Alcotest.test_case "index" `Quick test_index;
+    QCheck_alcotest.to_alcotest prop_roundtrip_index;
+    QCheck_alcotest.to_alcotest prop_roundtrip_dimacs;
+    QCheck_alcotest.to_alcotest prop_negate_changes_index;
+  ]

@@ -1,0 +1,46 @@
+(* Luby restart sequence. *)
+
+let test_first_terms () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int) (Printf.sprintf "term %d" (i + 1)) e (Sat.Luby.term (i + 1)))
+    expected
+
+let test_powers () =
+  (* term (2^k - 1) = 2^(k-1) *)
+  for k = 1 to 10 do
+    Alcotest.(check int)
+      (Printf.sprintf "term (2^%d - 1)" k)
+      (1 lsl (k - 1))
+      (Sat.Luby.term ((1 lsl k) - 1))
+  done
+
+let test_generator () =
+  let g = Sat.Luby.create ~base:100 in
+  Alcotest.(check int) "1st" 100 (Sat.Luby.next g);
+  Alcotest.(check int) "2nd" 100 (Sat.Luby.next g);
+  Alcotest.(check int) "3rd" 200 (Sat.Luby.next g);
+  Alcotest.(check int) "4th" 100 (Sat.Luby.next g)
+
+let test_invalid () =
+  Alcotest.check_raises "term 0" (Invalid_argument "Luby.term") (fun () ->
+      ignore (Sat.Luby.term 0));
+  Alcotest.check_raises "base 0" (Invalid_argument "Luby.create") (fun () ->
+      ignore (Sat.Luby.create ~base:0))
+
+let prop_power_of_two =
+  QCheck.Test.make ~name:"every term is a power of two" ~count:300
+    QCheck.(int_range 1 5000)
+    (fun i ->
+      let t = Sat.Luby.term i in
+      t > 0 && t land (t - 1) = 0)
+
+let tests =
+  [
+    Alcotest.test_case "first terms" `Quick test_first_terms;
+    Alcotest.test_case "powers" `Quick test_powers;
+    Alcotest.test_case "generator" `Quick test_generator;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_power_of_two;
+  ]

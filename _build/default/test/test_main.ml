@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "refine_order_bmc"
+    [
+      ("vec", Test_vec.tests);
+      ("lit", Test_lit.tests);
+      ("cnf", Test_cnf.tests);
+      ("dimacs", Test_dimacs.tests);
+      ("luby", Test_luby.tests);
+      ("order", Test_order.tests);
+      ("proof", Test_proof.tests);
+      ("solver", Test_solver.tests);
+      ("assumptions", Test_assumptions.tests);
+      ("checker", Test_checker.tests);
+      ("simplify", Test_simplify.tests);
+      ("netlist", Test_netlist.tests);
+      ("word", Test_word.tests);
+      ("eval", Test_eval.tests);
+      ("reach", Test_reach.tests);
+      ("textio", Test_textio.tests);
+      ("generators", Test_generators.tests);
+      ("aiger", Test_aiger.tests);
+      ("varmap", Test_varmap.tests);
+      ("score", Test_score.tests);
+      ("unroll", Test_unroll.tests);
+      ("trace", Test_trace.tests);
+      ("shtrichman", Test_shtrichman.tests);
+      ("engine", Test_engine.tests);
+      ("incremental", Test_incremental.tests);
+      ("induction", Test_induction.tests);
+      ("abstraction", Test_abstraction.tests);
+      ("bdd", Test_bdd.tests);
+      ("symbolic", Test_symbolic.tests);
+      ("ltl", Test_ltl.tests);
+      ("differential", Test_differential.tests);
+      ("pdr", Test_pdr.tests);
+      ("interpolation", Test_interpolation.tests);
+    ]

@@ -1,0 +1,195 @@
+(* Netlist construction, hash-consing, simplification, validation. *)
+
+let test_builders () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let b = Circuit.Netlist.input nl "b" in
+  let g = Circuit.Netlist.and_ nl a b in
+  (match Circuit.Netlist.gate nl g with
+  | Circuit.Netlist.And (x, y) -> Alcotest.(check (pair int int)) "operands" (a, b) (x, y)
+  | _ -> Alcotest.fail "not an And");
+  Alcotest.(check int) "nodes" 3 (Circuit.Netlist.num_nodes nl)
+
+let test_hashcons () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let b = Circuit.Netlist.input nl "b" in
+  let g1 = Circuit.Netlist.and_ nl a b in
+  let g2 = Circuit.Netlist.and_ nl a b in
+  let g3 = Circuit.Netlist.and_ nl b a in
+  Alcotest.(check int) "same gate shared" g1 g2;
+  Alcotest.(check int) "commutative normalisation" g1 g3
+
+let test_constant_folding () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let t = Circuit.Netlist.const_true nl in
+  let f = Circuit.Netlist.const_false nl in
+  Alcotest.(check int) "a AND true = a" a (Circuit.Netlist.and_ nl a t);
+  Alcotest.(check int) "a AND false = false" f (Circuit.Netlist.and_ nl a f);
+  Alcotest.(check int) "a OR true = true" t (Circuit.Netlist.or_ nl a t);
+  Alcotest.(check int) "a OR a = a" a (Circuit.Netlist.or_ nl a a);
+  Alcotest.(check int) "a XOR a = false" f (Circuit.Netlist.xor_ nl a a);
+  Alcotest.(check int) "not (not a) = a" a (Circuit.Netlist.not_ nl (Circuit.Netlist.not_ nl a));
+  Alcotest.(check int) "a AND (not a) = false" f
+    (Circuit.Netlist.and_ nl a (Circuit.Netlist.not_ nl a));
+  Alcotest.(check int) "mux const sel" a
+    (Circuit.Netlist.mux nl ~sel:t ~hi:a ~lo:(Circuit.Netlist.const_false nl))
+
+let test_registers () =
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some true) in
+  let a = Circuit.Netlist.input nl "a" in
+  Circuit.Netlist.set_next nl r a;
+  Alcotest.(check (option bool)) "init" (Some true) (Circuit.Netlist.reg_init nl r);
+  Alcotest.(check int) "next" a (Circuit.Netlist.reg_next nl r);
+  Alcotest.check_raises "double connect" (Invalid_argument "Netlist.set_next: already connected")
+    (fun () -> Circuit.Netlist.set_next nl r a)
+
+let test_validate_unconnected () =
+  let nl = Circuit.Netlist.create () in
+  let _r = Circuit.Netlist.reg nl ~name:"r" ~init:None in
+  match Circuit.Netlist.validate nl with
+  | Error msg -> Alcotest.(check bool) "mentions register" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "unconnected register must not validate"
+
+let test_validate_ok_with_feedback_through_reg () =
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some false) in
+  let n = Circuit.Netlist.not_ nl r in
+  Circuit.Netlist.set_next nl r n;
+  match Circuit.Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_names () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  Alcotest.(check (option int)) "find" (Some a) (Circuit.Netlist.find nl "a");
+  Alcotest.(check (option string)) "name_of" (Some "a") (Circuit.Netlist.name_of nl a);
+  Circuit.Netlist.name_node nl "alias" a;
+  Alcotest.(check (option int)) "alias resolves" (Some a) (Circuit.Netlist.find nl "alias");
+  Alcotest.(check (option string)) "canonical name kept" (Some "a") (Circuit.Netlist.name_of nl a);
+  Alcotest.check_raises "duplicate input name" (Invalid_argument "Netlist: duplicate name \"a\"")
+    (fun () -> ignore (Circuit.Netlist.input nl "a"))
+
+let test_inputs_regs_order () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let r1 = Circuit.Netlist.reg nl ~name:"r1" ~init:None in
+  let b = Circuit.Netlist.input nl "b" in
+  let r2 = Circuit.Netlist.reg nl ~name:"r2" ~init:None in
+  Circuit.Netlist.set_next nl r1 a;
+  Circuit.Netlist.set_next nl r2 b;
+  Alcotest.(check (list int)) "inputs in order" [ a; b ] (Circuit.Netlist.inputs nl);
+  Alcotest.(check (list int)) "regs in order" [ r1; r2 ] (Circuit.Netlist.regs nl)
+
+let test_transitive_fanin () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let b = Circuit.Netlist.input nl "b" in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some false) in
+  Circuit.Netlist.set_next nl r a;
+  let g = Circuit.Netlist.and_ nl r a in
+  let dangling = Circuit.Netlist.or_ nl b b in
+  ignore dangling;
+  let cone = Circuit.Netlist.transitive_fanin nl [ g ] in
+  Alcotest.(check bool) "g in cone" true (cone g);
+  Alcotest.(check bool) "a in cone" true (cone a);
+  Alcotest.(check bool) "r in cone (through next)" true (cone r);
+  Alcotest.(check bool) "b not in cone" false (cone b)
+
+let test_fanins () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.input nl "a" in
+  let b = Circuit.Netlist.input nl "b" in
+  let c = Circuit.Netlist.input nl "c" in
+  let m = Circuit.Netlist.mux nl ~sel:a ~hi:b ~lo:c in
+  Alcotest.(check (list int)) "mux fanins" [ a; b; c ]
+    (Circuit.Netlist.fanins (Circuit.Netlist.gate nl m));
+  Alcotest.(check (list int)) "input fanins" [] (Circuit.Netlist.fanins (Circuit.Netlist.gate nl a))
+
+(* The simplifying constructors must agree with plain gate semantics: build
+   a random expression twice — once through the builders, once as a naive
+   evaluation — and compare on every input assignment. *)
+type expr =
+  | Leaf of int
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Exor of expr * expr
+  | Emux of expr * expr * expr
+
+let rec expr_gen nv depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun i -> Leaf i) (0 -- (nv - 1))
+  else
+    frequency
+      [
+        (2, map (fun i -> Leaf i) (0 -- (nv - 1)));
+        (2, map (fun e -> Enot e) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Eand (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Eor (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+        (2, map2 (fun a b -> Exor (a, b)) (expr_gen nv (depth - 1)) (expr_gen nv (depth - 1)));
+        ( 1,
+          map3
+            (fun s h l -> Emux (s, h, l))
+            (expr_gen nv (depth - 1))
+            (expr_gen nv (depth - 1))
+            (expr_gen nv (depth - 1)) );
+      ]
+
+let rec eval_expr e a =
+  match e with
+  | Leaf i -> a i
+  | Enot x -> not (eval_expr x a)
+  | Eand (x, y) -> eval_expr x a && eval_expr y a
+  | Eor (x, y) -> eval_expr x a || eval_expr y a
+  | Exor (x, y) -> eval_expr x a <> eval_expr y a
+  | Emux (s, h, l) -> if eval_expr s a then eval_expr h a else eval_expr l a
+
+let rec build_expr nl ins e =
+  match e with
+  | Leaf i -> ins.(i)
+  | Enot x -> Circuit.Netlist.not_ nl (build_expr nl ins x)
+  | Eand (x, y) -> Circuit.Netlist.and_ nl (build_expr nl ins x) (build_expr nl ins y)
+  | Eor (x, y) -> Circuit.Netlist.or_ nl (build_expr nl ins x) (build_expr nl ins y)
+  | Exor (x, y) -> Circuit.Netlist.xor_ nl (build_expr nl ins x) (build_expr nl ins y)
+  | Emux (s, h, l) ->
+    Circuit.Netlist.mux nl ~sel:(build_expr nl ins s) ~hi:(build_expr nl ins h)
+      ~lo:(build_expr nl ins l)
+
+let prop_builders_preserve_semantics =
+  let nv = 4 in
+  QCheck.Test.make ~name:"simplifying constructors preserve gate semantics" ~count:300
+    (QCheck.make (expr_gen nv 5)) (fun e ->
+      let nl = Circuit.Netlist.create () in
+      let ins = Array.init nv (fun i -> Circuit.Netlist.input nl (Printf.sprintf "x%d" i)) in
+      let out = build_expr nl ins e in
+      let sim = Circuit.Eval.compile nl in
+      let ok = ref true in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let assign i = mask land (1 lsl i) <> 0 in
+        let frame, _ =
+          Circuit.Eval.cycle sim (Circuit.Eval.initial sim) ~inputs:(fun n ->
+              let rec idx i = if ins.(i) = n then i else idx (i + 1) in
+              assign (idx 0))
+        in
+        if Circuit.Eval.value frame out <> eval_expr e assign then ok := false
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "hashcons" `Quick test_hashcons;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "registers" `Quick test_registers;
+    Alcotest.test_case "validate unconnected" `Quick test_validate_unconnected;
+    Alcotest.test_case "feedback through reg ok" `Quick test_validate_ok_with_feedback_through_reg;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "inputs/regs order" `Quick test_inputs_regs_order;
+    Alcotest.test_case "transitive fanin" `Quick test_transitive_fanin;
+    Alcotest.test_case "fanins" `Quick test_fanins;
+    QCheck_alcotest.to_alcotest prop_builders_preserve_semantics;
+  ]

@@ -1,0 +1,110 @@
+(* IC3 / property-directed reachability. *)
+
+let test_tiny_suite_decided () =
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      match (case.expect, (Bmc.Pdr.prove_case case).verdict) with
+      | Some Circuit.Generators.Holds, Bmc.Pdr.Proved _ -> ()
+      | Some (Circuit.Generators.Fails_at k), Bmc.Pdr.Falsified t ->
+        (* IC3 counterexamples are genuine but not necessarily minimal *)
+        Alcotest.(check bool)
+          (case.name ^ ": cex no shorter than the minimum")
+          true
+          (t.Bmc.Trace.depth >= k)
+      | e, v ->
+        Alcotest.failf "%s: expect %s, got %a" case.name
+          (match e with
+          | Some x -> Format.asprintf "%a" Circuit.Generators.pp_expect x
+          | None -> "?")
+          Bmc.Pdr.pp_verdict v)
+    (Circuit.Generators.tiny_suite ())
+
+let test_proves_non_inductive_properties () =
+  (* arbiter mutual exclusion is not k-inductive, yet IC3 strengthens its
+     way to an invariant without simple-path constraints *)
+  let case = Circuit.Generators.arbiter ~clients:4 () in
+  match (Bmc.Pdr.prove_case case).verdict with
+  | Bmc.Pdr.Proved { invariant_clauses; _ } ->
+    Alcotest.(check bool) "non-trivial invariant" true (invariant_clauses > 0)
+  | v -> Alcotest.failf "expected proof, got %a" Bmc.Pdr.pp_verdict v
+
+let test_depth_zero_violation () =
+  (* a property false in an initial state *)
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some true) in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl r in
+  match (Bmc.Pdr.prove nl ~property).verdict with
+  | Bmc.Pdr.Falsified t -> Alcotest.(check int) "depth 0" 0 t.Bmc.Trace.depth
+  | v -> Alcotest.failf "expected falsified, got %a" Bmc.Pdr.pp_verdict v
+
+let test_nondet_init () =
+  (* with a free initial register the bad state is initial for one choice *)
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:None in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl r in
+  match (Bmc.Pdr.prove nl ~property).verdict with
+  | Bmc.Pdr.Falsified t -> Alcotest.(check int) "depth 0" 0 t.Bmc.Trace.depth
+  | v -> Alcotest.failf "expected falsified, got %a" Bmc.Pdr.pp_verdict v
+
+let test_input_dependent_property () =
+  (* P = ¬x for an input x: violated at depth 0 by choosing x *)
+  let nl = Circuit.Netlist.create () in
+  let x = Circuit.Netlist.input nl "x" in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some false) in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl x in
+  match (Bmc.Pdr.prove nl ~property).verdict with
+  | Bmc.Pdr.Falsified t -> Alcotest.(check int) "depth 0" 0 t.Bmc.Trace.depth
+  | v -> Alcotest.failf "expected falsified, got %a" Bmc.Pdr.pp_verdict v
+
+let test_budget_unknown () =
+  let case = Circuit.Generators.parity_pipe ~stages:8 () in
+  match (Bmc.Pdr.prove_case ~max_queries:5 case).verdict with
+  | Bmc.Pdr.Unknown _ -> ()
+  | v -> Alcotest.failf "expected unknown on a 5-query budget, got %a" Bmc.Pdr.pp_verdict v
+
+let test_handles_noise_beyond_enumeration () =
+  (* IC3 never builds the 2^44-state space; it should prove this quickly *)
+  let case = Circuit.Generators.ring ~len:12 ~noise:32 () in
+  match (Bmc.Pdr.prove_case case).verdict with
+  | Bmc.Pdr.Proved _ -> ()
+  | v -> Alcotest.failf "expected proof, got %a" Bmc.Pdr.pp_verdict v
+
+(* Differential: IC3 verdict kind = oracle verdict kind on random circuits;
+   counterexamples replay (enforced internally) and are never shorter than
+   the oracle's minimum. *)
+let prop_pdr_matches_oracle =
+  let gen =
+    let open QCheck.Gen in
+    let* seed = 0 -- 100_000 in
+    let* regs = 1 -- 5 in
+    let* gates = 1 -- 20 in
+    let* inputs = 0 -- 2 in
+    return (Circuit.Generators.random ~seed ~regs ~gates ~inputs)
+  in
+  QCheck.Test.make ~name:"IC3 = oracle on random circuits" ~count:50
+    (QCheck.make ~print:(fun (c : Circuit.Generators.case) -> c.name) gen)
+    (fun case ->
+      match Circuit.Reach.check case.netlist ~property:case.property with
+      | Circuit.Reach.Too_large -> true
+      | oracle -> (
+        match (oracle, (Bmc.Pdr.prove_case ~max_queries:50_000 case).verdict) with
+        | Circuit.Reach.Holds _, Bmc.Pdr.Proved _ -> true
+        | Circuit.Reach.Fails_at j, Bmc.Pdr.Falsified t -> t.Bmc.Trace.depth >= j
+        | _, Bmc.Pdr.Unknown _ -> true (* inconclusive is never unsound *)
+        | (Circuit.Reach.Fails_at _ | Circuit.Reach.Holds _ | Circuit.Reach.Too_large), _ ->
+          false))
+
+let tests =
+  [
+    Alcotest.test_case "tiny suite decided" `Slow test_tiny_suite_decided;
+    Alcotest.test_case "non-inductive proved" `Quick test_proves_non_inductive_properties;
+    Alcotest.test_case "depth-0 violation" `Quick test_depth_zero_violation;
+    Alcotest.test_case "nondet init" `Quick test_nondet_init;
+    Alcotest.test_case "input-dependent" `Quick test_input_dependent_property;
+    Alcotest.test_case "budget unknown" `Quick test_budget_unknown;
+    Alcotest.test_case "noise beyond enumeration" `Quick test_handles_noise_beyond_enumeration;
+    QCheck_alcotest.to_alcotest prop_pdr_matches_oracle;
+  ]

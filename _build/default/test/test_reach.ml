@@ -1,0 +1,97 @@
+(* Explicit-state reachability oracle. *)
+
+let test_counter_fails () =
+  let nl = Circuit.Netlist.create () in
+  let count = Circuit.Word.regs nl ~prefix:"c" ~width:3 ~init:(Some 0) in
+  let inc, _ = Circuit.Word.increment nl count in
+  Circuit.Word.connect nl count inc;
+  let property = Circuit.Netlist.not_ nl (Circuit.Word.eq_const nl count 6) in
+  match Circuit.Reach.check nl ~property with
+  | Circuit.Reach.Fails_at 6 -> ()
+  | v -> Alcotest.failf "expected fails@6, got %a" Circuit.Reach.pp_verdict v
+
+let test_fails_at_zero () =
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some true) in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl r in
+  match Circuit.Reach.check nl ~property with
+  | Circuit.Reach.Fails_at 0 -> ()
+  | v -> Alcotest.failf "expected fails@0, got %a" Circuit.Reach.pp_verdict v
+
+let test_holds_with_diameter () =
+  (* a 3-bit counter stepping by 2 from 0 visits the four even states and
+     never reaches 7; the property keeps every bit in the cone *)
+  let nl = Circuit.Netlist.create () in
+  let count = Circuit.Word.regs nl ~prefix:"c" ~width:3 ~init:(Some 0) in
+  let inc1, _ = Circuit.Word.increment nl count in
+  let inc2, _ = Circuit.Word.increment nl inc1 in
+  Circuit.Word.connect nl count inc2;
+  let property = Circuit.Netlist.not_ nl (Circuit.Word.eq_const nl count 7) in
+  match Circuit.Reach.check nl ~property with
+  | Circuit.Reach.Holds { diameter } -> Alcotest.(check int) "diameter" 3 diameter
+  | v -> Alcotest.failf "expected holds, got %a" Circuit.Reach.pp_verdict v
+
+let test_cone_projection_ignores_irrelevant_state () =
+  (* 12 irrelevant free-init registers would add 2^12 states; the cone
+     projection must make the check instantaneous and still exact *)
+  let nl = Circuit.Netlist.create () in
+  let count = Circuit.Word.regs nl ~prefix:"c" ~width:3 ~init:(Some 0) in
+  let inc, _ = Circuit.Word.increment nl count in
+  Circuit.Word.connect nl count inc;
+  let noise = Circuit.Word.regs nl ~prefix:"z" ~width:12 ~init:None in
+  Circuit.Word.connect nl noise (Circuit.Word.rotate_left noise);
+  let property = Circuit.Netlist.not_ nl (Circuit.Word.eq_const nl count 6) in
+  match Circuit.Reach.check ~max_regs:8 nl ~property with
+  | Circuit.Reach.Fails_at 6 -> ()
+  | v -> Alcotest.failf "expected fails@6 despite noise, got %a" Circuit.Reach.pp_verdict v
+
+let test_nondeterministic_init () =
+  (* free-init register: both initial states explored *)
+  let nl = Circuit.Netlist.create () in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:None in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl r in
+  match Circuit.Reach.check nl ~property with
+  | Circuit.Reach.Fails_at 0 -> ()
+  | v -> Alcotest.failf "expected fails@0 via nondet init, got %a" Circuit.Reach.pp_verdict v
+
+let test_input_dependent_failure () =
+  (* property false only when the input is high: counterexample at depth 0 *)
+  let nl = Circuit.Netlist.create () in
+  let x = Circuit.Netlist.input nl "x" in
+  let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some false) in
+  Circuit.Netlist.set_next nl r r;
+  let property = Circuit.Netlist.not_ nl x in
+  match Circuit.Reach.check nl ~property with
+  | Circuit.Reach.Fails_at 0 -> ()
+  | v -> Alcotest.failf "expected fails@0, got %a" Circuit.Reach.pp_verdict v
+
+let test_too_large () =
+  let nl = Circuit.Netlist.create () in
+  let regs = Circuit.Word.regs nl ~prefix:"r" ~width:30 ~init:(Some 0) in
+  Circuit.Word.connect nl regs regs;
+  (* the property depends on all 30 registers, so no projection helps *)
+  let property = Circuit.Netlist.not_ nl (Circuit.Word.all_ones nl regs) in
+  match Circuit.Reach.check ~max_regs:10 nl ~property with
+  | Circuit.Reach.Too_large -> ()
+  | v -> Alcotest.failf "expected too_large, got %a" Circuit.Reach.pp_verdict v
+
+let test_equal_verdict () =
+  let open Circuit.Reach in
+  Alcotest.(check bool) "eq holds" true (equal_verdict (Holds { diameter = 3 }) (Holds { diameter = 3 }));
+  Alcotest.(check bool) "neq diam" false (equal_verdict (Holds { diameter = 3 }) (Holds { diameter = 4 }));
+  Alcotest.(check bool) "eq fails" true (equal_verdict (Fails_at 2) (Fails_at 2));
+  Alcotest.(check bool) "neq kinds" false (equal_verdict (Fails_at 2) Too_large)
+
+let tests =
+  [
+    Alcotest.test_case "counter fails" `Quick test_counter_fails;
+    Alcotest.test_case "fails at zero" `Quick test_fails_at_zero;
+    Alcotest.test_case "holds with diameter" `Quick test_holds_with_diameter;
+    Alcotest.test_case "cone projection" `Quick test_cone_projection_ignores_irrelevant_state;
+    Alcotest.test_case "nondet init" `Quick test_nondeterministic_init;
+    Alcotest.test_case "input-dependent" `Quick test_input_dependent_failure;
+    Alcotest.test_case "too large" `Quick test_too_large;
+    Alcotest.test_case "equal_verdict" `Quick test_equal_verdict;
+  ]

@@ -1,0 +1,72 @@
+(* bmc_score ranking (paper Section 3.2). *)
+
+let test_linear_weighting () =
+  let s = Bmc.Score.create () in
+  Bmc.Score.update s ~instance:3 ~core_vars:[ 1; 2 ];
+  Bmc.Score.update s ~instance:4 ~core_vars:[ 2; 5 ];
+  (* bmc_score(x) = sum of instance indices where x appears *)
+  Alcotest.(check (float 1e-9)) "var 1" 3.0 (Bmc.Score.score s 1);
+  Alcotest.(check (float 1e-9)) "var 2" 7.0 (Bmc.Score.score s 2);
+  Alcotest.(check (float 1e-9)) "var 5" 4.0 (Bmc.Score.score s 5);
+  Alcotest.(check (float 1e-9)) "absent var" 0.0 (Bmc.Score.score s 9)
+
+let test_recent_cores_weigh_more () =
+  let s = Bmc.Score.create () in
+  Bmc.Score.update s ~instance:2 ~core_vars:[ 1 ];
+  Bmc.Score.update s ~instance:9 ~core_vars:[ 2 ];
+  Alcotest.(check bool) "recent core dominates" true (Bmc.Score.score s 2 > Bmc.Score.score s 1)
+
+let test_uniform_weighting () =
+  let s = Bmc.Score.create ~weighting:Bmc.Score.Uniform () in
+  Bmc.Score.update s ~instance:3 ~core_vars:[ 1 ];
+  Bmc.Score.update s ~instance:9 ~core_vars:[ 1; 2 ];
+  Alcotest.(check (float 1e-9)) "var 1 counted twice" 2.0 (Bmc.Score.score s 1);
+  Alcotest.(check (float 1e-9)) "var 2 counted once" 1.0 (Bmc.Score.score s 2)
+
+let test_last_only_weighting () =
+  let s = Bmc.Score.create ~weighting:Bmc.Score.Last_only () in
+  Bmc.Score.update s ~instance:3 ~core_vars:[ 1 ];
+  Bmc.Score.update s ~instance:4 ~core_vars:[ 2 ];
+  Alcotest.(check (float 1e-9)) "old core forgotten" 0.0 (Bmc.Score.score s 1);
+  Alcotest.(check (float 1e-9)) "new core kept" 1.0 (Bmc.Score.score s 2)
+
+let test_instance_zero_counts () =
+  (* depth-0 instances must still contribute: weight max(instance,1) *)
+  let s = Bmc.Score.create () in
+  Bmc.Score.update s ~instance:0 ~core_vars:[ 7 ];
+  Alcotest.(check bool) "nonzero weight at k=0" true (Bmc.Score.score s 7 > 0.0)
+
+let test_rank_array () =
+  let s = Bmc.Score.create () in
+  Bmc.Score.update s ~instance:2 ~core_vars:[ 0; 3 ];
+  let a = Bmc.Score.rank_array s ~num_vars:3 in
+  Alcotest.(check int) "clipped to num_vars" 3 (Array.length a);
+  Alcotest.(check (float 1e-9)) "var 0" 2.0 a.(0);
+  Alcotest.(check (float 1e-9)) "var 1" 0.0 a.(1);
+  Alcotest.(check int) "num_ranked counts var 3 too" 2 (Bmc.Score.num_ranked s)
+
+let prop_scores_monotone_in_updates =
+  QCheck.Test.make ~name:"linear scores never decrease across updates" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (list_of_size Gen.(0 -- 5) (int_bound 10)))
+    (fun updates ->
+      let s = Bmc.Score.create () in
+      let ok = ref true in
+      List.iteri
+        (fun i core_vars ->
+          let before = List.map (fun v -> Bmc.Score.score s v) core_vars in
+          Bmc.Score.update s ~instance:(i + 1) ~core_vars;
+          let after = List.map (fun v -> Bmc.Score.score s v) core_vars in
+          if not (List.for_all2 ( <= ) before after) then ok := false)
+        updates;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "linear weighting" `Quick test_linear_weighting;
+    Alcotest.test_case "recency" `Quick test_recent_cores_weigh_more;
+    Alcotest.test_case "uniform weighting" `Quick test_uniform_weighting;
+    Alcotest.test_case "last-only weighting" `Quick test_last_only_weighting;
+    Alcotest.test_case "instance zero" `Quick test_instance_zero_counts;
+    Alcotest.test_case "rank array" `Quick test_rank_array;
+    QCheck_alcotest.to_alcotest prop_scores_monotone_in_updates;
+  ]

@@ -1,0 +1,49 @@
+(* Time-axis ordering baseline. *)
+
+let test_rank_increases_with_frame () =
+  let case = Circuit.Generators.traffic () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let _ = Bmc.Unroll.instance u ~k:4 in
+  let rank = Bmc.Shtrichman.rank u ~k:4 in
+  let v_at frame = Bmc.Unroll.var_of u ~node:case.property ~frame in
+  Alcotest.(check bool) "frame 4 over frame 0" true (rank.(v_at 4) > rank.(v_at 0));
+  Alcotest.(check bool) "frame 2 over frame 1" true (rank.(v_at 2) > rank.(v_at 1))
+
+let test_rank_dimension () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let _ = Bmc.Unroll.instance u ~k:3 in
+  let rank = Bmc.Shtrichman.rank u ~k:3 in
+  Alcotest.(check int) "covers every allocated variable"
+    (Bmc.Varmap.num_vars (Bmc.Unroll.varmap u))
+    (Array.length rank)
+
+let test_mode_gives_same_verdicts () =
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      let cfg m = Bmc.Engine.config ~mode:m ~max_depth:(min case.suggested_depth 6) () in
+      let a = (Bmc.Engine.run_case ~config:(cfg Bmc.Engine.Standard) case).verdict in
+      let b = (Bmc.Engine.run_case ~config:(cfg Bmc.Engine.Shtrichman) case).verdict in
+      let same =
+        match (a, b) with
+        | Bmc.Engine.Falsified t1, Bmc.Engine.Falsified t2 ->
+          t1.Bmc.Trace.depth = t2.Bmc.Trace.depth
+        | Bmc.Engine.Bounded_pass k1, Bmc.Engine.Bounded_pass k2 -> k1 = k2
+        | (Bmc.Engine.Falsified _ | Bmc.Engine.Bounded_pass _ | Bmc.Engine.Aborted _), _ ->
+          false
+      in
+      if not same then
+        Alcotest.failf "%s: shtrichman disagrees (%a vs %a)" case.name Bmc.Engine.pp_verdict a
+          Bmc.Engine.pp_verdict b)
+    [
+      Circuit.Generators.counter ~bits:3 ~target:5 ();
+      Circuit.Generators.ring ~len:4 ();
+      Circuit.Generators.parity_pipe ~stages:3 ();
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "rank increases with frame" `Quick test_rank_increases_with_frame;
+    Alcotest.test_case "rank dimension" `Quick test_rank_dimension;
+    Alcotest.test_case "same verdicts" `Quick test_mode_gives_same_verdicts;
+  ]

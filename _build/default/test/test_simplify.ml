@@ -1,0 +1,126 @@
+(* CNF preprocessing: equisatisfiability, model reconstruction, statistics. *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+let brute cnf =
+  let n = Sat.Cnf.num_vars cnf in
+  let a = Array.make (max n 1) false in
+  let rec go i =
+    if i = n then Sat.Cnf.eval cnf (fun v -> a.(v))
+    else
+      (a.(i) <- false;
+       go (i + 1))
+      ||
+      (a.(i) <- true;
+       go (i + 1))
+  in
+  go 0
+
+let test_subsumption () =
+  (* (x0) subsumes (x0 ∨ x1) *)
+  let cnf = mk_cnf [ [ (0, true) ]; [ (0, true); (1, true) ] ] in
+  let r = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "some clause subsumed" true (r.subsumed_clauses >= 1)
+
+let test_self_subsumption () =
+  (* (x0 ∨ x1) with (¬x0 ∨ x1) strengthens to (x1) either way *)
+  let cnf = mk_cnf [ [ (0, true); (1, true) ]; [ (0, false); (1, true) ] ] in
+  let r = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "strengthened" true (r.strengthened_clauses >= 1);
+  Alcotest.(check bool) "still satisfiable" true (brute r.simplified)
+
+let test_variable_elimination () =
+  (* x1 occurs once positively, once negatively: eliminated by resolution *)
+  let cnf = mk_cnf [ [ (0, true); (1, true) ]; [ (1, false); (2, true) ] ] in
+  let r = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "eliminated some variable" true (r.eliminated_vars >= 1)
+
+let test_unsat_preserved () =
+  let cnf =
+    mk_cnf [ [ (0, true) ]; [ (0, false); (1, true) ]; [ (1, false) ] ]
+  in
+  let r = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "still unsat" false (brute r.simplified)
+
+let test_tautologies_dropped () =
+  let cnf = mk_cnf [ [ (0, true); (0, false) ]; [ (1, true) ] ] in
+  let r = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "satisfiable" true (brute r.simplified)
+
+let test_empty_formula () =
+  let r = Sat.Simplify.preprocess (Sat.Cnf.create ~num_vars:3 ()) in
+  Alcotest.(check int) "nothing to do" 0 (Sat.Cnf.num_clauses r.simplified);
+  let m = r.reconstruct [| false; false; false |] in
+  Alcotest.(check int) "model width" 3 (Array.length m)
+
+let test_reconstruction_on_chain () =
+  (* the implication chain forces every variable; elimination must not lose
+     the forcing *)
+  let n = 8 in
+  let clauses =
+    [ [ (0, true) ] ]
+    @ List.init (n - 1) (fun i -> [ (i, false); (i + 1, true) ])
+  in
+  let cnf = mk_cnf clauses in
+  let r = Sat.Simplify.preprocess cnf in
+  let s = Sat.Solver.create r.simplified in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Sat -> ()
+  | o -> Alcotest.failf "expected SAT, got %a" Sat.Solver.pp_outcome o);
+  let m = r.reconstruct (Sat.Solver.model s) in
+  Alcotest.(check bool) "reconstructed model satisfies the original" true
+    (Sat.Cnf.eval cnf (fun v -> m.(v)))
+
+let clause_gen nv =
+  let open QCheck.Gen in
+  list_size (1 -- 4) (pair (0 -- (nv - 1)) bool)
+
+let formula_gen =
+  let open QCheck.Gen in
+  (1 -- 8) >>= fun nv -> pair (return nv) (list_size (0 -- 25) (clause_gen nv))
+
+let prop_equisatisfiable =
+  QCheck.Test.make ~name:"preprocessing is equisatisfiable" ~count:400
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let r = Sat.Simplify.preprocess cnf in
+      brute cnf = brute r.simplified)
+
+let prop_models_reconstruct =
+  QCheck.Test.make ~name:"reconstructed models satisfy the original" ~count:400
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let r = Sat.Simplify.preprocess cnf in
+      let s = Sat.Solver.create r.simplified in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+        let m = r.reconstruct (Sat.Solver.model s) in
+        Sat.Cnf.eval cnf (fun v -> m.(v))
+      | Sat.Solver.Unsat -> not (brute cnf)
+      | Sat.Solver.Unknown -> false)
+
+let prop_simplified_not_larger =
+  QCheck.Test.make ~name:"preprocessing never grows the clause count" ~count:200
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let r = Sat.Simplify.preprocess cnf in
+      Sat.Cnf.num_clauses r.simplified <= Sat.Cnf.num_clauses cnf)
+
+let tests =
+  [
+    Alcotest.test_case "subsumption" `Quick test_subsumption;
+    Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+    Alcotest.test_case "variable elimination" `Quick test_variable_elimination;
+    Alcotest.test_case "unsat preserved" `Quick test_unsat_preserved;
+    Alcotest.test_case "tautologies dropped" `Quick test_tautologies_dropped;
+    Alcotest.test_case "empty formula" `Quick test_empty_formula;
+    Alcotest.test_case "reconstruction chain" `Quick test_reconstruction_on_chain;
+    QCheck_alcotest.to_alcotest prop_equisatisfiable;
+    QCheck_alcotest.to_alcotest prop_models_reconstruct;
+    QCheck_alcotest.to_alcotest prop_simplified_not_larger;
+  ]

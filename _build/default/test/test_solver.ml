@@ -1,0 +1,341 @@
+(* CDCL solver: known instances, random cross-checks against brute force,
+   unsat-core validity, budgets, decision-ordering modes. *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+let solve ?with_proof ?mode clauses =
+  let s = Sat.Solver.create ?with_proof ?mode (mk_cnf clauses) in
+  (Sat.Solver.solve s, s)
+
+let check_outcome = Alcotest.(check string)
+
+let outcome_str o = Format.asprintf "%a" Sat.Solver.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* Known instances.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trivial_sat () =
+  let o, s = solve [ [ (0, true) ] ] in
+  check_outcome "unit" "SAT" (outcome_str o);
+  Alcotest.(check bool) "model" true (Sat.Solver.model s).(0)
+
+let test_trivial_unsat () =
+  let o, _ = solve [ [ (0, true) ]; [ (0, false) ] ] in
+  check_outcome "x and not x" "UNSAT" (outcome_str o)
+
+let test_empty_formula_sat () =
+  let o, _ = solve [] in
+  check_outcome "empty formula" "SAT" (outcome_str o)
+
+let test_empty_clause_unsat () =
+  let o, _ = solve [ [] ] in
+  check_outcome "empty clause" "UNSAT" (outcome_str o)
+
+let test_implication_chain () =
+  (* x0 ∧ (x0→x1) ∧ ... ∧ (x8→x9) ∧ ¬x9 : UNSAT by pure BCP *)
+  let chain = List.init 9 (fun i -> [ (i, false); (i + 1, true) ]) in
+  let o, s = solve (([ (0, true) ] :: chain) @ [ [ (9, false) ] ]) in
+  check_outcome "chain" "UNSAT" (outcome_str o);
+  Alcotest.(check int) "no decisions needed" 0 (Sat.Solver.stats s).Sat.Stats.decisions
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic UNSAT needing real search.
+     var (p, h) = p * 2 + h, p in 0..2, h in 0..1 *)
+  let v p h = p * 2 + h in
+  let per_pigeon = List.init 3 (fun p -> [ (v p 0, true); (v p 1, true) ]) in
+  let no_share =
+    List.concat_map
+      (fun h ->
+        [
+          [ (v 0 h, false); (v 1 h, false) ];
+          [ (v 0 h, false); (v 2 h, false) ];
+          [ (v 1 h, false); (v 2 h, false) ];
+        ])
+      [ 0; 1 ]
+  in
+  let o, s = solve ~with_proof:true (per_pigeon @ no_share) in
+  check_outcome "php(3,2)" "UNSAT" (outcome_str o);
+  let core = Sat.Solver.unsat_core s in
+  Alcotest.(check bool) "non-trivial core" true (List.length core > 3)
+
+let test_satisfiable_3sat () =
+  let clauses =
+    [
+      [ (0, true); (1, true); (2, true) ];
+      [ (0, false); (1, false) ];
+      [ (1, true); (2, false) ];
+      [ (0, true); (2, true) ];
+    ]
+  in
+  let o, s = solve clauses in
+  check_outcome "sat" "SAT" (outcome_str o);
+  let m = Sat.Solver.model s in
+  Alcotest.(check bool) "model satisfies" true (Sat.Cnf.eval (mk_cnf clauses) (fun v -> m.(v)))
+
+let test_duplicate_and_tautological_clauses () =
+  let clauses =
+    [
+      [ (0, true); (0, true) ]; (* duplicate literal *)
+      [ (1, true); (1, false) ]; (* tautology *)
+      [ (0, false); (1, true) ];
+    ]
+  in
+  let o, s = solve clauses in
+  check_outcome "sat" "SAT" (outcome_str o);
+  let m = Sat.Solver.model s in
+  Alcotest.(check bool) "x0" true m.(0);
+  Alcotest.(check bool) "x1" true m.(1)
+
+let test_conflicting_units_at_creation () =
+  let o, s = solve ~with_proof:true [ [ (3, true) ]; [ (3, false) ] ] in
+  check_outcome "conflicting units" "UNSAT" (outcome_str o);
+  Alcotest.(check (list int)) "core is the two units" [ 0; 1 ] (Sat.Solver.unsat_core s)
+
+let test_solve_idempotent () =
+  let s = Sat.Solver.create (mk_cnf [ [ (0, true) ] ]) in
+  let a = Sat.Solver.solve s in
+  let b = Sat.Solver.solve s in
+  Alcotest.(check string) "cached" (outcome_str a) (outcome_str b)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let php n holes =
+  (* pigeonhole formula as clause list *)
+  let v p h = (p * holes) + h in
+  let per_pigeon = List.init n (fun p -> List.init holes (fun h -> (v p h, true))) in
+  let no_share =
+    List.concat
+      (List.init holes (fun h ->
+           List.concat
+             (List.init n (fun p1 ->
+                  List.filteri (fun p2 _ -> p2 > p1) (List.init n Fun.id)
+                  |> List.map (fun p2 -> [ (v p1 h, false); (v p2 h, false) ])))))
+  in
+  per_pigeon @ no_share
+
+let test_conflict_budget () =
+  let s = Sat.Solver.create (mk_cnf (php 8 7)) in
+  let budget =
+    { Sat.Solver.max_conflicts = Some 5; max_propagations = None; max_seconds = None }
+  in
+  match Sat.Solver.solve ~budget s with
+  | Sat.Solver.Unknown -> ()
+  | Sat.Solver.Sat | Sat.Solver.Unsat -> Alcotest.fail "expected budget exhaustion"
+
+let test_hard_instance_completes_without_budget () =
+  let o, _ = solve (php 6 5) in
+  check_outcome "php(6,5)" "UNSAT" (outcome_str o)
+
+let test_propagation_budget () =
+  let s = Sat.Solver.create (mk_cnf (php 8 7)) in
+  let budget =
+    { Sat.Solver.max_conflicts = None; max_propagations = Some 50; max_seconds = None }
+  in
+  match Sat.Solver.solve ~budget s with
+  | Sat.Solver.Unknown -> (
+    (* resource-limited runs must refuse to produce models or cores *)
+    match Sat.Solver.model s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "model after Unknown")
+  | Sat.Solver.Sat | Sat.Solver.Unsat -> Alcotest.fail "expected budget exhaustion"
+
+let test_dynamic_switch_fires () =
+  (* php(5,4) has few literals, so the 1/64 threshold is just a handful of
+     decisions: the dynamic fallback must trigger and the answer stay UNSAT *)
+  let cnf = mk_cnf (php 5 4) in
+  let rank = Array.make (Sat.Cnf.num_vars cnf) 1.0 in
+  let s = Sat.Solver.create ~mode:(Sat.Order.Dynamic rank) cnf in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  Alcotest.(check int) "switched exactly once" 1
+    (Sat.Solver.stats s).Sat.Stats.heuristic_switches
+
+let test_core_subset_of_clauses () =
+  let clauses = php 4 3 in
+  let cnf = mk_cnf clauses in
+  let s = Sat.Solver.create ~with_proof:true cnf in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o);
+  let core = Sat.Solver.unsat_core s in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "core index in range" true (i >= 0 && i < Sat.Cnf.num_clauses cnf))
+    core;
+  Alcotest.(check bool) "core ascending and duplicate-free" true
+    (List.sort_uniq Int.compare core = core)
+
+let test_unsat_core_requires_proof () =
+  let _, s = solve [ [ (0, true) ]; [ (0, false) ] ] in
+  Alcotest.check_raises "core without proof logging"
+    (Invalid_argument "Solver.unsat_core: proof logging was off") (fun () ->
+      ignore (Sat.Solver.unsat_core s))
+
+let test_model_on_unsat_rejected () =
+  let _, s = solve [ [ (0, true) ]; [ (0, false) ] ] in
+  Alcotest.check_raises "model after UNSAT"
+    (Invalid_argument "Solver.model: no satisfying assignment") (fun () ->
+      ignore (Sat.Solver.model s))
+
+let test_wide_clauses () =
+  (* exercise watch relocation across long clauses *)
+  let wide = List.init 20 (fun i -> (i, true)) in
+  let negs = List.init 19 (fun i -> [ (i, false) ]) in
+  let o, s = solve (wide :: negs) in
+  check_outcome "only x19 can satisfy" "SAT" (outcome_str o);
+  Alcotest.(check bool) "x19 true" true (Sat.Solver.model s).(19)
+
+(* ------------------------------------------------------------------ *)
+(* Modes do not change answers.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_modes_agree () =
+  let clauses = php 5 4 in
+  let rank = Array.init 20 (fun i -> float_of_int (i mod 7)) in
+  List.iter
+    (fun mode ->
+      let o, _ = solve ~mode clauses in
+      check_outcome "unsat in every mode" "UNSAT" (outcome_str o))
+    [ Sat.Order.Vsids; Sat.Order.Static rank; Sat.Order.Dynamic rank ]
+
+(* ------------------------------------------------------------------ *)
+(* Randomised cross-checks.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let brute_force cnf =
+  let n = Sat.Cnf.num_vars cnf in
+  let assign = Array.make (max n 1) false in
+  let rec go i =
+    if i = n then Sat.Cnf.eval cnf (fun v -> assign.(v))
+    else begin
+      assign.(i) <- false;
+      go (i + 1)
+      ||
+      (assign.(i) <- true;
+       go (i + 1))
+    end
+  in
+  go 0
+
+let random_cnf_gen =
+  let open QCheck.Gen in
+  let nvars = 1 -- 8 in
+  nvars >>= fun nv ->
+  let clause = list_size (1 -- 3) (pair (0 -- (nv - 1)) bool) in
+  pair (return nv) (list_size (1 -- 30) clause)
+
+let random_cnf_arbitrary = QCheck.make ~print:(fun _ -> "<cnf>") random_cnf_gen
+
+let build (nv, cls) =
+  let f = Sat.Cnf.create ~num_vars:nv () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) cls;
+  f
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~name:"solver agrees with brute force" ~count:600 random_cnf_arbitrary
+    (fun input ->
+      let cnf = build input in
+      let s = Sat.Solver.create cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> brute_force cnf
+      | Sat.Solver.Unsat -> not (brute_force cnf)
+      | Sat.Solver.Unknown -> false)
+
+let prop_models_are_valid =
+  QCheck.Test.make ~name:"reported models satisfy the formula" ~count:600
+    random_cnf_arbitrary (fun input ->
+      let cnf = build input in
+      let s = Sat.Solver.create cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+        let m = Sat.Solver.model s in
+        Sat.Cnf.eval cnf (fun v -> m.(v))
+      | Sat.Solver.Unsat -> true
+      | Sat.Solver.Unknown -> false)
+
+let prop_cores_are_unsat =
+  QCheck.Test.make ~name:"extracted cores are themselves UNSAT" ~count:400
+    random_cnf_arbitrary (fun input ->
+      let cnf = build input in
+      let s = Sat.Solver.create ~with_proof:true cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> true
+      | Sat.Solver.Unknown -> false
+      | Sat.Solver.Unsat ->
+        let core = Sat.Solver.unsat_core s in
+        let sub = Sat.Cnf.create ~num_vars:(Sat.Cnf.num_vars cnf) () in
+        List.iter (fun i -> Sat.Cnf.add_clause_a sub (Sat.Cnf.get_clause cnf i)) core;
+        not (brute_force sub))
+
+let prop_core_vars_cover_core =
+  QCheck.Test.make ~name:"core_vars = variables of core clauses" ~count:200
+    random_cnf_arbitrary (fun input ->
+      let cnf = build input in
+      let s = Sat.Solver.create ~with_proof:true cnf in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true
+      | Sat.Solver.Unsat ->
+        let core = Sat.Solver.unsat_core s in
+        let expected = Hashtbl.create 16 in
+        List.iter
+          (fun i ->
+            Array.iter
+              (fun l -> Hashtbl.replace expected (Sat.Lit.var l) ())
+              (Sat.Cnf.get_clause cnf i))
+          core;
+        let expected =
+          Hashtbl.fold (fun v () acc -> v :: acc) expected [] |> List.sort Int.compare
+        in
+        Sat.Solver.core_vars s = expected)
+
+let prop_modes_agree_randomised =
+  QCheck.Test.make ~name:"all ordering modes give the same answer" ~count:200
+    random_cnf_arbitrary (fun input ->
+      let cnf = build input in
+      let nv = Sat.Cnf.num_vars cnf in
+      let rank = Array.init (max nv 1) (fun i -> float_of_int ((i * 7) mod 5)) in
+      let run mode =
+        let s = Sat.Solver.create ~mode cnf in
+        Sat.Solver.solve s
+      in
+      let a = run Sat.Order.Vsids in
+      let b = run (Sat.Order.Static rank) in
+      let c = run (Sat.Order.Dynamic rank) in
+      outcome_str a = outcome_str b && outcome_str b = outcome_str c)
+
+let tests =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty formula" `Quick test_empty_formula_sat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause_unsat;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+    Alcotest.test_case "satisfiable 3sat" `Quick test_satisfiable_3sat;
+    Alcotest.test_case "duplicates and tautologies" `Quick test_duplicate_and_tautological_clauses;
+    Alcotest.test_case "conflicting units" `Quick test_conflicting_units_at_creation;
+    Alcotest.test_case "solve idempotent" `Quick test_solve_idempotent;
+    Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+    Alcotest.test_case "propagation budget" `Quick test_propagation_budget;
+    Alcotest.test_case "dynamic switch fires" `Quick test_dynamic_switch_fires;
+    Alcotest.test_case "core subset" `Quick test_core_subset_of_clauses;
+    Alcotest.test_case "core requires proof" `Quick test_unsat_core_requires_proof;
+    Alcotest.test_case "model on unsat rejected" `Quick test_model_on_unsat_rejected;
+    Alcotest.test_case "wide clauses" `Quick test_wide_clauses;
+    Alcotest.test_case "php(6,5) completes" `Quick test_hard_instance_completes_without_budget;
+    Alcotest.test_case "modes agree on php" `Quick test_modes_agree;
+    QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
+    QCheck_alcotest.to_alcotest prop_models_are_valid;
+    QCheck_alcotest.to_alcotest prop_cores_are_unsat;
+    QCheck_alcotest.to_alcotest prop_core_vars_cover_core;
+    QCheck_alcotest.to_alcotest prop_modes_agree_randomised;
+  ]

@@ -1,0 +1,93 @@
+(* Textual netlist format. *)
+
+let sample =
+  {|# a toggling register and a property
+input en
+reg r init 0
+mux m en nr r
+not nr r
+next r m
+prop p
+not p r
+|}
+
+let test_parse_forward_refs () =
+  (* 'mux' references 'nr' before its declaration; 'prop p' before 'not p r' *)
+  let nl, prop = Circuit.Textio.parse_string sample in
+  Alcotest.(check int) "one input" 1 (List.length (Circuit.Netlist.inputs nl));
+  Alcotest.(check int) "one reg" 1 (List.length (Circuit.Netlist.regs nl));
+  match Circuit.Netlist.gate nl prop with
+  | Circuit.Netlist.Not _ -> ()
+  | g -> Alcotest.failf "property gate: %a" Circuit.Netlist.pp_gate g
+
+let test_roundtrip_preserves_behaviour () =
+  let case = Circuit.Generators.ring ~len:5 () in
+  let text = Circuit.Textio.to_string case.netlist ~property:case.property in
+  let nl', prop' = Circuit.Textio.parse_string text in
+  let v1 = Circuit.Reach.check case.netlist ~property:case.property in
+  let v2 = Circuit.Reach.check nl' ~property:prop' in
+  Alcotest.(check bool) "same verdict after roundtrip" true (Circuit.Reach.equal_verdict v1 v2)
+
+let test_roundtrip_failing_case () =
+  let case = Circuit.Generators.counter ~bits:3 ~target:5 () in
+  let text = Circuit.Textio.to_string case.netlist ~property:case.property in
+  let nl', prop' = Circuit.Textio.parse_string text in
+  match Circuit.Reach.check nl' ~property:prop' with
+  | Circuit.Reach.Fails_at 5 -> ()
+  | v -> Alcotest.failf "expected fails@5 after roundtrip, got %a" Circuit.Reach.pp_verdict v
+
+let expect_parse_error input =
+  match Circuit.Textio.parse_string input with
+  | exception Circuit.Textio.Parse_error _ -> ()
+  | _ -> Alcotest.fail ("expected Parse_error on:\n" ^ input)
+
+let test_errors () =
+  expect_parse_error "input a\n"; (* no prop *)
+  expect_parse_error "input a\ninput a\nprop a\n"; (* duplicate *)
+  expect_parse_error "and g a b\nprop g\n"; (* undefined operands *)
+  expect_parse_error "input a\nreg r init 0\nprop a\n"; (* unconnected reg *)
+  expect_parse_error "input a\nprop a\nprop a\n"; (* duplicate prop *)
+  expect_parse_error "frob a b\nprop a\n"; (* unknown keyword *)
+  expect_parse_error "input a\nnext a a\nprop a\n"; (* next on non-reg: unknown register *)
+  expect_parse_error "not g g\nprop g\n" (* combinational self-loop *)
+
+let test_const_syntax () =
+  let nl, prop = Circuit.Textio.parse_string "const t 1\nconst f 0\nand g t f\nprop g\n" in
+  match Circuit.Netlist.gate nl prop with
+  | Circuit.Netlist.Const false -> ()
+  | g -> Alcotest.failf "expected folded const false, got %a" Circuit.Netlist.pp_gate g
+
+let test_file_io () =
+  let case = Circuit.Generators.traffic () in
+  let path = Filename.temp_file "netlist" ".rnl" in
+  Circuit.Textio.write_file path case.netlist ~property:case.property;
+  let nl', prop' = Circuit.Textio.parse_file path in
+  Sys.remove path;
+  let v = Circuit.Reach.check nl' ~property:prop' in
+  match v with
+  | Circuit.Reach.Holds _ -> ()
+  | _ -> Alcotest.failf "traffic must still hold, got %a" Circuit.Reach.pp_verdict v
+
+(* Round-trip every tiny-suite case and compare oracle verdicts. *)
+let test_roundtrip_tiny_suite () =
+  List.iter
+    (fun (c : Circuit.Generators.case) ->
+      let text = Circuit.Textio.to_string c.netlist ~property:c.property in
+      let nl', prop' = Circuit.Textio.parse_string text in
+      let v1 = Circuit.Reach.check c.netlist ~property:c.property in
+      let v2 = Circuit.Reach.check nl' ~property:prop' in
+      if not (Circuit.Reach.equal_verdict v1 v2) then
+        Alcotest.failf "%s: verdict changed by roundtrip (%a vs %a)" c.name
+          Circuit.Reach.pp_verdict v1 Circuit.Reach.pp_verdict v2)
+    (Circuit.Generators.tiny_suite ())
+
+let tests =
+  [
+    Alcotest.test_case "forward refs" `Quick test_parse_forward_refs;
+    Alcotest.test_case "roundtrip holds-case" `Quick test_roundtrip_preserves_behaviour;
+    Alcotest.test_case "roundtrip failing-case" `Quick test_roundtrip_failing_case;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "const syntax" `Quick test_const_syntax;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "roundtrip tiny suite" `Slow test_roundtrip_tiny_suite;
+  ]

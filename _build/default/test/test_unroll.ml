@@ -1,0 +1,164 @@
+(* Tseitin unrolling: encoding correctness against the simulator, variable
+   stability across instances, COI reduction. *)
+
+let solve cnf =
+  let s = Sat.Solver.create cnf in
+  Sat.Solver.solve s
+
+let outcome_str o = Format.asprintf "%a" Sat.Solver.pp_outcome o
+
+(* Instance verdicts must track the analytic failure depth. *)
+let test_instance_verdicts_follow_failure_depth () =
+  let case = Circuit.Generators.counter ~bits:3 ~target:5 () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  for k = 0 to 4 do
+    Alcotest.(check string)
+      (Printf.sprintf "depth %d UNSAT" k)
+      "UNSAT"
+      (outcome_str (solve (Bmc.Unroll.instance u ~k)))
+  done;
+  Alcotest.(check string) "depth 5 SAT" "SAT" (outcome_str (solve (Bmc.Unroll.instance u ~k:5)))
+
+let test_holds_case_all_unsat () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  for k = 0 to 8 do
+    Alcotest.(check string)
+      (Printf.sprintf "depth %d" k)
+      "UNSAT"
+      (outcome_str (solve (Bmc.Unroll.instance u ~k)))
+  done
+
+let test_variable_numbering_stable () =
+  let case = Circuit.Generators.lfsr ~width:5 () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let _ = Bmc.Unroll.instance u ~k:2 in
+  let before =
+    List.map (fun r -> Bmc.Unroll.var_of u ~node:r ~frame:1) (Circuit.Netlist.regs case.netlist)
+  in
+  let _ = Bmc.Unroll.instance u ~k:6 in
+  let after =
+    List.map (fun r -> Bmc.Unroll.var_of u ~node:r ~frame:1) (Circuit.Netlist.regs case.netlist)
+  in
+  Alcotest.(check (list int)) "frame-1 register variables unchanged" before after
+
+let test_instances_grow () =
+  let case = Circuit.Generators.traffic () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let c2 = Bmc.Unroll.instance u ~k:2 in
+  let c5 = Bmc.Unroll.instance u ~k:5 in
+  Alcotest.(check bool) "more clauses at greater depth" true
+    (Sat.Cnf.num_clauses c5 > Sat.Cnf.num_clauses c2);
+  Alcotest.(check bool) "more variables at greater depth" true
+    (Sat.Cnf.num_vars c5 > Sat.Cnf.num_vars c2)
+
+let test_instance_k_unaffected_by_deeper_extension () =
+  let case = Circuit.Generators.traffic () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let a = Bmc.Unroll.instance u ~k:2 in
+  Bmc.Unroll.extend_to u 7;
+  let b = Bmc.Unroll.instance u ~k:2 in
+  Alcotest.(check int) "same clause count" (Sat.Cnf.num_clauses a) (Sat.Cnf.num_clauses b);
+  Alcotest.(check int) "same var count" (Sat.Cnf.num_vars a) (Sat.Cnf.num_vars b)
+
+let test_coi_reduces_size () =
+  let noisy = Circuit.Generators.ring ~len:5 ~noise:10 () in
+  let full = Bmc.Unroll.create noisy.netlist ~property:noisy.property in
+  let cone = Bmc.Unroll.create ~coi:true noisy.netlist ~property:noisy.property in
+  let cf = Bmc.Unroll.instance full ~k:3 in
+  let cc = Bmc.Unroll.instance cone ~k:3 in
+  Alcotest.(check bool) "COI strictly smaller" true (Sat.Cnf.num_vars cc < Sat.Cnf.num_vars cf);
+  Alcotest.(check string) "same verdict" (outcome_str (solve cf)) (outcome_str (solve cc))
+
+let test_frame_of_var () =
+  let case = Circuit.Generators.traffic () in
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let _ = Bmc.Unroll.instance u ~k:3 in
+  let v = Bmc.Unroll.var_of u ~node:case.property ~frame:2 in
+  Alcotest.(check (option int)) "frame recovered" (Some 2) (Bmc.Unroll.frame_of_var u v)
+
+(* The base encoding admits exactly the simulator's executions: for random
+   input streams and nondeterministic initial values, the assignment read
+   off a simulation satisfies every base clause. *)
+let prop_simulation_satisfies_encoding =
+  QCheck.Test.make ~name:"simulated executions satisfy the unrolled CNF" ~count:60
+    QCheck.(
+      triple (int_bound 3) (* which tiny circuit *)
+        (list_of_size Gen.(return 64) bool) (* input/init value stream *)
+        (int_range 1 5) (* depth *))
+    (fun (which, stream, k) ->
+      let case =
+        match which with
+        | 0 -> Circuit.Generators.counter_en ~bits:3 ~target:6 ()
+        | 1 -> Circuit.Generators.ring ~len:4 ()
+        | 2 -> Circuit.Generators.parity_pipe ~stages:3 ()
+        | _ -> Circuit.Generators.fifo_safe ~bits:2 ()
+      in
+      let nl = case.netlist in
+      let u = Bmc.Unroll.create nl ~property:case.property in
+      let cnf = Bmc.Unroll.instance u ~k in
+      let stream = Array.of_list stream in
+      let cursor = ref 0 in
+      let next_bit () =
+        let b = stream.(!cursor mod Array.length stream) in
+        incr cursor;
+        b
+      in
+      let sim = Circuit.Eval.compile nl in
+      let resolve _ = next_bit () in
+      let input_values = Array.init (k + 1) (fun _ ->
+          List.map (fun i -> (i, next_bit ())) (Circuit.Netlist.inputs nl))
+      in
+      let inputs ~cycle node = List.assoc node input_values.(cycle) in
+      let frames = Circuit.Eval.run sim ~resolve ~inputs ~cycles:(k + 1) () in
+      let frame_arr = Array.of_list frames in
+      (* value of every (node, frame) pair from the simulation *)
+      let assign v =
+        match Bmc.Varmap.key_of (Bmc.Unroll.varmap u) v with
+        | Some (node, frame) -> Circuit.Eval.value frame_arr.(frame) node
+        | None -> false
+      in
+      (* all clauses but the final ¬P unit must hold on any execution *)
+      let ok = ref true in
+      let last = Sat.Cnf.num_clauses cnf - 1 in
+      Sat.Cnf.iter_clauses
+        (fun i c -> if i < last && not (Sat.Cnf.eval_clause c assign) then ok := false)
+        cnf;
+      !ok)
+
+(* Solver answers on instances agree with the reachability oracle for every
+   tiny-suite case at every depth up to the suggested one. *)
+let test_instances_agree_with_oracle () =
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      match case.expect with
+      | Some expect ->
+        let u = Bmc.Unroll.create case.netlist ~property:case.property in
+        let depth = min case.suggested_depth 8 in
+        for k = 0 to depth do
+          let expected =
+            match expect with
+            | Circuit.Generators.Fails_at f when k = f -> "SAT"
+            | Circuit.Generators.Fails_at _ | Circuit.Generators.Holds -> "UNSAT"
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s depth %d" case.name k)
+            expected
+            (outcome_str (solve (Bmc.Unroll.instance u ~k)))
+        done
+      | None -> ())
+    (Circuit.Generators.tiny_suite ())
+
+let tests =
+  [
+    Alcotest.test_case "verdicts follow failure depth" `Quick
+      test_instance_verdicts_follow_failure_depth;
+    Alcotest.test_case "holds case all UNSAT" `Quick test_holds_case_all_unsat;
+    Alcotest.test_case "stable numbering" `Quick test_variable_numbering_stable;
+    Alcotest.test_case "instances grow" `Quick test_instances_grow;
+    Alcotest.test_case "shallow instance stable" `Quick test_instance_k_unaffected_by_deeper_extension;
+    Alcotest.test_case "COI reduction" `Quick test_coi_reduces_size;
+    Alcotest.test_case "frame_of_var" `Quick test_frame_of_var;
+    Alcotest.test_case "instances vs oracle" `Slow test_instances_agree_with_oracle;
+    QCheck_alcotest.to_alcotest prop_simulation_satisfies_encoding;
+  ]

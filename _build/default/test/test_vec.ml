@@ -1,0 +1,113 @@
+(* Unit and property tests for the growable-array substrate. *)
+
+let check_int = Alcotest.(check int)
+
+let check_list = Alcotest.(check (list int))
+
+let test_empty () =
+  let v = Sat.Vec.create ~dummy:0 () in
+  check_int "length" 0 (Sat.Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Sat.Vec.is_empty v);
+  check_list "to_list" [] (Sat.Vec.to_list v)
+
+let test_push_get () =
+  let v = Sat.Vec.create ~dummy:0 () in
+  for i = 0 to 99 do
+    Sat.Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Sat.Vec.length v);
+  check_int "get 7" 49 (Sat.Vec.get v 7);
+  check_int "last" (99 * 99) (Sat.Vec.last v)
+
+let test_growth_past_capacity () =
+  let v = Sat.Vec.create ~capacity:2 ~dummy:(-1) () in
+  List.iter (Sat.Vec.push v) [ 1; 2; 3; 4; 5; 6; 7 ];
+  check_list "contents survive growth" [ 1; 2; 3; 4; 5; 6; 7 ] (Sat.Vec.to_list v)
+
+let test_pop () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  check_int "pop" 3 (Sat.Vec.pop v);
+  check_int "pop" 2 (Sat.Vec.pop v);
+  check_int "length" 1 (Sat.Vec.length v);
+  check_int "pop" 1 (Sat.Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Sat.Vec.pop v))
+
+let test_set () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Sat.Vec.set v 1 42;
+  check_list "after set" [ 1; 42; 3 ] (Sat.Vec.to_list v)
+
+let test_out_of_bounds () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1 ] in
+  Alcotest.check_raises "get -1" (Invalid_argument "Vec: index -1 out of bounds (len 1)")
+    (fun () -> ignore (Sat.Vec.get v (-1)));
+  Alcotest.check_raises "get 1" (Invalid_argument "Vec: index 1 out of bounds (len 1)")
+    (fun () -> ignore (Sat.Vec.get v 1))
+
+let test_clear () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Sat.Vec.clear v;
+  check_int "length after clear" 0 (Sat.Vec.length v);
+  Sat.Vec.push v 9;
+  check_list "reusable after clear" [ 9 ] (Sat.Vec.to_list v)
+
+let test_shrink () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  Sat.Vec.shrink v 2;
+  check_list "after shrink" [ 1; 2 ] (Sat.Vec.to_list v);
+  Alcotest.check_raises "bad shrink" (Invalid_argument "Vec.shrink") (fun () ->
+      Sat.Vec.shrink v 3)
+
+let test_filter_in_place () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+  Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  check_list "evens, order kept" [ 2; 4; 6 ] (Sat.Vec.to_list v)
+
+let test_iter_fold () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  let sum = ref 0 in
+  Sat.Vec.iter (fun x -> sum := !sum + x) v;
+  check_int "iter sum" 6 !sum;
+  check_int "fold sum" 6 (Sat.Vec.fold ( + ) 0 v);
+  let idx_sum = ref 0 in
+  Sat.Vec.iteri (fun i x -> idx_sum := !idx_sum + (i * x)) v;
+  check_int "iteri" 8 !idx_sum;
+  Alcotest.(check bool) "exists" true (Sat.Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "not exists" false (Sat.Vec.exists (fun x -> x = 9) v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Sat.Vec.to_list (Sat.Vec.of_list ~dummy:0 xs) = xs)
+
+let prop_filter_matches_list_filter =
+  QCheck.Test.make ~name:"filter_in_place = List.filter" ~count:200
+    QCheck.(pair (list int) (fun1 QCheck.Observable.int bool))
+    (fun (xs, f) ->
+      let p = QCheck.Fn.apply f in
+      let v = Sat.Vec.of_list ~dummy:0 xs in
+      Sat.Vec.filter_in_place p v;
+      Sat.Vec.to_list v = List.filter p xs)
+
+let prop_to_array =
+  QCheck.Test.make ~name:"to_array = Array.of_list" ~count:200
+    QCheck.(list int)
+    (fun xs -> Sat.Vec.to_array (Sat.Vec.of_list ~dummy:0 xs) = Array.of_list xs)
+
+let tests =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "growth" `Quick test_growth_past_capacity;
+    Alcotest.test_case "pop" `Quick test_pop;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds" `Quick test_out_of_bounds;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "shrink" `Quick test_shrink;
+    Alcotest.test_case "filter_in_place" `Quick test_filter_in_place;
+    Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_filter_matches_list_filter;
+    QCheck_alcotest.to_alcotest prop_to_array;
+  ]

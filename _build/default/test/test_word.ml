@@ -1,0 +1,159 @@
+(* Word-level arithmetic checked against machine integers, via simulation of
+   the constructed combinational logic. *)
+
+let eval_comb nl outputs ~input_values =
+  (* evaluate a pure-combinational netlist by a throwaway simulation *)
+  let sim = Circuit.Eval.compile nl in
+  let frame, _ = Circuit.Eval.cycle sim (Circuit.Eval.initial sim) ~inputs:input_values in
+  List.map (fun node -> Circuit.Eval.value frame node) outputs
+
+let word_value bits = List.fold_right (fun b acc -> (2 * acc) + if b then 1 else 0) bits 0
+
+let test_const () =
+  let nl = Circuit.Netlist.create () in
+  let w = Circuit.Word.const nl ~width:6 43 in
+  let bits = eval_comb nl (Array.to_list w) ~input_values:(fun _ -> false) in
+  Alcotest.(check int) "const 43" 43 (word_value bits)
+
+let test_const_truncates () =
+  let nl = Circuit.Netlist.create () in
+  let w = Circuit.Word.const nl ~width:4 0xff in
+  let bits = eval_comb nl (Array.to_list w) ~input_values:(fun _ -> false) in
+  Alcotest.(check int) "truncated to width" 15 (word_value bits)
+
+let with_two_words width f =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Word.inputs nl ~prefix:"a" ~width in
+  let b = Circuit.Word.inputs nl ~prefix:"b" ~width in
+  f nl a b
+
+let drive width a_val b_val a b node =
+  if Array.exists (fun n -> n = node) a then
+    let rec idx i = if a.(i) = node then i else idx (i + 1) in
+    (a_val lsr idx 0) land 1 = 1
+  else if Array.exists (fun n -> n = node) b then
+    let rec idx i = if b.(i) = node then i else idx (i + 1) in
+    (b_val lsr idx 0) land 1 = 1
+  else
+    (ignore width;
+     false)
+
+let prop_add =
+  QCheck.Test.make ~name:"ripple-carry add matches integer add" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      with_two_words 8 (fun nl a b ->
+          let sum, carry = Circuit.Word.add nl a b in
+          let outs = Array.to_list sum @ [ carry ] in
+          let bits = eval_comb nl outs ~input_values:(drive 8 x y a b) in
+          let sum_bits = List.filteri (fun i _ -> i < 8) bits in
+          let carry_bit = List.nth bits 8 in
+          word_value sum_bits = (x + y) land 255 && carry_bit = (x + y > 255)))
+
+let prop_increment =
+  QCheck.Test.make ~name:"increment matches +1" ~count:200
+    QCheck.(int_bound 255)
+    (fun x ->
+      with_two_words 8 (fun nl a b ->
+          let inc, _ = Circuit.Word.increment nl a in
+          let bits = eval_comb nl (Array.to_list inc) ~input_values:(drive 8 x 0 a b) in
+          word_value bits = (x + 1) land 255))
+
+let prop_decrement =
+  QCheck.Test.make ~name:"decrement matches -1, borrow iff zero" ~count:200
+    QCheck.(int_bound 255)
+    (fun x ->
+      with_two_words 8 (fun nl a b ->
+          let dec, borrow = Circuit.Word.decrement nl a in
+          let bits =
+            eval_comb nl (Array.to_list dec @ [ borrow ]) ~input_values:(drive 8 x 0 a b)
+          in
+          let dec_bits = List.filteri (fun i _ -> i < 8) bits in
+          let borrow_bit = List.nth bits 8 in
+          word_value dec_bits = (x - 1) land 255 && borrow_bit = (x = 0)))
+
+let prop_comparisons =
+  QCheck.Test.make ~name:"eq / eq_const / is_zero / all_ones" ~count:300
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (x, y) ->
+      with_two_words 6 (fun nl a b ->
+          let outs =
+            [
+              Circuit.Word.eq nl a b;
+              Circuit.Word.eq_const nl a y;
+              Circuit.Word.is_zero nl a;
+              Circuit.Word.all_ones nl a;
+            ]
+          in
+          match eval_comb nl outs ~input_values:(drive 6 x y a b) with
+          | [ e; ec; z; o ] -> e = (x = y) && ec = (x = y) && z = (x = 0) && o = (x = 63)
+          | _ -> false))
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let prop_one_counters =
+  QCheck.Test.make ~name:"exactly_one / at_most_one" ~count:300
+    QCheck.(int_bound 255)
+    (fun x ->
+      with_two_words 8 (fun nl a b ->
+          let outs = [ Circuit.Word.exactly_one nl a; Circuit.Word.at_most_one nl a ] in
+          match eval_comb nl outs ~input_values:(drive 8 x 0 a b) with
+          | [ ex; am ] -> ex = (popcount x = 1) && am = (popcount x <= 1)
+          | _ -> false))
+
+let prop_mul =
+  QCheck.Test.make ~name:"shift-add multiply matches integer multiply" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      with_two_words 8 (fun nl a b ->
+          let product = Circuit.Word.mul nl a b in
+          let bits = eval_comb nl (Array.to_list product) ~input_values:(drive 8 x y a b) in
+          word_value bits = x * y land 255))
+
+let prop_bitwise =
+  QCheck.Test.make ~name:"bitwise and/or/xor/not" ~count:300
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      with_two_words 8 (fun nl a b ->
+          let ands = Circuit.Word.and_ nl a b in
+          let ors = Circuit.Word.or_ nl a b in
+          let xors = Circuit.Word.xor_ nl a b in
+          let nots = Circuit.Word.not_ nl a in
+          let outs =
+            Array.to_list ands @ Array.to_list ors @ Array.to_list xors @ Array.to_list nots
+          in
+          let bits = eval_comb nl outs ~input_values:(drive 8 x y a b) in
+          let take n l = List.filteri (fun i _ -> i >= n * 8 && i < (n + 1) * 8) l in
+          word_value (take 0 bits) = x land y
+          && word_value (take 1 bits) = x lor y
+          && word_value (take 2 bits) = x lxor y
+          && word_value (take 3 bits) = lnot x land 255))
+
+let test_rotate () =
+  let a = [| 10; 11; 12; 13 |] in
+  Alcotest.(check (array int)) "rotate_left" [| 13; 10; 11; 12 |] (Circuit.Word.rotate_left a);
+  Alcotest.(check (array int)) "rotate empty" [||] (Circuit.Word.rotate_left [||])
+
+let test_mismatch () =
+  let nl = Circuit.Netlist.create () in
+  let a = Circuit.Word.inputs nl ~prefix:"a" ~width:3 in
+  let b = Circuit.Word.inputs nl ~prefix:"b" ~width:4 in
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Word: width mismatch") (fun () ->
+      ignore (Circuit.Word.and_ nl a b))
+
+let tests =
+  [
+    Alcotest.test_case "const" `Quick test_const;
+    Alcotest.test_case "const truncates" `Quick test_const_truncates;
+    Alcotest.test_case "rotate" `Quick test_rotate;
+    Alcotest.test_case "width mismatch" `Quick test_mismatch;
+    QCheck_alcotest.to_alcotest prop_add;
+    QCheck_alcotest.to_alcotest prop_increment;
+    QCheck_alcotest.to_alcotest prop_decrement;
+    QCheck_alcotest.to_alcotest prop_comparisons;
+    QCheck_alcotest.to_alcotest prop_one_counters;
+    QCheck_alcotest.to_alcotest prop_mul;
+    QCheck_alcotest.to_alcotest prop_bitwise;
+  ]
