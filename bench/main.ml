@@ -29,6 +29,13 @@ let per_instance_budget =
     max_seconds = Some 1.5;
   }
 
+(* Every artefact also publishes its headline numbers through the telemetry
+   aggregator; the driver writes the whole aggregate to bench_results.json so
+   downstream tooling can diff runs without scraping the tables above. *)
+let bench_agg = Telemetry.Sink.aggregate ()
+let tel = Telemetry.create (Telemetry.Sink.of_aggregate bench_agg)
+let results_file = "bench_results.json"
+
 (* ------------------------------------------------------------------ *)
 (* Shared machinery.                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -146,7 +153,13 @@ let table1 () =
     (100.0 *. (1.0 -. (!tot_dyn /. !tot_std)));
   Printf.printf "   mean per-circuit improvement: static %.0f%%, dynamic %.0f%%\n"
     (100.0 *. mean !speedups_sta)
-    (100.0 *. mean !speedups_dyn)
+    (100.0 *. mean !speedups_dyn);
+  Telemetry.gauge tel "table1.total_s.standard" !tot_std;
+  Telemetry.gauge tel "table1.total_s.static" !tot_sta;
+  Telemetry.gauge tel "table1.total_s.dynamic" !tot_dyn;
+  Telemetry.gauge tel "table1.wins.static" (float_of_int !wins_sta);
+  Telemetry.gauge tel "table1.wins.dynamic" (float_of_int !wins_dyn);
+  Telemetry.gauge tel "table1.instances" (float_of_int n)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6.                                                           *)
@@ -257,7 +270,11 @@ let overhead () =
     workloads;
   Printf.printf "%-14s %12.3f %12.3f %8.1f%%\n" "TOTAL" !tot_off !tot_on
     (100.0 *. (!tot_on -. !tot_off) /. max !tot_off 1e-9);
-  Printf.printf "   (each CDG edge is one int; the memory overhead is edges * 8 bytes)\n"
+  Printf.printf "   (each CDG edge is one int; the memory overhead is edges * 8 bytes)\n";
+  Telemetry.gauge tel "overhead.proof_off_s" !tot_off;
+  Telemetry.gauge tel "overhead.proof_on_s" !tot_on;
+  Telemetry.gauge tel "overhead.delta_pct"
+    (100.0 *. (!tot_on -. !tot_off) /. max !tot_off 1e-9)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations.                                                          *)
@@ -569,6 +586,15 @@ let usage () =
     "usage: main.exe [table1|fig6|fig7|overhead|ablation|complement|micro]...\n\
      with no arguments, runs every artefact.\n"
 
+let write_results () =
+  let oc = open_out results_file in
+  output_string oc (Telemetry.Sink.json_of_aggregate bench_agg);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "bench: machine-readable results written to %s\n%!" results_file
+
+let run_artefact name f = Telemetry.span tel ("artefact:" ^ name) f
+
 let () =
   let artefacts =
     [
@@ -582,14 +608,17 @@ let () =
     ]
   in
   match Array.to_list Sys.argv with
-  | [ _ ] -> List.iter (fun (_, f) -> f ()) artefacts
+  | [ _ ] ->
+    List.iter (fun (name, f) -> run_artefact name f) artefacts;
+    write_results ()
   | _ :: args ->
     List.iter
       (fun a ->
         match List.assoc_opt a artefacts with
-        | Some f -> f ()
+        | Some f -> run_artefact a f
         | None ->
           usage ();
           exit 2)
-      args
+      args;
+    write_results ()
   | [] -> usage ()

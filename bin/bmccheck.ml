@@ -22,8 +22,48 @@ let load source =
     | Circuit.Aiger.Parse_error msg -> Error msg
     | Sys_error msg -> Error msg)
 
+(* Build the telemetry handle for --trace/--metrics and register the
+   end-of-process reporting; at_exit covers every exit path (the tool exits
+   with protocol-specific codes all over). *)
+let setup_telemetry trace_file metrics =
+  let agg = if metrics then Some (Telemetry.Sink.aggregate ()) else None in
+  let trace_oc =
+    Option.map
+      (fun path ->
+        try open_out path with
+        | Sys_error msg ->
+          Format.eprintf "bmccheck: cannot open trace file: %s@." msg;
+          exit 2)
+      trace_file
+  in
+  let sinks =
+    Option.to_list (Option.map Telemetry.Sink.of_channel trace_oc)
+    @ Option.to_list (Option.map Telemetry.Sink.of_aggregate agg)
+  in
+  match sinks with
+  | [] -> Telemetry.disabled
+  | sinks ->
+    let telemetry = Telemetry.create (Telemetry.Sink.tee sinks) in
+    at_exit (fun () ->
+        Telemetry.flush telemetry;
+        Option.iter close_out trace_oc;
+        (match trace_file with
+        | Some path -> Format.eprintf "bmccheck: trace written to %s@." path
+        | None -> ());
+        Option.iter (Format.printf "%a@." Telemetry.Sink.pp_report) agg);
+    telemetry
+
+let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
+  Format.fprintf ppf
+    "depth %3d: %-7s dec=%-8d impl=%-10d confl=%-7d core=%d vars, build=%.3fs solve=%.3fs \
+     cdg=%.3fs%s"
+    d.depth
+    (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
+    d.decisions d.implications d.conflicts d.core_var_count d.build_time d.time d.cdg_time
+    (if d.switched then " [switched to VSIDS]" else "")
+
 let run source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path ltl_formula =
+    max_seconds simple_path ltl_formula trace_file metrics =
   let mode =
     match Bmc.Engine.mode_of_string mode_name with
     | Some m -> m
@@ -54,7 +94,10 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
     let budget =
       { Sat.Solver.max_conflicts; max_propagations = None; max_seconds }
     in
-    let config = Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth () in
+    let telemetry = setup_telemetry trace_file metrics in
+    let config =
+      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ()
+    in
     (match ltl_formula with
     | Some text ->
       let formula =
@@ -65,12 +108,7 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
       in
       let r = Bmc.Ltl.check ~config netlist formula in
       if verbose then
-        List.iter
-          (fun (d : Bmc.Engine.depth_stat) ->
-            Format.printf "depth %3d: %-7s dec=%-8d impl=%-10d confl=%d, %.3fs@." d.depth
-              (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
-              d.decisions d.implications d.conflicts d.time)
-          r.per_depth;
+        List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) r.per_depth;
       (match r.verdict with
       | Bmc.Ltl.Falsified w ->
         Format.printf "%s: LTL property falsified at depth %d (%s)@." source w.depth
@@ -117,7 +155,6 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
       | Bmc.Symbolic.Holds _ -> exit 20
       | Bmc.Symbolic.Blowup _ -> exit 0)
     | "abstraction" ->
-      let config = Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth () in
       let r = Bmc.Abstraction.prove ~config netlist ~property in
       if verbose then
         List.iter
@@ -166,14 +203,7 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
       else Bmc.Engine.run ~config netlist ~property
     in
     if verbose then
-      List.iter
-        (fun (d : Bmc.Engine.depth_stat) ->
-          Format.printf "depth %3d: %-7s dec=%-8d impl=%-10d confl=%-7d core=%d vars, %.3fs%s@."
-            d.depth
-            (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
-            d.decisions d.implications d.conflicts d.core_var_count d.time
-            (if d.switched then " [switched to VSIDS]" else ""))
-        result.per_depth;
+      List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) result.per_depth;
     Format.printf "%s: %a (%.3fs, %d decisions, %d implications)@." source
       Bmc.Engine.pp_verdict result.verdict result.total_time result.total_decisions
       result.total_implications;
@@ -245,12 +275,28 @@ let max_seconds =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SEC" ~doc:"Per-instance CPU-second budget.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL telemetry trace to $(docv): per-depth summaries, solver phase \
+              spans (BCP, conflict analysis, clause deletion, CDG bookkeeping), restarts, \
+              and one decision-attribution event per decision (bmc_score vs VSIDS).")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect telemetry in memory and print a phase-breakdown report (span times, \
+              counters, per-depth build/solve/CDG table) when the run finishes.")
+
 let cmd =
   let doc = "bounded model checking with refined SAT decision orderings" in
   let info = Cmd.info "bmccheck" ~doc in
   Cmd.v info
     Term.(
       const run $ source $ engine $ mode $ max_depth $ coi $ weighting $ verbose
-      $ max_conflicts $ max_seconds $ simple_path $ ltl)
+      $ max_conflicts $ max_seconds $ simple_path $ ltl $ trace_file $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -3,7 +3,35 @@
    Exit codes follow the SAT-competition convention: 10 = SAT, 20 = UNSAT,
    0 = unknown (budget exhausted), 2 = input error. *)
 
-let run file core stats_flag max_conflicts max_seconds drat_file certify preprocess =
+(* --trace/--metrics plumbing; the report lands on stderr so the "s ..."
+   protocol lines on stdout stay machine-parsable. *)
+let setup_telemetry trace_file metrics =
+  let agg = if metrics then Some (Telemetry.Sink.aggregate ()) else None in
+  let trace_oc =
+    Option.map
+      (fun path ->
+        try open_out path with
+        | Sys_error msg ->
+          Format.eprintf "satcheck: cannot open trace file: %s@." msg;
+          exit 2)
+      trace_file
+  in
+  let sinks =
+    Option.to_list (Option.map Telemetry.Sink.of_channel trace_oc)
+    @ Option.to_list (Option.map Telemetry.Sink.of_aggregate agg)
+  in
+  match sinks with
+  | [] -> Telemetry.disabled
+  | sinks ->
+    let telemetry = Telemetry.create (Telemetry.Sink.tee sinks) in
+    at_exit (fun () ->
+        Telemetry.flush telemetry;
+        Option.iter close_out trace_oc;
+        Option.iter (Format.eprintf "%a@." Telemetry.Sink.pp_report) agg);
+    telemetry
+
+let run file core stats_flag max_conflicts max_seconds drat_file certify preprocess
+    trace_file metrics =
   match
     (try Ok (Sat.Dimacs.parse_file file) with
     | Sat.Dimacs.Parse_error msg -> Error msg
@@ -33,7 +61,8 @@ let run file core stats_flag max_conflicts max_seconds drat_file certify preproc
       else (cnf, Fun.id)
     in
     let with_drat = drat_file <> None || certify in
-    let solver = Sat.Solver.create ~with_proof:core ~with_drat work in
+    let telemetry = setup_telemetry trace_file metrics in
+    let solver = Sat.Solver.create ~with_proof:core ~with_drat ~telemetry work in
     let budget =
       {
         Sat.Solver.max_conflicts;
@@ -120,12 +149,27 @@ let preprocess =
         ~doc:"Apply subsumption and bounded variable elimination before solving (models are \
               reconstructed; incompatible with core/proof output).")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL telemetry trace to $(docv): solver phase spans, restarts, and \
+              per-decision attribution events.")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect telemetry in memory and print a phase-breakdown report to stderr when \
+              the run finishes.")
+
 let cmd =
   let doc = "CDCL SAT solver with unsatisfiable-core extraction" in
   let info = Cmd.info "satcheck" ~doc in
   Cmd.v info
     Term.(
       const run $ file $ core $ stats $ max_conflicts $ max_seconds $ drat_file $ certify
-      $ preprocess)
+      $ preprocess $ trace_file $ metrics)
 
 let () = exit (Cmd.eval cmd)

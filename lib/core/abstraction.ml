@@ -69,7 +69,8 @@ let prove ?(config = Engine.default_config) ?(max_abstract_regs = 22) netlist ~p
       let t0 = Sys.time () in
       let cnf = Unroll.instance unroll ~k in
       let solver =
-        Sat.Solver.create ~with_proof:true ~mode:(order_mode cfg unroll score ~k) cnf
+        Sat.Solver.create ~with_proof:true ~mode:(order_mode cfg unroll score ~k)
+          ~telemetry:cfg.telemetry cnf
       in
       match Sat.Solver.solve ~budget:cfg.budget solver with
       | Sat.Solver.Sat ->

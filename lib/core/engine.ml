@@ -11,6 +11,7 @@ type config = {
   budget : Sat.Solver.budget;
   max_depth : int;
   collect_cores : bool;
+  telemetry : Telemetry.t;
 }
 
 let default_config =
@@ -21,11 +22,13 @@ let default_config =
     budget = Sat.Solver.no_budget;
     max_depth = 20;
     collect_cores = false;
+    telemetry = Telemetry.disabled;
   }
 
 let config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
-    ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false) () =
-  { mode; weighting; coi; budget; max_depth; collect_cores }
+    ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
+    ?(telemetry = Telemetry.disabled) () =
+  { mode; weighting; coi; budget; max_depth; collect_cores; telemetry }
 
 type depth_stat = {
   depth : int;
@@ -37,7 +40,29 @@ type depth_stat = {
   core_var_count : int;
   switched : bool;
   time : float;
+  build_time : float;
+  cdg_time : float;
 }
+
+(* One "depth" telemetry event per solved instance; every engine that
+   produces depth_stats routes them through here so the JSONL schema stays
+   uniform. *)
+let emit_depth_event tel (d : depth_stat) =
+  if Telemetry.enabled tel then
+    Telemetry.event tel "depth"
+      [
+        ("depth", Telemetry.Sink.Int d.depth);
+        ("outcome", Telemetry.Sink.Str (Sat.Solver.outcome_string d.outcome));
+        ("build_s", Telemetry.Sink.Float d.build_time);
+        ("solve_s", Telemetry.Sink.Float d.time);
+        ("cdg_s", Telemetry.Sink.Float d.cdg_time);
+        ("decisions", Telemetry.Sink.Int d.decisions);
+        ("implications", Telemetry.Sink.Int d.implications);
+        ("conflicts", Telemetry.Sink.Int d.conflicts);
+        ("core_clauses", Telemetry.Sink.Int d.core_size);
+        ("core_vars", Telemetry.Sink.Int d.core_var_count);
+        ("switched", Telemetry.Sink.Bool d.switched);
+      ]
 
 type verdict =
   | Falsified of Trace.t
@@ -109,9 +134,11 @@ let run ?(config = default_config) netlist ~property =
   let rec loop k =
     if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
     else begin
+      let tb = Sys.time () in
       let cnf = Unroll.instance unroll ~k in
       let mode = order_mode cfg unroll score ~k in
-      let solver = Sat.Solver.create ~with_proof ~mode cnf in
+      let solver = Sat.Solver.create ~with_proof ~mode ~telemetry:cfg.telemetry cnf in
+      let build_time = Sys.time () -. tb in
       let t0 = Sys.time () in
       let outcome = Sat.Solver.solve ~budget:cfg.budget solver in
       let time = Sys.time () -. t0 in
@@ -134,8 +161,11 @@ let run ?(config = default_config) netlist ~property =
           core_var_count = List.length core_vars;
           switched = stats.Sat.Stats.heuristic_switches > 0;
           time;
+          build_time;
+          cdg_time = Sat.Solver.cdg_seconds solver;
         }
       in
+      emit_depth_event cfg.telemetry stat;
       per_depth := stat :: !per_depth;
       match outcome with
       | Sat.Solver.Sat ->

@@ -32,6 +32,11 @@ type config = {
   collect_cores : bool;
       (** force proof logging even in modes that do not consume cores (used
           by the overhead ablation) *)
+  telemetry : Telemetry.t;
+      (** structured-tracing handle, threaded into every solver the engine
+          creates; the engine additionally emits one "depth" event per
+          instance (build / solve / CDG time, core size, decision counts).
+          Default {!Telemetry.disabled} — a no-op. *)
 }
 
 val default_config : config
@@ -45,6 +50,7 @@ val config :
   ?budget:Sat.Solver.budget ->
   ?max_depth:int ->
   ?collect_cores:bool ->
+  ?telemetry:Telemetry.t ->
   unit ->
   config
 
@@ -57,8 +63,17 @@ type depth_stat = {
   core_size : int;  (** clauses in the unsat core; 0 if not collected *)
   core_var_count : int;
   switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
-  time : float;  (** CPU seconds for this instance *)
+  time : float;  (** CPU seconds solving this instance *)
+  build_time : float;  (** CPU seconds building the instance (unroll + solver setup) *)
+  cdg_time : float;
+      (** CPU seconds of CDG bookkeeping inside the solve (0 unless
+          telemetry was enabled — the Section 3.1 overhead, per depth) *)
 }
+
+val emit_depth_event : Telemetry.t -> depth_stat -> unit
+(** Publish a depth_stat as a "depth" telemetry event (no-op when the handle
+    is disabled).  Exposed for sibling engines ([Incremental], [Ltl]) so all
+    traces share one schema. *)
 
 type verdict =
   | Falsified of Trace.t

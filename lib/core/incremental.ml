@@ -24,6 +24,9 @@ let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
     deleted = after.deleted - before.deleted;
     max_decision_level = after.max_decision_level;
     heuristic_switches = after.heuristic_switches - before.heuristic_switches;
+    solve_time = after.solve_time -. before.solve_time;
+    bcp_time = after.bcp_time -. before.bcp_time;
+    analyze_time = after.analyze_time -. before.analyze_time;
   }
 
 let run ?(config = Engine.default_config) netlist ~property =
@@ -31,7 +34,9 @@ let run ?(config = Engine.default_config) netlist ~property =
   let unroll = Unroll.create ~coi:cfg.coi netlist ~property in
   let score = Score.create ~weighting:cfg.weighting () in
   let with_proof = uses_cores cfg || cfg.collect_cores in
-  let solver = Sat.Solver.create ~with_proof (Sat.Cnf.create ()) in
+  let solver =
+    Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ())
+  in
   let per_depth = ref [] in
   let start = Sys.time () in
   let finish verdict =
@@ -49,6 +54,7 @@ let run ?(config = Engine.default_config) netlist ~property =
   let rec loop k =
     if k > cfg.max_depth then finish (Engine.Bounded_pass cfg.max_depth)
     else begin
+      let tb = Sys.time () in
       (* feed the new frame's transition clauses to the persistent solver *)
       List.iter (Sat.Solver.add_clause solver) (Unroll.frame_clauses unroll ~frame:k);
       (* Guard ¬P(V^k) behind a fresh activation variable.  Activation
@@ -59,6 +65,8 @@ let run ?(config = Engine.default_config) netlist ~property =
       let p_var = Unroll.var_of unroll ~node:property ~frame:k in
       Sat.Solver.add_clause solver [ Sat.Lit.neg p_var; Sat.Lit.neg act ];
       Sat.Solver.set_mode solver (order_mode cfg unroll score ~k);
+      let build_time = Sys.time () -. tb in
+      let cdg_before = Sat.Solver.cdg_seconds solver in
       let before = Sat.Stats.copy (Sat.Solver.stats solver) in
       let t0 = Sys.time () in
       let outcome =
@@ -83,8 +91,11 @@ let run ?(config = Engine.default_config) netlist ~property =
           core_var_count = List.length core_vars;
           switched = delta.Sat.Stats.heuristic_switches > 0;
           time;
+          build_time;
+          cdg_time = Sat.Solver.cdg_seconds solver -. cdg_before;
         }
       in
+      Engine.emit_depth_event cfg.telemetry stat;
       per_depth := stat :: !per_depth;
       match outcome with
       | Sat.Solver.Sat ->

@@ -91,7 +91,8 @@ let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~prop
       (* base case: ordinary BMC instance k, with core refinement *)
       let base_cnf = Unroll.instance base_unroll ~k in
       let base_solver =
-        Sat.Solver.create ~with_proof ~mode:(order_mode cfg base_unroll score ~k) base_cnf
+        Sat.Solver.create ~with_proof ~mode:(order_mode cfg base_unroll score ~k)
+          ~telemetry:cfg.telemetry base_cnf
       in
       let base_outcome = Sat.Solver.solve ~budget:cfg.budget base_solver in
       let base_decisions = (Sat.Solver.stats base_solver).Sat.Stats.decisions in
@@ -129,7 +130,8 @@ let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~prop
         (* step case over the arbitrary-start unrolling *)
         let step_cnf = step_instance k in
         let step_solver =
-          Sat.Solver.create ~mode:(order_mode cfg step_unroll score ~k:(k + 1)) step_cnf
+          Sat.Solver.create ~mode:(order_mode cfg step_unroll score ~k:(k + 1))
+            ~telemetry:cfg.telemetry step_cnf
         in
         let step_outcome = Sat.Solver.solve ~budget:cfg.budget step_solver in
         let step_decisions = (Sat.Solver.stats step_solver).Sat.Stats.decisions in

@@ -482,6 +482,7 @@ let check ?(config = Engine.default_config) netlist psi_property =
   let rec loop k =
     if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
     else begin
+      let tb = Sys.time () in
       let cnf = Unroll.base_cnf unroll ~k:(k + 1) in
       let ctx = { cnf; unroll; k } in
       let no_loop = encode_noloop ctx psi in
@@ -497,7 +498,11 @@ let check ?(config = Engine.default_config) netlist psi_property =
       | C true -> () (* trivially witnessed; the solver will report SAT *)
       | C false -> Sat.Cnf.add_clause cnf [] (* no witness shape possible *)
       | L lit -> Sat.Cnf.add_clause cnf [ lit ]);
-      let solver = Sat.Solver.create ~with_proof ~mode:(order_mode cfg unroll score ~k) cnf in
+      let solver =
+        Sat.Solver.create ~with_proof ~mode:(order_mode cfg unroll score ~k)
+          ~telemetry:cfg.telemetry cnf
+      in
+      let build_time = Sys.time () -. tb in
       let t0 = Sys.time () in
       let outcome = Sat.Solver.solve ~budget:cfg.budget solver in
       let time = Sys.time () -. t0 in
@@ -508,7 +513,7 @@ let check ?(config = Engine.default_config) netlist psi_property =
           (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
         | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
       in
-      per_depth :=
+      let stat =
         {
           Engine.depth = k;
           outcome;
@@ -519,8 +524,12 @@ let check ?(config = Engine.default_config) netlist psi_property =
           core_var_count = List.length core_vars;
           switched = stats.Sat.Stats.heuristic_switches > 0;
           time;
+          build_time;
+          cdg_time = Sat.Solver.cdg_seconds solver;
         }
-        :: !per_depth;
+      in
+      Engine.emit_depth_event cfg.telemetry stat;
+      per_depth := stat :: !per_depth;
       match outcome with
       | Sat.Solver.Sat ->
         let model = Sat.Solver.model solver in

@@ -8,22 +8,41 @@ type t = {
   mutable n_learnt : int;
   mutable n_edges : int;
   mutable final : int array option;
+  timed : bool; (* clock the bookkeeping (telemetry); off = zero overhead *)
+  mutable cdg_time : float;
 }
 
-let create () =
-  { nodes = Vec.create ~dummy:Original (); n_original = 0; n_learnt = 0; n_edges = 0; final = None }
+let create ?(timed = false) () =
+  {
+    nodes = Vec.create ~dummy:Original ();
+    n_original = 0;
+    n_learnt = 0;
+    n_edges = 0;
+    final = None;
+    timed;
+    cdg_time = 0.0;
+  }
 
-let register_original t =
+let register_original_ t =
   let id = Vec.length t.nodes in
   Vec.push t.nodes Original;
   t.n_original <- t.n_original + 1;
   id
 
+let register_original t =
+  if not t.timed then register_original_ t
+  else begin
+    let t0 = Sys.time () in
+    let id = register_original_ t in
+    t.cdg_time <- t.cdg_time +. (Sys.time () -. t0);
+    id
+  end
+
 let check_ant t id =
   if id < 0 || id >= Vec.length t.nodes then
     invalid_arg (Printf.sprintf "Proof: unknown antecedent id %d" id)
 
-let register_learnt t ~antecedents =
+let register_learnt_ t ~antecedents =
   List.iter (check_ant t) antecedents;
   let ants = Array.of_list antecedents in
   let id = Vec.length t.nodes in
@@ -32,16 +51,33 @@ let register_learnt t ~antecedents =
   t.n_edges <- t.n_edges + Array.length ants;
   id
 
-let set_final t ~antecedents =
+let register_learnt t ~antecedents =
+  if not t.timed then register_learnt_ t ~antecedents
+  else begin
+    let t0 = Sys.time () in
+    let id = register_learnt_ t ~antecedents in
+    t.cdg_time <- t.cdg_time +. (Sys.time () -. t0);
+    id
+  end
+
+let set_final_ t ~antecedents =
   List.iter (check_ant t) antecedents;
   t.final <- Some (Array.of_list antecedents);
   t.n_edges <- t.n_edges + List.length antecedents
+
+let set_final t ~antecedents =
+  if not t.timed then set_final_ t ~antecedents
+  else begin
+    let t0 = Sys.time () in
+    set_final_ t ~antecedents;
+    t.cdg_time <- t.cdg_time +. (Sys.time () -. t0)
+  end
 
 let has_final t = t.final <> None
 
 let clear_final t = t.final <- None
 
-let core t =
+let core_ t =
   match t.final with
   | None -> invalid_arg "Proof.core: no final conflict recorded"
   | Some roots ->
@@ -68,6 +104,15 @@ let core t =
     loop ();
     List.sort Int.compare !acc
 
+let core t =
+  if not t.timed then core_ t
+  else begin
+    let t0 = Sys.time () in
+    let r = core_ t in
+    t.cdg_time <- t.cdg_time +. (Sys.time () -. t0);
+    r
+  end
+
 let antecedents t id =
   if id < 0 || id >= Vec.length t.nodes then None
   else match Vec.get t.nodes id with Original -> None | Learnt ants -> Some ants
@@ -79,3 +124,5 @@ let num_original t = t.n_original
 let num_learnt t = t.n_learnt
 
 let num_edges t = t.n_edges
+
+let cdg_seconds t = t.cdg_time

@@ -3,6 +3,8 @@ type outcome =
   | Unsat
   | Unknown
 
+let outcome_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
 type budget = {
   max_conflicts : int option;
   max_propagations : int option;
@@ -52,6 +54,7 @@ type t = {
   luby : Luby.t;
   mutable assumptions : Lit.t array; (* for the solve call in progress *)
   mutable failed_assumptions : Lit.t list; (* valid after assumption-UNSAT *)
+  tel : Telemetry.t;
 }
 
 let value_var t v = t.assigns.(v)
@@ -165,7 +168,7 @@ let add_original t index lits =
     else attach_watches t c
 
 let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode = Order.Vsids)
-    cnf =
+    ?(telemetry = Telemetry.disabled) cnf =
   let cnf = Cnf.copy cnf in
   let nvars = Cnf.num_vars cnf in
   let nlits = max (2 * nvars) 1 in
@@ -184,7 +187,9 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
       order;
-      proof = (if with_proof then Some (Proof.create ()) else None);
+      proof =
+        (if with_proof then Some (Proof.create ~timed:(Telemetry.enabled telemetry) ())
+         else None);
       proof_to_cnf = Hashtbl.create 256;
       learnt_lits = Hashtbl.create 256;
       drat = (if with_drat then Some (Vec.create ~dummy:(Checker.Learnt []) ()) else None);
@@ -200,6 +205,7 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       luby = Luby.create ~base:128;
       assumptions = [||];
       failed_assumptions = [];
+      tel = telemetry;
     }
   in
   Cnf.iter_clauses (fun i c -> add_original t i c) cnf;
@@ -587,6 +593,26 @@ let budget_exceeded t budget start_time =
 
 exception Done of outcome
 
+(* Hot-path timing is gated on telemetry so the disabled configuration pays
+   only this branch, never a clock read. *)
+let propagate_timed t =
+  if not (Telemetry.enabled t.tel) then propagate t
+  else begin
+    let t0 = Sys.time () in
+    let c = propagate t in
+    t.stats.bcp_time <- t.stats.bcp_time +. (Sys.time () -. t0);
+    c
+  end
+
+let analyze_timed t conflict =
+  if not (Telemetry.enabled t.tel) then analyze t conflict
+  else begin
+    let t0 = Sys.time () in
+    let r = analyze t conflict in
+    t.stats.analyze_time <- t.stats.analyze_time +. (Sys.time () -. t0);
+    r
+  end
+
 let handle_conflict t conflict =
   t.stats.conflicts <- t.stats.conflicts + 1;
   if decision_level t = 0 then begin
@@ -599,7 +625,7 @@ let handle_conflict t conflict =
     t.ok <- false;
     raise (Done Unsat)
   end;
-  let learnt, bt_level, ants = analyze t conflict in
+  let learnt, bt_level, ants = analyze_timed t conflict in
   cancel_until t bt_level;
   record_learnt t learnt ants;
   maybe_decay t
@@ -612,7 +638,13 @@ let pick_decision t =
     && t.stats.decisions > t.dynamic_threshold
   then begin
     Order.switch_to_vsids t.order;
-    t.stats.heuristic_switches <- t.stats.heuristic_switches + 1
+    t.stats.heuristic_switches <- t.stats.heuristic_switches + 1;
+    if Telemetry.enabled t.tel then
+      Telemetry.event t.tel "switch"
+        [
+          ("decisions", Telemetry.Sink.Int t.stats.decisions);
+          ("threshold", Telemetry.Sink.Int t.dynamic_threshold);
+        ]
   end;
   Order.pop_best t.order ~is_unassigned:(fun v -> value_var t v = unassigned)
 
@@ -620,7 +652,7 @@ let search t budget start_time =
   let conflicts_until_restart = ref (Luby.next t.luby) in
   let new_level () = Vec.push t.trail_lim (Vec.length t.trail) in
   let rec loop () =
-    match propagate t with
+    match propagate_timed t with
     | Some conflict ->
       handle_conflict t conflict;
       decr conflicts_until_restart;
@@ -628,6 +660,9 @@ let search t budget start_time =
       if !conflicts_until_restart <= 0 then begin
         t.stats.restarts <- t.stats.restarts + 1;
         conflicts_until_restart := Luby.next t.luby;
+        if Telemetry.enabled t.tel then
+          Telemetry.event t.tel "restart"
+            [ ("conflicts", Telemetry.Sink.Int t.stats.conflicts) ];
         cancel_until t 0
       end;
       loop ()
@@ -653,7 +688,8 @@ let search t budget start_time =
           raise (Done Unsat)
       end
       else begin
-        if Vec.length t.learnts >= t.max_learnts then reduce_db t;
+        if Vec.length t.learnts >= t.max_learnts then
+          Telemetry.span t.tel "reduce_db" (fun () -> reduce_db t);
         match pick_decision t with
         | None -> raise (Done Sat)
         | Some l ->
@@ -662,11 +698,21 @@ let search t budget start_time =
           t.stats.decisions <- t.stats.decisions + 1;
           new_level ();
           t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
+          if Telemetry.enabled t.tel then
+            Telemetry.event t.tel "decision"
+              [
+                ( "src",
+                  Telemetry.Sink.Str
+                    (if Order.mode_uses_rank t.order then "bmc_score" else "vsids") );
+                ("level", Telemetry.Sink.Int (decision_level t));
+              ];
           enqueue t l None;
           loop ()
       end
   in
   loop ()
+
+let cdg_seconds t = match t.proof with Some p -> Proof.cdg_seconds p | None -> 0.0
 
 let solve ?(budget = no_budget) ?(assumptions = []) t =
   t.failed_assumptions <- [];
@@ -679,8 +725,31 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       t.assumptions <- Array.of_list assumptions;
       t.dynamic_threshold <- max 1 (Cnf.num_literals t.cnf / 64);
       Order.rebuild t.order ~is_unassigned:(fun v -> value_var t v = unassigned);
+      let s = t.stats in
+      (* snapshots so an incremental solver reports this call's share only *)
+      let bcp0 = s.bcp_time and analyze0 = s.analyze_time and cdg0 = cdg_seconds t in
+      let props0 = s.propagations and confl0 = s.conflicts and learned0 = s.learned in
       let start_time = Sys.time () in
-      try search t budget start_time with Done r -> r
+      let r = try search t budget start_time with Done r -> r in
+      let dur = Sys.time () -. start_time in
+      s.solve_time <- s.solve_time +. dur;
+      if Telemetry.enabled t.tel then begin
+        let open Telemetry.Sink in
+        Telemetry.span_event t.tel "bcp" ~dur:(s.bcp_time -. bcp0)
+          [ ("count", Int (s.propagations - props0)) ];
+        Telemetry.span_event t.tel "analyze" ~dur:(s.analyze_time -. analyze0)
+          [ ("count", Int (s.conflicts - confl0)) ];
+        if t.proof <> None then
+          Telemetry.span_event t.tel "cdg" ~dur:(cdg_seconds t -. cdg0)
+            [ ("count", Int (s.learned - learned0)) ];
+        Telemetry.span_event t.tel "solve" ~dur
+          [
+            ("outcome", Str (outcome_string r));
+            ("decisions", Int s.decisions);
+            ("conflicts", Int s.conflicts);
+          ]
+      end;
+      r
     end
   in
   (* keep the model available after Sat; reset nothing *)

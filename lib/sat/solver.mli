@@ -41,7 +41,13 @@ type budget = {
 val no_budget : budget
 
 val create :
-  ?with_proof:bool -> ?with_drat:bool -> ?minimize:bool -> ?mode:Order.mode -> Cnf.t -> t
+  ?with_proof:bool ->
+  ?with_drat:bool ->
+  ?minimize:bool ->
+  ?mode:Order.mode ->
+  ?telemetry:Telemetry.t ->
+  Cnf.t ->
+  t
 (** [create cnf] prepares a solver over a snapshot of [cnf] (later mutations
     of [cnf] are not seen).  [with_proof] (default [false]) enables the
     simplified-CDG bookkeeping needed for {!unsat_core}.  [minimize]
@@ -50,7 +56,12 @@ val create :
     decision ordering (default {!Order.Vsids}); in [Dynamic] mode the
     fallback threshold is [num_literals cnf / 64] decisions, as in the
     paper.  [with_drat] (default [false]) additionally records the clausal
-    (DRAT) proof for {!drat_events} / {!Checker}. *)
+    (DRAT) proof for {!drat_events} / {!Checker}.  [telemetry] (default
+    {!Telemetry.disabled}) turns on structured tracing: per-solve phase
+    spans ("bcp", "analyze", "cdg", "solve"), "reduce_db" spans, instant
+    "restart" / "switch" events, and one "decision" attribution event per
+    decision tagged [bmc_score] or [vsids]; it also feeds the wall-time
+    fields of {!Stats.t} and enables the timed CDG bookkeeping. *)
 
 val solve : ?budget:budget -> ?assumptions:Lit.t list -> t -> outcome
 (** Run the search, optionally under assumptions.  Each call starts from
@@ -116,6 +127,15 @@ val drat_events : t -> Checker.event list
 val proof_edges : t -> int
 (** Antecedent references stored in the CDG (0 when proof logging is off) —
     the memory-overhead figure of Section 3.1. *)
+
+val cdg_seconds : t -> float
+(** CPU seconds spent in the CDG bookkeeping (0 unless proof logging and
+    telemetry are both on) — the runtime half of the Section 3.1 overhead
+    claim. *)
+
+val outcome_string : outcome -> string
+(** Lower-case tag: ["sat"], ["unsat"] or ["unknown"] (used in telemetry
+    events). *)
 
 val outcome_opt : t -> outcome option
 (** The cached outcome, if {!solve} already ran. *)

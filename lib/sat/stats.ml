@@ -7,6 +7,9 @@ type t = {
   mutable deleted : int;
   mutable max_decision_level : int;
   mutable heuristic_switches : int;
+  mutable solve_time : float;
+  mutable bcp_time : float;
+  mutable analyze_time : float;
 }
 
 let create () =
@@ -19,6 +22,9 @@ let create () =
     deleted = 0;
     max_decision_level = 0;
     heuristic_switches = 0;
+    solve_time = 0.0;
+    bcp_time = 0.0;
+    analyze_time = 0.0;
   }
 
 let copy s = { s with decisions = s.decisions }
@@ -31,11 +37,17 @@ let add acc s =
   acc.learned <- acc.learned + s.learned;
   acc.deleted <- acc.deleted + s.deleted;
   acc.max_decision_level <- max acc.max_decision_level s.max_decision_level;
-  acc.heuristic_switches <- acc.heuristic_switches + s.heuristic_switches
+  acc.heuristic_switches <- acc.heuristic_switches + s.heuristic_switches;
+  acc.solve_time <- acc.solve_time +. s.solve_time;
+  acc.bcp_time <- acc.bcp_time +. s.bcp_time;
+  acc.analyze_time <- acc.analyze_time +. s.analyze_time
 
 let pp ppf s =
   Format.fprintf ppf
     "decisions=%d implications=%d conflicts=%d restarts=%d learned=%d deleted=%d \
      max_level=%d switches=%d"
     s.decisions s.propagations s.conflicts s.restarts s.learned s.deleted
-    s.max_decision_level s.heuristic_switches
+    s.max_decision_level s.heuristic_switches;
+  if s.solve_time > 0.0 then
+    Format.fprintf ppf " solve=%.3fs bcp=%.3fs analyze=%.3fs" s.solve_time s.bcp_time
+      s.analyze_time

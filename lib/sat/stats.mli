@@ -13,6 +13,13 @@ type t = {
   mutable max_decision_level : int;
   mutable heuristic_switches : int;
       (** dynamic mode: times the solver fell back to pure VSIDS *)
+  mutable solve_time : float;  (** CPU seconds spent inside {!Solver.solve} *)
+  mutable bcp_time : float;
+      (** CPU seconds in unit propagation; only accumulated while telemetry
+          is enabled (timing the hot path costs clock reads) *)
+  mutable analyze_time : float;
+      (** CPU seconds in conflict analysis; telemetry-gated like
+          [bcp_time] *)
 }
 
 val create : unit -> t
@@ -20,6 +27,7 @@ val create : unit -> t
 val copy : t -> t
 
 val add : t -> t -> unit
-(** [add acc s] accumulates [s] into [acc] (max for [max_decision_level]). *)
+(** [add acc s] accumulates [s] into [acc] (max for [max_decision_level],
+    sums for everything else including the wall-time fields). *)
 
 val pp : Format.formatter -> t -> unit

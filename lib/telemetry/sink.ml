@@ -1,0 +1,424 @@
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type event = {
+  ts : float;
+  kind : string;
+  fields : (string * value) list;
+}
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Field helpers.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_int fields key =
+  match List.assoc_opt key fields with
+  | Some (Int i) -> Some i
+  | Some (Float _ | Bool _ | Str _) | None -> None
+
+let find_float fields key =
+  match List.assoc_opt key fields with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | Some (Bool _ | Str _) | None -> None
+
+let find_str fields key =
+  match List.assoc_opt key fields with
+  | Some (Str s) -> Some s
+  | Some (Int _ | Float _ | Bool _) | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding (flat objects of scalars only).                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Shortest representation that parses back to the same float. *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Str s -> escape_string b s
+
+let to_json e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"ts\":";
+  Buffer.add_string b (float_str e.ts);
+  Buffer.add_string b ",\"ev\":";
+  escape_string b e.kind;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      escape_string b k;
+      Buffer.add_char b ':';
+      add_value b v)
+    e.fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding, covering exactly the subset [to_json] emits: one     *)
+(* object per line, scalar values only.                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let event_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise (Bad "unexpected end of line") in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let skip_ws () =
+    while !pos < n && (peek () = ' ' || peek () = '\t') do
+      advance ()
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | '/' -> Buffer.add_char b '/'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then raise (Bad "truncated \\u escape");
+          let code = int_of_string ("0x" ^ String.sub line !pos 4) in
+          pos := !pos + 4;
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else raise (Bad "non-ASCII \\u escape")
+        | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+        loop ()
+      | c -> Buffer.add_char b c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_scalar () =
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | 't' ->
+      if !pos + 4 <= n && String.sub line !pos 4 = "true" then (pos := !pos + 4; Bool true)
+      else raise (Bad "bad literal")
+    | 'f' ->
+      if !pos + 5 <= n && String.sub line !pos 5 = "false" then (pos := !pos + 5; Bool false)
+      else raise (Bad "bad literal")
+    | _ ->
+      let start = !pos in
+      let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+      while !pos < n && is_num line.[!pos] do
+        advance ()
+      done;
+      if !pos = start then raise (Bad (Printf.sprintf "bad value at %d" start));
+      let s = String.sub line start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then Float (float_of_string s)
+      else (match int_of_string_opt s with Some i -> Int i | None -> Float (float_of_string s))
+  in
+  try
+    skip_ws ();
+    expect '{';
+    let fields = ref [] in
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = parse_scalar () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); members ()
+      | '}' -> advance ()
+      | c -> raise (Bad (Printf.sprintf "expected , or } but found %c" c))
+    in
+    skip_ws ();
+    if peek () = '}' then advance () else members ();
+    let fields = List.rev !fields in
+    let ts =
+      match find_float fields "ts" with
+      | Some f -> f
+      | None -> raise (Bad "missing ts")
+    in
+    let kind =
+      match find_str fields "ev" with
+      | Some s -> s
+      | None -> raise (Bad "missing ev")
+    in
+    let rest = List.filter (fun (k, _) -> k <> "ts" && k <> "ev") fields in
+    Ok { ts; kind; fields = rest }
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
+let events_of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map (fun line ->
+         match event_of_json line with
+         | Ok e -> e
+         | Error msg -> raise (Bad (Printf.sprintf "%s in %S" msg line)))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let tee sinks =
+  {
+    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+  }
+
+let of_buffer b =
+  {
+    emit =
+      (fun e ->
+        Buffer.add_string b (to_json e);
+        Buffer.add_char b '\n');
+    flush = (fun () -> ());
+  }
+
+let of_channel oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (to_json e);
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let memory () =
+  let events = ref [] in
+  let sink = { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) } in
+  (sink, fun () -> List.rev !events)
+
+(* ------------------------------------------------------------------ *)
+(* In-memory aggregation and reporting.                                *)
+(* ------------------------------------------------------------------ *)
+
+type span_cell = {
+  mutable count : int;
+  mutable seconds : float;
+}
+
+type aggregate = {
+  spans : (string, span_cell) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  tallies : (string, int ref) Hashtbl.t; (* instant events, by kind (and kind.src) *)
+  mutable depths : (string * value) list list; (* "depth" events, oldest first *)
+}
+
+let aggregate () =
+  {
+    spans = Hashtbl.create 16;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    tallies = Hashtbl.create 16;
+    depths = [];
+  }
+
+let tally agg key n =
+  match Hashtbl.find_opt agg.tallies key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace agg.tallies key (ref n)
+
+let feed agg e =
+  match e.kind with
+  | "span" ->
+    let name = Option.value ~default:"?" (find_str e.fields "name") in
+    let dur = Option.value ~default:0.0 (find_float e.fields "dur") in
+    let count = Option.value ~default:1 (find_int e.fields "count") in
+    (match Hashtbl.find_opt agg.spans name with
+    | Some c ->
+      c.count <- c.count + count;
+      c.seconds <- c.seconds +. dur
+    | None -> Hashtbl.replace agg.spans name { count; seconds = dur })
+  | "counter" ->
+    let name = Option.value ~default:"?" (find_str e.fields "name") in
+    let v = Option.value ~default:0 (find_int e.fields "value") in
+    (match Hashtbl.find_opt agg.counters name with
+    | Some r -> r := !r + v
+    | None -> Hashtbl.replace agg.counters name (ref v))
+  | "gauge" ->
+    let name = Option.value ~default:"?" (find_str e.fields "name") in
+    let v = Option.value ~default:0.0 (find_float e.fields "value") in
+    (match Hashtbl.find_opt agg.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace agg.gauges name (ref v))
+  | "depth" -> agg.depths <- e.fields :: agg.depths
+  | kind ->
+    tally agg kind 1;
+    (match find_str e.fields "src" with
+    | Some src -> tally agg (kind ^ "." ^ src) 1
+    | None -> ())
+
+let of_aggregate agg = { emit = feed agg; flush = (fun () -> ()) }
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let span_seconds agg name =
+  match Hashtbl.find_opt agg.spans name with Some c -> c.seconds | None -> 0.0
+
+let span_count agg name =
+  match Hashtbl.find_opt agg.spans name with Some c -> c.count | None -> 0
+
+let counter_value agg name =
+  match Hashtbl.find_opt agg.counters name with Some r -> !r | None -> 0
+
+let gauge_value agg name = Option.map ( ! ) (Hashtbl.find_opt agg.gauges name)
+
+let tally_value agg name =
+  match Hashtbl.find_opt agg.tallies name with Some r -> !r | None -> 0
+
+let depth_rows agg = List.rev agg.depths
+
+let pp_report ppf agg =
+  let spans = sorted_bindings agg.spans (fun c -> c) in
+  Format.fprintf ppf "@[<v>== telemetry: phase breakdown ==@,";
+  if spans <> [] then begin
+    Format.fprintf ppf "%-22s %12s %12s@," "phase" "calls" "seconds";
+    let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b.seconds a.seconds) spans in
+    List.iter
+      (fun (name, c) -> Format.fprintf ppf "%-22s %12d %12.3f@," name c.count c.seconds)
+      sorted
+  end;
+  let counters = sorted_bindings agg.counters ( ! ) in
+  if counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-28s %12d@," name v) counters
+  end;
+  let gauges = sorted_bindings agg.gauges ( ! ) in
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-28s %12.3f@," name v) gauges
+  end;
+  let tallies = sorted_bindings agg.tallies ( ! ) in
+  if tallies <> [] then begin
+    Format.fprintf ppf "events:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-28s %12d@," name v) tallies
+  end;
+  let depths = depth_rows agg in
+  if depths <> [] then begin
+    Format.fprintf ppf "per-depth:@,";
+    Format.fprintf ppf "%5s %-8s %9s %9s %9s %10s %12s %9s %7s %7s@," "depth" "outcome"
+      "build(s)" "solve(s)" "cdg(s)" "decisions" "implications" "conflicts" "core" "vars";
+    let tot_build = ref 0.0 and tot_solve = ref 0.0 and tot_cdg = ref 0.0 in
+    List.iter
+      (fun fields ->
+        let fint k = Option.value ~default:0 (find_int fields k) in
+        let ffloat k = Option.value ~default:0.0 (find_float fields k) in
+        let fstr k = Option.value ~default:"-" (find_str fields k) in
+        tot_build := !tot_build +. ffloat "build_s";
+        tot_solve := !tot_solve +. ffloat "solve_s";
+        tot_cdg := !tot_cdg +. ffloat "cdg_s";
+        Format.fprintf ppf "%5d %-8s %9.3f %9.3f %9.3f %10d %12d %9d %7d %7d@," (fint "depth")
+          (fstr "outcome") (ffloat "build_s") (ffloat "solve_s") (ffloat "cdg_s")
+          (fint "decisions") (fint "implications") (fint "conflicts") (fint "core_clauses")
+          (fint "core_vars"))
+      depths;
+    Format.fprintf ppf "%5s %-8s %9.3f %9.3f %9.3f@," "TOTAL" "" !tot_build !tot_solve !tot_cdg
+  end;
+  Format.fprintf ppf "@]"
+
+let report_to_string agg = Format.asprintf "@[<v>%a@]" pp_report agg
+
+let json_of_aggregate agg =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"spans\":{";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  List.iter
+    (fun (name, (c : span_cell)) ->
+      sep ();
+      escape_string b name;
+      Buffer.add_string b (Printf.sprintf ":{\"count\":%d,\"seconds\":%s}" c.count
+                             (float_str c.seconds)))
+    (sorted_bindings agg.spans (fun c -> c));
+  Buffer.add_string b "},\"counters\":{";
+  first := true;
+  List.iter
+    (fun (name, v) ->
+      sep ();
+      escape_string b name;
+      Buffer.add_string b (Printf.sprintf ":%d" v))
+    (sorted_bindings agg.counters ( ! ));
+  Buffer.add_string b "},\"gauges\":{";
+  first := true;
+  List.iter
+    (fun (name, v) ->
+      sep ();
+      escape_string b name;
+      Buffer.add_char b ':';
+      Buffer.add_string b (float_str v))
+    (sorted_bindings agg.gauges ( ! ));
+  Buffer.add_string b "},\"events\":{";
+  first := true;
+  List.iter
+    (fun (name, v) ->
+      sep ();
+      escape_string b name;
+      Buffer.add_string b (Printf.sprintf ":%d" v))
+    (sorted_bindings agg.tallies ( ! ));
+  Buffer.add_string b "},\"depths\":[";
+  first := true;
+  List.iter
+    (fun fields ->
+      sep ();
+      Buffer.add_char b '{';
+      let inner_first = ref true in
+      List.iter
+        (fun (k, v) ->
+          if !inner_first then inner_first := false else Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          add_value b v)
+        fields;
+      Buffer.add_char b '}')
+    (depth_rows agg);
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,112 @@
+(** Telemetry event consumers.
+
+    An {!event} is a timestamped, typed record with a flat list of scalar
+    fields; a sink decides what happens to it: dropped ({!null}), serialised
+    as one JSON object per line ({!of_channel}, {!of_buffer}), kept in memory
+    ({!memory}), folded into running totals ({!aggregate}), or fanned out
+    ({!tee}).
+
+    The JSONL wire format puts [ts] (seconds since the telemetry handle was
+    created) and [ev] (the event kind) first, then the fields in emission
+    order:
+
+    {v {"ts":0.0213,"ev":"span","name":"bcp","dur":0.0034,"count":1841} v}
+
+    {!event_of_json} parses exactly the subset {!to_json} emits, so traces
+    round-trip. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type event = {
+  ts : float;  (** seconds since the owning handle was created *)
+  kind : string;  (** "span", "counter", "gauge", "depth", "decision", ... *)
+  fields : (string * value) list;
+}
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+(** {1 Field helpers} *)
+
+val find_int : (string * value) list -> string -> int option
+
+val find_float : (string * value) list -> string -> float option
+(** Accepts [Int] fields too (JSON does not distinguish). *)
+
+val find_str : (string * value) list -> string -> string option
+
+(** {1 JSONL codec} *)
+
+val to_json : event -> string
+(** One line, no trailing newline. *)
+
+val event_of_json : string -> (event, string) result
+(** Parse one line produced by {!to_json}.  The [ts] and [ev] members are
+    extracted; everything else becomes [fields]. *)
+
+val events_of_string : string -> event list
+(** Parse a whole JSONL document (blank lines ignored).
+    @raise Failure on malformed input. *)
+
+(** {1 Sinks} *)
+
+val null : t
+(** Drops everything. *)
+
+val tee : t list -> t
+(** Forward every event to all of the given sinks. *)
+
+val of_buffer : Buffer.t -> t
+(** Append one JSON line per event to the buffer. *)
+
+val of_channel : out_channel -> t
+(** Write one JSON line per event; [flush] flushes the channel. *)
+
+val memory : unit -> t * (unit -> event list)
+(** A sink that records events; the closure returns them in emission
+    order. *)
+
+(** {1 Aggregation} *)
+
+type aggregate
+(** Running totals: per-span-name call counts and seconds, counter sums,
+    last-value gauges, instant-event tallies, and the ordered list of
+    per-depth summary events. *)
+
+val aggregate : unit -> aggregate
+
+val of_aggregate : aggregate -> t
+(** The sink that folds events into the given aggregate. *)
+
+val span_seconds : aggregate -> string -> float
+(** Total seconds recorded under this span name (0 if never seen). *)
+
+val span_count : aggregate -> string -> int
+
+val counter_value : aggregate -> string -> int
+
+val gauge_value : aggregate -> string -> float option
+
+val tally_value : aggregate -> string -> int
+(** Occurrences of an instant-event kind, e.g. ["decision.vsids"]. *)
+
+val depth_rows : aggregate -> (string * value) list list
+(** The fields of every "depth" event seen, in emission order. *)
+
+val pp_report : Format.formatter -> aggregate -> unit
+(** Human-readable phase breakdown: span table (sorted by total seconds),
+    counters, gauges, event tallies, and a per-depth table with build /
+    solve / CDG time columns and their totals. *)
+
+val report_to_string : aggregate -> string
+
+val json_of_aggregate : aggregate -> string
+(** Machine-readable summary:
+    [{"spans":{...},"counters":{...},"gauges":{...},"events":{...},
+    "depths":[...]}]. *)

@@ -1,0 +1,76 @@
+module Sink = Sink
+
+type t = {
+  on : bool;
+  sink : Sink.t;
+  clock : unit -> float;
+  epoch : float;
+  mutable nest : int;
+}
+
+let disabled =
+  { on = false; sink = Sink.null; clock = (fun () -> 0.0); epoch = 0.0; nest = 0 }
+
+let create ?(clock = Sys.time) sink =
+  { on = true; sink; clock; epoch = clock (); nest = 0 }
+
+let enabled t = t.on
+
+let now t = t.clock () -. t.epoch
+
+let flush t = if t.on then t.sink.Sink.flush ()
+
+let event t kind fields =
+  if t.on then t.sink.Sink.emit { Sink.ts = now t; kind; fields }
+
+let counter t name value =
+  if t.on then
+    t.sink.Sink.emit
+      { Sink.ts = now t; kind = "counter"; fields = [ ("name", Sink.Str name); ("value", Sink.Int value) ] }
+
+let gauge t name value =
+  if t.on then
+    t.sink.Sink.emit
+      {
+        Sink.ts = now t;
+        kind = "gauge";
+        fields = [ ("name", Sink.Str name); ("value", Sink.Float value) ];
+      }
+
+let span_event t name ~dur fields =
+  if t.on then
+    t.sink.Sink.emit
+      {
+        Sink.ts = now t;
+        kind = "span";
+        fields = ("name", Sink.Str name) :: ("dur", Sink.Float dur) :: fields;
+      }
+
+let span t name ?(fields = []) f =
+  if not t.on then f ()
+  else begin
+    let level = t.nest in
+    t.nest <- level + 1;
+    let t0 = t.clock () in
+    let finish () =
+      let t1 = t.clock () in
+      t.nest <- level;
+      t.sink.Sink.emit
+        {
+          Sink.ts = t0 -. t.epoch;
+          kind = "span";
+          fields =
+            ("name", Sink.Str name)
+            :: ("dur", Sink.Float (t1 -. t0))
+            :: ("nest", Sink.Int level)
+            :: fields;
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end

@@ -1,0 +1,224 @@
+(* Telemetry library: span nesting, counter aggregation, JSONL round-trip,
+   and the disabled handle's no-op guarantees. *)
+
+module Sink = Telemetry.Sink
+
+(* A deterministic clock: every read advances time by one second.  Note that
+   [Telemetry.create] itself reads the clock once for the epoch. *)
+let ticking_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let sink, events = Sink.memory () in
+  let tel = Telemetry.create ~clock:(ticking_clock ()) sink in
+  let result =
+    Telemetry.span tel "outer" (fun () ->
+        Telemetry.span tel "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "span returns the body's value" 42 result;
+  match events () with
+  | [ inner; outer ] ->
+    (* the inner span closes first, so it is emitted first *)
+    Alcotest.(check string) "inner kind" "span" inner.Sink.kind;
+    Alcotest.(check (option string)) "inner name" (Some "inner")
+      (Sink.find_str inner.fields "name");
+    Alcotest.(check (option int)) "inner nest depth" (Some 1)
+      (Sink.find_int inner.fields "nest");
+    Alcotest.(check (option string)) "outer name" (Some "outer")
+      (Sink.find_str outer.fields "name");
+    Alcotest.(check (option int)) "outer nest depth" (Some 0)
+      (Sink.find_int outer.fields "nest");
+    (* clock reads: epoch, outer open, inner open, inner close, outer close *)
+    Alcotest.(check (option (float 1e-9))) "inner duration" (Some 1.0)
+      (Sink.find_float inner.fields "dur");
+    Alcotest.(check (option (float 1e-9))) "outer duration" (Some 3.0)
+      (Sink.find_float outer.fields "dur")
+  | evs -> Alcotest.failf "expected 2 span events, got %d" (List.length evs)
+
+let test_span_emits_on_exception () =
+  let sink, events = Sink.memory () in
+  let tel = Telemetry.create ~clock:(ticking_clock ()) sink in
+  (try Telemetry.span tel "boom" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  match events () with
+  | [ ev ] ->
+    Alcotest.(check (option string)) "span recorded despite raise" (Some "boom")
+      (Sink.find_str ev.Sink.fields "name")
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_aggregation () =
+  let agg = Sink.aggregate () in
+  let tel = Telemetry.create ~clock:(ticking_clock ()) (Sink.of_aggregate agg) in
+  Telemetry.counter tel "widgets" 3;
+  Telemetry.counter tel "widgets" 4;
+  Telemetry.counter tel "gadgets" 1;
+  Telemetry.gauge tel "level" 2.5;
+  Telemetry.gauge tel "level" 7.25;
+  Telemetry.event tel "decision" [ ("src", Sink.Str "vsids"); ("level", Sink.Int 1) ];
+  Telemetry.event tel "decision" [ ("src", Sink.Str "bmc_score"); ("level", Sink.Int 2) ];
+  Telemetry.event tel "decision" [ ("src", Sink.Str "bmc_score"); ("level", Sink.Int 3) ];
+  Alcotest.(check int) "counters sum per name" 7 (Sink.counter_value agg "widgets");
+  Alcotest.(check int) "independent counter" 1 (Sink.counter_value agg "gadgets");
+  Alcotest.(check int) "unknown counter is 0" 0 (Sink.counter_value agg "nope");
+  Alcotest.(check (option (float 1e-9))) "gauge keeps last value" (Some 7.25)
+    (Sink.gauge_value agg "level");
+  Alcotest.(check int) "instant events tallied by kind" 3 (Sink.tally_value agg "decision");
+  Alcotest.(check int) "and by kind.src" 2 (Sink.tally_value agg "decision.bmc_score");
+  Alcotest.(check int) "vsids attribution" 1 (Sink.tally_value agg "decision.vsids")
+
+let test_span_aggregation () =
+  let agg = Sink.aggregate () in
+  let tel = Telemetry.create ~clock:(ticking_clock ()) (Sink.of_aggregate agg) in
+  Telemetry.span tel "phase" (fun () -> ());
+  Telemetry.span tel "phase" (fun () -> ());
+  Telemetry.span_event tel "phase" ~dur:0.5 [ ("count", Sink.Int 10) ];
+  Alcotest.(check int) "span_event count field wins over call count" 12
+    (Sink.span_count agg "phase");
+  Alcotest.(check (float 1e-9)) "seconds accumulate" 2.5 (Sink.span_seconds agg "phase");
+  let report = Sink.report_to_string agg in
+  Alcotest.(check bool) "report names the phase" true (Test_stats.contains report "phase")
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let value_eq a b =
+  match (a, b) with
+  | Sink.Float x, Sink.Float y -> Float.equal x y
+  | Sink.Float x, Sink.Int y | Sink.Int y, Sink.Float x ->
+    (* JSON does not distinguish 2.0 from 2 *)
+    Float.equal x (float_of_int y)
+  | a, b -> a = b
+
+let check_roundtrip (ev : Sink.event) =
+  let line = Sink.to_json ev in
+  match Sink.event_of_json line with
+  | Error msg -> Alcotest.failf "re-parse of %s failed: %s" line msg
+  | Ok ev' ->
+    Alcotest.(check (float 0.0)) "ts" ev.ts ev'.ts;
+    Alcotest.(check string) "kind" ev.kind ev'.kind;
+    Alcotest.(check int) "field count" (List.length ev.fields) (List.length ev'.fields);
+    List.iter2
+      (fun (k, v) (k', v') ->
+        Alcotest.(check string) "field name" k k';
+        if not (value_eq v v') then Alcotest.failf "field %s did not round-trip in %s" k line)
+      ev.fields ev'.fields
+
+let test_jsonl_roundtrip () =
+  List.iter check_roundtrip
+    [
+      { ts = 0.0; kind = "span"; fields = [ ("name", Str "bcp"); ("dur", Float 0.00123) ] };
+      {
+        ts = 1.5e-7;
+        kind = "depth";
+        fields =
+          [
+            ("depth", Int 3);
+            ("outcome", Str "unsat");
+            ("solve_s", Float 0.1);
+            ("switched", Bool false);
+          ];
+      };
+      (* awkward floats and escaped strings *)
+      { ts = 1.0 /. 3.0; kind = "gauge"; fields = [ ("value", Float 1e-300) ] };
+      { ts = 0.0; kind = "note"; fields = [ ("msg", Str "say \"hi\"\n\ttab\\slash") ] };
+      { ts = 0.0; kind = "empty"; fields = [] };
+      { ts = 12345.678; kind = "counter"; fields = [ ("n", Int max_int) ] };
+    ]
+
+let test_buffer_sink_trace () =
+  let buf = Buffer.create 256 in
+  let tel = Telemetry.create ~clock:(ticking_clock ()) (Sink.of_buffer buf) in
+  Telemetry.counter tel "c" 1;
+  Telemetry.span tel "s" (fun () -> ());
+  Telemetry.event tel "decision" [ ("src", Sink.Str "vsids"); ("level", Sink.Int 4) ];
+  let events = Sink.events_of_string (Buffer.contents buf) in
+  Alcotest.(check int) "one line per event" 3 (List.length events);
+  Alcotest.(check (list string)) "kinds in order" [ "counter"; "span"; "decision" ]
+    (List.map (fun (e : Sink.event) -> e.kind) events);
+  (* a parsed trace can be re-aggregated *)
+  let agg = Sink.aggregate () in
+  let sink = Sink.of_aggregate agg in
+  List.iter sink.Sink.emit events;
+  Alcotest.(check int) "re-aggregated counter" 1 (Sink.counter_value agg "c");
+  Alcotest.(check int) "re-aggregated decision" 1 (Sink.tally_value agg "decision.vsids")
+
+let test_event_of_json_rejects_garbage () =
+  let bad s =
+    match Sink.event_of_json s with
+    | Ok _ -> Alcotest.failf "expected parse failure on %s" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "not json";
+  bad "{\"ts\":0.0}";
+  bad "[1,2,3]";
+  bad "{\"ts\":0.0,\"ev\":\"x\" trailing"
+
+(* ------------------------------------------------------------------ *)
+(* Disabled handle.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_is_noop () =
+  let tel = Telemetry.disabled in
+  Alcotest.(check bool) "not enabled" false (Telemetry.enabled tel);
+  (* none of these may raise or allocate events anywhere observable *)
+  Telemetry.counter tel "c" 1;
+  Telemetry.gauge tel "g" 1.0;
+  Telemetry.event tel "decision" [ ("src", Sink.Str "vsids") ];
+  Telemetry.span_event tel "bcp" ~dur:1.0 [];
+  Alcotest.(check int) "span is transparent" 9 (Telemetry.span tel "s" (fun () -> 9));
+  Alcotest.(check (float 0.0)) "now is frozen at 0" 0.0 (Telemetry.now tel)
+
+let test_disabled_solver_matches_plain () =
+  (* a solver built with the disabled handle must behave identically to one
+     built without telemetry: same outcome, same stats, no timing fields *)
+  let cnf () =
+    let f = Sat.Cnf.create () in
+    List.iter
+      (fun c -> Sat.Cnf.add_clause f (List.map (fun (v, s) -> Sat.Lit.make v s) c))
+      [
+        [ (0, true); (1, true) ];
+        [ (0, false); (2, true) ];
+        [ (1, false); (2, false) ];
+        [ (2, false); (3, true) ];
+        [ (0, true); (3, false) ];
+      ];
+    f
+  in
+  let plain = Sat.Solver.create (cnf ()) in
+  let with_disabled = Sat.Solver.create ~telemetry:Telemetry.disabled (cnf ()) in
+  let o1 = Sat.Solver.solve plain in
+  let o2 = Sat.Solver.solve with_disabled in
+  Alcotest.(check string) "same outcome" (Sat.Solver.outcome_string o1)
+    (Sat.Solver.outcome_string o2);
+  let s = Sat.Solver.stats with_disabled in
+  Alcotest.(check (float 0.0)) "bcp_time untouched when disabled" 0.0 s.Sat.Stats.bcp_time;
+  Alcotest.(check (float 0.0)) "analyze_time untouched when disabled" 0.0
+    s.Sat.Stats.analyze_time;
+  Alcotest.(check bool) "solve_time always recorded" true (s.Sat.Stats.solve_time >= 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "span nesting and durations" `Quick test_span_nesting;
+    Alcotest.test_case "span emits on exception" `Quick test_span_emits_on_exception;
+    Alcotest.test_case "counter/gauge/tally aggregation" `Quick test_counter_aggregation;
+    Alcotest.test_case "span aggregation and report" `Quick test_span_aggregation;
+    Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "buffer sink produces parsable JSONL" `Quick test_buffer_sink_trace;
+    Alcotest.test_case "event_of_json rejects garbage" `Quick test_event_of_json_rejects_garbage;
+    Alcotest.test_case "disabled handle is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "disabled solver matches plain" `Quick test_disabled_solver_matches_plain;
+  ]
