@@ -509,6 +509,208 @@ let complement () =
     \   into unbounded proofs — each engine covers the others' blind spots.\n"
 
 (* ------------------------------------------------------------------ *)
+(* bench quick: a small fixed subset for trajectory tracking.          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic by construction: generator parameters are fixed, the budget
+   is conflict-based (never wall-clock), and the solver itself has no random
+   state — so outcomes, core-variable sets and search counters are stable
+   across runs and machines, and only the time/allocation fields move.
+   [quick] writes the snapshot (BENCH_quick.json); [quick-check] re-runs and
+   fails if any outcome or core-variable set diverges from the snapshot. *)
+
+let quick_budget =
+  { Sat.Solver.max_conflicts = Some 200_000; max_propagations = None; max_seconds = None }
+
+let quick_snapshot_file = "BENCH_quick.json"
+
+let quick_cases () =
+  [
+    (Circuit.Generators.counter ~bits:6 ~target:30 ~noise:8 (), 12);
+    (Circuit.Generators.shift_in ~len:8 ~noise:4 (), 10);
+    (Circuit.Generators.ring ~len:12 ~noise:24 (), 14);
+    (Circuit.Generators.lfsr ~width:12 ~noise:24 (), 14);
+    (Circuit.Generators.parity_pipe ~stages:10 ~noise:16 (), 13);
+    (Circuit.Generators.gray ~bits:5 ~noise:16 (), 12);
+    (Circuit.Generators.arbiter ~clients:8 ~noise:16 (), 12);
+    (Circuit.Generators.johnson ~width:10 ~noise:16 (), 12);
+  ]
+
+type quick_row = {
+  q_name : string;
+  q_outcomes : string; (* one char per depth: 's' | 'u' | '?' *)
+  q_core_hash : int; (* combined hash of the UNSAT-core variable sets *)
+  q_decisions : int;
+  q_conflicts : int;
+  q_propagations : int;
+  q_bcp : float;
+  q_solve : float;
+}
+
+let quick_run_case ((case : Circuit.Generators.case), depth) =
+  let u = Bmc.Unroll.create case.netlist ~property:case.property in
+  let buf = Buffer.create (depth + 1) in
+  let mix h x = ((h * 131) + x) land 0x3FFFFFFF in
+  let hash = ref 7 in
+  let dec = ref 0 and confl = ref 0 and props = ref 0 in
+  let bcp = ref 0.0 and slv = ref 0.0 in
+  for k = 0 to depth do
+    let cnf = Bmc.Unroll.instance u ~k in
+    let s = Sat.Solver.create ~with_proof:true ~telemetry:tel cnf in
+    (match Sat.Solver.solve ~budget:quick_budget s with
+    | Sat.Solver.Sat -> Buffer.add_char buf 's'
+    | Sat.Solver.Unsat ->
+      Buffer.add_char buf 'u';
+      hash := mix !hash (k + 1);
+      List.iter (fun v -> hash := mix !hash v) (Sat.Solver.core_vars s)
+    | Sat.Solver.Unknown -> Buffer.add_char buf '?');
+    let st = Sat.Solver.stats s in
+    dec := !dec + st.Sat.Stats.decisions;
+    confl := !confl + st.Sat.Stats.conflicts;
+    props := !props + st.Sat.Stats.propagations;
+    bcp := !bcp +. st.Sat.Stats.bcp_time;
+    slv := !slv +. st.Sat.Stats.solve_time
+  done;
+  {
+    q_name = case.name;
+    q_outcomes = Buffer.contents buf;
+    q_core_hash = !hash;
+    q_decisions = !dec;
+    q_conflicts = !confl;
+    q_propagations = !props;
+    q_bcp = !bcp;
+    q_solve = !slv;
+  }
+
+let quick_json rows ~alloc_mb =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v1\",\n  \"cases\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"outcomes\": \"%s\", \"core_vars_hash\": \"%08x\", \
+            \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"bcp_s\": %.6f, \
+            \"solve_s\": %.6f }%s\n"
+           r.q_name r.q_outcomes r.q_core_hash r.q_decisions r.q_conflicts r.q_propagations
+           r.q_bcp r.q_solve
+           (if i = n - 1 then "" else ",")))
+    rows;
+  let tot f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let toti f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  ],\n\
+       \  \"totals\": { \"bcp_s\": %.6f, \"solve_s\": %.6f, \"decisions\": %d, \
+        \"conflicts\": %d, \"propagations\": %d, \"alloc_mb\": %.1f }\n\
+        }\n"
+       (tot (fun r -> r.q_bcp))
+       (tot (fun r -> r.q_solve))
+       (toti (fun r -> r.q_decisions))
+       (toti (fun r -> r.q_conflicts))
+       (toti (fun r -> r.q_propagations))
+       alloc_mb);
+  Buffer.contents b
+
+let quick_rows () =
+  let a0 = Gc.allocated_bytes () in
+  let rows = List.map quick_run_case (quick_cases ()) in
+  let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
+  Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
+  Printf.printf "%-16s %-14s %10s %10s %12s %10s %10s\n" "model" "outcomes" "decisions"
+    "conflicts" "implications" "bcp(s)" "solve(s)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %-14s %10d %10d %12d %10.3f %10.3f\n" r.q_name r.q_outcomes
+        r.q_decisions r.q_conflicts r.q_propagations r.q_bcp r.q_solve)
+    rows;
+  Printf.printf "%-16s %-14s %10d %10d %12d %10.3f %10.3f   (%.1f MB allocated)\n" "TOTAL" ""
+    (List.fold_left (fun a r -> a + r.q_decisions) 0 rows)
+    (List.fold_left (fun a r -> a + r.q_conflicts) 0 rows)
+    (List.fold_left (fun a r -> a + r.q_propagations) 0 rows)
+    (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows)
+    (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows)
+    alloc_mb;
+  Telemetry.gauge tel "quick.bcp_s" (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows);
+  Telemetry.gauge tel "quick.solve_s" (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows);
+  Telemetry.gauge tel "quick.alloc_mb" alloc_mb;
+  Telemetry.gauge tel "quick.decisions"
+    (float_of_int (List.fold_left (fun a r -> a + r.q_decisions) 0 rows));
+  (rows, alloc_mb)
+
+let quick () =
+  let rows, alloc_mb = quick_rows () in
+  let oc = open_out quick_snapshot_file in
+  output_string oc (quick_json rows ~alloc_mb);
+  close_out oc;
+  Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
+
+(* Minimal field scanner for the snapshot we wrote ourselves: one case per
+   line, fields formatted exactly as in [quick_json]. *)
+let find_sub hay pat =
+  let n = String.length pat and h = String.length hay in
+  let rec at i = if i + n > h then None else if String.sub hay i n = pat then Some i else at (i + 1) in
+  at 0
+
+let extract_str line key =
+  let pat = "\"" ^ key ^ "\": \"" in
+  match find_sub line pat with
+  | None -> None
+  | Some i ->
+    let start = i + String.length pat in
+    let j = String.index_from line start '"' in
+    Some (String.sub line start (j - start))
+
+let quick_check () =
+  let rows, _ = quick_rows () in
+  let expected =
+    let ic = open_in quick_snapshot_file in
+    let tbl = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match extract_str line "name" with
+         | Some name ->
+           Hashtbl.replace tbl name
+             (extract_str line "outcomes", extract_str line "core_vars_hash")
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    tbl
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt expected r.q_name with
+      | None ->
+        incr failures;
+        Printf.eprintf "quick-check: %s missing from %s\n" r.q_name quick_snapshot_file
+      | Some (outcomes, hash) ->
+        let got_hash = Printf.sprintf "%08x" r.q_core_hash in
+        if outcomes <> Some r.q_outcomes then begin
+          incr failures;
+          Printf.eprintf "quick-check: %s outcomes diverge: snapshot %s, got %s\n" r.q_name
+            (Option.value ~default:"?" outcomes)
+            r.q_outcomes
+        end;
+        if hash <> Some got_hash then begin
+          incr failures;
+          Printf.eprintf "quick-check: %s core-variable sets diverge: snapshot %s, got %s\n"
+            r.q_name
+            (Option.value ~default:"?" hash)
+            got_hash
+        end)
+    rows;
+  if !failures > 0 then begin
+    Printf.eprintf "quick-check: %d divergence(s) from %s\n" !failures quick_snapshot_file;
+    exit 1
+  end;
+  Printf.printf "quick-check: all outcomes and core-variable sets match %s\n"
+    quick_snapshot_file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -583,8 +785,10 @@ let micro () =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [table1|fig6|fig7|overhead|ablation|complement|micro]...\n\
-     with no arguments, runs every artefact.\n"
+    "usage: main.exe [table1|fig6|fig7|overhead|ablation|complement|quick|quick-check|micro]...\n\
+     with no arguments, runs every artefact except quick-check.\n\
+     quick       small fixed-seed subset; writes the BENCH_quick.json snapshot\n\
+     quick-check re-runs the quick subset and fails on any outcome divergence\n"
 
 let write_results () =
   let oc = open_out results_file in
@@ -604,16 +808,22 @@ let () =
       ("overhead", overhead);
       ("ablation", ablation);
       ("complement", complement);
+      ("quick", quick);
+      ("quick-check", quick_check);
       ("micro", micro);
     ]
   in
+  let canonical = function "--quick" -> "quick" | "--quick-check" -> "quick-check" | a -> a in
   match Array.to_list Sys.argv with
   | [ _ ] ->
-    List.iter (fun (name, f) -> run_artefact name f) artefacts;
+    List.iter
+      (fun (name, f) -> if name <> "quick-check" then run_artefact name f)
+      artefacts;
     write_results ()
   | _ :: args ->
     List.iter
       (fun a ->
+        let a = canonical a in
         match List.assoc_opt a artefacts with
         | Some f -> run_artefact a f
         | None ->

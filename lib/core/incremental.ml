@@ -24,6 +24,9 @@ let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
     deleted = after.deleted - before.deleted;
     max_decision_level = after.max_decision_level;
     heuristic_switches = after.heuristic_switches - before.heuristic_switches;
+    blocker_hits = after.blocker_hits - before.blocker_hits;
+    arena_bytes = after.arena_bytes;
+    arena_compactions = after.arena_compactions - before.arena_compactions;
     solve_time = after.solve_time -. before.solve_time;
     bcp_time = after.bcp_time -. before.bcp_time;
     analyze_time = after.analyze_time -. before.analyze_time;

@@ -13,27 +13,22 @@ type budget = {
 
 let no_budget = { max_conflicts = None; max_propagations = None; max_seconds = None }
 
-type clause = {
-  cid : int; (* proof pseudo ID; also original-clause index for originals *)
-  mutable lits : Lit.t array; (* lits.(0) and lits.(1) are watched *)
-  learnt : bool;
-  mutable activity : float;
-  mutable deleted : bool;
-}
-
-let dummy_clause = { cid = -1; lits = [||]; learnt = false; activity = 0.0; deleted = true }
-
 (* Assignment cells: -1 unassigned, 0 false, 1 true. *)
 let unassigned = -1
 
+(* Clauses live in a flat integer arena ({!Arena}) and are addressed by
+   [Arena.cref]; [Arena.none] plays the role the [None] reason used to.
+   Watch lists are flat (blocker, cref) int pairs: BCP skips a satisfied
+   clause on the blocker check alone, never touching the clause block. *)
 type t = {
   cnf : Cnf.t; (* snapshot of the original formula, for core reporting *)
   mutable nvars : int;
-  learnts : clause Vec.t;
-  mutable watches : clause Vec.t array; (* indexed by watched literal *)
+  arena : Arena.t;
+  learnts : Arena.cref Vec.t;
+  mutable watches : Arena.Watch.w array; (* indexed by watched literal *)
   mutable assigns : int array; (* per var *)
   mutable level : int array; (* per var *)
-  mutable reason : clause option array; (* per var *)
+  mutable reason : Arena.cref array; (* per var; Arena.none when none *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t; (* trail index at the start of each decision level *)
   mutable qhead : int;
@@ -50,6 +45,7 @@ type t = {
   mutable result : outcome option;
   mutable conflicts_since_decay : int;
   mutable max_learnts : int;
+  mutable gc_fraction : float; (* wasted/size ratio that triggers compaction *)
   mutable dynamic_threshold : int; (* decisions before the dynamic fallback fires *)
   luby : Luby.t;
   mutable assumptions : Lit.t array; (* for the solve call in progress *)
@@ -67,9 +63,10 @@ let decision_level t = Vec.length t.trail_lim
 
 let watch_list t l = t.watches.(Lit.to_index l)
 
-let attach_watches t c =
-  Vec.push (watch_list t c.lits.(0)) c;
-  Vec.push (watch_list t c.lits.(1)) c
+let attach t cr =
+  let l0 = Arena.lit t.arena cr 0 and l1 = Arena.lit t.arena cr 1 in
+  Arena.Watch.push (watch_list t l0) l1 cr;
+  Arena.Watch.push (watch_list t l1) l0 cr
 
 (* Make [l] true with [reason].  Precondition: [l] is unassigned. *)
 let enqueue t l reason =
@@ -92,31 +89,27 @@ let linearize_steps t first_cid steps =
   first_cid :: List.map (fun (_, cid) -> cid) sorted
 
 (* Resolve a top-level conflict down to the empty clause, collecting the
-   antecedent IDs for the proof's final node. *)
-let final_analysis t conflict =
+   antecedent IDs for the proof's final node.  One marking pass over the
+   conflict clause, then one backwards trail walk: every variable involved
+   is assigned, hence on the trail, so the walk visits (and unmarks) each
+   exactly once — O(trail + total reason size). *)
+let final_analysis t confl =
   let steps = ref [] in
-  let queue = ref (Array.to_list conflict.lits) in
-  let to_clear = ref [] in
-  let rec loop () =
-    match !queue with
-    | [] -> ()
-    | q :: rest ->
-      queue := rest;
-      let v = Lit.var q in
-      if not t.seen.(v) then begin
-        t.seen.(v) <- true;
-        to_clear := v :: !to_clear;
-        (match t.reason.(v) with
-        | Some r ->
-          steps := (v, r.cid) :: !steps;
-          Array.iter (fun l -> queue := l :: !queue) r.lits
-        | None -> () (* level-0 assignment without reason cannot happen here *))
-      end;
-      loop ()
-  in
-  loop ();
-  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
-  linearize_steps t conflict.cid !steps
+  Arena.iter_lits t.arena confl (fun l -> t.seen.(Lit.var l) <- true);
+  for i = Vec.length t.trail - 1 downto 0 do
+    let v = Lit.var (Vec.get t.trail i) in
+    if t.seen.(v) then begin
+      t.seen.(v) <- false;
+      let r = t.reason.(v) in
+      if r <> Arena.none then begin
+        steps := (v, Arena.cid t.arena r) :: !steps;
+        Arena.iter_lits t.arena r (fun l ->
+            let u = Lit.var l in
+            if u <> v then t.seen.(u) <- true)
+      end
+    end
+  done;
+  linearize_steps t (Arena.cid t.arena confl) !steps
 
 (* Every original clause is registered in the proof (even ones we drop or
    leave unwatched) and its pseudo ID recorded against its clause index.
@@ -137,7 +130,6 @@ let add_original t index lits =
   | None -> () (* tautology: never needed, never a core member *)
   | Some lits ->
     let arr = Array.of_list lits in
-    let c = { cid; lits = arr; learnt = false; activity = 0.0; deleted = false } in
     let n = Array.length arr in
     (* move the non-false (at level 0) literals to the front *)
     let nf = ref 0 in
@@ -149,6 +141,7 @@ let add_original t index lits =
         incr nf
       end
     done;
+    let cr = Arena.alloc t.arena ~cid ~learnt:false arr in
     if !nf = 0 then begin
       (* conflicts with the level-0 assignment: the formula is refuted *)
       t.ok <- false;
@@ -156,16 +149,16 @@ let add_original t index lits =
       match t.proof with
       | Some p ->
         if not (Proof.has_final p) then
-          Proof.set_final p ~antecedents:(final_analysis t c)
+          Proof.set_final p ~antecedents:(final_analysis t cr)
       | None -> ()
     end
     else if !nf = 1 then begin
       (match value_lit t arr.(0) with
       | 1 -> () (* already satisfied *)
-      | _ -> enqueue t arr.(0) (Some c));
-      if n >= 2 then attach_watches t c
+      | _ -> enqueue t arr.(0) cr);
+      if n >= 2 then attach t cr
     end
-    else attach_watches t c
+    else attach t cr
 
 let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode = Order.Vsids)
     ?(telemetry = Telemetry.disabled) cnf =
@@ -178,11 +171,12 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
     {
       cnf;
       nvars;
-      learnts = Vec.create ~dummy:dummy_clause ();
-      watches = Array.init nlits (fun _ -> Vec.create ~dummy:dummy_clause ());
+      arena = Arena.create ();
+      learnts = Vec.create ~dummy:Arena.none ();
+      watches = Array.init nlits (fun _ -> Arena.Watch.create ());
       assigns = Array.make (max nvars 1) unassigned;
       level = Array.make (max nvars 1) 0;
-      reason = Array.make (max nvars 1) None;
+      reason = Array.make (max nvars 1) Arena.none;
       trail = Vec.create ~dummy:(Lit.pos 0) ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
@@ -201,6 +195,7 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       result = None;
       conflicts_since_decay = 0;
       max_learnts = max 4000 (Cnf.num_clauses cnf / 3);
+      gc_fraction = 0.2;
       dynamic_threshold = max 1 (Cnf.num_literals cnf / 64);
       luby = Luby.create ~base:128;
       assumptions = [||];
@@ -225,10 +220,10 @@ let ensure_vars t n =
     let nlits = max (2 * n) 1 in
     t.assigns <- grow_array t.assigns (max n 1) unassigned;
     t.level <- grow_array t.level (max n 1) 0;
-    t.reason <- grow_array t.reason (max n 1) None;
+    t.reason <- grow_array t.reason (max n 1) Arena.none;
     t.seen <- grow_array t.seen (max n 1) false;
     t.trail_height <- grow_array t.trail_height (max n 1) 0;
-    let watches = Array.init nlits (fun _ -> Vec.create ~dummy:dummy_clause ()) in
+    let watches = Array.init nlits (fun _ -> Arena.Watch.create ()) in
     Array.blit t.watches 0 watches 0 (Array.length t.watches);
     t.watches <- watches;
     Order.grow t.order ~num_vars:n;
@@ -242,69 +237,80 @@ let new_var t =
   v
 
 (* ------------------------------------------------------------------ *)
-(* Boolean constraint propagation (two watched literals).              *)
+(* Boolean constraint propagation (two watched literals + blockers).   *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the conflicting cref, or [Arena.none].  Deleted clauses are
+   never present in watch lists (reduce_db detaches eagerly), so the loop
+   has no deleted check.  The blocker test is the fast path: one assignment
+   read against an int already in the watcher pair's cache line. *)
 let propagate t =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < Vec.length t.trail do
+  let arena = t.arena in
+  let conflict = ref Arena.none in
+  while !conflict = Arena.none && t.qhead < Vec.length t.trail do
     let p = Vec.get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     let false_lit = Lit.negate p in
     let ws = watch_list t false_lit in
-    let len = Vec.length ws in
+    let len = Arena.Watch.length ws in
     let j = ref 0 in
     let i = ref 0 in
     while !i < len do
-      let c = Vec.get ws !i in
+      let blocker = Arena.Watch.blocker ws !i in
+      let cr = Arena.Watch.cref ws !i in
       incr i;
-      if not c.deleted then begin
+      if value_lit t blocker = 1 then begin
+        (* clause satisfied by the blocker: keep the watch untouched *)
+        t.stats.blocker_hits <- t.stats.blocker_hits + 1;
+        Arena.Watch.set ws !j blocker cr;
+        incr j
+      end
+      else begin
         (* ensure the falsified watch sits at position 1 *)
-        if Lit.equal c.lits.(0) false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
-        end;
-        if value_lit t c.lits.(0) = 1 then begin
-          (* clause already satisfied: keep the watch *)
-          Vec.set ws !j c;
+        if Lit.equal (Arena.lit arena cr 0) false_lit then Arena.swap_lits arena cr 0 1;
+        let first = Arena.lit arena cr 0 in
+        if (not (Lit.equal first blocker)) && value_lit t first = 1 then begin
+          (* satisfied by the other watch: keep, with it as the new blocker *)
+          Arena.Watch.set ws !j first cr;
           incr j
         end
         else begin
           (* look for a new literal to watch *)
-          let n = Array.length c.lits in
+          let n = Arena.size arena cr in
           let found = ref false in
           let k = ref 2 in
           while (not !found) && !k < n do
-            if value_lit t c.lits.(!k) <> 0 then found := true else incr k
+            if value_lit t (Arena.lit arena cr !k) <> 0 then found := true else incr k
           done;
           if !found then begin
-            c.lits.(1) <- c.lits.(!k);
-            c.lits.(!k) <- false_lit;
-            Vec.push (watch_list t c.lits.(1)) c
+            let lk = Arena.lit arena cr !k in
+            Arena.set_lit arena cr 1 lk;
+            Arena.set_lit arena cr !k false_lit;
+            Arena.Watch.push (watch_list t lk) first cr
             (* watch moved: do not keep it in this list *)
           end
           else begin
-            (* unit or conflicting *)
-            Vec.set ws !j c;
+            (* unit or conflicting on [first] *)
+            Arena.Watch.set ws !j first cr;
             incr j;
-            match value_lit t c.lits.(0) with
+            match value_lit t first with
             | 0 ->
               (* conflict: keep the remaining watches and stop *)
               while !i < len do
-                Vec.set ws !j (Vec.get ws !i);
+                Arena.Watch.set ws !j (Arena.Watch.blocker ws !i) (Arena.Watch.cref ws !i);
                 incr j;
                 incr i
               done;
-              conflict := Some c
+              conflict := cr
             | v when v = unassigned ->
               t.stats.propagations <- t.stats.propagations + 1;
-              enqueue t c.lits.(0) (Some c)
+              enqueue t first cr
             | _ -> () (* already true: nothing to do *)
           end
         end
       end
     done;
-    Vec.shrink ws !j
+    Arena.Watch.truncate ws !j
   done;
   !conflict
 
@@ -320,11 +326,11 @@ let cancel_until t lvl =
       let l = Vec.get t.trail i in
       let v = Lit.var l in
       t.assigns.(v) <- unassigned;
-      t.reason.(v) <- None;
+      t.reason.(v) <- Arena.none;
       Order.on_unassign t.order v
     done;
-    Vec.shrink t.trail bound;
-    Vec.shrink t.trail_lim lvl;
+    Vec.shrink_retain t.trail bound;
+    Vec.shrink_retain t.trail_lim lvl;
     t.qhead <- bound
   end
 
@@ -346,6 +352,7 @@ let add_clause t lits =
 (* Returns (learnt literals with the asserting literal first, backtrack
    level, antecedent clause IDs).  Precondition: decision_level > 0. *)
 let analyze t conflict =
+  let arena = t.arena in
   let learnt = ref [] in
   let steps = ref [] in
   let path_count = ref 0 in
@@ -367,29 +374,29 @@ let analyze t conflict =
         if not t.seen.(v) then begin
           t.seen.(v) <- true;
           to_clear := v :: !to_clear;
-          (match t.reason.(v) with
-          | Some r ->
-            steps := (v, r.cid) :: !steps;
-            Array.iter
-              (fun l ->
+          let r = t.reason.(v) in
+          if r <> Arena.none then begin
+            steps := (v, Arena.cid arena r) :: !steps;
+            Arena.iter_lits arena r (fun l ->
                 let u = Lit.var l in
                 if u <> v && t.level.(u) = 0 then stack := u :: !stack)
-              r.lits
-          | None -> ())
+          end
         end;
         drain ()
     in
     drain ()
   in
-  let first_cid = conflict.cid in
+  let first_cid = Arena.cid arena conflict in
   let continue = ref true in
+  let first_iter = ref true in
   while !continue do
     let c = !confl in
-    if c != conflict then steps := (Lit.var (Option.get !p), c.cid) :: !steps;
-    if c.learnt then c.activity <- c.activity +. 1.0;
+    if not !first_iter then steps := (Lit.var (Option.get !p), Arena.cid arena c) :: !steps;
+    first_iter := false;
+    if Arena.learnt arena c then Arena.bump_activity arena c;
     let start = match !p with None -> 0 | Some _ -> 1 in
-    for jj = start to Array.length c.lits - 1 do
-      let q = c.lits.(jj) in
+    for jj = start to Arena.size arena c - 1 do
+      let q = Arena.lit arena c jj in
       let v = Lit.var q in
       if not t.seen.(v) then begin
         if t.level.(v) > 0 then begin
@@ -411,9 +418,9 @@ let analyze t conflict =
     p := Some pl;
     decr path_count;
     if !path_count > 0 then begin
-      match t.reason.(Lit.var pl) with
-      | Some r -> confl := r
-      | None -> assert false (* only the UIP can lack a reason *)
+      let r = t.reason.(Lit.var pl) in
+      if r <> Arena.none then confl := r
+      else assert false (* only the UIP can lack a reason *)
     end
     else continue := false
   done;
@@ -426,25 +433,22 @@ let analyze t conflict =
     if not t.minimize then !learnt
     else begin
       let redundant q =
-        match t.reason.(Lit.var q) with
-        | None -> false
-        | Some r ->
+        let r = t.reason.(Lit.var q) in
+        if r = Arena.none then false
+        else begin
           let ok = ref true in
-          Array.iter
-            (fun l ->
+          Arena.iter_lits arena r (fun l ->
               let v = Lit.var l in
-              if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then ok := false)
-            r.lits;
+              if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then ok := false);
           if !ok then begin
-            steps := (Lit.var q, r.cid) :: !steps;
-            Array.iter
-              (fun l ->
+            steps := (Lit.var q, Arena.cid arena r) :: !steps;
+            Arena.iter_lits arena r (fun l ->
                 let v = Lit.var l in
                 if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) = 0 then
                   resolve_level0 v)
-              r.lits
           end;
           !ok
+        end
       in
       List.filter (fun q -> not (redundant q)) !learnt
     end
@@ -472,18 +476,16 @@ let analyze_final_assumption t p =
       if not t.seen.(v) then begin
         t.seen.(v) <- true;
         to_clear := v :: !to_clear;
-        (match t.reason.(v) with
-        | Some r ->
-          steps := (v, r.cid) :: !steps;
-          Array.iter
-            (fun l ->
+        let r = t.reason.(v) in
+        if r <> Arena.none then begin
+          steps := (v, Arena.cid t.arena r) :: !steps;
+          Arena.iter_lits t.arena r (fun l ->
               let u = Lit.var l in
               if u <> v then queue := u :: !queue)
-            r.lits
-        | None ->
-          if t.level.(v) > 0 then
-            (* an assumption decision: record the literal as assumed *)
-            failed := Lit.make v (t.assigns.(v) = 1) :: !failed)
+        end
+        else if t.level.(v) > 0 then
+          (* an assumption decision: record the literal as assumed *)
+          failed := Lit.make v (t.assigns.(v) = 1) :: !failed
       end;
       drain ()
   in
@@ -515,8 +517,8 @@ let record_learnt t lits ants =
   match lits with
   | [] -> assert false
   | [ l ] ->
-    let c = { cid; lits = [| l |]; learnt = true; activity = 1.0; deleted = false } in
-    enqueue t l (Some c)
+    let cr = Arena.alloc t.arena ~cid ~learnt:true [| l |] in
+    enqueue t l cr
   | first :: _ ->
     let arr = Array.of_list lits in
     (* the second watch must be a literal from the backtrack level *)
@@ -527,41 +529,68 @@ let record_learnt t lits ants =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
-    let c = { cid; lits = arr; learnt = true; activity = 1.0; deleted = false } in
-    Vec.push t.learnts c;
-    attach_watches t c;
+    let cr = Arena.alloc t.arena ~cid ~learnt:true arr in
+    Vec.push t.learnts cr;
+    attach t cr;
     t.stats.propagations <- t.stats.propagations + 1;
-    enqueue t first (Some c)
+    enqueue t first cr
 
 (* ------------------------------------------------------------------ *)
-(* Clause-database reduction.                                          *)
+(* Clause-database reduction and arena compaction.                     *)
 (* ------------------------------------------------------------------ *)
 
-let locked t c =
-  Array.length c.lits > 0
+let locked t cr =
+  Arena.size t.arena cr > 0
   &&
-  let v = Lit.var c.lits.(0) in
-  value_var t v <> unassigned
-  && match t.reason.(v) with Some r -> r == c | None -> false
+  let v = Lit.var (Arena.lit t.arena cr 0) in
+  value_var t v <> unassigned && t.reason.(v) = cr
+
+(* Copying compaction: relocate every live root — watcher crefs, reasons of
+   assigned variables, the learnt list — into a fresh arena and adopt it.
+   Deleted clauses are unreachable by now (reduce_db detaches them), so
+   everything relocated is live and the new arena has zero waste. *)
+let compact t =
+  let into = Arena.create ~capacity:(max 1024 (Arena.live_words t.arena)) () in
+  Array.iter
+    (fun w -> Arena.Watch.map_crefs w (fun cr -> Arena.reloc t.arena ~into cr))
+    t.watches;
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) <> unassigned && t.reason.(v) <> Arena.none then
+      t.reason.(v) <- Arena.reloc t.arena ~into t.reason.(v)
+  done;
+  for i = 0 to Vec.length t.learnts - 1 do
+    Vec.set t.learnts i (Arena.reloc t.arena ~into (Vec.get t.learnts i))
+  done;
+  Arena.commit t.arena ~into;
+  t.stats.arena_compactions <- t.stats.arena_compactions + 1;
+  t.stats.arena_bytes <- Arena.bytes t.arena
 
 let reduce_db t =
   let cs = Vec.to_array t.learnts in
-  Array.sort (fun a b -> Float.compare a.activity b.activity) cs;
+  Array.sort (fun a b -> Int.compare (Arena.activity t.arena a) (Arena.activity t.arena b)) cs;
   let target = Array.length cs / 2 in
   let removed = ref 0 in
   Array.iteri
-    (fun i c ->
-      if !removed < target && i < target && Array.length c.lits > 2 && not (locked t c) then begin
-        c.deleted <- true;
+    (fun i cr ->
+      if i < target && Arena.size t.arena cr > 2 && not (locked t cr) then begin
         (match t.drat with
-        | Some d -> Vec.push d (Checker.Deleted (Array.to_list c.lits))
+        | Some d -> Vec.push d (Checker.Deleted (Arena.lits_list t.arena cr))
         | None -> ());
+        Arena.delete t.arena cr;
         incr removed
       end)
     cs;
   t.stats.deleted <- t.stats.deleted + !removed;
-  Vec.filter_in_place (fun c -> not c.deleted) t.learnts;
-  t.max_learnts <- t.max_learnts + (t.max_learnts / 10)
+  Vec.filter_in_place (fun cr -> not (Arena.deleted t.arena cr)) t.learnts;
+  (* one sweep detaches every deleted clause; pair storage is filtered in
+     place, so watch-list capacity is reused, not reallocated *)
+  if !removed > 0 then
+    Array.iter
+      (fun w -> Arena.Watch.filter_crefs w (fun cr -> not (Arena.deleted t.arena cr)))
+      t.watches;
+  t.max_learnts <- t.max_learnts + (t.max_learnts / 10);
+  t.stats.arena_bytes <- Arena.bytes t.arena;
+  if Arena.should_gc t.arena ~max_waste:t.gc_fraction then compact t
 
 (* ------------------------------------------------------------------ *)
 (* Periodic decay (Chaff's score halving).                             *)
@@ -574,7 +603,7 @@ let maybe_decay t =
   if t.conflicts_since_decay >= decay_period then begin
     t.conflicts_since_decay <- 0;
     Order.halve_all t.order;
-    Vec.iter (fun c -> c.activity <- c.activity *. 0.5) t.learnts
+    Vec.iter (fun cr -> Arena.halve_activity t.arena cr) t.learnts
   end
 
 (* ------------------------------------------------------------------ *)
@@ -652,9 +681,9 @@ let search t budget start_time =
   let conflicts_until_restart = ref (Luby.next t.luby) in
   let new_level () = Vec.push t.trail_lim (Vec.length t.trail) in
   let rec loop () =
-    match propagate_timed t with
-    | Some conflict ->
-      handle_conflict t conflict;
+    let confl = propagate_timed t in
+    if confl <> Arena.none then begin
+      handle_conflict t confl;
       decr conflicts_until_restart;
       if budget_exceeded t budget start_time then raise (Done Unknown);
       if !conflicts_until_restart <= 0 then begin
@@ -666,7 +695,8 @@ let search t budget start_time =
         cancel_until t 0
       end;
       loop ()
-    | None ->
+    end
+    else begin
       let dl = decision_level t in
       if dl < Array.length t.assumptions then begin
         (* assumption prefix: assume the next one, or detect failure *)
@@ -677,7 +707,7 @@ let search t budget start_time =
           loop ()
         | v when v = unassigned ->
           new_level ();
-          enqueue t p None;
+          enqueue t p Arena.none;
           loop ()
         | _ ->
           let failed, ants = analyze_final_assumption t p in
@@ -706,9 +736,10 @@ let search t budget start_time =
                     (if Order.mode_uses_rank t.order then "bmc_score" else "vsids") );
                 ("level", Telemetry.Sink.Int (decision_level t));
               ];
-          enqueue t l None;
+          enqueue t l Arena.none;
           loop ()
       end
+    end
   in
   loop ()
 
@@ -733,6 +764,7 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       let r = try search t budget start_time with Done r -> r in
       let dur = Sys.time () -. start_time in
       s.solve_time <- s.solve_time +. dur;
+      s.arena_bytes <- Arena.bytes t.arena;
       if Telemetry.enabled t.tel then begin
         let open Telemetry.Sink in
         Telemetry.span_event t.tel "bcp" ~dur:(s.bcp_time -. bcp0)
@@ -829,6 +861,14 @@ let failed_assumptions t =
 let set_mode t mode =
   cancel_until t 0;
   Order.set_mode t.order mode
+
+let set_max_learnts t n = t.max_learnts <- max 1 n
+
+let set_gc_fraction t f =
+  if f < 0.0 then invalid_arg "Solver.set_gc_fraction: negative";
+  t.gc_fraction <- f
+
+let arena_bytes t = Arena.bytes t.arena
 
 let num_clauses t = Cnf.num_clauses t.cnf
 

@@ -86,6 +86,23 @@ val set_mode : t -> Order.mode -> unit
 (** Replace the decision-ordering mode before the next {!solve} call,
     keeping accumulated literal activities (incremental use). *)
 
+val set_max_learnts : t -> int -> unit
+(** Override the learnt-clause limit that triggers database reduction
+    (clamped to at least 1).  The default is
+    [max 4000 (num_clauses / 3)]; tests set a tiny limit to force frequent
+    {e reduce_db} / arena-compaction cycles. *)
+
+val set_gc_fraction : t -> float -> unit
+(** Set the wasted/size ratio of the clause arena above which a database
+    reduction is followed by a compacting arena GC (default 0.2).  [0.0]
+    compacts after every reduction that deleted something; a huge value
+    disables compaction.
+    @raise Invalid_argument if negative. *)
+
+val arena_bytes : t -> int
+(** Current clause-arena footprint in bytes (live plus not-yet-compacted
+    waste). *)
+
 val num_clauses : t -> int
 (** Clauses added so far (original ones, not learnt). *)
 

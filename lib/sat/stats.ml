@@ -7,6 +7,9 @@ type t = {
   mutable deleted : int;
   mutable max_decision_level : int;
   mutable heuristic_switches : int;
+  mutable blocker_hits : int;
+  mutable arena_bytes : int;
+  mutable arena_compactions : int;
   mutable solve_time : float;
   mutable bcp_time : float;
   mutable analyze_time : float;
@@ -22,6 +25,9 @@ let create () =
     deleted = 0;
     max_decision_level = 0;
     heuristic_switches = 0;
+    blocker_hits = 0;
+    arena_bytes = 0;
+    arena_compactions = 0;
     solve_time = 0.0;
     bcp_time = 0.0;
     analyze_time = 0.0;
@@ -38,6 +44,9 @@ let add acc s =
   acc.deleted <- acc.deleted + s.deleted;
   acc.max_decision_level <- max acc.max_decision_level s.max_decision_level;
   acc.heuristic_switches <- acc.heuristic_switches + s.heuristic_switches;
+  acc.blocker_hits <- acc.blocker_hits + s.blocker_hits;
+  acc.arena_bytes <- max acc.arena_bytes s.arena_bytes;
+  acc.arena_compactions <- acc.arena_compactions + s.arena_compactions;
   acc.solve_time <- acc.solve_time +. s.solve_time;
   acc.bcp_time <- acc.bcp_time +. s.bcp_time;
   acc.analyze_time <- acc.analyze_time +. s.analyze_time
@@ -45,9 +54,11 @@ let add acc s =
 let pp ppf s =
   Format.fprintf ppf
     "decisions=%d implications=%d conflicts=%d restarts=%d learned=%d deleted=%d \
-     max_level=%d switches=%d"
+     max_level=%d switches=%d blockers=%d"
     s.decisions s.propagations s.conflicts s.restarts s.learned s.deleted
-    s.max_decision_level s.heuristic_switches;
+    s.max_decision_level s.heuristic_switches s.blocker_hits;
+  if s.arena_bytes > 0 then
+    Format.fprintf ppf " arena=%dB gcs=%d" s.arena_bytes s.arena_compactions;
   if s.solve_time > 0.0 then
     Format.fprintf ppf " solve=%.3fs bcp=%.3fs analyze=%.3fs" s.solve_time s.bcp_time
       s.analyze_time

@@ -13,6 +13,13 @@ type t = {
   mutable max_decision_level : int;
   mutable heuristic_switches : int;
       (** dynamic mode: times the solver fell back to pure VSIDS *)
+  mutable blocker_hits : int;
+      (** watcher visits resolved by the blocking literal alone, without
+          touching clause memory (see {!Arena.Watch}) *)
+  mutable arena_bytes : int;
+      (** current clause-arena footprint in bytes (live + not-yet-compacted
+          waste); a gauge, so {!add} takes the max *)
+  mutable arena_compactions : int;  (** arena garbage collections run *)
   mutable solve_time : float;  (** CPU seconds spent inside {!Solver.solve} *)
   mutable bcp_time : float;
       (** CPU seconds in unit propagation; only accumulated while telemetry
@@ -27,7 +34,8 @@ val create : unit -> t
 val copy : t -> t
 
 val add : t -> t -> unit
-(** [add acc s] accumulates [s] into [acc] (max for [max_decision_level],
-    sums for everything else including the wall-time fields). *)
+(** [add acc s] accumulates [s] into [acc] (max for [max_decision_level]
+    and [arena_bytes], sums for everything else including the wall-time
+    fields). *)
 
 val pp : Format.formatter -> t -> unit

@@ -55,6 +55,12 @@ let shrink v n =
   Array.fill v.data n (v.len - n) v.dummy;
   v.len <- n
 
+let shrink_retain v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.shrink_retain";
+  v.len <- n
+
+let clear_retain v = v.len <- 0
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)

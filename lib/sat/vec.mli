@@ -33,7 +33,19 @@ val clear : 'a t -> unit
     overwritten with the dummy so old values can be collected. *)
 
 val shrink : 'a t -> int -> unit
-(** [shrink v n] truncates [v] to its first [n] elements. *)
+(** [shrink v n] truncates [v] to its first [n] elements.  Stale slots are
+    overwritten with the dummy so old values can be collected. *)
+
+val shrink_retain : 'a t -> int -> unit
+(** Like {!shrink} but without dummy-filling the tail: the stale slots keep
+    their old values.  Only safe when retaining them cannot leak memory —
+    i.e. for immediate payloads (ints, literals, crefs).  Used on the hot
+    paths (trail backtracking, watcher compaction) where the [Array.fill]
+    of {!shrink} is pure overhead. *)
+
+val clear_retain : 'a t -> unit
+(** Logical reset to length 0 without dummy-filling; same safety caveat as
+    {!shrink_retain}.  Reuses capacity across refills. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 

@@ -157,6 +157,37 @@ let prop_drat_on_random_bmc_instances =
       done;
       !ok)
 
+let prop_compaction_neutral_on_bmc_instances =
+  QCheck.Test.make
+    ~name:"random circuits: forced arena compaction preserves BMC outcomes and cores" ~count:40
+    arb (fun case ->
+      let u = Bmc.Unroll.create case.netlist ~property:case.property in
+      let ok = ref true in
+      for k = 0 to 3 do
+        let cnf = Bmc.Unroll.instance u ~k in
+        let solve_with ~gc =
+          (* a tiny learnt limit forces reduce_db every few conflicts; the
+             gc flag then decides whether each reduction also compacts *)
+          let s = Sat.Solver.create ~with_proof:true cnf in
+          Sat.Solver.set_max_learnts s 5;
+          Sat.Solver.set_gc_fraction s (if gc then 0.0 else infinity);
+          (Sat.Solver.solve s, s)
+        in
+        let o1, s1 = solve_with ~gc:true in
+        let o2, s2 = solve_with ~gc:false in
+        (* identical deletion schedule: compaction must be invisible *)
+        if Sat.Solver.outcome_string o1 <> Sat.Solver.outcome_string o2 then ok := false;
+        (* and neither run may disagree with an untouched solver's answer *)
+        let o3 = Sat.Solver.solve (Sat.Solver.create cnf) in
+        if Sat.Solver.outcome_string o1 <> Sat.Solver.outcome_string o3 then ok := false;
+        match (o1, o2) with
+        | Sat.Solver.Unsat, Sat.Solver.Unsat ->
+          if Sat.Solver.unsat_core s1 <> Sat.Solver.unsat_core s2 then ok := false;
+          if Sat.Solver.core_vars s1 <> Sat.Solver.core_vars s2 then ok := false
+        | _ -> ()
+      done;
+      !ok)
+
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_bmc_engines_match_oracle;

@@ -195,6 +195,70 @@ let test_wide_clauses () =
   Alcotest.(check bool) "x19 true" true (Sat.Solver.model s).(19)
 
 (* ------------------------------------------------------------------ *)
+(* Arena compaction is observationally neutral.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Compaction only relocates clause blocks — it must not change which
+   clauses exist, their literal order, or the watch/reason structure, so a
+   solver that compacts after every database reduction must retrace exactly
+   the search of one that never compacts. *)
+let run_with_gc clauses ~gc =
+  let s = Sat.Solver.create ~with_proof:true (mk_cnf clauses) in
+  (* a tiny learnt limit forces reduce_db (and hence compaction) early and
+     often, instead of once near the end of the search *)
+  Sat.Solver.set_max_learnts s 20;
+  Sat.Solver.set_gc_fraction s (if gc then 0.0 else infinity);
+  let o = Sat.Solver.solve s in
+  (o, s)
+
+let test_compaction_neutral_php () =
+  let clauses = php 6 5 in
+  let o1, s1 = run_with_gc clauses ~gc:true in
+  let o2, s2 = run_with_gc clauses ~gc:false in
+  check_outcome "same outcome" (outcome_str o2) (outcome_str o1);
+  let st1 = Sat.Solver.stats s1 and st2 = Sat.Solver.stats s2 in
+  Alcotest.(check bool) "compactions actually ran" true (st1.Sat.Stats.arena_compactions > 0);
+  Alcotest.(check int) "no compaction in the control run" 0 st2.Sat.Stats.arena_compactions;
+  Alcotest.(check int) "same conflicts" st2.Sat.Stats.conflicts st1.Sat.Stats.conflicts;
+  Alcotest.(check int) "same learned" st2.Sat.Stats.learned st1.Sat.Stats.learned;
+  Alcotest.(check int) "same deleted" st2.Sat.Stats.deleted st1.Sat.Stats.deleted;
+  Alcotest.(check int) "same decisions" st2.Sat.Stats.decisions st1.Sat.Stats.decisions;
+  Alcotest.(check (list int)) "same unsat core" (Sat.Solver.unsat_core s2)
+    (Sat.Solver.unsat_core s1);
+  Alcotest.(check (list int)) "same core vars" (Sat.Solver.core_vars s2)
+    (Sat.Solver.core_vars s1);
+  (* the compacting run must not hold more arena memory than the control *)
+  Alcotest.(check bool) "compaction reclaims memory" true
+    (Sat.Solver.arena_bytes s1 <= Sat.Solver.arena_bytes s2)
+
+let test_compaction_neutral_incremental () =
+  (* repeated solve calls across compactions: reasons and watches must
+     survive relocation between calls too *)
+  let s1 = Sat.Solver.create ~with_proof:true (mk_cnf (php 5 4)) in
+  let s2 = Sat.Solver.create ~with_proof:true (mk_cnf (php 5 4)) in
+  Sat.Solver.set_max_learnts s1 10;
+  Sat.Solver.set_max_learnts s2 10;
+  Sat.Solver.set_gc_fraction s1 0.0;
+  Sat.Solver.set_gc_fraction s2 infinity;
+  for v = 0 to 3 do
+    let a = Sat.Solver.solve ~assumptions:[ Sat.Lit.pos v ] s1 in
+    let b = Sat.Solver.solve ~assumptions:[ Sat.Lit.pos v ] s2 in
+    check_outcome "same outcome under assumptions" (outcome_str b) (outcome_str a)
+  done;
+  let a = Sat.Solver.solve s1 and b = Sat.Solver.solve s2 in
+  check_outcome "same final outcome" (outcome_str b) (outcome_str a);
+  Alcotest.(check (list int)) "same final core" (Sat.Solver.unsat_core s2)
+    (Sat.Solver.unsat_core s1)
+
+let test_arena_stats_populated () =
+  let _, s = solve (php 5 4) in
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "arena_bytes recorded" true (st.Sat.Stats.arena_bytes > 0);
+  Alcotest.(check int) "arena_bytes matches the arena" (Sat.Solver.arena_bytes s)
+    st.Sat.Stats.arena_bytes;
+  Alcotest.(check bool) "blockers pruned watcher visits" true (st.Sat.Stats.blocker_hits > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Modes do not change answers.                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -312,6 +376,18 @@ let prop_modes_agree_randomised =
       let c = run (Sat.Order.Dynamic rank) in
       outcome_str a = outcome_str b && outcome_str b = outcome_str c)
 
+let prop_compaction_neutral_randomised =
+  QCheck.Test.make ~name:"compaction never changes outcome/learned/core" ~count:300
+    random_cnf_arbitrary (fun (_nv, cls) ->
+      let o1, s1 = run_with_gc cls ~gc:true in
+      let o2, s2 = run_with_gc cls ~gc:false in
+      outcome_str o1 = outcome_str o2
+      && (Sat.Solver.stats s1).Sat.Stats.learned = (Sat.Solver.stats s2).Sat.Stats.learned
+      &&
+      match o1 with
+      | Sat.Solver.Unsat -> Sat.Solver.core_vars s1 = Sat.Solver.core_vars s2
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true)
+
 let tests =
   [
     Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
@@ -333,6 +409,11 @@ let tests =
     Alcotest.test_case "wide clauses" `Quick test_wide_clauses;
     Alcotest.test_case "php(6,5) completes" `Quick test_hard_instance_completes_without_budget;
     Alcotest.test_case "modes agree on php" `Quick test_modes_agree;
+    Alcotest.test_case "compaction neutral (php)" `Quick test_compaction_neutral_php;
+    Alcotest.test_case "compaction neutral (incremental)" `Quick
+      test_compaction_neutral_incremental;
+    Alcotest.test_case "arena stats populated" `Quick test_arena_stats_populated;
+    QCheck_alcotest.to_alcotest prop_compaction_neutral_randomised;
     QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
     QCheck_alcotest.to_alcotest prop_models_are_valid;
     QCheck_alcotest.to_alcotest prop_cores_are_unsat;

@@ -59,6 +59,36 @@ let test_shrink () =
   Alcotest.check_raises "bad shrink" (Invalid_argument "Vec.shrink") (fun () ->
       Sat.Vec.shrink v 3)
 
+let test_shrink_retain () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  Sat.Vec.shrink_retain v 2;
+  check_list "after shrink_retain" [ 1; 2 ] (Sat.Vec.to_list v);
+  (* the tail keeps its old values, so re-pushing reuses the slots *)
+  Sat.Vec.push v 7;
+  check_list "push after shrink_retain" [ 1; 2; 7 ] (Sat.Vec.to_list v);
+  Alcotest.check_raises "bad shrink_retain" (Invalid_argument "Vec.shrink_retain") (fun () ->
+      Sat.Vec.shrink_retain v 4);
+  Alcotest.check_raises "negative shrink_retain" (Invalid_argument "Vec.shrink_retain")
+    (fun () -> Sat.Vec.shrink_retain v (-1))
+
+let test_clear_retain () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Sat.Vec.clear_retain v;
+  check_int "length after clear_retain" 0 (Sat.Vec.length v);
+  Sat.Vec.push v 9;
+  check_list "reusable after clear_retain" [ 9 ] (Sat.Vec.to_list v)
+
+let prop_shrink_retain_matches_shrink =
+  QCheck.Test.make ~name:"shrink_retain = shrink (observable state)" ~count:200
+    QCheck.(pair (list int) small_nat)
+    (fun (xs, n) ->
+      let n = if xs = [] then 0 else n mod (List.length xs + 1) in
+      let a = Sat.Vec.of_list ~dummy:0 xs in
+      let b = Sat.Vec.of_list ~dummy:0 xs in
+      Sat.Vec.shrink a n;
+      Sat.Vec.shrink_retain b n;
+      Sat.Vec.to_list a = Sat.Vec.to_list b)
+
 let test_filter_in_place () =
   let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
   Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
@@ -105,6 +135,9 @@ let tests =
     Alcotest.test_case "bounds" `Quick test_out_of_bounds;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "shrink" `Quick test_shrink;
+    Alcotest.test_case "shrink_retain" `Quick test_shrink_retain;
+    Alcotest.test_case "clear_retain" `Quick test_clear_retain;
+    QCheck_alcotest.to_alcotest prop_shrink_retain_matches_shrink;
     Alcotest.test_case "filter_in_place" `Quick test_filter_in_place;
     Alcotest.test_case "iter/fold" `Quick test_iter_fold;
     QCheck_alcotest.to_alcotest prop_roundtrip;
