@@ -543,26 +543,32 @@ type quick_row = {
   q_decisions : int;
   q_conflicts : int;
   q_propagations : int;
+  q_build : float; (* instance construction: unroll/deltas + solver setup *)
   q_bcp : float;
   q_solve : float;
 }
 
+let quick_mix h x = ((h * 131) + x) land 0x3FFFFFFF
+
+(* The classic substrate: monolithic Unroll.instance rebuild and a fresh
+   solver at every depth (the seed engines' behaviour). *)
 let quick_run_case ((case : Circuit.Generators.case), depth) =
   let u = Bmc.Unroll.create case.netlist ~property:case.property in
   let buf = Buffer.create (depth + 1) in
-  let mix h x = ((h * 131) + x) land 0x3FFFFFFF in
   let hash = ref 7 in
   let dec = ref 0 and confl = ref 0 and props = ref 0 in
-  let bcp = ref 0.0 and slv = ref 0.0 in
+  let build = ref 0.0 and bcp = ref 0.0 and slv = ref 0.0 in
   for k = 0 to depth do
+    let tb = Sys.time () in
     let cnf = Bmc.Unroll.instance u ~k in
     let s = Sat.Solver.create ~with_proof:true ~telemetry:tel cnf in
+    build := !build +. (Sys.time () -. tb);
     (match Sat.Solver.solve ~budget:quick_budget s with
     | Sat.Solver.Sat -> Buffer.add_char buf 's'
     | Sat.Solver.Unsat ->
       Buffer.add_char buf 'u';
-      hash := mix !hash (k + 1);
-      List.iter (fun v -> hash := mix !hash v) (Sat.Solver.core_vars s)
+      hash := quick_mix !hash (k + 1);
+      List.iter (fun v -> hash := quick_mix !hash v) (Sat.Solver.core_vars s)
     | Sat.Solver.Unknown -> Buffer.add_char buf '?');
     let st = Sat.Solver.stats s in
     dec := !dec + st.Sat.Stats.decisions;
@@ -578,23 +584,73 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
     q_decisions = !dec;
     q_conflicts = !confl;
     q_propagations = !props;
+    q_build = !build;
     q_bcp = !bcp;
     q_solve = !slv;
   }
 
+(* The session substrate: one persistent solver, frame deltas loaded once,
+   the per-depth ¬P clause guarded by an activation literal.  Outcomes must
+   match the classic rows depth for depth (quick-check gates on it); search
+   counters and core hashes legitimately differ — learnt clauses survive
+   and cores may name activation variables — so each substrate is compared
+   against its own snapshot history. *)
+let quick_run_case_session ((case : Circuit.Generators.case), depth) =
+  let config =
+    Bmc.Session.make_config ~budget:quick_budget ~max_depth:depth ~collect_cores:true
+      ~telemetry:tel ()
+  in
+  let session =
+    Bmc.Session.create ~policy:Bmc.Session.Persistent config case.netlist
+      ~property:case.property
+  in
+  let buf = Buffer.create (depth + 1) in
+  let hash = ref 7 in
+  let dec = ref 0 and confl = ref 0 and props = ref 0 in
+  let build = ref 0.0 in
+  for k = 0 to depth do
+    Bmc.Session.begin_instance session ~k;
+    Bmc.Session.constrain session
+      [ Sat.Lit.neg (Bmc.Session.var_of session ~node:case.property ~frame:k) ];
+    let st = Bmc.Session.solve_instance session in
+    (match st.Bmc.Session.outcome with
+    | Sat.Solver.Sat -> Buffer.add_char buf 's'
+    | Sat.Solver.Unsat ->
+      Buffer.add_char buf 'u';
+      hash := quick_mix !hash (k + 1);
+      List.iter (fun v -> hash := quick_mix !hash v) (Bmc.Session.last_core_vars session)
+    | Sat.Solver.Unknown -> Buffer.add_char buf '?');
+    dec := !dec + st.Bmc.Session.decisions;
+    confl := !confl + st.Bmc.Session.conflicts;
+    props := !props + st.Bmc.Session.implications;
+    build := !build +. st.Bmc.Session.build_time
+  done;
+  let stats = Bmc.Session.solver_stats session in
+  {
+    q_name = case.name ^ "+session";
+    q_outcomes = Buffer.contents buf;
+    q_core_hash = !hash;
+    q_decisions = !dec;
+    q_conflicts = !confl;
+    q_propagations = !props;
+    q_build = !build;
+    q_bcp = stats.Sat.Stats.bcp_time;
+    q_solve = stats.Sat.Stats.solve_time;
+  }
+
 let quick_json rows ~alloc_mb =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v1\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v2\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
            "    { \"name\": \"%s\", \"outcomes\": \"%s\", \"core_vars_hash\": \"%08x\", \
-            \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"bcp_s\": %.6f, \
-            \"solve_s\": %.6f }%s\n"
+            \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"build_s\": %.6f, \
+            \"bcp_s\": %.6f, \"solve_s\": %.6f }%s\n"
            r.q_name r.q_outcomes r.q_core_hash r.q_decisions r.q_conflicts r.q_propagations
-           r.q_bcp r.q_solve
+           r.q_build r.q_bcp r.q_solve
            (if i = n - 1 then "" else ",")))
     rows;
   let tot f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
@@ -602,9 +658,10 @@ let quick_json rows ~alloc_mb =
   Buffer.add_string b
     (Printf.sprintf
        "  ],\n\
-       \  \"totals\": { \"bcp_s\": %.6f, \"solve_s\": %.6f, \"decisions\": %d, \
-        \"conflicts\": %d, \"propagations\": %d, \"alloc_mb\": %.1f }\n\
+       \  \"totals\": { \"build_s\": %.6f, \"bcp_s\": %.6f, \"solve_s\": %.6f, \
+        \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"alloc_mb\": %.1f }\n\
         }\n"
+       (tot (fun r -> r.q_build))
        (tot (fun r -> r.q_bcp))
        (tot (fun r -> r.q_solve))
        (toti (fun r -> r.q_decisions))
@@ -615,23 +672,35 @@ let quick_json rows ~alloc_mb =
 
 let quick_rows () =
   let a0 = Gc.allocated_bytes () in
-  let rows = List.map quick_run_case (quick_cases ()) in
+  let cases = quick_cases () in
+  (* both substrates over the same cases: classic per-depth rebuilds and the
+     persistent incremental session *)
+  let classic = List.map quick_run_case cases in
+  let session = List.map quick_run_case_session cases in
+  let rows = classic @ session in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
   Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
-  Printf.printf "%-16s %-14s %10s %10s %12s %10s %10s\n" "model" "outcomes" "decisions"
-    "conflicts" "implications" "bcp(s)" "solve(s)";
+  Printf.printf "%-24s %-14s %10s %10s %12s %9s %9s %9s\n" "model" "outcomes" "decisions"
+    "conflicts" "implications" "build(s)" "bcp(s)" "solve(s)";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %-14s %10d %10d %12d %10.3f %10.3f\n" r.q_name r.q_outcomes
-        r.q_decisions r.q_conflicts r.q_propagations r.q_bcp r.q_solve)
+      Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f\n" r.q_name r.q_outcomes
+        r.q_decisions r.q_conflicts r.q_propagations r.q_build r.q_bcp r.q_solve)
     rows;
-  Printf.printf "%-16s %-14s %10d %10d %12d %10.3f %10.3f   (%.1f MB allocated)\n" "TOTAL" ""
+  Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f   (%.1f MB allocated)\n" "TOTAL"
+    ""
     (List.fold_left (fun a r -> a + r.q_decisions) 0 rows)
     (List.fold_left (fun a r -> a + r.q_conflicts) 0 rows)
     (List.fold_left (fun a r -> a + r.q_propagations) 0 rows)
+    (List.fold_left (fun a r -> a +. r.q_build) 0.0 rows)
     (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows)
     (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows)
     alloc_mb;
+  let build_of rs = List.fold_left (fun a r -> a +. r.q_build) 0.0 rs in
+  Printf.printf
+    "\n   instance build time: classic %.3fs (O(k^2) rebuilds), session %.3fs (frame deltas)\n"
+    (build_of classic) (build_of session);
+  Telemetry.gauge tel "quick.build_s" (List.fold_left (fun a r -> a +. r.q_build) 0.0 rows);
   Telemetry.gauge tel "quick.bcp_s" (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows);
   Telemetry.gauge tel "quick.solve_s" (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows);
   Telemetry.gauge tel "quick.alloc_mb" alloc_mb;
@@ -703,11 +772,25 @@ let quick_check () =
             got_hash
         end)
     rows;
+  (* cross-substrate gate: the classic and session engines solve the same
+     instance sequence, so their per-depth outcomes must agree exactly *)
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace by_name r.q_name r) rows;
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt by_name (r.q_name ^ "+session") with
+      | Some s when s.q_outcomes <> r.q_outcomes ->
+        incr failures;
+        Printf.eprintf "quick-check: %s: classic and session outcomes diverge: %s vs %s\n"
+          r.q_name r.q_outcomes s.q_outcomes
+      | Some _ | None -> ())
+    rows;
   if !failures > 0 then begin
     Printf.eprintf "quick-check: %d divergence(s) from %s\n" !failures quick_snapshot_file;
     exit 1
   end;
-  Printf.printf "quick-check: all outcomes and core-variable sets match %s\n"
+  Printf.printf
+    "quick-check: all outcomes and core-variable sets match %s (classic and session agree)\n"
     quick_snapshot_file
 
 (* ------------------------------------------------------------------ *)

@@ -63,7 +63,7 @@ let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
     (if d.switched then " [switched to VSIDS]" else "")
 
 let run source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path ltl_formula trace_file metrics =
+    max_seconds simple_path fresh_solver ltl_formula trace_file metrics =
   let mode =
     match Bmc.Engine.mode_of_string mode_name with
     | Some m -> m
@@ -98,6 +98,10 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
     let config =
       Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ()
     in
+    (* induction and LTL take the session policy directly; for the invariant
+       engines the policy is the engine name (bmc = fresh, incremental =
+       persistent) *)
+    let policy = if fresh_solver then Bmc.Session.Fresh else Bmc.Session.Persistent in
     (match ltl_formula with
     | Some text ->
       let formula =
@@ -106,7 +110,7 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
           Format.eprintf "bmccheck: LTL syntax: %s@." msg;
           exit 2
       in
-      let r = Bmc.Ltl.check ~config netlist formula in
+      let r = Bmc.Ltl.check ~config ~policy netlist formula in
       if verbose then
         List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) r.per_depth;
       (match r.verdict with
@@ -175,7 +179,7 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
       | Bmc.Abstraction.Proved _ -> exit 20
       | Bmc.Abstraction.Unknown _ -> exit 0)
     | "induction" ->
-      let r = Bmc.Induction.prove ~config ~simple_path netlist ~property in
+      let r = Bmc.Induction.prove ~config ~policy ~simple_path netlist ~property in
       if verbose then
         List.iter
           (fun (d : Bmc.Induction.step_stat) ->
@@ -251,6 +255,13 @@ let simple_path =
     & info [ "simple-path" ]
         ~doc:"With --engine induction: add pairwise state-disequality constraints.")
 
+let fresh_solver =
+  Arg.(
+    value & flag
+    & info [ "fresh-solver" ]
+        ~doc:"With --engine induction or --ltl: rebuild a fresh solver per depth (the \
+              classic substrate) instead of running on persistent incremental sessions.")
+
 let max_depth =
   Arg.(value & opt (some int) None & info [ "depth"; "k" ] ~docv:"K" ~doc:"Maximum unrolling depth.")
 
@@ -297,6 +308,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ source $ engine $ mode $ max_depth $ coi $ weighting $ verbose
-      $ max_conflicts $ max_seconds $ simple_path $ ltl $ trace_file $ metrics)
+      $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -30,7 +30,23 @@ let setup_telemetry trace_file metrics =
         Option.iter (Format.eprintf "%a@." Telemetry.Sink.pp_report) agg);
     telemetry
 
-let run file core stats_flag max_conflicts max_seconds drat_file certify preprocess
+(* DIMACS-signed literals ("3 -7 12") for --assume. *)
+let parse_assumptions text =
+  String.split_on_char ' ' text
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun tok ->
+         match String.trim tok with
+         | "" -> None
+         | tok -> (
+           match int_of_string_opt tok with
+           | Some 0 | None ->
+             Format.eprintf "satcheck: --assume: %S is not a non-zero DIMACS literal@." tok;
+             exit 2
+           | Some d ->
+             let v = abs d - 1 in
+             Some (if d > 0 then Sat.Lit.pos v else Sat.Lit.neg v)))
+
+let run file core stats_flag max_conflicts max_seconds assume drat_file certify preprocess
     trace_file metrics =
   match
     (try Ok (Sat.Dimacs.parse_file file) with
@@ -45,6 +61,13 @@ let run file core stats_flag max_conflicts max_seconds drat_file certify preproc
       Format.eprintf
         "satcheck: --preprocess rewrites the clause set and cannot be combined with \
          --core/--certify/--drat@.";
+      exit 2
+    end;
+    let assumptions = match assume with Some text -> parse_assumptions text | None -> [] in
+    if assumptions <> [] && (preprocess || certify || drat_file <> None) then begin
+      Format.eprintf
+        "satcheck: --assume solves under temporary hypotheses and cannot be combined with \
+         --preprocess/--certify/--drat@.";
       exit 2
     end;
     let work, reconstruct =
@@ -70,7 +93,7 @@ let run file core stats_flag max_conflicts max_seconds drat_file certify preproc
         max_seconds;
       }
     in
-    let outcome = Sat.Solver.solve ~budget solver in
+    let outcome = Sat.Solver.solve ~budget ~assumptions solver in
     if stats_flag then Format.eprintf "c %a@." Sat.Stats.pp (Sat.Solver.stats solver);
     (match outcome with
     | Sat.Solver.Sat ->
@@ -84,6 +107,18 @@ let run file core stats_flag max_conflicts max_seconds drat_file certify preproc
       exit 10
     | Sat.Solver.Unsat ->
       Format.printf "s UNSATISFIABLE@.";
+      if assumptions <> [] then begin
+        (* which hypotheses the refutation actually leaned on (empty when
+           the formula is unsatisfiable on its own) *)
+        let failed = Sat.Solver.failed_assumptions solver in
+        Format.printf "c failed-assumptions";
+        List.iter
+          (fun l ->
+            let d = Sat.Lit.var l + 1 in
+            Format.printf " %d" (if Sat.Lit.is_pos l then d else -d))
+          failed;
+        Format.printf " 0@."
+      end;
       (match drat_file with
       | Some path ->
         let oc = open_out path in
@@ -129,6 +164,16 @@ let max_conflicts =
 let max_seconds =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc:"Abort after $(docv) CPU seconds.")
 
+let assume =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "assume" ] ~docv:"LITS"
+        ~doc:"Solve under temporary hypotheses: space- or comma-separated signed DIMACS \
+              literals (e.g. '3 -7').  An UNSAT answer is relative to them; the responsible \
+              subset is reported as 'c failed-assumptions' — the incremental interface the \
+              BMC session layer drives.")
+
 let drat_file =
   Arg.(
     value
@@ -169,7 +214,7 @@ let cmd =
   let info = Cmd.info "satcheck" ~doc in
   Cmd.v info
     Term.(
-      const run $ file $ core $ stats $ max_conflicts $ max_seconds $ drat_file $ certify
-      $ preprocess $ trace_file $ metrics)
+      const run $ file $ core $ stats $ max_conflicts $ max_seconds $ assume $ drat_file
+      $ certify $ preprocess $ trace_file $ metrics)
 
 let () = exit (Cmd.eval cmd)

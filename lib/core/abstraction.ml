@@ -23,13 +23,8 @@ let pp_verdict ppf = function
   | Falsified trace -> Format.fprintf ppf "falsified at depth %d" trace.Trace.depth
   | Unknown k -> Format.fprintf ppf "undecided up to depth %d" k
 
-let order_mode (config : Engine.config) unroll score ~k =
-  let num_vars = Varmap.num_vars (Unroll.varmap unroll) in
-  match config.mode with
-  | Engine.Standard -> Sat.Order.Vsids
-  | Engine.Static -> Sat.Order.Static (Score.rank_array score ~num_vars)
-  | Engine.Dynamic -> Sat.Order.Dynamic (Score.rank_array score ~num_vars)
-  | Engine.Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
+(* the per-engine order_mode copies are hoisted into the session layer *)
+let order_mode = Session.order_mode
 
 (* Registers named by the core: any core variable whose Varmap key is a
    register node, at any frame. *)

@@ -1,10 +1,15 @@
-type mode =
+(* The classic per-depth-rebuild driver, now a thin façade: the loop,
+   configuration and statistics all live in Session; this module pins the
+   Fresh policy (a new solver over a snapshot instance at every depth) and
+   re-exports the shared types under their historical names. *)
+
+type mode = Session.mode =
   | Standard
   | Static
   | Dynamic
   | Shtrichman
 
-type config = {
+type config = Session.config = {
   mode : mode;
   weighting : Score.weighting;
   coi : bool;
@@ -14,23 +19,11 @@ type config = {
   telemetry : Telemetry.t;
 }
 
-let default_config =
-  {
-    mode = Standard;
-    weighting = Score.Linear;
-    coi = false;
-    budget = Sat.Solver.no_budget;
-    max_depth = 20;
-    collect_cores = false;
-    telemetry = Telemetry.disabled;
-  }
+let default_config = Session.default_config
 
-let config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
-    ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
-    ?(telemetry = Telemetry.disabled) () =
-  { mode; weighting; coi; budget; max_depth; collect_cores; telemetry }
+let config = Session.make_config
 
-type depth_stat = {
+type depth_stat = Session.depth_stat = {
   depth : int;
   outcome : Sat.Solver.outcome;
   decisions : int;
@@ -44,32 +37,14 @@ type depth_stat = {
   cdg_time : float;
 }
 
-(* One "depth" telemetry event per solved instance; every engine that
-   produces depth_stats routes them through here so the JSONL schema stays
-   uniform. *)
-let emit_depth_event tel (d : depth_stat) =
-  if Telemetry.enabled tel then
-    Telemetry.event tel "depth"
-      [
-        ("depth", Telemetry.Sink.Int d.depth);
-        ("outcome", Telemetry.Sink.Str (Sat.Solver.outcome_string d.outcome));
-        ("build_s", Telemetry.Sink.Float d.build_time);
-        ("solve_s", Telemetry.Sink.Float d.time);
-        ("cdg_s", Telemetry.Sink.Float d.cdg_time);
-        ("decisions", Telemetry.Sink.Int d.decisions);
-        ("implications", Telemetry.Sink.Int d.implications);
-        ("conflicts", Telemetry.Sink.Int d.conflicts);
-        ("core_clauses", Telemetry.Sink.Int d.core_size);
-        ("core_vars", Telemetry.Sink.Int d.core_var_count);
-        ("switched", Telemetry.Sink.Bool d.switched);
-      ]
+let emit_depth_event = Session.emit_depth_event
 
-type verdict =
+type verdict = Session.verdict =
   | Falsified of Trace.t
   | Bounded_pass of int
   | Aborted of int
 
-type result = {
+type result = Session.result = {
   verdict : verdict;
   per_depth : depth_stat list;
   total_time : float;
@@ -78,110 +53,15 @@ type result = {
   total_conflicts : int;
 }
 
-let pp_verdict ppf = function
-  | Falsified trace -> Format.fprintf ppf "falsified at depth %d" trace.Trace.depth
-  | Bounded_pass k -> Format.fprintf ppf "no counterexample up to depth %d" k
-  | Aborted k -> Format.fprintf ppf "aborted at depth %d (budget)" k
+let pp_verdict = Session.pp_verdict
 
-let pp_mode ppf = function
-  | Standard -> Format.pp_print_string ppf "standard"
-  | Static -> Format.pp_print_string ppf "static"
-  | Dynamic -> Format.pp_print_string ppf "dynamic"
-  | Shtrichman -> Format.pp_print_string ppf "shtrichman"
+let pp_mode = Session.pp_mode
 
-let mode_of_string = function
-  | "standard" -> Some Standard
-  | "static" -> Some Static
-  | "dynamic" -> Some Dynamic
-  | "shtrichman" -> Some Shtrichman
-  | _ -> None
+let mode_of_string = Session.mode_of_string
 
-let all_modes = [ Standard; Static; Dynamic; Shtrichman ]
+let all_modes = Session.all_modes
 
-(* Does this mode consume unsat cores between instances? *)
-let uses_cores = function
-  | Static | Dynamic -> true
-  | Standard | Shtrichman -> false
-
-let order_mode cfg unroll score ~k =
-  match cfg.mode with
-  | Standard -> Sat.Order.Vsids
-  | Static ->
-    Sat.Order.Static (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
-  | Dynamic ->
-    Sat.Order.Dynamic (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
-  | Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
-
-let run ?(config = default_config) netlist ~property =
-  let cfg = config in
-  let unroll = Unroll.create ~coi:cfg.coi netlist ~property in
-  let score = Score.create ~weighting:cfg.weighting () in
-  let per_depth = ref [] in
-  let start = Sys.time () in
-  let with_proof = uses_cores cfg.mode || cfg.collect_cores in
-  let finish verdict =
-    let per_depth = List.rev !per_depth in
-    let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
-    {
-      verdict;
-      per_depth;
-      total_time = Sys.time () -. start;
-      total_decisions = sum (fun d -> d.decisions);
-      total_implications = sum (fun d -> d.implications);
-      total_conflicts = sum (fun d -> d.conflicts);
-    }
-  in
-  let rec loop k =
-    if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
-    else begin
-      let tb = Sys.time () in
-      let cnf = Unroll.instance unroll ~k in
-      let mode = order_mode cfg unroll score ~k in
-      let solver = Sat.Solver.create ~with_proof ~mode ~telemetry:cfg.telemetry cnf in
-      let build_time = Sys.time () -. tb in
-      let t0 = Sys.time () in
-      let outcome = Sat.Solver.solve ~budget:cfg.budget solver in
-      let time = Sys.time () -. t0 in
-      let stats = Sat.Solver.stats solver in
-      let core, core_vars =
-        match outcome with
-        | Sat.Solver.Unsat when with_proof ->
-          let core = Sat.Solver.unsat_core solver in
-          (core, Sat.Solver.core_vars solver)
-        | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
-      in
-      let stat =
-        {
-          depth = k;
-          outcome;
-          decisions = stats.Sat.Stats.decisions;
-          implications = stats.Sat.Stats.propagations;
-          conflicts = stats.Sat.Stats.conflicts;
-          core_size = List.length core;
-          core_var_count = List.length core_vars;
-          switched = stats.Sat.Stats.heuristic_switches > 0;
-          time;
-          build_time;
-          cdg_time = Sat.Solver.cdg_seconds solver;
-        }
-      in
-      emit_depth_event cfg.telemetry stat;
-      per_depth := stat :: !per_depth;
-      match outcome with
-      | Sat.Solver.Sat ->
-        let trace = Trace.of_model unroll ~k ~model:(Sat.Solver.model solver) in
-        if not (Trace.replay trace netlist ~property) then
-          failwith
-            (Printf.sprintf
-               "Engine.run: counterexample at depth %d failed to replay (internal error)" k);
-        finish (Falsified trace)
-      | Sat.Solver.Unsat ->
-        if uses_cores cfg.mode then Score.update score ~instance:k ~core_vars;
-        loop (k + 1)
-      | Sat.Solver.Unknown -> finish (Aborted k)
-    end
-  in
-  loop 0
+let run ?config netlist ~property = Session.check ?config ~policy:Session.Fresh netlist ~property
 
 let run_case ?config (case : Circuit.Generators.case) =
   let config =

@@ -1,4 +1,8 @@
-(** The BMC driver — the paper's [refine_order_bmc] (Figure 5).
+(** The BMC driver — the paper's [refine_order_bmc] (Figure 5), run on the
+    {!Session} substrate under the [Fresh] policy: a new solver over a
+    snapshot instance at every depth, the behaviour of the original
+    per-depth-rebuild engine.  {!Incremental} is the same driver under the
+    [Persistent] policy; the pair is the A3 ablation.
 
     For k = 0, 1, 2, ... the engine builds the depth-k instance, solves it
     with the configured decision ordering, and:
@@ -15,15 +19,18 @@
     - [Static]    — the refined ordering as the primary key throughout;
     - [Dynamic]   — refined ordering with fallback to VSIDS once the
       decision count passes 1/64 of the original literal count;
-    - [Shtrichman] — the related-work time-axis static ordering. *)
+    - [Shtrichman] — the related-work time-axis static ordering.
 
-type mode =
+    The types below are the session's, re-exported under their historical
+    names so existing callers keep working. *)
+
+type mode = Session.mode =
   | Standard
   | Static
   | Dynamic
   | Shtrichman
 
-type config = {
+type config = Session.config = {
   mode : mode;
   weighting : Score.weighting;
   coi : bool;  (** restrict encoding to the property cone *)
@@ -54,7 +61,7 @@ val config :
   unit ->
   config
 
-type depth_stat = {
+type depth_stat = Session.depth_stat = {
   depth : int;
   outcome : Sat.Solver.outcome;
   decisions : int;
@@ -72,16 +79,16 @@ type depth_stat = {
 
 val emit_depth_event : Telemetry.t -> depth_stat -> unit
 (** Publish a depth_stat as a "depth" telemetry event (no-op when the handle
-    is disabled).  Exposed for sibling engines ([Incremental], [Ltl]) so all
-    traces share one schema. *)
+    is disabled).  An alias of {!Session.emit_depth_event} so all traces
+    share one schema. *)
 
-type verdict =
+type verdict = Session.verdict =
   | Falsified of Trace.t
       (** counterexample found (and successfully replayed) at [Trace.depth] *)
   | Bounded_pass of int  (** every instance up to this depth was UNSAT *)
   | Aborted of int  (** budget exhausted while solving this depth *)
 
-type result = {
+type result = Session.result = {
   verdict : verdict;
   per_depth : depth_stat list;  (** ascending depth *)
   total_time : float;
@@ -91,7 +98,8 @@ type result = {
 }
 
 val run : ?config:config -> Circuit.Netlist.t -> property:Circuit.Netlist.node -> result
-(** Check the invariant [property] on the circuit.
+(** Check the invariant [property] on the circuit —
+    {!Session.check}[ ~policy:Fresh].
     @raise Invalid_argument if the netlist does not validate, and
     [Failure] if a counterexample fails to replay (a solver or encoder bug
     — surfaced loudly rather than reported as a result). *)

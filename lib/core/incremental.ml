@@ -1,126 +1,10 @@
-(* Netlist nodes are non-negative, so -1 is free for activation literals. *)
-let activation_node = -1
+(* The incremental driver is the shared Session loop pinned to the
+   Persistent policy: one long-lived solver fed frame deltas, property
+   constraints guarded by activation literals, ordering refreshed on the
+   live solver between instances. *)
 
-let uses_cores (config : Engine.config) =
-  match config.mode with
-  | Engine.Static | Engine.Dynamic -> true
-  | Engine.Standard | Engine.Shtrichman -> false
-
-let order_mode (config : Engine.config) unroll score ~k =
-  let num_vars = Varmap.num_vars (Unroll.varmap unroll) in
-  match config.mode with
-  | Engine.Standard -> Sat.Order.Vsids
-  | Engine.Static -> Sat.Order.Static (Score.rank_array score ~num_vars)
-  | Engine.Dynamic -> Sat.Order.Dynamic (Score.rank_array score ~num_vars)
-  | Engine.Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
-
-let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
-  {
-    Sat.Stats.decisions = after.decisions - before.decisions;
-    propagations = after.propagations - before.propagations;
-    conflicts = after.conflicts - before.conflicts;
-    restarts = after.restarts - before.restarts;
-    learned = after.learned - before.learned;
-    deleted = after.deleted - before.deleted;
-    max_decision_level = after.max_decision_level;
-    heuristic_switches = after.heuristic_switches - before.heuristic_switches;
-    blocker_hits = after.blocker_hits - before.blocker_hits;
-    arena_bytes = after.arena_bytes;
-    arena_compactions = after.arena_compactions - before.arena_compactions;
-    solve_time = after.solve_time -. before.solve_time;
-    bcp_time = after.bcp_time -. before.bcp_time;
-    analyze_time = after.analyze_time -. before.analyze_time;
-  }
-
-let run ?(config = Engine.default_config) netlist ~property =
-  let cfg = config in
-  let unroll = Unroll.create ~coi:cfg.coi netlist ~property in
-  let score = Score.create ~weighting:cfg.weighting () in
-  let with_proof = uses_cores cfg || cfg.collect_cores in
-  let solver =
-    Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ())
-  in
-  let per_depth = ref [] in
-  let start = Sys.time () in
-  let finish verdict =
-    let per_depth = List.rev !per_depth in
-    let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
-    {
-      Engine.verdict;
-      per_depth;
-      total_time = Sys.time () -. start;
-      total_decisions = sum (fun (d : Engine.depth_stat) -> d.decisions);
-      total_implications = sum (fun (d : Engine.depth_stat) -> d.implications);
-      total_conflicts = sum (fun (d : Engine.depth_stat) -> d.conflicts);
-    }
-  in
-  let rec loop k =
-    if k > cfg.max_depth then finish (Engine.Bounded_pass cfg.max_depth)
-    else begin
-      let tb = Sys.time () in
-      (* feed the new frame's transition clauses to the persistent solver *)
-      List.iter (Sat.Solver.add_clause solver) (Unroll.frame_clauses unroll ~frame:k);
-      (* Guard ¬P(V^k) behind a fresh activation variable.  Activation
-         variables are allocated through the shared Varmap under a reserved
-         pseudo-node so they can never collide with the variables of frames
-         materialised later. *)
-      let act = Varmap.var (Unroll.varmap unroll) ~node:activation_node ~frame:k in
-      let p_var = Unroll.var_of unroll ~node:property ~frame:k in
-      Sat.Solver.add_clause solver [ Sat.Lit.neg p_var; Sat.Lit.neg act ];
-      Sat.Solver.set_mode solver (order_mode cfg unroll score ~k);
-      let build_time = Sys.time () -. tb in
-      let cdg_before = Sat.Solver.cdg_seconds solver in
-      let before = Sat.Stats.copy (Sat.Solver.stats solver) in
-      let t0 = Sys.time () in
-      let outcome =
-        Sat.Solver.solve ~budget:cfg.budget ~assumptions:[ Sat.Lit.pos act ] solver
-      in
-      let time = Sys.time () -. t0 in
-      let delta = stats_delta ~before ~after:(Sat.Solver.stats solver) in
-      let core, core_vars =
-        match outcome with
-        | Sat.Solver.Unsat when with_proof ->
-          (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
-        | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
-      in
-      let stat =
-        {
-          Engine.depth = k;
-          outcome;
-          decisions = delta.Sat.Stats.decisions;
-          implications = delta.Sat.Stats.propagations;
-          conflicts = delta.Sat.Stats.conflicts;
-          core_size = List.length core;
-          core_var_count = List.length core_vars;
-          switched = delta.Sat.Stats.heuristic_switches > 0;
-          time;
-          build_time;
-          cdg_time = Sat.Solver.cdg_seconds solver -. cdg_before;
-        }
-      in
-      Engine.emit_depth_event cfg.telemetry stat;
-      per_depth := stat :: !per_depth;
-      match outcome with
-      | Sat.Solver.Sat ->
-        let trace = Trace.of_model unroll ~k ~model:(Sat.Solver.model solver) in
-        if not (Trace.replay trace netlist ~property) then
-          failwith
-            (Printf.sprintf
-               "Incremental.run: counterexample at depth %d failed to replay (internal error)"
-               k);
-        finish (Engine.Falsified trace)
-      | Sat.Solver.Unsat ->
-        if uses_cores cfg then Score.update score ~instance:k ~core_vars;
-        (* permanently disable this instance's property constraint *)
-        Sat.Solver.add_clause solver [ Sat.Lit.neg act ];
-        loop (k + 1)
-      | Sat.Solver.Unknown -> finish (Engine.Aborted k)
-    end
-  in
-  (match Circuit.Netlist.validate netlist with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Incremental.run: " ^ msg));
-  loop 0
+let run ?config netlist ~property =
+  Session.check ?config ~policy:Session.Persistent netlist ~property
 
 let run_case ?config (case : Circuit.Generators.case) =
   let config =

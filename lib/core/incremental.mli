@@ -13,12 +13,14 @@
     non-incremental engine.
 
     Results use the {!Engine} types, so the two engines are drop-in
-    comparable (benchmark A3). *)
+    comparable (benchmark A3).  Both are the same {!Session} driver: this
+    module pins the [Persistent] policy, {!Engine} pins [Fresh]. *)
 
 val run :
   ?config:Engine.config -> Circuit.Netlist.t -> property:Circuit.Netlist.node -> Engine.result
-(** Like {!Engine.run}, with one persistent incremental solver underneath.
-    All four ordering modes are supported; per-depth statistics report the
-    {e delta} of the solver counters for that instance. *)
+(** Like {!Engine.run}, with one persistent incremental solver underneath —
+    {!Session.check}[ ~policy:Persistent].  All four ordering modes are
+    supported; per-depth statistics report the {e delta} of the solver
+    counters for that instance. *)
 
 val run_case : ?config:Engine.config -> Circuit.Generators.case -> Engine.result

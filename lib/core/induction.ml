@@ -23,79 +23,63 @@ let pp_verdict ppf = function
   | Falsified trace -> Format.fprintf ppf "falsified at depth %d" trace.Trace.depth
   | Unknown k -> Format.fprintf ppf "undecided up to depth %d" k
 
-let order_mode (config : Engine.config) unroll score ~k =
-  let num_vars = Varmap.num_vars (Unroll.varmap unroll) in
-  match config.mode with
-  | Engine.Standard -> Sat.Order.Vsids
-  | Engine.Static -> Sat.Order.Static (Score.rank_array score ~num_vars)
-  | Engine.Dynamic -> Sat.Order.Dynamic (Score.rank_array score ~num_vars)
-  | Engine.Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
-
-let uses_cores (config : Engine.config) =
-  match config.mode with
-  | Engine.Static | Engine.Dynamic -> true
-  | Engine.Standard | Engine.Shtrichman -> false
-
 (* Pairwise state-disequality over the step path: for every i < j ≤ last,
-   some register differs between frames i and j.  The XOR auxiliaries are
-   Tseitin-encoded with variables allocated past the unrolling's own. *)
-let add_simple_path_constraints cnf unroll ~last regs =
+   some register differs between frames i and j.  The XOR auxiliaries come
+   from the session (instance-local, so under the persistent policy they
+   are guarded and retired with the instance). *)
+let add_simple_path_constraints session ~last regs =
   for i = 0 to last - 1 do
     for j = i + 1 to last do
       let diff_lits =
         List.map
           (fun r ->
-            let a = Sat.Lit.pos (Unroll.var_of unroll ~node:r ~frame:i) in
-            let b = Sat.Lit.pos (Unroll.var_of unroll ~node:r ~frame:j) in
-            let d = Sat.Lit.pos (Sat.Cnf.fresh_var cnf) in
+            let a = Sat.Lit.pos (Session.var_of session ~node:r ~frame:i) in
+            let b = Sat.Lit.pos (Session.var_of session ~node:r ~frame:j) in
+            let d = Session.fresh_lit session in
             (* d ↔ a ⊕ b *)
-            Sat.Cnf.add_clause cnf [ Sat.Lit.negate d; a; b ];
-            Sat.Cnf.add_clause cnf [ Sat.Lit.negate d; Sat.Lit.negate a; Sat.Lit.negate b ];
-            Sat.Cnf.add_clause cnf [ d; a; Sat.Lit.negate b ];
-            Sat.Cnf.add_clause cnf [ d; Sat.Lit.negate a; b ];
+            Session.constrain session [ Sat.Lit.negate d; a; b ];
+            Session.constrain session [ Sat.Lit.negate d; Sat.Lit.negate a; Sat.Lit.negate b ];
+            Session.constrain session [ d; a; Sat.Lit.negate b ];
+            Session.constrain session [ d; Sat.Lit.negate a; b ];
             d)
           regs
       in
-      Sat.Cnf.add_clause cnf diff_lits
+      Session.constrain session diff_lits
     done
   done
 
-let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~property =
+let prove ?(config = Engine.default_config) ?(policy = Session.Persistent)
+    ?(simple_path = false) netlist ~property =
   let cfg = config in
-  let base_unroll = Unroll.create ~coi:cfg.coi netlist ~property in
-  let step_unroll = Unroll.create ~coi:cfg.coi ~constrain_init:false netlist ~property in
+  (match Circuit.Netlist.validate netlist with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Induction.prove: " ^ msg));
+  (* Two sessions over one shared score: the base case is ordinary BMC with
+     core refinement; the step case unrolls from an arbitrary state and
+     consumes the ranking without feeding it (its instances are not part of
+     the correlated refutation sequence, and the seed ran it without proof
+     logging). *)
   let score = Score.create ~weighting:cfg.weighting () in
-  let with_proof = uses_cores cfg || cfg.collect_cores in
+  let base = Session.create ~policy ~score cfg netlist ~property in
+  let step =
+    Session.create ~policy ~constrain_init:false ~score ~learn_cores:false cfg netlist ~property
+  in
   let regs = Circuit.Netlist.regs netlist in
   let per_depth = ref [] in
   let start = Sys.time () in
   let finish verdict =
     { verdict; per_depth = List.rev !per_depth; total_time = Sys.time () -. start }
   in
-  let step_instance k =
-    (* frames 0..k+1, P at 0..k, ¬P at k+1 *)
-    let cnf = Unroll.base_cnf step_unroll ~k:(k + 1) in
-    for i = 0 to k do
-      Sat.Cnf.add_clause cnf
-        [ Sat.Lit.pos (Unroll.var_of step_unroll ~node:property ~frame:i) ]
-    done;
-    Sat.Cnf.add_clause cnf
-      [ Sat.Lit.neg (Unroll.var_of step_unroll ~node:property ~frame:(k + 1)) ];
-    if simple_path then add_simple_path_constraints cnf step_unroll ~last:(k + 1) regs;
-    cnf
-  in
   let rec loop k =
     if k > cfg.max_depth then finish (Unknown cfg.max_depth)
     else begin
       let t0 = Sys.time () in
       (* base case: ordinary BMC instance k, with core refinement *)
-      let base_cnf = Unroll.instance base_unroll ~k in
-      let base_solver =
-        Sat.Solver.create ~with_proof ~mode:(order_mode cfg base_unroll score ~k)
-          ~telemetry:cfg.telemetry base_cnf
-      in
-      let base_outcome = Sat.Solver.solve ~budget:cfg.budget base_solver in
-      let base_decisions = (Sat.Solver.stats base_solver).Sat.Stats.decisions in
+      Session.begin_instance base ~k;
+      Session.constrain base [ Sat.Lit.neg (Session.var_of base ~node:property ~frame:k) ];
+      let bstat = Session.solve_instance base in
+      let base_outcome = bstat.Session.outcome in
+      let base_decisions = bstat.Session.decisions in
       match base_outcome with
       | Sat.Solver.Sat ->
         per_depth :=
@@ -108,7 +92,7 @@ let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~prop
             time = Sys.time () -. t0;
           }
           :: !per_depth;
-        let trace = Trace.of_model base_unroll ~k ~model:(Sat.Solver.model base_solver) in
+        let trace = Session.trace base in
         if not (Trace.replay trace netlist ~property) then
           failwith "Induction.prove: counterexample failed to replay (internal error)";
         finish (Falsified trace)
@@ -125,23 +109,24 @@ let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~prop
           :: !per_depth;
         finish (Unknown k)
       | Sat.Solver.Unsat ->
-        if uses_cores cfg then
-          Score.update score ~instance:k ~core_vars:(Sat.Solver.core_vars base_solver);
-        (* step case over the arbitrary-start unrolling *)
-        let step_cnf = step_instance k in
-        let step_solver =
-          Sat.Solver.create ~mode:(order_mode cfg step_unroll score ~k:(k + 1))
-            ~telemetry:cfg.telemetry step_cnf
-        in
-        let step_outcome = Sat.Solver.solve ~budget:cfg.budget step_solver in
-        let step_decisions = (Sat.Solver.stats step_solver).Sat.Stats.decisions in
+        (* step case over the arbitrary-start unrolling:
+           frames 0..k+1, P at 0..k, ¬P at k+1, optional uniqueness *)
+        Session.begin_instance step ~k:(k + 1);
+        for i = 0 to k do
+          Session.constrain step [ Sat.Lit.pos (Session.var_of step ~node:property ~frame:i) ]
+        done;
+        Session.constrain step
+          [ Sat.Lit.neg (Session.var_of step ~node:property ~frame:(k + 1)) ];
+        if simple_path then add_simple_path_constraints step ~last:(k + 1) regs;
+        let sstat = Session.solve_instance step in
+        let step_outcome = sstat.Session.outcome in
         per_depth :=
           {
             depth = k;
             base_outcome;
             step_outcome = Some step_outcome;
             base_decisions;
-            step_decisions;
+            step_decisions = sstat.Session.decisions;
             time = Sys.time () -. t0;
           }
           :: !per_depth;
@@ -151,16 +136,13 @@ let prove ?(config = Engine.default_config) ?(simple_path = false) netlist ~prop
         | Sat.Solver.Unknown -> finish (Unknown k))
     end
   in
-  (match Circuit.Netlist.validate netlist with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Induction.prove: " ^ msg));
   loop 0
 
-let prove_case ?config ?simple_path (case : Circuit.Generators.case) =
+let prove_case ?config ?policy ?simple_path (case : Circuit.Generators.case) =
   let config =
     match config with
     | Some c -> c
     | None -> { Engine.default_config with max_depth = case.Circuit.Generators.suggested_depth }
   in
-  prove ~config ?simple_path case.Circuit.Generators.netlist
+  prove ~config ?policy ?simple_path case.Circuit.Generators.netlist
     ~property:case.Circuit.Generators.property

@@ -20,7 +20,14 @@
     The base instances are the same correlated UNSAT sequence the paper
     exploits, so the refined ordering applies unchanged: cores from base
     instance k seed the decision ordering of instance k+1 — both cases run
-    under the configured {!Engine.mode}. *)
+    under the configured {!Engine.mode}.
+
+    Both cases run as {!Session}s sharing one {!Score} — by default two
+    persistent solvers (frame deltas loaded once, the per-depth property
+    and uniqueness constraints guarded by activation literals and retired
+    between depths); [~policy:Fresh] reproduces the seed's
+    solver-per-instance behaviour.  The step session never feeds the score:
+    its instances are not part of the correlated refutation sequence. *)
 
 type verdict =
   | Proved of int
@@ -47,17 +54,24 @@ type result = {
 
 val prove :
   ?config:Engine.config ->
+  ?policy:Session.policy ->
   ?simple_path:bool ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
   result
 (** Run the base/step alternation for k = 0, 1, ...  [config.max_depth]
     bounds k; [config.budget] caps each SAT call; [config.mode] selects the
-    decision ordering of both cases.  [simple_path] (default [false]) adds
-    the pairwise-distinct-states constraints to the step case.
+    decision ordering of both cases.  [policy] (default [Persistent])
+    selects the session substrate for both cases.  [simple_path] (default
+    [false]) adds the pairwise-distinct-states constraints to the step
+    case.
     @raise Invalid_argument if the netlist does not validate. *)
 
 val prove_case :
-  ?config:Engine.config -> ?simple_path:bool -> Circuit.Generators.case -> result
+  ?config:Engine.config ->
+  ?policy:Session.policy ->
+  ?simple_path:bool ->
+  Circuit.Generators.case ->
+  result
 
 val pp_verdict : Format.formatter -> verdict -> unit

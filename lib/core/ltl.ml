@@ -196,9 +196,11 @@ type lc =
   | L of Sat.Lit.t
   | C of bool
 
+(* The witness-shape encoding is instance-local: auxiliaries and clauses go
+   through the session, which guards them behind the instance's activation
+   literal under the persistent policy and retires them at the next depth. *)
 type enc_ctx = {
-  cnf : Sat.Cnf.t;
-  unroll : Unroll.t;
+  session : Session.t;
   k : int;
 }
 
@@ -207,10 +209,10 @@ let mk_and ctx a b =
   | C false, _ | _, C false -> C false
   | C true, x | x, C true -> x
   | L la, L lb ->
-    let v = Sat.Lit.pos (Sat.Cnf.fresh_var ctx.cnf) in
-    Sat.Cnf.add_clause ctx.cnf [ Sat.Lit.negate v; la ];
-    Sat.Cnf.add_clause ctx.cnf [ Sat.Lit.negate v; lb ];
-    Sat.Cnf.add_clause ctx.cnf [ v; Sat.Lit.negate la; Sat.Lit.negate lb ];
+    let v = Session.fresh_lit ctx.session in
+    Session.constrain ctx.session [ Sat.Lit.negate v; la ];
+    Session.constrain ctx.session [ Sat.Lit.negate v; lb ];
+    Session.constrain ctx.session [ v; Sat.Lit.negate la; Sat.Lit.negate lb ];
     L v
 
 let mk_or ctx a b =
@@ -218,14 +220,14 @@ let mk_or ctx a b =
   | C true, _ | _, C true -> C true
   | C false, x | x, C false -> x
   | L la, L lb ->
-    let v = Sat.Lit.pos (Sat.Cnf.fresh_var ctx.cnf) in
-    Sat.Cnf.add_clause ctx.cnf [ v; Sat.Lit.negate la ];
-    Sat.Cnf.add_clause ctx.cnf [ v; Sat.Lit.negate lb ];
-    Sat.Cnf.add_clause ctx.cnf [ Sat.Lit.negate v; la; lb ];
+    let v = Session.fresh_lit ctx.session in
+    Session.constrain ctx.session [ v; Sat.Lit.negate la ];
+    Session.constrain ctx.session [ v; Sat.Lit.negate lb ];
+    Session.constrain ctx.session [ Sat.Lit.negate v; la; lb ];
     L v
 
 let atom_lit ctx node phase i =
-  let v = Unroll.var_of ctx.unroll ~node ~frame:i in
+  let v = Session.var_of ctx.session ~node ~frame:i in
   L (if phase then Sat.Lit.pos v else Sat.Lit.neg v)
 
 (* The without-loop (pessimistic) translation. *)
@@ -305,13 +307,13 @@ let encode_loop ctx psi ~l =
 let loop_literal ctx regs ~l =
   List.fold_left
     (fun acc r ->
-      let a = Sat.Lit.pos (Unroll.var_of ctx.unroll ~node:r ~frame:(ctx.k + 1)) in
-      let b = Sat.Lit.pos (Unroll.var_of ctx.unroll ~node:r ~frame:l) in
-      let e = Sat.Lit.pos (Sat.Cnf.fresh_var ctx.cnf) in
-      Sat.Cnf.add_clause ctx.cnf [ Sat.Lit.negate e; Sat.Lit.negate a; b ];
-      Sat.Cnf.add_clause ctx.cnf [ Sat.Lit.negate e; a; Sat.Lit.negate b ];
-      Sat.Cnf.add_clause ctx.cnf [ e; a; b ];
-      Sat.Cnf.add_clause ctx.cnf [ e; Sat.Lit.negate a; Sat.Lit.negate b ];
+      let a = Sat.Lit.pos (Session.var_of ctx.session ~node:r ~frame:(ctx.k + 1)) in
+      let b = Sat.Lit.pos (Session.var_of ctx.session ~node:r ~frame:l) in
+      let e = Session.fresh_lit ctx.session in
+      Session.constrain ctx.session [ Sat.Lit.negate e; Sat.Lit.negate a; b ];
+      Session.constrain ctx.session [ Sat.Lit.negate e; a; Sat.Lit.negate b ];
+      Session.constrain ctx.session [ e; a; b ];
+      Session.constrain ctx.session [ e; Sat.Lit.negate a; Sat.Lit.negate b ];
       mk_and ctx acc (L e))
     (C true) regs
 
@@ -406,19 +408,6 @@ type result = {
   total_time : float;
 }
 
-let order_mode (config : Engine.config) unroll score ~k =
-  let num_vars = Varmap.num_vars (Unroll.varmap unroll) in
-  match config.mode with
-  | Engine.Standard -> Sat.Order.Vsids
-  | Engine.Static -> Sat.Order.Static (Score.rank_array score ~num_vars)
-  | Engine.Dynamic -> Sat.Order.Dynamic (Score.rank_array score ~num_vars)
-  | Engine.Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
-
-let uses_cores (config : Engine.config) =
-  match config.mode with
-  | Engine.Static | Engine.Dynamic -> true
-  | Engine.Standard | Engine.Shtrichman -> false
-
 (* Verify the lasso shape of an extracted witness: simulating one cycle
    past frame k must land back on frame l's register values. *)
 let lasso_closes nl witness =
@@ -454,8 +443,8 @@ let lasso_closes nl witness =
       (fun r -> Circuit.Eval.reg_value sim after_k r = Circuit.Eval.reg_value sim at_l r)
       (Circuit.Netlist.regs nl)
 
-let check ?(config = Engine.default_config) netlist psi_property =
-  let cfg = config in
+let check ?(config = Engine.default_config) ?(policy = Session.Persistent) netlist psi_property
+    =
   (match Circuit.Netlist.validate netlist with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Ltl.check: " ^ msg));
@@ -466,9 +455,10 @@ let check ?(config = Engine.default_config) netlist psi_property =
     (atoms [] psi_property);
   (* we search for witnesses of the negation *)
   let psi = not_ psi_property in
-  let unroll = Unroll.create netlist ~property:0 in
-  let score = Score.create ~weighting:cfg.weighting () in
-  let with_proof = uses_cores cfg || cfg.collect_cores in
+  (* COI reduction is meaningless against the dummy property node; the whole
+     netlist is encoded, as the seed engine did. *)
+  let cfg = { config with Session.coi = false } in
+  let session = Session.create ~policy cfg netlist ~property:0 in
   let regs = Circuit.Netlist.regs netlist in
   let per_depth = ref [] in
   let start = Sys.time () in
@@ -480,11 +470,11 @@ let check ?(config = Engine.default_config) netlist psi_property =
     }
   in
   let rec loop k =
-    if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
+    if k > cfg.Session.max_depth then finish (Bounded_pass cfg.Session.max_depth)
     else begin
-      let tb = Sys.time () in
-      let cnf = Unroll.base_cnf unroll ~k:(k + 1) in
-      let ctx = { cnf; unroll; k } in
+      (* the lasso encoding needs the loop-closing successor state k+1 *)
+      Session.begin_instance ~frames:(k + 1) session ~k;
+      let ctx = { session; k } in
       let no_loop = encode_noloop ctx psi in
       let loop_lits =
         List.init (k + 1) (fun l ->
@@ -496,43 +486,13 @@ let check ?(config = Engine.default_config) netlist psi_property =
       in
       (match top with
       | C true -> () (* trivially witnessed; the solver will report SAT *)
-      | C false -> Sat.Cnf.add_clause cnf [] (* no witness shape possible *)
-      | L lit -> Sat.Cnf.add_clause cnf [ lit ]);
-      let solver =
-        Sat.Solver.create ~with_proof ~mode:(order_mode cfg unroll score ~k)
-          ~telemetry:cfg.telemetry cnf
-      in
-      let build_time = Sys.time () -. tb in
-      let t0 = Sys.time () in
-      let outcome = Sat.Solver.solve ~budget:cfg.budget solver in
-      let time = Sys.time () -. t0 in
-      let stats = Sat.Solver.stats solver in
-      let core, core_vars =
-        match outcome with
-        | Sat.Solver.Unsat when with_proof ->
-          (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
-        | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
-      in
-      let stat =
-        {
-          Engine.depth = k;
-          outcome;
-          decisions = stats.Sat.Stats.decisions;
-          implications = stats.Sat.Stats.propagations;
-          conflicts = stats.Sat.Stats.conflicts;
-          core_size = List.length core;
-          core_var_count = List.length core_vars;
-          switched = stats.Sat.Stats.heuristic_switches > 0;
-          time;
-          build_time;
-          cdg_time = Sat.Solver.cdg_seconds solver;
-        }
-      in
-      Engine.emit_depth_event cfg.telemetry stat;
+      | C false -> Session.constrain session [] (* no witness shape possible *)
+      | L lit -> Session.constrain session [ lit ]);
+      let stat = Session.solve_instance session in
       per_depth := stat :: !per_depth;
-      match outcome with
+      match stat.Session.outcome with
       | Sat.Solver.Sat ->
-        let model = Sat.Solver.model solver in
+        let model = Session.model session in
         let lit_true = function
           | C b -> b
           | L lit ->
@@ -548,7 +508,7 @@ let check ?(config = Engine.default_config) netlist psi_property =
               (fun (l, guard, d) -> if lit_true guard && lit_true d then Some l else None)
               loop_lits
         in
-        let trace = Trace.of_model unroll ~k ~model in
+        let trace = Session.trace session in
         let witness = { depth = k; loop_start; trace } in
         let confirmed =
           lasso_closes netlist witness
@@ -560,9 +520,7 @@ let check ?(config = Engine.default_config) netlist psi_property =
             (Printf.sprintf "Ltl.check: witness at depth %d failed validation (internal error)"
                k);
         finish (Falsified witness)
-      | Sat.Solver.Unsat ->
-        if uses_cores cfg then Score.update score ~instance:k ~core_vars;
-        loop (k + 1)
+      | Sat.Solver.Unsat -> loop (k + 1)
       | Sat.Solver.Unknown -> finish (Aborted k)
     end
   in

@@ -79,11 +79,18 @@ type result = {
 }
 
 val check :
-  ?config:Engine.config -> Circuit.Netlist.t -> formula -> result
+  ?config:Engine.config -> ?policy:Session.policy -> Circuit.Netlist.t -> formula -> result
 (** Search for a bounded witness of the property's negation, depth by
     depth, refining the decision ordering from each UNSAT instance's core
     exactly as the invariant engine does.  Witnesses are re-simulated and
     re-evaluated on the concrete lasso before being reported.
+
+    Runs on a {!Session} ([policy] defaults to [Persistent]): the
+    transition relation loads frame by frame into one live solver, while
+    the per-depth witness-shape encoding (Tseitin auxiliaries and all) is
+    guarded behind the instance's activation literal and retired when the
+    search deepens.  [~policy:Fresh] reproduces the seed's
+    solver-per-depth behaviour.
     @raise Invalid_argument if the netlist does not validate or a formula
     atom is not a node of it. *)
 

@@ -1,0 +1,402 @@
+(* Netlist nodes are non-negative, so small negative pseudo-nodes are free
+   for session bookkeeping in the shared Varmap: -1 for activation
+   literals (one per instance, at frame k), -2 for instance-local Tseitin
+   auxiliaries (at a monotonically increasing pseudo-frame).  Routing both
+   through the Varmap keeps every allocation disjoint from the circuit
+   variables of frames materialised later. *)
+let activation_node = -1
+
+let aux_node = -2
+
+type mode =
+  | Standard
+  | Static
+  | Dynamic
+  | Shtrichman
+
+type config = {
+  mode : mode;
+  weighting : Score.weighting;
+  coi : bool;
+  budget : Sat.Solver.budget;
+  max_depth : int;
+  collect_cores : bool;
+  telemetry : Telemetry.t;
+}
+
+let default_config =
+  {
+    mode = Standard;
+    weighting = Score.Linear;
+    coi = false;
+    budget = Sat.Solver.no_budget;
+    max_depth = 20;
+    collect_cores = false;
+    telemetry = Telemetry.disabled;
+  }
+
+let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
+    ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
+    ?(telemetry = Telemetry.disabled) () =
+  { mode; weighting; coi; budget; max_depth; collect_cores; telemetry }
+
+(* Does this mode consume unsat cores between instances? *)
+let uses_cores = function
+  | Static | Dynamic -> true
+  | Standard | Shtrichman -> false
+
+let order_mode cfg unroll score ~k =
+  match cfg.mode with
+  | Standard -> Sat.Order.Vsids
+  | Static ->
+    Sat.Order.Static (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
+  | Dynamic ->
+    Sat.Order.Dynamic (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
+  | Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
+
+(* Per-instance counters out of a persistent solver's cumulative totals.
+   Monotonic counters are differenced; gauges keep the [after] value. *)
+let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
+  {
+    Sat.Stats.decisions = after.decisions - before.decisions;
+    propagations = after.propagations - before.propagations;
+    conflicts = after.conflicts - before.conflicts;
+    restarts = after.restarts - before.restarts;
+    learned = after.learned - before.learned;
+    deleted = after.deleted - before.deleted;
+    max_decision_level = after.max_decision_level;
+    heuristic_switches = after.heuristic_switches - before.heuristic_switches;
+    blocker_hits = after.blocker_hits - before.blocker_hits;
+    arena_bytes = after.arena_bytes;
+    arena_compactions = after.arena_compactions - before.arena_compactions;
+    solve_time = after.solve_time -. before.solve_time;
+    bcp_time = after.bcp_time -. before.bcp_time;
+    analyze_time = after.analyze_time -. before.analyze_time;
+  }
+
+let pp_mode ppf = function
+  | Standard -> Format.pp_print_string ppf "standard"
+  | Static -> Format.pp_print_string ppf "static"
+  | Dynamic -> Format.pp_print_string ppf "dynamic"
+  | Shtrichman -> Format.pp_print_string ppf "shtrichman"
+
+let mode_of_string = function
+  | "standard" -> Some Standard
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | "shtrichman" -> Some Shtrichman
+  | _ -> None
+
+let all_modes = [ Standard; Static; Dynamic; Shtrichman ]
+
+type depth_stat = {
+  depth : int;
+  outcome : Sat.Solver.outcome;
+  decisions : int;
+  implications : int;
+  conflicts : int;
+  core_size : int;
+  core_var_count : int;
+  switched : bool;
+  time : float;
+  build_time : float;
+  cdg_time : float;
+}
+
+(* One "depth" telemetry event per solved instance; every engine that
+   produces depth_stats routes them through here so the JSONL schema stays
+   uniform. *)
+let emit_depth_event tel (d : depth_stat) =
+  if Telemetry.enabled tel then
+    Telemetry.event tel "depth"
+      [
+        ("depth", Telemetry.Sink.Int d.depth);
+        ("outcome", Telemetry.Sink.Str (Sat.Solver.outcome_string d.outcome));
+        ("build_s", Telemetry.Sink.Float d.build_time);
+        ("solve_s", Telemetry.Sink.Float d.time);
+        ("cdg_s", Telemetry.Sink.Float d.cdg_time);
+        ("decisions", Telemetry.Sink.Int d.decisions);
+        ("implications", Telemetry.Sink.Int d.implications);
+        ("conflicts", Telemetry.Sink.Int d.conflicts);
+        ("core_clauses", Telemetry.Sink.Int d.core_size);
+        ("core_vars", Telemetry.Sink.Int d.core_var_count);
+        ("switched", Telemetry.Sink.Bool d.switched);
+      ]
+
+type policy =
+  | Fresh
+  | Persistent
+
+let pp_policy ppf = function
+  | Fresh -> Format.pp_print_string ppf "fresh"
+  | Persistent -> Format.pp_print_string ppf "persistent"
+
+let policy_of_string = function
+  | "fresh" -> Some Fresh
+  | "persistent" -> Some Persistent
+  | _ -> None
+
+type t = {
+  cfg : config;
+  pol : policy;
+  unroll : Unroll.t;
+  sc : Score.t;
+  learn_cores : bool;
+  with_proof : bool;
+  solver : Sat.Solver.t option; (* the live solver, Persistent only *)
+  mutable fresh_solver : Sat.Solver.t option; (* last per-instance solver, Fresh only *)
+  mutable pending : Sat.Cnf.t option; (* the open instance's formula, Fresh only *)
+  mutable act : Sat.Lit.t option; (* the open instance's activation literal *)
+  mutable instance_k : int; (* depth of the open instance; -1 before the first *)
+  mutable instance_open : bool;
+  mutable loaded_frames : int; (* highest frame fed to the live solver *)
+  mutable loaded_clauses : int;
+  mutable aux_count : int; (* fresh_lit allocations, Persistent *)
+  mutable build_acc : float; (* CPU seconds building the open instance *)
+  mutable last_core : int list;
+  mutable last_core_vars : Sat.Lit.var list;
+}
+
+let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true) cfg netlist
+    ~property =
+  let unroll = Unroll.create ~coi:cfg.coi ?constrain_init netlist ~property in
+  let sc = match score with Some s -> s | None -> Score.create ~weighting:cfg.weighting () in
+  let with_proof = learn_cores && (uses_cores cfg.mode || cfg.collect_cores) in
+  let solver =
+    match policy with
+    | Persistent ->
+      Some (Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ()))
+    | Fresh -> None
+  in
+  {
+    cfg;
+    pol = policy;
+    unroll;
+    sc;
+    learn_cores;
+    with_proof;
+    solver;
+    fresh_solver = None;
+    pending = None;
+    act = None;
+    instance_k = -1;
+    instance_open = false;
+    loaded_frames = -1;
+    loaded_clauses = 0;
+    aux_count = 0;
+    build_acc = 0.0;
+    last_core = [];
+    last_core_vars = [];
+  }
+
+let policy t = t.pol
+
+let unroll t = t.unroll
+
+let score t = t.sc
+
+let live_solver t =
+  match t.solver with
+  | Some s -> s
+  | None -> assert false
+
+let begin_instance ?frames t ~k =
+  let frames = match frames with Some f -> f | None -> k in
+  if frames < k then invalid_arg "Session.begin_instance: frames < k";
+  if t.pol = Persistent && k <= t.instance_k then
+    invalid_arg "Session.begin_instance: depth must increase between instances";
+  let tb = Sys.time () in
+  t.build_acc <- 0.0;
+  t.last_core <- [];
+  t.last_core_vars <- [];
+  (match t.pol with
+  | Persistent ->
+    let solver = live_solver t in
+    (* retire the previous instance's constraints for good *)
+    (match t.act with
+    | Some act -> Sat.Solver.add_clause solver [ Sat.Lit.negate act ]
+    | None -> ());
+    t.act <- None;
+    Unroll.extend_to t.unroll frames;
+    (* feed only the deltas of frames the solver has not seen yet — each
+       frame enters the clause database exactly once per session *)
+    while t.loaded_frames < frames do
+      t.loaded_frames <- t.loaded_frames + 1;
+      Unroll.iter_delta t.unroll ~frame:t.loaded_frames (fun clause ->
+          Sat.Solver.add_clause solver clause;
+          t.loaded_clauses <- t.loaded_clauses + 1)
+    done;
+    let act = Varmap.var (Unroll.varmap t.unroll) ~node:activation_node ~frame:k in
+    t.act <- Some (Sat.Lit.pos act)
+  | Fresh ->
+    t.fresh_solver <- None;
+    t.pending <- Some (Unroll.base_cnf t.unroll ~k:frames));
+  t.instance_k <- k;
+  t.instance_open <- true;
+  t.build_acc <- t.build_acc +. (Sys.time () -. tb)
+
+let require_open t what = if not t.instance_open then invalid_arg ("Session." ^ what ^ ": no open instance")
+
+let constrain t clause =
+  require_open t "constrain";
+  let tb = Sys.time () in
+  (match t.pol with
+  | Persistent ->
+    let act = match t.act with Some a -> a | None -> assert false in
+    Sat.Solver.add_clause (live_solver t) (clause @ [ Sat.Lit.negate act ])
+  | Fresh -> (
+    match t.pending with
+    | Some cnf -> Sat.Cnf.add_clause cnf clause
+    | None -> assert false));
+  t.build_acc <- t.build_acc +. (Sys.time () -. tb)
+
+let fresh_lit t =
+  require_open t "fresh_lit";
+  match t.pol with
+  | Persistent ->
+    let frame = t.aux_count in
+    t.aux_count <- t.aux_count + 1;
+    Sat.Lit.pos (Varmap.var (Unroll.varmap t.unroll) ~node:aux_node ~frame)
+  | Fresh -> (
+    match t.pending with
+    | Some cnf -> Sat.Lit.pos (Sat.Cnf.fresh_var cnf)
+    | None -> assert false)
+
+let var_of t ~node ~frame = Unroll.var_of t.unroll ~node ~frame
+
+let instance_solver t =
+  match t.pol with
+  | Persistent -> live_solver t
+  | Fresh -> (
+    match t.fresh_solver with
+    | Some s -> s
+    | None -> invalid_arg "Session: instance not solved yet")
+
+let solve_instance t =
+  require_open t "solve_instance";
+  let cfg = t.cfg in
+  let k = t.instance_k in
+  let tb = Sys.time () in
+  let solver, assumptions =
+    match t.pol with
+    | Persistent ->
+      let solver = live_solver t in
+      Sat.Solver.set_order solver (order_mode cfg t.unroll t.sc ~k);
+      let act = match t.act with Some a -> a | None -> assert false in
+      (solver, [ act ])
+    | Fresh ->
+      let cnf = match t.pending with Some c -> c | None -> assert false in
+      let mode = order_mode cfg t.unroll t.sc ~k in
+      let solver =
+        Sat.Solver.create ~with_proof:t.with_proof ~mode ~telemetry:cfg.telemetry cnf
+      in
+      t.fresh_solver <- Some solver;
+      (solver, [])
+  in
+  t.build_acc <- t.build_acc +. (Sys.time () -. tb);
+  let cdg_before = Sat.Solver.cdg_seconds solver in
+  let before = Sat.Stats.copy (Sat.Solver.stats solver) in
+  let t0 = Sys.time () in
+  let outcome = Sat.Solver.solve ~budget:cfg.budget ~assumptions solver in
+  let time = Sys.time () -. t0 in
+  let delta = stats_delta ~before ~after:(Sat.Solver.stats solver) in
+  let core, core_vars =
+    match outcome with
+    | Sat.Solver.Unsat when t.with_proof ->
+      (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
+    | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
+  in
+  t.last_core <- core;
+  t.last_core_vars <- core_vars;
+  (match outcome with
+  | Sat.Solver.Unsat when t.learn_cores && uses_cores cfg.mode ->
+    Score.update t.sc ~instance:k ~core_vars
+  | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ());
+  let stat =
+    {
+      depth = k;
+      outcome;
+      decisions = delta.Sat.Stats.decisions;
+      implications = delta.Sat.Stats.propagations;
+      conflicts = delta.Sat.Stats.conflicts;
+      core_size = List.length core;
+      core_var_count = List.length core_vars;
+      switched = delta.Sat.Stats.heuristic_switches > 0;
+      time;
+      build_time = t.build_acc;
+      cdg_time = Sat.Solver.cdg_seconds solver -. cdg_before;
+    }
+  in
+  emit_depth_event cfg.telemetry stat;
+  stat
+
+let model t =
+  require_open t "model";
+  Sat.Solver.model (instance_solver t)
+
+let trace t = Trace.of_model t.unroll ~k:t.instance_k ~model:(model t)
+
+let last_core t = t.last_core
+
+let last_core_vars t = t.last_core_vars
+
+let loaded_clauses t = t.loaded_clauses
+
+let solver_stats t = Sat.Solver.stats (instance_solver t)
+
+type verdict =
+  | Falsified of Trace.t
+  | Bounded_pass of int
+  | Aborted of int
+
+type result = {
+  verdict : verdict;
+  per_depth : depth_stat list;
+  total_time : float;
+  total_decisions : int;
+  total_implications : int;
+  total_conflicts : int;
+}
+
+let pp_verdict ppf = function
+  | Falsified trace -> Format.fprintf ppf "falsified at depth %d" trace.Trace.depth
+  | Bounded_pass k -> Format.fprintf ppf "no counterexample up to depth %d" k
+  | Aborted k -> Format.fprintf ppf "aborted at depth %d (budget)" k
+
+let check ?(config = default_config) ~policy netlist ~property =
+  let cfg = config in
+  let t = create ~policy cfg netlist ~property in
+  let per_depth = ref [] in
+  let start = Sys.time () in
+  let finish verdict =
+    let per_depth = List.rev !per_depth in
+    let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
+    {
+      verdict;
+      per_depth;
+      total_time = Sys.time () -. start;
+      total_decisions = sum (fun d -> d.decisions);
+      total_implications = sum (fun d -> d.implications);
+      total_conflicts = sum (fun d -> d.conflicts);
+    }
+  in
+  let rec loop k =
+    if k > cfg.max_depth then finish (Bounded_pass cfg.max_depth)
+    else begin
+      begin_instance t ~k;
+      constrain t [ Sat.Lit.neg (var_of t ~node:property ~frame:k) ];
+      let stat = solve_instance t in
+      per_depth := stat :: !per_depth;
+      match stat.outcome with
+      | Sat.Solver.Sat ->
+        let tr = trace t in
+        if not (Trace.replay tr netlist ~property) then
+          failwith
+            (Printf.sprintf
+               "Session.check: counterexample at depth %d failed to replay (internal error)" k);
+        finish (Falsified tr)
+      | Sat.Solver.Unsat -> loop (k + 1)
+      | Sat.Solver.Unknown -> finish (Aborted k)
+    end
+  in
+  loop 0

@@ -1,0 +1,257 @@
+(** The incremental BMC session — one solver/unroller substrate under every
+    engine.
+
+    The paper's conclusion anticipates combining the ordering refinement
+    with incremental SAT (Whittemore et al.; Eén–Sörensson).  A session
+    owns one {!Unroll} and (under the [Persistent] policy) one long-lived
+    {!Sat.Solver}, and packages the per-depth mechanics every engine
+    needs, so the engines reduce to small drivers:
+
+    - {e frame deltas}: extending to depth k loads only the clauses of
+      newly materialised frames ({!Unroll.iter_delta}) — each frame enters
+      the solver exactly once, making clause construction O(delta) per
+      depth instead of the O(k²)-across-a-run of per-depth
+      {!Unroll.instance} rebuilds;
+    - {e activation-guarded constraints}: instance-local clauses (¬P(V^k),
+      LTL witness shapes, uniqueness constraints) are guarded behind a
+      fresh activation literal, assumed for this instance and retired with
+      a unit clause when the next instance begins (Eén–Sörensson);
+    - {e ordering refresh}: before each solve the decision order is
+      recomputed from the {!Score} ranking fed by previous cores and
+      installed on the live solver via {!Sat.Solver.set_order};
+    - {e stats deltas} and the shared "depth" telemetry event, so
+      per-instance numbers from a persistent solver are comparable with
+      fresh-solver runs.
+
+    The [Fresh] policy runs the same instance sequence on a new solver per
+    depth — bit-compatible with the seed {!Engine} behaviour — so the
+    incremental-vs-rebuild comparison (benchmark A3) is a one-flag ablation
+    over identical instances. *)
+
+(** {1 Configuration (shared by every engine)} *)
+
+type mode =
+  | Standard  (** plain BMC: pure VSIDS (the baseline column of Table 1) *)
+  | Static  (** the paper's refined ordering as the primary key throughout *)
+  | Dynamic  (** refined ordering with fallback to VSIDS (Section 3.3) *)
+  | Shtrichman  (** the related-work time-axis static ordering *)
+
+type config = {
+  mode : mode;
+  weighting : Score.weighting;
+  coi : bool;  (** restrict encoding to the property cone *)
+  budget : Sat.Solver.budget;  (** per-instance solver budget *)
+  max_depth : int;  (** highest unrolling depth to try *)
+  collect_cores : bool;
+      (** force proof logging even in modes that do not consume cores (used
+          by the overhead ablation) *)
+  telemetry : Telemetry.t;
+      (** structured-tracing handle, threaded into every solver the session
+          creates; the session additionally emits one "depth" event per
+          solved instance.  Default {!Telemetry.disabled} — a no-op. *)
+}
+
+val default_config : config
+(** [Standard] mode, [Linear] weighting, no COI, no budget,
+    [max_depth = 20]. *)
+
+val make_config :
+  ?mode:mode ->
+  ?weighting:Score.weighting ->
+  ?coi:bool ->
+  ?budget:Sat.Solver.budget ->
+  ?max_depth:int ->
+  ?collect_cores:bool ->
+  ?telemetry:Telemetry.t ->
+  unit ->
+  config
+
+val uses_cores : mode -> bool
+(** Does this mode consume unsat cores between instances? *)
+
+val order_mode : config -> Unroll.t -> Score.t -> k:int -> Sat.Order.mode
+(** The solver ordering for the depth-k instance: VSIDS, a {!Score} rank
+    snapshot over the current variable range, or the Shtrichman time-axis
+    ranking.  Hoisted here from the per-engine copies. *)
+
+val stats_delta : before:Sat.Stats.t -> after:Sat.Stats.t -> Sat.Stats.t
+(** Per-instance counters from a persistent solver's cumulative totals
+    (gauges like [max_decision_level] and [arena_bytes] keep the [after]
+    value). *)
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val mode_of_string : string -> mode option
+
+val all_modes : mode list
+
+(** {1 Per-instance statistics} *)
+
+type depth_stat = {
+  depth : int;
+  outcome : Sat.Solver.outcome;
+  decisions : int;
+  implications : int;  (** BCP-derived assignments, Figure 7's metric *)
+  conflicts : int;
+  core_size : int;  (** clauses in the unsat core; 0 if not collected *)
+  core_var_count : int;
+  switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
+  time : float;  (** CPU seconds solving this instance *)
+  build_time : float;
+      (** CPU seconds building this instance (frame deltas + constraints +
+          ordering refresh, or unroll + solver setup under [Fresh]) *)
+  cdg_time : float;
+      (** CPU seconds of CDG bookkeeping inside the solve (0 unless
+          telemetry was enabled — the Section 3.1 overhead, per depth) *)
+}
+
+val emit_depth_event : Telemetry.t -> depth_stat -> unit
+(** Publish a depth_stat as a "depth" telemetry event (no-op when the
+    handle is disabled).  {!solve_instance} calls this itself; exposed for
+    engines with hand-rolled instance loops so all traces share one
+    schema. *)
+
+(** {1 The session} *)
+
+type policy =
+  | Fresh
+      (** a new solver per instance over a snapshot CNF — the seed
+          per-depth-rebuild behaviour, kept as the ablation baseline *)
+  | Persistent
+      (** one long-lived solver; frame deltas, activation-guarded
+          constraints, learnt clauses / activities / CDG surviving across
+          depths — the default substrate *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val policy_of_string : string -> policy option
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?constrain_init:bool ->
+  ?score:Score.t ->
+  ?learn_cores:bool ->
+  config ->
+  Circuit.Netlist.t ->
+  property:Circuit.Netlist.node ->
+  t
+(** A session over the circuit.  [policy] defaults to [Persistent].
+    [constrain_init] is passed to {!Unroll.create} (k-induction's step
+    session turns it off).  [score] shares a ranking with another session
+    (base and step cases of induction feed one ranking); by default the
+    session owns a fresh one.  [learn_cores] (default [true]): when
+    [false], cores are neither extracted nor folded into the score even in
+    [Static]/[Dynamic] mode — the step case of induction, whose instances
+    are not part of the correlated refutation sequence, runs this way.
+    @raise Invalid_argument if the netlist does not validate. *)
+
+val policy : t -> policy
+
+val unroll : t -> Unroll.t
+
+val score : t -> Score.t
+
+val begin_instance : ?frames:int -> t -> k:int -> unit
+(** Open the depth-k instance.  [frames] (default [k]) is the highest
+    frame the instance ranges over — LTL's lasso encoding needs frame
+    [k+1] for the loop-closing successor state.  Under [Persistent] this
+    retires the previous instance's activation literal with a unit clause,
+    loads the deltas of any not-yet-loaded frames into the live solver
+    (each frame exactly once for the session's lifetime), and allocates a
+    fresh activation literal for this instance; under [Fresh] it snapshots
+    {!Unroll.base_cnf} as the instance formula.  Constraints are then
+    added with {!constrain} and the instance solved with
+    {!solve_instance}.
+    @raise Invalid_argument if [frames < k], or under [Persistent] if [k]
+    does not increase between instances. *)
+
+val constrain : t -> Sat.Lit.t list -> unit
+(** Add an instance-local clause: guarded behind the activation literal on
+    the live solver ([Persistent]), or appended to the snapshot formula
+    ([Fresh]).  Retired automatically when the next instance begins.
+    @raise Invalid_argument if no instance is open. *)
+
+val fresh_lit : t -> Sat.Lit.t
+(** A positive literal over a fresh variable for instance-local Tseitin
+    encodings (LTL witness shapes, simple-path disequalities).  Allocated
+    through the shared {!Varmap} under a reserved pseudo-node in
+    [Persistent] mode, so it can never collide with circuit variables of
+    frames materialised later.
+    @raise Invalid_argument if no instance is open. *)
+
+val var_of : t -> node:Circuit.Netlist.node -> frame:int -> Sat.Lit.var
+(** The SAT variable of a circuit node at a frame (via the unroller). *)
+
+val solve_instance : t -> depth_stat
+(** Refresh the decision ordering from the score ({!Sat.Solver.set_order}
+    on the live solver, or the creation mode of the per-instance solver),
+    solve under this instance's activation assumption, extract the unsat
+    core when proof logging is on, fold it into the score in core-consuming
+    modes, and emit the "depth" telemetry event.  Counters in the returned
+    stat are per-instance deltas.
+    @raise Invalid_argument if no instance is open. *)
+
+val model : t -> bool array
+(** @raise Invalid_argument unless the last {!solve_instance} was SAT. *)
+
+val trace : t -> Trace.t
+(** The counterexample trace of the open instance's model (frames
+    0..[k]).
+    @raise Invalid_argument as {!model}. *)
+
+val last_core : t -> int list
+(** Core clause indices of the last {!solve_instance} (meaningful against
+    the solver's own clause numbering; empty unless UNSAT with proof
+    logging). *)
+
+val last_core_vars : t -> Sat.Lit.var list
+(** Variables of the last instance's unsat core — the paper's [unsatVars]
+    (empty unless UNSAT with proof logging). *)
+
+val loaded_clauses : t -> int
+(** [Persistent] only: total frame-delta clauses loaded into the live
+    solver so far.  Because each frame loads exactly once, after solving
+    to depth k this equals {!Unroll.num_base_clauses} — the O(delta)
+    property the tests assert.  0 under [Fresh]. *)
+
+val solver_stats : t -> Sat.Stats.t
+(** Cumulative statistics of the underlying solver ([Persistent]: the
+    live solver's running totals; [Fresh]: the last instance's solver). *)
+
+(** {1 The unified invariant driver} *)
+
+type verdict =
+  | Falsified of Trace.t
+      (** counterexample found (and successfully replayed) at
+          [Trace.depth] *)
+  | Bounded_pass of int  (** every instance up to this depth was UNSAT *)
+  | Aborted of int  (** budget exhausted while solving this depth *)
+
+type result = {
+  verdict : verdict;
+  per_depth : depth_stat list;  (** ascending depth *)
+  total_time : float;
+  total_decisions : int;
+  total_implications : int;
+  total_conflicts : int;
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check :
+  ?config:config ->
+  policy:policy ->
+  Circuit.Netlist.t ->
+  property:Circuit.Netlist.node ->
+  result
+(** The paper's [refine_order_bmc] (Figure 5) over a session: for
+    k = 0, 1, 2, ... solve the depth-k instance under the configured
+    ordering; on SAT extract, replay and report the counterexample; on
+    UNSAT refine the ordering from the core and deepen; on budget
+    exhaustion abort.  [Engine.run] is this with [~policy:Fresh],
+    [Incremental.run] with [~policy:Persistent].
+    @raise Invalid_argument if the netlist does not validate, and
+    [Failure] if a counterexample fails to replay (a solver or encoder
+    bug — surfaced loudly rather than reported as a result). *)

@@ -132,16 +132,29 @@ let instance t ~k =
   Sat.Cnf.add_clause cnf [ Sat.Lit.neg (var_of t ~node:t.property ~frame:k) ];
   cnf
 
-let frame_clauses t ~frame =
+(* Every clause emitted while materialising frame f is tagged f, so a
+   frame's delta is the contiguous base range between consecutive
+   frame_clause_limit entries — concatenating the deltas for 0..k
+   reproduces base_cnf ~k clause for clause. *)
+let iter_delta t ~frame f =
   extend_to t frame;
   let lo = if frame = 0 then 0 else Sat.Vec.get t.frame_clause_limit (frame - 1) in
   let hi = Sat.Vec.get t.frame_clause_limit frame in
-  let acc = ref [] in
-  for i = hi - 1 downto lo do
+  for i = lo to hi - 1 do
     let _, clause = Sat.Vec.get t.base i in
-    acc := clause :: !acc
-  done;
-  !acc
+    f clause
+  done
+
+let delta_cnf t ~frame =
+  extend_to t frame;
+  let cnf = Sat.Cnf.create ~num_vars:(Sat.Vec.get t.frame_var_limit frame) () in
+  iter_delta t ~frame (Sat.Cnf.add_clause cnf);
+  cnf
+
+let frame_clauses t ~frame =
+  let acc = ref [] in
+  iter_delta t ~frame (fun clause -> acc := clause :: !acc);
+  List.rev !acc
 
 let num_vars_at t ~frame =
   extend_to t frame;

@@ -40,7 +40,13 @@ val base_cnf : t -> k:int -> Sat.Cnf.t
 val instance : t -> k:int -> Sat.Cnf.t
 (** The depth-k BMC instance: base clauses for frames 0..k plus [¬P(V^k)].
     Extends the unrolling as needed.  The returned formula is a snapshot;
-    its clause indices are only meaningful against itself. *)
+    its clause indices are only meaningful against itself.
+
+    {b Deprecated as an engine substrate}: rebuilding the monolithic
+    instance at every depth is O(k²) clause construction across a run.
+    Engines go through {!Session}, which feeds a persistent solver one
+    {!iter_delta} frame at a time; [instance] remains for single-shot
+    tools, the benchmark harness and tests. *)
 
 val var_of : t -> node:Circuit.Netlist.node -> frame:int -> Sat.Lit.var
 (** The SAT variable of a node at a frame (allocating if new). *)
@@ -50,10 +56,21 @@ val varmap : t -> Varmap.t
 val frame_of_var : t -> Sat.Lit.var -> int option
 (** Frame a SAT variable belongs to ([None] if unknown to the map). *)
 
+val iter_delta : t -> frame:int -> (Sat.Lit.t list -> unit) -> unit
+(** Iterate, in emission order, over exactly the base clauses produced by
+    materialising that frame (its {e delta}).  Extends the unrolling if
+    needed.  Concatenating the deltas for frames 0..k yields {!base_cnf}
+    [~k] clause for clause, in the same order — this is what lets a
+    {!Session} load each frame into a persistent solver exactly once. *)
+
+val delta_cnf : t -> frame:int -> Sat.Cnf.t
+(** The frame's delta as a standalone formula over the full variable range
+    allocated once the frame is materialised (clauses of earlier frames are
+    {e not} included). *)
+
 val frame_clauses : t -> frame:int -> Sat.Lit.t list list
-(** The base clauses emitted while materialising exactly that frame, in
-    emission order (used by the incremental engine to feed the solver frame
-    by frame).  Extends the unrolling if needed. *)
+(** {!iter_delta} collected into a list (used by the incremental engine to
+    feed the solver frame by frame).  Extends the unrolling if needed. *)
 
 val num_vars_at : t -> frame:int -> int
 (** Number of variables allocated once the given frame is materialised. *)

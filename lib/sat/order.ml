@@ -170,18 +170,26 @@ let rank_of t v = t.rank.(v)
 
 let grow t ~num_vars =
   if num_vars > t.num_vars then begin
-    let nlits = max (2 * num_vars) 1 in
-    let copy_into src size init =
-      let dst = Array.make size init in
-      Array.blit src 0 dst 0 (Array.length src);
-      dst
-    in
-    t.act <- copy_into t.act nlits 0.0;
-    t.rank <- copy_into t.rank (max num_vars 1) 0.0;
-    t.pos <- copy_into t.pos nlits (-1);
-    let heap = Array.make nlits (-1) in
-    Array.blit t.heap 0 heap 0 t.heap_len;
-    t.heap <- heap;
+    (* Grow capacity geometrically: callers add variables one at a time
+       (incremental clause loading), and exact-fit reallocation there is
+       quadratic.  Capacity is the smaller of the per-variable and
+       per-literal array allowances; the logical size stays [t.num_vars]. *)
+    let capacity = min (Array.length t.rank) (Array.length t.pos / 2) in
+    if num_vars > capacity then begin
+      let cap = max (2 * capacity) num_vars in
+      let nlits = max (2 * cap) 1 in
+      let copy_into src size init =
+        let dst = Array.make size init in
+        Array.blit src 0 dst 0 (Array.length src);
+        dst
+      in
+      t.act <- copy_into t.act nlits 0.0;
+      t.rank <- copy_into t.rank (max cap 1) 0.0;
+      t.pos <- copy_into t.pos nlits (-1);
+      let heap = Array.make nlits (-1) in
+      Array.blit t.heap 0 heap 0 t.heap_len;
+      t.heap <- heap
+    end;
     t.num_vars <- num_vars
   end
 

@@ -217,15 +217,23 @@ let grow_array src size init =
 
 let ensure_vars t n =
   if n > t.nvars then begin
-    let nlits = max (2 * n) 1 in
-    t.assigns <- grow_array t.assigns (max n 1) unassigned;
-    t.level <- grow_array t.level (max n 1) 0;
-    t.reason <- grow_array t.reason (max n 1) Arena.none;
-    t.seen <- grow_array t.seen (max n 1) false;
-    t.trail_height <- grow_array t.trail_height (max n 1) 0;
-    let watches = Array.init nlits (fun _ -> Arena.Watch.create ()) in
-    Array.blit t.watches 0 watches 0 (Array.length t.watches);
-    t.watches <- watches;
+    (* Incremental loading adds variables one at a time; grow capacity
+       geometrically so the amortized cost stays linear.  Capacity is the
+       smaller of the per-variable and per-literal (watches) allowances;
+       [t.nvars] stays the logical count. *)
+    let capacity = min (Array.length t.assigns) (Array.length t.watches / 2) in
+    if n > capacity then begin
+      let cap = max (max (2 * capacity) n) 1 in
+      let nlits = 2 * cap in
+      t.assigns <- grow_array t.assigns cap unassigned;
+      t.level <- grow_array t.level cap 0;
+      t.reason <- grow_array t.reason cap Arena.none;
+      t.seen <- grow_array t.seen cap false;
+      t.trail_height <- grow_array t.trail_height cap 0;
+      let watches = Array.init nlits (fun _ -> Arena.Watch.create ()) in
+      Array.blit t.watches 0 watches 0 (Array.length t.watches);
+      t.watches <- watches
+    end;
     Order.grow t.order ~num_vars:n;
     Cnf.ensure_vars t.cnf n;
     t.nvars <- n
@@ -858,9 +866,11 @@ let failed_assumptions t =
   | Some Unsat -> t.failed_assumptions
   | Some (Sat | Unknown) | None -> invalid_arg "Solver.failed_assumptions: not UNSAT"
 
-let set_mode t mode =
+let set_order t mode =
   cancel_until t 0;
   Order.set_mode t.order mode
+
+let set_mode = set_order
 
 let set_max_learnts t n = t.max_learnts <- max 1 n
 

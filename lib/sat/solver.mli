@@ -82,9 +82,21 @@ val failed_assumptions : t -> Lit.t list
     unsatisfiable).
     @raise Invalid_argument unless the last outcome was [Unsat]. *)
 
+val set_order : t -> Order.mode -> unit
+(** Swap the decision-ordering mode on a live solver between {!solve}
+    calls (retracting any outstanding decisions first).  What survives the
+    swap: the accumulated VSIDS literal activities ([cha_score]), learnt
+    clauses and the proof graph — the solver's search experience.  What is
+    replaced: the external per-variable rank array ([Static] / [Dynamic]
+    install the new ranking, [Vsids] clears it), and a [Dynamic] swap
+    re-arms the fallback-to-VSIDS trigger.  The decision heap itself is
+    rebuilt against the new keys at the start of the next {!solve}.  This
+    is how a {!Session}-style incremental BMC run re-ranks one persistent
+    solver from each instance's unsat core instead of seeding a fresh
+    solver per depth. *)
+
 val set_mode : t -> Order.mode -> unit
-(** Replace the decision-ordering mode before the next {!solve} call,
-    keeping accumulated literal activities (incremental use). *)
+(** Alias of {!set_order} (historical name). *)
 
 val set_max_learnts : t -> int -> unit
 (** Override the learnt-clause limit that triggers database reduction
