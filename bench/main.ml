@@ -27,6 +27,7 @@ let per_instance_budget =
     Sat.Solver.max_conflicts = Some 30_000;
     max_propagations = None;
     max_seconds = Some 1.5;
+    stop = None;
   }
 
 (* Every artefact also publishes its headline numbers through the telemetry
@@ -195,7 +196,7 @@ let fig7 () =
   Printf.printf "   BMC = plain VSIDS; ref_ord_BMC = the paper's dynamic ordering.\n";
   Printf.printf "   Smaller decision counts indicate smaller search trees.\n\n";
   let budget =
-    { Sat.Solver.max_conflicts = Some 100_000; max_propagations = None; max_seconds = Some 3.0 }
+    { Sat.Solver.max_conflicts = Some 100_000; max_propagations = None; max_seconds = Some 3.0; stop = None }
   in
   let std = run_mode ~budget Bmc.Engine.Standard case in
   let ref_ord = run_mode ~budget Bmc.Engine.Dynamic case in
@@ -447,7 +448,7 @@ let complement () =
     \   (dynamic refined ordering), BDD-based symbolic reachability, and\n\
     \   core-guided proof-based abstraction.\n\n";
   let budget =
-    { Sat.Solver.max_conflicts = Some 50_000; max_propagations = None; max_seconds = Some 2.0 }
+    { Sat.Solver.max_conflicts = Some 50_000; max_propagations = None; max_seconds = Some 2.0; stop = None }
   in
   let cases =
     [
@@ -520,7 +521,7 @@ let complement () =
    fails if any outcome or core-variable set diverges from the snapshot. *)
 
 let quick_budget =
-  { Sat.Solver.max_conflicts = Some 200_000; max_propagations = None; max_seconds = None }
+  { Sat.Solver.max_conflicts = Some 200_000; max_propagations = None; max_seconds = None; stop = None }
 
 let quick_snapshot_file = "BENCH_quick.json"
 
@@ -546,7 +547,12 @@ type quick_row = {
   q_build : float; (* instance construction: unroll/deltas + solver setup *)
   q_bcp : float;
   q_solve : float;
+  q_wall : float; (* wall-clock for the whole depth sweep; the only time that
+                     is comparable across sequential and portfolio rows *)
 }
+
+(* Worker count for the portfolio rows; [--jobs N] on the command line. *)
+let quick_jobs = ref 3
 
 let quick_mix h x = ((h * 131) + x) land 0x3FFFFFFF
 
@@ -558,6 +564,7 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
   let hash = ref 7 in
   let dec = ref 0 and confl = ref 0 and props = ref 0 in
   let build = ref 0.0 and bcp = ref 0.0 and slv = ref 0.0 in
+  let w0 = Portfolio.Pool.wall () in
   for k = 0 to depth do
     let tb = Sys.time () in
     let cnf = Bmc.Unroll.instance u ~k in
@@ -587,6 +594,7 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
     q_build = !build;
     q_bcp = !bcp;
     q_solve = !slv;
+    q_wall = Portfolio.Pool.wall () -. w0;
   }
 
 (* The session substrate: one persistent solver, frame deltas loaded once,
@@ -594,10 +602,13 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
    match the classic rows depth for depth (quick-check gates on it); search
    counters and core hashes legitimately differ — learnt clauses survive
    and cores may name activation variables — so each substrate is compared
-   against its own snapshot history. *)
-let quick_run_case_session ((case : Circuit.Generators.case), depth) =
+   against its own snapshot history.  [mode]/[suffix] default to the snapshot
+   row; the Static/Dynamic instantiations are run only for their wall clocks
+   (the per-ordering sequential baselines the portfolio rows race against). *)
+let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
+    ((case : Circuit.Generators.case), depth) =
   let config =
-    Bmc.Session.make_config ~budget:quick_budget ~max_depth:depth ~collect_cores:true
+    Bmc.Session.make_config ~mode ~budget:quick_budget ~max_depth:depth ~collect_cores:true
       ~telemetry:tel ()
   in
   let session =
@@ -608,6 +619,7 @@ let quick_run_case_session ((case : Circuit.Generators.case), depth) =
   let hash = ref 7 in
   let dec = ref 0 and confl = ref 0 and props = ref 0 in
   let build = ref 0.0 in
+  let w0 = Portfolio.Pool.wall () in
   for k = 0 to depth do
     Bmc.Session.begin_instance session ~k;
     Bmc.Session.constrain session
@@ -627,7 +639,7 @@ let quick_run_case_session ((case : Circuit.Generators.case), depth) =
   done;
   let stats = Bmc.Session.solver_stats session in
   {
-    q_name = case.name ^ "+session";
+    q_name = case.name ^ suffix;
     q_outcomes = Buffer.contents buf;
     q_core_hash = !hash;
     q_decisions = !dec;
@@ -636,11 +648,69 @@ let quick_run_case_session ((case : Circuit.Generators.case), depth) =
     q_build = !build;
     q_bcp = stats.Sat.Stats.bcp_time;
     q_solve = stats.Sat.Stats.solve_time;
+    q_wall = Portfolio.Pool.wall () -. w0;
   }
 
-let quick_json rows ~alloc_mb =
+(* The portfolio substrate: race the three orderings per depth on a worker
+   pool (Mode A).  The verdict at each depth is a property of the instance,
+   so the outcome string is deterministic and gated like any other row — but
+   WHICH racer wins a round is timing-dependent, and the winner's core is
+   what re-ranks the shared score, so core hashes and search counters are
+   not reproducible.  The snapshot pins the hash to 0 and quick-check gates
+   portfolio rows on outcomes only. *)
+let quick_run_case_portfolio pool ((case : Circuit.Generators.case), depth) =
+  let config =
+    Bmc.Session.make_config ~budget:quick_budget ~max_depth:depth ~collect_cores:true
+      ~telemetry:tel ()
+  in
+  let race = Portfolio.create_race ~pool config case.netlist ~property:case.property in
+  let buf = Buffer.create (depth + 1) in
+  let dec = ref 0 and confl = ref 0 and props = ref 0 in
+  let build = ref 0.0 and slv = ref 0.0 in
+  let w0 = Portfolio.Pool.wall () in
+  for k = 0 to depth do
+    let rs = Portfolio.race_depth race ~k in
+    let st = rs.Portfolio.stat in
+    (match st.Bmc.Session.outcome with
+    | Sat.Solver.Sat -> Buffer.add_char buf 's'
+    | Sat.Solver.Unsat -> Buffer.add_char buf 'u'
+    | Sat.Solver.Unknown -> Buffer.add_char buf '?');
+    dec := !dec + st.Bmc.Session.decisions;
+    confl := !confl + st.Bmc.Session.conflicts;
+    props := !props + st.Bmc.Session.implications;
+    build := !build +. st.Bmc.Session.build_time;
+    slv := !slv +. st.Bmc.Session.time
+  done;
+  {
+    q_name = case.name ^ "+portfolio";
+    q_outcomes = Buffer.contents buf;
+    q_core_hash = 0;
+    q_decisions = !dec;
+    q_conflicts = !confl;
+    q_propagations = !props;
+    q_build = !build;
+    q_bcp = 0.0; (* no per-winner BCP split across racers *)
+    q_solve = !slv;
+    q_wall = Portfolio.Pool.wall () -. w0;
+  }
+
+(* Per-ordering sequential walls vs the racing wall, for the speedup line
+   and the snapshot's "portfolio" block. *)
+type quick_portfolio_summary = {
+  p_jobs : int;
+  p_wall : float; (* total wall of the +portfolio rows *)
+  p_seq : (string * float) list; (* sequential session wall per ordering *)
+}
+
+let quick_best_seq psum =
+  List.fold_left
+    (fun (bn, bw) (n, w) -> if w < bw then (n, w) else (bn, bw))
+    ("standard", List.assoc "standard" psum.p_seq)
+    psum.p_seq
+
+let quick_json rows ~alloc_mb ~portfolio:psum =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v2\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v3\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
@@ -648,70 +718,123 @@ let quick_json rows ~alloc_mb =
         (Printf.sprintf
            "    { \"name\": \"%s\", \"outcomes\": \"%s\", \"core_vars_hash\": \"%08x\", \
             \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"build_s\": %.6f, \
-            \"bcp_s\": %.6f, \"solve_s\": %.6f }%s\n"
+            \"bcp_s\": %.6f, \"solve_s\": %.6f, \"wall_s\": %.6f }%s\n"
            r.q_name r.q_outcomes r.q_core_hash r.q_decisions r.q_conflicts r.q_propagations
-           r.q_build r.q_bcp r.q_solve
+           r.q_build r.q_bcp r.q_solve r.q_wall
            (if i = n - 1 then "" else ",")))
     rows;
   let tot f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
   let toti f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let best_name, best_wall = quick_best_seq psum in
   Buffer.add_string b
     (Printf.sprintf
        "  ],\n\
        \  \"totals\": { \"build_s\": %.6f, \"bcp_s\": %.6f, \"solve_s\": %.6f, \
-        \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \"alloc_mb\": %.1f }\n\
-        }\n"
+        \"wall_s\": %.6f, \"decisions\": %d, \"conflicts\": %d, \"propagations\": %d, \
+        \"alloc_mb\": %.1f },\n"
        (tot (fun r -> r.q_build))
        (tot (fun r -> r.q_bcp))
        (tot (fun r -> r.q_solve))
+       (tot (fun r -> r.q_wall))
        (toti (fun r -> r.q_decisions))
        (toti (fun r -> r.q_conflicts))
        (toti (fun r -> r.q_propagations))
        alloc_mb);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"portfolio\": { \"jobs\": %d, \"wall_s\": %.6f, \"sequential_wall_s\": { %s }, \
+        \"best_sequential\": \"%s\", \"speedup\": %.3f }\n}\n"
+       psum.p_jobs psum.p_wall
+       (String.concat ", "
+          (List.map (fun (n, w) -> Printf.sprintf "\"%s\": %.6f" n w) psum.p_seq))
+       best_name
+       (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0));
   Buffer.contents b
 
 let quick_rows () =
   let a0 = Gc.allocated_bytes () in
   let cases = quick_cases () in
-  (* both substrates over the same cases: classic per-depth rebuilds and the
-     persistent incremental session *)
+  let jobs = !quick_jobs in
+  (* three substrates over the same cases: classic per-depth rebuilds, the
+     persistent incremental session, and the racing portfolio *)
   let classic = List.map quick_run_case cases in
   let session = List.map quick_run_case_session cases in
-  let rows = classic @ session in
+  let portfolio =
+    Portfolio.Pool.with_pool ~telemetry:tel ~jobs (fun pool ->
+        List.map (quick_run_case_portfolio pool) cases)
+  in
+  (* sequential baselines for the other two orderings; walls only, the rows
+     themselves are not part of the snapshot *)
+  let seq_static =
+    List.map (quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static") cases
+  in
+  let seq_dynamic =
+    List.map (quick_run_case_session ~mode:Bmc.Session.Dynamic ~suffix:"+dynamic") cases
+  in
+  let wall_of rs = List.fold_left (fun a r -> a +. r.q_wall) 0.0 rs in
+  let psum =
+    {
+      p_jobs = jobs;
+      p_wall = wall_of portfolio;
+      p_seq =
+        [
+          ("standard", wall_of session);
+          ("static", wall_of seq_static);
+          ("dynamic", wall_of seq_dynamic);
+        ];
+    }
+  in
+  let rows = classic @ session @ portfolio in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
   Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
-  Printf.printf "%-24s %-14s %10s %10s %12s %9s %9s %9s\n" "model" "outcomes" "decisions"
-    "conflicts" "implications" "build(s)" "bcp(s)" "solve(s)";
+  Printf.printf "%-24s %-14s %10s %10s %12s %9s %9s %9s %9s\n" "model" "outcomes" "decisions"
+    "conflicts" "implications" "build(s)" "bcp(s)" "solve(s)" "wall(s)";
   List.iter
     (fun r ->
-      Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f\n" r.q_name r.q_outcomes
-        r.q_decisions r.q_conflicts r.q_propagations r.q_build r.q_bcp r.q_solve)
+      Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f %9.3f\n" r.q_name
+        r.q_outcomes r.q_decisions r.q_conflicts r.q_propagations r.q_build r.q_bcp r.q_solve
+        r.q_wall)
     rows;
-  Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f   (%.1f MB allocated)\n" "TOTAL"
-    ""
+  Printf.printf "%-24s %-14s %10d %10d %12d %9.3f %9.3f %9.3f %9.3f   (%.1f MB allocated)\n"
+    "TOTAL" ""
     (List.fold_left (fun a r -> a + r.q_decisions) 0 rows)
     (List.fold_left (fun a r -> a + r.q_conflicts) 0 rows)
     (List.fold_left (fun a r -> a + r.q_propagations) 0 rows)
     (List.fold_left (fun a r -> a +. r.q_build) 0.0 rows)
     (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows)
     (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows)
+    (List.fold_left (fun a r -> a +. r.q_wall) 0.0 rows)
     alloc_mb;
   let build_of rs = List.fold_left (fun a r -> a +. r.q_build) 0.0 rs in
   Printf.printf
     "\n   instance build time: classic %.3fs (O(k^2) rebuilds), session %.3fs (frame deltas)\n"
     (build_of classic) (build_of session);
+  let best_name, best_wall = quick_best_seq psum in
+  Printf.printf
+    "   portfolio (%d workers): %.3fs wall vs best sequential ordering (%s) %.3fs — %.2fx\n"
+    jobs psum.p_wall best_name best_wall
+    (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0);
+  let hw = Domain.recommended_domain_count () in
+  if hw < jobs then
+    Printf.printf
+      "   (note: %d worker domains on %d hardware thread(s) — racers are time-sliced, so\n\
+      \    the race cannot beat sequential here; speedup > 1 needs >= %d cores)\n"
+      jobs hw jobs;
   Telemetry.gauge tel "quick.build_s" (List.fold_left (fun a r -> a +. r.q_build) 0.0 rows);
   Telemetry.gauge tel "quick.bcp_s" (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows);
   Telemetry.gauge tel "quick.solve_s" (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows);
   Telemetry.gauge tel "quick.alloc_mb" alloc_mb;
   Telemetry.gauge tel "quick.decisions"
     (float_of_int (List.fold_left (fun a r -> a + r.q_decisions) 0 rows));
-  (rows, alloc_mb)
+  Telemetry.gauge tel "quick.portfolio.wall_s" psum.p_wall;
+  Telemetry.gauge tel "quick.portfolio.speedup"
+    (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0);
+  (rows, alloc_mb, psum)
 
 let quick () =
-  let rows, alloc_mb = quick_rows () in
+  let rows, alloc_mb, psum = quick_rows () in
   let oc = open_out quick_snapshot_file in
-  output_string oc (quick_json rows ~alloc_mb);
+  output_string oc (quick_json rows ~alloc_mb ~portfolio:psum);
   close_out oc;
   Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
 
@@ -732,7 +855,7 @@ let extract_str line key =
     Some (String.sub line start (j - start))
 
 let quick_check () =
-  let rows, _ = quick_rows () in
+  let rows, _, _ = quick_rows () in
   let expected =
     let ic = open_in quick_snapshot_file in
     let tbl = Hashtbl.create 16 in
@@ -772,25 +895,30 @@ let quick_check () =
             got_hash
         end)
     rows;
-  (* cross-substrate gate: the classic and session engines solve the same
-     instance sequence, so their per-depth outcomes must agree exactly *)
+  (* cross-substrate gates: classic, session and portfolio all solve the same
+     instance sequence, so their per-depth outcomes must agree exactly (which
+     racer WON a portfolio round is timing-dependent; the verdict is not) *)
   let by_name = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace by_name r.q_name r) rows;
   List.iter
     (fun r ->
-      match Hashtbl.find_opt by_name (r.q_name ^ "+session") with
-      | Some s when s.q_outcomes <> r.q_outcomes ->
-        incr failures;
-        Printf.eprintf "quick-check: %s: classic and session outcomes diverge: %s vs %s\n"
-          r.q_name r.q_outcomes s.q_outcomes
-      | Some _ | None -> ())
+      List.iter
+        (fun suffix ->
+          match Hashtbl.find_opt by_name (r.q_name ^ suffix) with
+          | Some s when s.q_outcomes <> r.q_outcomes ->
+            incr failures;
+            Printf.eprintf "quick-check: %s: classic and %s outcomes diverge: %s vs %s\n"
+              r.q_name suffix r.q_outcomes s.q_outcomes
+          | Some _ | None -> ())
+        [ "+session"; "+portfolio" ])
     rows;
   if !failures > 0 then begin
     Printf.eprintf "quick-check: %d divergence(s) from %s\n" !failures quick_snapshot_file;
     exit 1
   end;
   Printf.printf
-    "quick-check: all outcomes and core-variable sets match %s (classic and session agree)\n"
+    "quick-check: all outcomes and core-variable sets match %s (classic, session and \
+     portfolio agree)\n"
     quick_snapshot_file
 
 (* ------------------------------------------------------------------ *)
@@ -868,10 +996,12 @@ let micro () =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [table1|fig6|fig7|overhead|ablation|complement|quick|quick-check|micro]...\n\
+    "usage: main.exe [--jobs N] \
+     [table1|fig6|fig7|overhead|ablation|complement|quick|quick-check|micro]...\n\
      with no arguments, runs every artefact except quick-check.\n\
      quick       small fixed-seed subset; writes the BENCH_quick.json snapshot\n\
-     quick-check re-runs the quick subset and fails on any outcome divergence\n"
+     quick-check re-runs the quick subset and fails on any outcome divergence\n\
+     --jobs N    worker domains for the quick portfolio rows (default 3)\n"
 
 let write_results () =
   let oc = open_out results_file in
@@ -897,16 +1027,28 @@ let () =
     ]
   in
   let canonical = function "--quick" -> "quick" | "--quick-check" -> "quick-check" | a -> a in
-  match Array.to_list Sys.argv with
-  | [ _ ] ->
+  (* peel off [--jobs N] (or -j N) anywhere on the line; the rest are artefacts *)
+  let rec strip = function
+    | [] -> []
+    | ("--jobs" | "-j") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j > 0 ->
+        quick_jobs := j;
+        strip rest
+      | Some _ | None ->
+        usage ();
+        exit 2)
+    | a :: rest -> canonical a :: strip rest
+  in
+  match strip (List.tl (Array.to_list Sys.argv)) with
+  | [] ->
     List.iter
       (fun (name, f) -> if name <> "quick-check" then run_artefact name f)
       artefacts;
     write_results ()
-  | _ :: args ->
+  | args ->
     List.iter
       (fun a ->
-        let a = canonical a in
         match List.assoc_opt a artefacts with
         | Some f -> run_artefact a f
         | None ->
@@ -914,4 +1056,3 @@ let () =
           exit 2)
       args;
     write_results ()
-  | [] -> usage ()

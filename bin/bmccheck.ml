@@ -3,8 +3,12 @@
    Checks the invariant property of a circuit (a .rnl netlist, an AIGER
    .aag/.aig file, or a named built-in benchmark) by bounded model checking
    with a selectable decision ordering, or proves it by k-induction.
+   With --portfolio the three decision orderings race on a domain pool
+   (first definitive answer per depth wins); with several CIRCUIT arguments
+   the properties are batch-solved across the pool.
    Exit codes: 10 = counterexample found, 20 = bounded pass / proved,
-   0 = aborted on budget / undecided, 2 = input error. *)
+   0 = aborted on budget / undecided, 2 = input error.  A batch exits with
+   the most severe code across its properties (10 over 0 over 20). *)
 
 let load source =
   match Circuit.Generators.by_name source with
@@ -62,24 +66,25 @@ let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
     d.decisions d.implications d.conflicts d.core_var_count d.build_time d.time d.cdg_time
     (if d.switched then " [switched to VSIDS]" else "")
 
-let run source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
+let parse_mode mode_name =
+  match Bmc.Engine.mode_of_string mode_name with
+  | Some m -> m
+  | None ->
+    Format.eprintf "bmccheck: unknown mode %S (standard|static|dynamic|shtrichman)@." mode_name;
+    exit 2
+
+let parse_weighting = function
+  | "linear" -> Bmc.Score.Linear
+  | "uniform" -> Bmc.Score.Uniform
+  | "last" -> Bmc.Score.Last_only
+  | w ->
+    Format.eprintf "bmccheck: unknown weighting %S (linear|uniform|last)@." w;
+    exit 2
+
+let run_single source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
     max_seconds simple_path fresh_solver ltl_formula trace_file metrics =
-  let mode =
-    match Bmc.Engine.mode_of_string mode_name with
-    | Some m -> m
-    | None ->
-      Format.eprintf "bmccheck: unknown mode %S (standard|static|dynamic|shtrichman)@." mode_name;
-      exit 2
-  in
-  let weighting =
-    match weighting_name with
-    | "linear" -> Bmc.Score.Linear
-    | "uniform" -> Bmc.Score.Uniform
-    | "last" -> Bmc.Score.Last_only
-    | w ->
-      Format.eprintf "bmccheck: unknown weighting %S (linear|uniform|last)@." w;
-      exit 2
-  in
+  let mode = parse_mode mode_name in
+  let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
     Format.eprintf "bmccheck: %s@." msg;
@@ -92,7 +97,7 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
       | None, None -> 20
     in
     let budget =
-      { Sat.Solver.max_conflicts; max_propagations = None; max_seconds }
+      { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
     in
     let telemetry = setup_telemetry trace_file metrics in
     let config =
@@ -218,13 +223,156 @@ let run source engine_name mode_name max_depth coi weighting_name verbose max_co
     | Bmc.Engine.Bounded_pass _ -> exit 20
     | Bmc.Engine.Aborted _ -> exit 0)
 
+(* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
+let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
+    trace_file metrics jobs =
+  let weighting = parse_weighting weighting_name in
+  match load source with
+  | Error msg ->
+    Format.eprintf "bmccheck: %s@." msg;
+    exit 2
+  | Ok (netlist, property, case) ->
+    let max_depth =
+      match (max_depth, case) with
+      | Some d, _ -> d
+      | None, Some c -> c.Circuit.Generators.suggested_depth
+      | None, None -> 20
+    in
+    let budget =
+      { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
+    in
+    let telemetry = setup_telemetry trace_file metrics in
+    let config = Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ~telemetry () in
+    let jobs = if jobs > 0 then jobs else 3 in
+    let code =
+      Portfolio.Pool.with_pool ~telemetry ~jobs (fun pool ->
+          let r = Portfolio.check_race ~config ~pool netlist ~property in
+          if verbose then
+            List.iter
+              (fun (rs : Portfolio.race_stat) ->
+                Format.printf "depth %3d: %-7s won by %-9s wall=%.3fs cancelled=%d@."
+                  rs.Portfolio.depth
+                  (Sat.Solver.outcome_string rs.stat.Bmc.Session.outcome)
+                  (match rs.winner with
+                  | Some m -> Format.asprintf "%a" Bmc.Session.pp_mode m
+                  | None -> "-")
+                  rs.Portfolio.wall rs.Portfolio.cancelled)
+              r.per_depth;
+          Format.printf "%s: %a (%.3fs wall, %d workers, wins:%s)@." source
+            Bmc.Session.pp_verdict r.verdict r.total_wall jobs
+            (String.concat ""
+               (List.map
+                  (fun (m, n) -> Format.asprintf " %a=%d" Bmc.Session.pp_mode m n)
+                  r.wins));
+          match r.verdict with
+          | Bmc.Session.Falsified trace ->
+            Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+            10
+          | Bmc.Session.Bounded_pass _ -> 20
+          | Bmc.Session.Aborted _ -> 0)
+    in
+    exit code
+
+(* Several CIRCUITs: batch-solve the properties across the pool (mode B). *)
+let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
+    max_conflicts max_seconds trace_file metrics jobs =
+  let mode = parse_mode mode_name in
+  let weighting = parse_weighting weighting_name in
+  let policy =
+    match engine_name with
+    | "bmc" -> Bmc.Session.Fresh
+    | "incremental" -> Bmc.Session.Persistent
+    | other ->
+      Format.eprintf "bmccheck: batch mode supports --engine bmc|incremental, not %S@." other;
+      exit 2
+  in
+  let items =
+    List.map
+      (fun source ->
+        match load source with
+        | Error msg ->
+          Format.eprintf "bmccheck: %s: %s@." source msg;
+          exit 2
+        | Ok (netlist, property, case) ->
+          let depth =
+            match (max_depth, case) with
+            | Some d, _ -> d
+            | None, Some c -> c.Circuit.Generators.suggested_depth
+            | None, None -> 20
+          in
+          (source, netlist, property, depth))
+      sources
+  in
+  let budget =
+    { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
+  in
+  let telemetry = setup_telemetry trace_file metrics in
+  let jobs =
+    if jobs > 0 then jobs else min (List.length items) (Domain.recommended_domain_count ())
+  in
+  let t0 = Portfolio.Pool.wall () in
+  let results =
+    Portfolio.Pool.with_pool ~telemetry ~jobs (fun pool ->
+        Portfolio.Pool.map_list ~label:"batch" pool
+          (fun (source, netlist, property, max_depth) ->
+            let config =
+              Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ()
+            in
+            (source, netlist, Bmc.Session.check ~config ~policy netlist ~property))
+          items)
+  in
+  let wall = Portfolio.Pool.wall () -. t0 in
+  let code = ref 20 in
+  List.iter
+    (fun (source, netlist, (r : Bmc.Session.result)) ->
+      if verbose then List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) r.per_depth;
+      Format.printf "%s: %a (%.3fs, %d decisions)@." source Bmc.Session.pp_verdict r.verdict
+        r.total_time r.total_decisions;
+      match r.verdict with
+      | Bmc.Session.Falsified trace ->
+        Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
+        code := 10
+      | Bmc.Session.Bounded_pass _ -> ()
+      | Bmc.Session.Aborted _ -> if !code <> 10 then code := 0)
+    results;
+  Format.printf "batch: %d properties on %d workers in %.3fs wall@." (List.length results)
+    jobs wall;
+  exit !code
+
+let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
+    max_seconds simple_path fresh_solver ltl_formula trace_file metrics jobs portfolio =
+  match (sources, portfolio) with
+  | [], _ -> assert false (* cmdliner: the positional list is non-empty *)
+  | _ :: _ :: _, true ->
+    Format.eprintf "bmccheck: --portfolio races one circuit; give a single CIRCUIT@.";
+    exit 2
+  | [ source ], true ->
+    if ltl_formula <> None then begin
+      Format.eprintf "bmccheck: --portfolio checks the built-in invariant, not --ltl@.";
+      exit 2
+    end;
+    run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
+      trace_file metrics jobs
+  | [ source ], false ->
+    run_single source engine_name mode_name max_depth coi weighting_name verbose
+      max_conflicts max_seconds simple_path fresh_solver ltl_formula trace_file metrics
+  | sources, false ->
+    if ltl_formula <> None then begin
+      Format.eprintf "bmccheck: batch mode checks built-in invariants, not --ltl@.";
+      exit 2
+    end;
+    run_batch sources engine_name mode_name max_depth coi weighting_name verbose
+      max_conflicts max_seconds trace_file metrics jobs
+
 open Cmdliner
 
-let source =
+let sources =
   Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"CIRCUIT" ~doc:"A .rnl netlist file or a built-in benchmark name.")
+    non_empty & pos_all string []
+    & info [] ~docv:"CIRCUIT"
+        ~doc:"A .rnl netlist file, an AIGER file or a built-in benchmark name.  With \
+              several circuits, their properties are batch-solved across the worker \
+              pool (see --jobs).")
 
 let engine =
   Arg.(
@@ -302,12 +450,29 @@ let metrics =
         ~doc:"Collect telemetry in memory and print a phase-breakdown report (span times, \
               counters, per-depth build/solve/CDG table) when the run finishes.")
 
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for --portfolio or batch solving.  0 (the default) picks 3 \
+              for a portfolio race (one per ordering) and min(circuits, cores) for a \
+              batch.")
+
+let portfolio =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:"Race the three decision orderings (standard, static, dynamic) on parallel \
+              workers; per depth, the first definitive answer wins, the losers are \
+              cancelled, and the winner's unsat core refines the shared ranking.")
+
 let cmd =
   let doc = "bounded model checking with refined SAT decision orderings" in
   let info = Cmd.info "bmccheck" ~doc in
   Cmd.v info
     Term.(
-      const run $ source $ engine $ mode $ max_depth $ coi $ weighting $ verbose
-      $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics)
+      const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
+      $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics
+      $ jobs $ portfolio)
 
 let () = exit (Cmd.eval cmd)

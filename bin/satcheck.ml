@@ -91,6 +91,7 @@ let run file core stats_flag max_conflicts max_seconds assume drat_file certify 
         Sat.Solver.max_conflicts;
         max_propagations = None;
         max_seconds;
+        stop = None;
       }
     in
     let outcome = Sat.Solver.solve ~budget ~assumptions solver in

@@ -14,7 +14,7 @@ let () =
   Format.printf "auditing %s up to depth %d (property: at most one grant)@.@." case.name depth;
 
   let budget =
-    { Sat.Solver.max_conflicts = Some 200_000; max_propagations = None; max_seconds = Some 20.0 }
+    { Sat.Solver.max_conflicts = Some 200_000; max_propagations = None; max_seconds = Some 20.0; stop = None }
   in
   Format.printf "%-11s %10s %12s %14s %8s@." "mode" "time(s)" "decisions" "implications"
     "verdict";

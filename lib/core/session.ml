@@ -139,9 +139,11 @@ let policy_of_string = function
 type t = {
   cfg : config;
   pol : policy;
+  owner : int; (* id of the domain that created the session *)
   unroll : Unroll.t;
   sc : Score.t;
   learn_cores : bool;
+  fold_cores : bool;
   with_proof : bool;
   solver : Sat.Solver.t option; (* the live solver, Persistent only *)
   mutable fresh_solver : Sat.Solver.t option; (* last per-instance solver, Fresh only *)
@@ -157,8 +159,8 @@ type t = {
   mutable last_core_vars : Sat.Lit.var list;
 }
 
-let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true) cfg netlist
-    ~property =
+let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
+    ?(fold_cores = true) cfg netlist ~property =
   let unroll = Unroll.create ~coi:cfg.coi ?constrain_init netlist ~property in
   let sc = match score with Some s -> s | None -> Score.create ~weighting:cfg.weighting () in
   let with_proof = learn_cores && (uses_cores cfg.mode || cfg.collect_cores) in
@@ -171,9 +173,11 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true) c
   {
     cfg;
     pol = policy;
+    owner = (Domain.self () :> int);
     unroll;
     sc;
     learn_cores;
+    fold_cores;
     with_proof;
     solver;
     fresh_solver = None;
@@ -191,6 +195,18 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true) c
 
 let policy t = t.pol
 
+(* Sessions (and the solvers under them) are domain-confined: every
+   instance-building or solving entry point must run on the domain that
+   called [create].  The portfolio layer relies on this rule — each racer's
+   session lives on one pinned pool worker — and violating it would race on
+   the solver's mutable state, so it is an [Invalid_argument], not UB. *)
+let assert_owner t what =
+  if (Domain.self () :> int) <> t.owner then
+    invalid_arg
+      (Printf.sprintf "Session.%s: session is owned by domain %d, called from domain %d" what
+         t.owner
+         (Domain.self () :> int))
+
 let unroll t = t.unroll
 
 let score t = t.sc
@@ -201,6 +217,7 @@ let live_solver t =
   | None -> assert false
 
 let begin_instance ?frames t ~k =
+  assert_owner t "begin_instance";
   let frames = match frames with Some f -> f | None -> k in
   if frames < k then invalid_arg "Session.begin_instance: frames < k";
   if t.pol = Persistent && k <= t.instance_k then
@@ -238,6 +255,7 @@ let begin_instance ?frames t ~k =
 let require_open t what = if not t.instance_open then invalid_arg ("Session." ^ what ^ ": no open instance")
 
 let constrain t clause =
+  assert_owner t "constrain";
   require_open t "constrain";
   let tb = Sys.time () in
   (match t.pol with
@@ -251,6 +269,7 @@ let constrain t clause =
   t.build_acc <- t.build_acc +. (Sys.time () -. tb)
 
 let fresh_lit t =
+  assert_owner t "fresh_lit";
   require_open t "fresh_lit";
   match t.pol with
   | Persistent ->
@@ -273,6 +292,7 @@ let instance_solver t =
     | None -> invalid_arg "Session: instance not solved yet")
 
 let solve_instance t =
+  assert_owner t "solve_instance";
   require_open t "solve_instance";
   let cfg = t.cfg in
   let k = t.instance_k in
@@ -309,7 +329,7 @@ let solve_instance t =
   t.last_core <- core;
   t.last_core_vars <- core_vars;
   (match outcome with
-  | Sat.Solver.Unsat when t.learn_cores && uses_cores cfg.mode ->
+  | Sat.Solver.Unsat when t.fold_cores && t.learn_cores && uses_cores cfg.mode ->
     Score.update t.sc ~instance:k ~core_vars
   | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ());
   let stat =
@@ -331,6 +351,7 @@ let solve_instance t =
   stat
 
 let model t =
+  assert_owner t "model";
   require_open t "model";
   Sat.Solver.model (instance_solver t)
 

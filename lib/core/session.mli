@@ -26,7 +26,19 @@
     The [Fresh] policy runs the same instance sequence on a new solver per
     depth — bit-compatible with the seed {!Engine} behaviour — so the
     incremental-vs-rebuild comparison (benchmark A3) is a one-flag ablation
-    over identical instances. *)
+    over identical instances.
+
+    {b Domain-ownership rule.}  A session — and the solver(s) under it — is
+    confined to the domain that called {!create}.  Every instance-building
+    or solving entry point ({!begin_instance}, {!constrain}, {!fresh_lit},
+    {!solve_instance}, {!model}, and therefore {!trace}) asserts this and
+    raises [Invalid_argument] when called from another domain.  The
+    {!Portfolio} layer builds on the rule: each racer's session is created
+    lazily {e inside} its pinned pool worker and never leaves it; the
+    coordinator communicates only through immutable results, cancellation
+    tokens and the (coordinator-confined) shared {!Score}.  Read-only
+    accessors ({!score}, {!last_core_vars}, ...) are not asserted but are
+    only meaningful once the owning domain has quiesced. *)
 
 (** {1 Configuration (shared by every engine)} *)
 
@@ -133,6 +145,7 @@ val create :
   ?constrain_init:bool ->
   ?score:Score.t ->
   ?learn_cores:bool ->
+  ?fold_cores:bool ->
   config ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
@@ -145,6 +158,13 @@ val create :
     [false], cores are neither extracted nor folded into the score even in
     [Static]/[Dynamic] mode — the step case of induction, whose instances
     are not part of the correlated refutation sequence, runs this way.
+    [fold_cores] (default [true]): when [false], cores are still extracted
+    (subject to [learn_cores] / [collect_cores]) but {e not} folded into
+    the score by {!solve_instance} — the portfolio racers run this way, so
+    the shared ranking is updated once per depth with the {e winner's}
+    core by the coordinator, not three times by whichever racer finishes
+    first.  The session captures the calling domain as its owner (see the
+    domain-ownership rule above).
     @raise Invalid_argument if the netlist does not validate. *)
 
 val policy : t -> policy

@@ -1,0 +1,91 @@
+(** A fixed pool of [Domain.t] workers behind a mutex/condition job queue.
+
+    The pool is the substrate of the {!Portfolio} layer: strategy races
+    submit one job per decision ordering, property batches submit one job
+    per property, and both rely on two properties the pool guarantees:
+
+    - {e affinity}: a job submitted with [~affinity:i] always runs on
+      worker [i mod size], so state a job creates on its worker (a
+      {!Bmc.Session}, which is domain-confined) can be reused by every
+      later job with the same affinity;
+    - {e cooperative cancellation}: a {!Token.t} is an [Atomic.t] flag
+      shared between the coordinator and a running job; {!Token.stop_hook}
+      adapts it to the [stop] hook of {!Sat.Solver.budget}, which the
+      solver polls at conflict / 1024-decision boundaries.
+
+    Jobs never block on other jobs (no job-to-job dependencies), so a pool
+    smaller than a race is safe: pinned jobs sharing a worker serialise in
+    submission order and the race degenerates gracefully towards the
+    sequential portfolio.
+
+    When the pool has a telemetry handle, every executed job emits a
+    ["queue_wait"] span (wall-clock seconds between submission and the
+    moment a worker picks the job up, tagged with the worker id) — the
+    scheduling-pressure signal of the per-worker telemetry. *)
+
+type t
+
+val create : ?telemetry:Telemetry.t -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains (clamped to at least 1).  [telemetry]
+    (default {!Telemetry.disabled}) receives the per-job "queue_wait"
+    spans; share a handle whose sink is domain-safe (the stock
+    {!Telemetry.Sink} constructors are). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val wall : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]).  In multicore OCaml
+    [Sys.time] sums CPU time across domains, so every latency or speedup
+    measurement in the portfolio layer uses this clock instead. *)
+
+(** {1 Futures} *)
+
+type 'a future
+
+val submit : ?affinity:int -> ?label:string -> t -> (unit -> 'a) -> 'a future
+(** Enqueue a job.  Without [affinity] it goes to the shared queue (any
+    idle worker steals it); with [~affinity:i] it is pinned to worker
+    [i mod size].  [label] tags the job's "queue_wait" telemetry span.
+    Jobs pinned to one worker run in submission order.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the job finishes; returns its value or re-raises its
+    exception (in the caller's domain). *)
+
+val map_list : ?label:string -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Submit one unpinned job per element, await them all, preserve order.
+    Exceptions re-raise after every job has settled (first one wins). *)
+
+(** {1 Cancellation tokens} *)
+
+module Token : sig
+  type t
+  (** A cancellation flag shared between a coordinator and running jobs.
+      Purely cooperative: cancelling never interrupts a worker, it only
+      makes {!cancelled} (and the solver's [stop] poll) answer [true]. *)
+
+  val create : unit -> t
+
+  val cancel : t -> unit
+
+  val cancelled : t -> bool
+
+  val reset : t -> unit
+  (** Re-arm a token for the next round.  Only safe once every job holding
+      the token has settled (e.g. between race rounds, after the
+      coordinator awaited all racers). *)
+
+  val stop_hook : t -> unit -> bool
+  (** The token as a {!Sat.Solver.budget} [stop] hook: an [Atomic.get]
+      behind a closure, cheap enough for the solver's per-conflict poll. *)
+end
+
+(** {1 Shutdown} *)
+
+val shutdown : t -> unit
+(** Drain every queued job, then join all workers.  Idempotent. *)
+
+val with_pool : ?telemetry:Telemetry.t -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run the body, and {!shutdown} (also on exception). *)

@@ -1,0 +1,295 @@
+module Pool = Pool
+module Session = Bmc.Session
+
+(* ------------------------------------------------------------------ *)
+(* Mode A: strategy races.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type slot = {
+  s_mode : Session.mode;
+  s_token : Pool.Token.t;
+  (* The racer's persistent session.  Created lazily by the first job that
+     runs on the slot's pinned worker and only ever touched there — the
+     coordinator must never dereference it (Session's ownership rule). *)
+  mutable s_session : Session.t option;
+}
+
+type race = {
+  r_pool : Pool.t;
+  r_cfg : Session.config;
+  r_netlist : Circuit.Netlist.t;
+  r_property : Circuit.Netlist.node;
+  r_slots : slot array;
+  r_score : Bmc.Score.t;
+  r_wins : int array; (* per-slot race wins, coordinator-only *)
+  mutable r_last_k : int;
+}
+
+let mode_string m = Format.asprintf "%a" Session.pp_mode m
+
+let create_race ?(modes = [ Session.Standard; Session.Static; Session.Dynamic ]) ~pool cfg
+    netlist ~property =
+  if modes = [] then invalid_arg "Portfolio.create_race: no modes";
+  (* validate the netlist in the coordinator, where the error is useful,
+     rather than inside a worker job *)
+  (match Circuit.Netlist.validate netlist with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Portfolio.create_race: " ^ msg));
+  let cfg = { cfg with Session.collect_cores = true } in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun m -> { s_mode = m; s_token = Pool.Token.create (); s_session = None })
+         modes)
+  in
+  {
+    r_pool = pool;
+    r_cfg = cfg;
+    r_netlist = netlist;
+    r_property = property;
+    r_slots = slots;
+    r_score = Bmc.Score.create ~weighting:cfg.Session.weighting ();
+    r_wins = Array.make (Array.length slots) 0;
+    r_last_k = -1;
+  }
+
+(* Runs inside the slot's pinned worker. *)
+let slot_session race slot =
+  match slot.s_session with
+  | Some s -> s
+  | None ->
+    let base = race.r_cfg.Session.budget in
+    let token_stop = Pool.Token.stop_hook slot.s_token in
+    let stop =
+      match base.Sat.Solver.stop with
+      | None -> token_stop
+      | Some f -> fun () -> token_stop () || f ()
+    in
+    let cfg =
+      {
+        race.r_cfg with
+        Session.mode = slot.s_mode;
+        budget = { base with Sat.Solver.stop = Some stop };
+      }
+    in
+    (* [fold_cores:false]: racers extract cores but never write the shared
+       score — the coordinator folds exactly one core (the winner's) per
+       depth, between rounds. *)
+    let s =
+      Session.create ~score:race.r_score ~fold_cores:false cfg race.r_netlist
+        ~property:race.r_property
+    in
+    slot.s_session <- Some s;
+    s
+
+type attempt = {
+  a_stat : Session.depth_stat;
+  a_trace : Bmc.Trace.t option;
+  a_core_vars : Sat.Lit.var list;
+  a_finished : float; (* wall clock *)
+}
+
+type race_stat = {
+  depth : int;
+  winner : Session.mode option;
+  stat : Session.depth_stat;
+  attempts : (Session.mode * Sat.Solver.outcome) list;
+  wall : float;
+  cancelled : int;
+  max_cancel_latency : float;
+  trace : Bmc.Trace.t option;
+}
+
+let definitive = function
+  | Sat.Solver.Sat | Sat.Solver.Unsat -> true
+  | Sat.Solver.Unknown -> false
+
+let race_depth race ~k =
+  if k <= race.r_last_k then
+    invalid_arg "Portfolio.race_depth: depth must increase between rounds";
+  race.r_last_k <- k;
+  let slots = race.r_slots in
+  let n = Array.length slots in
+  let tel = race.r_cfg.Session.telemetry in
+  (* all prior rounds have settled, so re-arming the tokens is safe *)
+  Array.iter (fun sl -> Pool.Token.reset sl.s_token) slots;
+  let cm = Mutex.create () in
+  let ccv = Condition.create () in
+  let results = Array.make n None in
+  let settled = ref 0 in
+  let winner = ref None in
+  let cancel_at = ref 0.0 in
+  let t0 = Pool.wall () in
+  let job i () =
+    let outcome =
+      try
+        let s = slot_session race slots.(i) in
+        Session.begin_instance s ~k;
+        Session.constrain s
+          [ Sat.Lit.neg (Session.var_of s ~node:race.r_property ~frame:k) ];
+        let st = Session.solve_instance s in
+        let tr =
+          match st.Session.outcome with
+          | Sat.Solver.Sat -> Some (Session.trace s)
+          | Sat.Solver.Unsat | Sat.Solver.Unknown -> None
+        in
+        Ok
+          {
+            a_stat = st;
+            a_trace = tr;
+            a_core_vars = Session.last_core_vars s;
+            a_finished = Pool.wall ();
+          }
+      with e -> Error e
+    in
+    Mutex.protect cm (fun () ->
+        results.(i) <- Some outcome;
+        (match outcome with
+        | Ok a when definitive a.a_stat.Session.outcome && !winner = None ->
+          winner := Some i;
+          cancel_at := Pool.wall ();
+          (* cancel from inside the winning job: lower cancellation latency
+             than waiting for the coordinator to wake up *)
+          Array.iteri (fun j sl -> if j <> i then Pool.Token.cancel sl.s_token) slots
+        | Ok _ | Error _ -> ());
+        incr settled;
+        Condition.broadcast ccv)
+  in
+  Array.iteri (fun i _ -> ignore (Pool.submit ~affinity:i ~label:"race" race.r_pool (job i)))
+    slots;
+  Mutex.lock cm;
+  while !settled < n do
+    Condition.wait ccv cm
+  done;
+  Mutex.unlock cm;
+  let wall = Pool.wall () -. t0 in
+  (* every racer has settled: surface any racer exception first *)
+  let attempts =
+    Array.map
+      (function
+        | Some (Ok a) -> a
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  in
+  let cancelled = ref 0 in
+  let max_latency = ref 0.0 in
+  (match !winner with
+  | None -> ()
+  | Some w ->
+    race.r_wins.(w) <- race.r_wins.(w) + 1;
+    Array.iteri
+      (fun j a ->
+        if j <> w && Pool.Token.cancelled slots.(j).s_token
+           && not (definitive a.a_stat.Session.outcome)
+        then begin
+          incr cancelled;
+          let lat = Float.max 0.0 (a.a_finished -. !cancel_at) in
+          if lat > !max_latency then max_latency := lat;
+          if Telemetry.enabled tel then
+            Telemetry.span_event tel "cancel_latency" ~dur:lat
+              [
+                ("depth", Telemetry.Sink.Int k);
+                ("mode", Telemetry.Sink.Str (mode_string slots.(j).s_mode));
+              ]
+        end)
+      attempts;
+    (* the paper's refinement step, once per depth: only the winner's core
+       reaches the shared ranking *)
+    let wa = attempts.(w) in
+    (match wa.a_stat.Session.outcome with
+    | Sat.Solver.Unsat ->
+      Bmc.Score.update race.r_score ~instance:k ~core_vars:wa.a_core_vars
+    | Sat.Solver.Sat | Sat.Solver.Unknown -> ()));
+  let winner_mode = Option.map (fun w -> slots.(w).s_mode) !winner in
+  if Telemetry.enabled tel then begin
+    Telemetry.event tel "race"
+      [
+        ("depth", Telemetry.Sink.Int k);
+        ( "winner",
+          Telemetry.Sink.Str
+            (match winner_mode with Some m -> mode_string m | None -> "none") );
+        ("wall_s", Telemetry.Sink.Float wall);
+        ("cancelled", Telemetry.Sink.Int !cancelled);
+      ];
+    (match winner_mode with
+    | Some m -> Telemetry.counter tel ("race.win." ^ mode_string m) 1
+    | None -> ());
+    if !cancelled > 0 then Telemetry.counter tel "race.cancelled" !cancelled
+  end;
+  let best = match !winner with Some w -> attempts.(w) | None -> attempts.(0) in
+  {
+    depth = k;
+    winner = winner_mode;
+    stat = best.a_stat;
+    attempts =
+      Array.to_list
+        (Array.mapi (fun i a -> (slots.(i).s_mode, a.a_stat.Session.outcome)) attempts);
+    wall;
+    cancelled = !cancelled;
+    max_cancel_latency = !max_latency;
+    trace = best.a_trace;
+  }
+
+let race_score race = race.r_score
+
+type result = {
+  verdict : Session.verdict;
+  per_depth : race_stat list;
+  total_wall : float;
+  wins : (Session.mode * int) list;
+}
+
+let check_race ?(config = Session.default_config) ?modes ~pool netlist ~property =
+  let race = create_race ?modes ~pool config netlist ~property in
+  let per_depth = ref [] in
+  let t0 = Pool.wall () in
+  let finish verdict =
+    {
+      verdict;
+      per_depth = List.rev !per_depth;
+      total_wall = Pool.wall () -. t0;
+      wins =
+        Array.to_list (Array.mapi (fun i sl -> (sl.s_mode, race.r_wins.(i))) race.r_slots);
+    }
+  in
+  let rec loop k =
+    if k > config.Session.max_depth then finish (Session.Bounded_pass config.Session.max_depth)
+    else begin
+      let rs = race_depth race ~k in
+      per_depth := rs :: !per_depth;
+      match rs.winner with
+      | None -> finish (Session.Aborted k)
+      | Some _ -> (
+        match rs.stat.Session.outcome with
+        | Sat.Solver.Sat ->
+          let tr = match rs.trace with Some t -> t | None -> assert false in
+          if not (Bmc.Trace.replay tr netlist ~property) then
+            failwith
+              (Printf.sprintf
+                 "Portfolio.check_race: counterexample at depth %d failed to replay \
+                  (internal error)"
+                 k);
+          finish (Session.Falsified tr)
+        | Sat.Solver.Unsat -> loop (k + 1)
+        | Sat.Solver.Unknown -> assert false)
+    end
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Mode B: property batches.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent) ~pool
+    items =
+  let tel = config.Session.telemetry in
+  Pool.map_list ~label:"batch" pool
+    (fun (name, netlist, property) ->
+      let t0 = Pool.wall () in
+      let r = Session.check ~config ~policy netlist ~property in
+      if Telemetry.enabled tel then
+        Telemetry.span_event tel "batch_item" ~dur:(Pool.wall () -. t0)
+          [ ("name", Telemetry.Sink.Str name) ];
+      (name, r))
+    items

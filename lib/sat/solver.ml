@@ -9,9 +9,11 @@ type budget = {
   max_conflicts : int option;
   max_propagations : int option;
   max_seconds : float option;
+  stop : (unit -> bool) option;
 }
 
-let no_budget = { max_conflicts = None; max_propagations = None; max_seconds = None }
+let no_budget =
+  { max_conflicts = None; max_propagations = None; max_seconds = None; stop = None }
 
 (* Assignment cells: -1 unassigned, 0 false, 1 true. *)
 let unassigned = -1
@@ -619,7 +621,12 @@ let maybe_decay t =
 (* ------------------------------------------------------------------ *)
 
 let budget_exceeded t budget start_time =
-  (match budget.max_conflicts with Some m -> t.stats.conflicts >= m | None -> false)
+  (* The external stop hook comes first: it is the cooperative-cancellation
+     path of the portfolio layer (typically an [Atomic.get] behind a closure),
+     so a cancelled worker abandons its solve at the next conflict or
+     1024-decision boundary — within one restart interval. *)
+  (match budget.stop with Some f -> f () | None -> false)
+  || (match budget.max_conflicts with Some m -> t.stats.conflicts >= m | None -> false)
   || (match budget.max_propagations with
      | Some m -> t.stats.propagations >= m
      | None -> false)

@@ -36,6 +36,14 @@ type budget = {
   max_conflicts : int option;
   max_propagations : int option;
   max_seconds : float option;  (** CPU seconds, via [Sys.time] *)
+  stop : (unit -> bool) option;
+      (** External cooperative-stop hook.  Polled together with the other
+          budget checks — after every conflict and every 1024 decisions, so
+          at most one restart interval elapses between the hook first
+          returning [true] and the solve returning [Unknown].  The hook must
+          be cheap and thread-safe (the portfolio layer passes an
+          [Atomic.get] behind a closure); it is called from the solver's own
+          domain. *)
 }
 
 val no_budget : budget

@@ -211,27 +211,42 @@ let tee sinks =
     flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
   }
 
-let of_buffer b =
+(* Every sink that mutates shared state is wrapped in [locked] so emission
+   from multiple domains (the portfolio workers) serialises instead of
+   corrupting buffers / hashtables.  [tee] and [null] own no state and need
+   no lock of their own. *)
+let locked sink =
+  let m = Mutex.create () in
   {
-    emit =
-      (fun e ->
-        Buffer.add_string b (to_json e);
-        Buffer.add_char b '\n');
-    flush = (fun () -> ());
+    emit = (fun e -> Mutex.protect m (fun () -> sink.emit e));
+    flush = (fun () -> Mutex.protect m (fun () -> sink.flush ()));
   }
 
+let of_buffer b =
+  locked
+    {
+      emit =
+        (fun e ->
+          Buffer.add_string b (to_json e);
+          Buffer.add_char b '\n');
+      flush = (fun () -> ());
+    }
+
 let of_channel oc =
-  {
-    emit =
-      (fun e ->
-        output_string oc (to_json e);
-        output_char oc '\n');
-    flush = (fun () -> flush oc);
-  }
+  locked
+    {
+      emit =
+        (fun e ->
+          output_string oc (to_json e);
+          output_char oc '\n');
+      flush = (fun () -> flush oc);
+    }
 
 let memory () =
   let events = ref [] in
-  let sink = { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) } in
+  let sink =
+    locked { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) }
+  in
   (sink, fun () -> List.rev !events)
 
 (* ------------------------------------------------------------------ *)
@@ -295,7 +310,7 @@ let feed agg e =
     | Some src -> tally agg (kind ^ "." ^ src) 1
     | None -> ())
 
-let of_aggregate agg = { emit = feed agg; flush = (fun () -> ()) }
+let of_aggregate agg = locked { emit = feed agg; flush = (fun () -> ()) }
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []

@@ -60,17 +60,29 @@ val null : t
 (** Drops everything. *)
 
 val tee : t list -> t
-(** Forward every event to all of the given sinks. *)
+(** Forward every event to all of the given sinks.  Stateless itself; each
+    constituent sink keeps (or lacks) its own lock. *)
+
+val locked : t -> t
+(** Serialise [emit] / [flush] calls to the wrapped sink behind a fresh
+    mutex, making it safe to share across domains.  The stateful sinks
+    below ({!of_buffer}, {!of_channel}, {!memory}, {!of_aggregate}) are
+    already wrapped; use this for hand-rolled sinks that mutate shared
+    state. *)
 
 val of_buffer : Buffer.t -> t
-(** Append one JSON line per event to the buffer. *)
+(** Append one JSON line per event to the buffer.  Emission is
+    mutex-serialised, so the sink may be shared across domains — as long as
+    the buffer is not touched by anyone else concurrently. *)
 
 val of_channel : out_channel -> t
-(** Write one JSON line per event; [flush] flushes the channel. *)
+(** Write one JSON line per event; [flush] flushes the channel.  Emission
+    is mutex-serialised (whole lines, never interleaved). *)
 
 val memory : unit -> t * (unit -> event list)
 (** A sink that records events; the closure returns them in emission
-    order. *)
+    order.  Emission is mutex-serialised; call the read-back closure only
+    after emitting domains have been joined (or otherwise quiesced). *)
 
 (** {1 Aggregation} *)
 
@@ -82,7 +94,9 @@ type aggregate
 val aggregate : unit -> aggregate
 
 val of_aggregate : aggregate -> t
-(** The sink that folds events into the given aggregate. *)
+(** The sink that folds events into the given aggregate.  Emission is
+    mutex-serialised; the accessors below are unlocked, so read them only
+    after emitting domains have quiesced (e.g. after [Domain.join]). *)
 
 val span_seconds : aggregate -> string -> float
 (** Total seconds recorded under this span name (0 if never seen). *)

@@ -78,7 +78,7 @@ let test_collect_cores_flag () =
 let test_budget_aborts () =
   let case = Circuit.Generators.parity_pipe ~stages:12 () in
   let budget =
-    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 10; max_seconds = None }
+    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 10; max_seconds = None; stop = None }
   in
   let r =
     Bmc.Engine.run_case

@@ -64,7 +64,7 @@ let test_trace_replays () =
 let test_budget_abort () =
   let case = Circuit.Generators.parity_pipe ~stages:12 () in
   let budget =
-    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 10; max_seconds = None }
+    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 10; max_seconds = None; stop = None }
   in
   let config = Bmc.Engine.config ~mode:Bmc.Engine.Standard ~budget ~max_depth:24 () in
   match (Bmc.Incremental.run_case ~config case).verdict with

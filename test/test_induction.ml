@@ -91,7 +91,7 @@ let test_per_depth_stats () =
 let test_budget_unknown () =
   let case = Circuit.Generators.parity_pipe ~stages:8 () in
   let budget =
-    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 5; max_seconds = None }
+    { Sat.Solver.max_conflicts = Some 1; max_propagations = Some 5; max_seconds = None; stop = None }
   in
   let config = Bmc.Engine.config ~mode:Bmc.Engine.Standard ~budget ~max_depth:8 () in
   match Bmc.Induction.prove_case ~config case with

@@ -124,7 +124,7 @@ let php n holes =
 let test_conflict_budget () =
   let s = Sat.Solver.create (mk_cnf (php 8 7)) in
   let budget =
-    { Sat.Solver.max_conflicts = Some 5; max_propagations = None; max_seconds = None }
+    { Sat.Solver.max_conflicts = Some 5; max_propagations = None; max_seconds = None; stop = None }
   in
   match Sat.Solver.solve ~budget s with
   | Sat.Solver.Unknown -> ()
@@ -137,7 +137,7 @@ let test_hard_instance_completes_without_budget () =
 let test_propagation_budget () =
   let s = Sat.Solver.create (mk_cnf (php 8 7)) in
   let budget =
-    { Sat.Solver.max_conflicts = None; max_propagations = Some 50; max_seconds = None }
+    { Sat.Solver.max_conflicts = None; max_propagations = Some 50; max_seconds = None; stop = None }
   in
   match Sat.Solver.solve ~budget s with
   | Sat.Solver.Unknown -> (
@@ -146,6 +146,44 @@ let test_propagation_budget () =
     | exception Invalid_argument _ -> ()
     | _ -> Alcotest.fail "model after Unknown")
   | Sat.Solver.Sat | Sat.Solver.Unsat -> Alcotest.fail "expected budget exhaustion"
+
+let test_stop_hook_aborts () =
+  (* A stop hook that fires from the first poll must abort the solve almost
+     immediately: at most one conflict (the hook is polled right after each
+     conflict) and under 1024 decisions. *)
+  let s = Sat.Solver.create (mk_cnf (php 8 7)) in
+  let budget = { Sat.Solver.no_budget with stop = Some (fun () -> true) } in
+  (match Sat.Solver.solve ~budget s with
+  | Sat.Solver.Unknown -> ()
+  | o -> Alcotest.failf "expected Unknown, got %a" Sat.Solver.pp_outcome o);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "bounded work after stop" true
+    (st.Sat.Stats.conflicts <= 1 && st.Sat.Stats.decisions <= 1024)
+
+let test_stop_hook_bounded_latency () =
+  (* Arm the hook after N conflicts: the solve must end within one more
+     conflict of the trigger point (the per-conflict poll). *)
+  let s = Sat.Solver.create (mk_cnf (php 8 7)) in
+  let fired = ref false in
+  let stop () =
+    if (Sat.Solver.stats s).Sat.Stats.conflicts >= 20 then fired := true;
+    !fired
+  in
+  let budget = { Sat.Solver.no_budget with stop = Some stop } in
+  (match Sat.Solver.solve ~budget s with
+  | Sat.Solver.Unknown -> ()
+  | o -> Alcotest.failf "expected Unknown, got %a" Sat.Solver.pp_outcome o);
+  Alcotest.(check bool) "hook fired" true !fired;
+  Alcotest.(check bool) "stopped within one conflict of trigger" true
+    ((Sat.Solver.stats s).Sat.Stats.conflicts <= 21)
+
+let test_stop_hook_inert () =
+  (* A hook that never fires must not perturb the answer. *)
+  let s = Sat.Solver.create (mk_cnf (php 5 4)) in
+  let budget = { Sat.Solver.no_budget with stop = Some (fun () -> false) } in
+  match Sat.Solver.solve ~budget s with
+  | Sat.Solver.Unsat -> ()
+  | o -> Alcotest.failf "expected UNSAT, got %a" Sat.Solver.pp_outcome o
 
 let test_dynamic_switch_fires () =
   (* php(5,4) has few literals, so the 1/64 threshold is just a handful of
@@ -402,6 +440,9 @@ let tests =
     Alcotest.test_case "solve idempotent" `Quick test_solve_idempotent;
     Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
     Alcotest.test_case "propagation budget" `Quick test_propagation_budget;
+    Alcotest.test_case "stop hook aborts" `Quick test_stop_hook_aborts;
+    Alcotest.test_case "stop hook bounded latency" `Quick test_stop_hook_bounded_latency;
+    Alcotest.test_case "stop hook inert" `Quick test_stop_hook_inert;
     Alcotest.test_case "dynamic switch fires" `Quick test_dynamic_switch_fires;
     Alcotest.test_case "core subset" `Quick test_core_subset_of_clauses;
     Alcotest.test_case "core requires proof" `Quick test_unsat_core_requires_proof;

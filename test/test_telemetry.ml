@@ -168,6 +168,41 @@ let test_event_of_json_rejects_garbage () =
   bad "{\"ts\":0.0,\"ev\":\"x\" trailing"
 
 (* ------------------------------------------------------------------ *)
+(* Domain safety.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_domain_hammer () =
+  (* Two domains hammer the same buffer + aggregate sinks.  Without the
+     per-sink mutex this loses events (racy [Buffer] / [Hashtbl] mutation)
+     or interleaves JSONL lines; with it, every event survives and every
+     line parses. *)
+  let n = 5_000 in
+  let buf = Buffer.create (n * 64) in
+  let agg = Sink.aggregate () in
+  let sink = Sink.tee [ Sink.of_buffer buf; Sink.of_aggregate agg ] in
+  let worker d () =
+    for i = 1 to n do
+      sink.Sink.emit
+        {
+          Sink.ts = float_of_int i;
+          kind = "counter";
+          fields = [ ("name", Sink.Str "hits"); ("value", Sink.Int 1) ];
+        };
+      sink.Sink.emit
+        { Sink.ts = float_of_int i; kind = "decision"; fields = [ ("src", Sink.Str d) ] }
+    done
+  in
+  let d1 = Domain.spawn (worker "left") in
+  let d2 = Domain.spawn (worker "right") in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no counter increment lost" (2 * n) (Sink.counter_value agg "hits");
+  Alcotest.(check int) "tally per domain" n (Sink.tally_value agg "decision.left");
+  Alcotest.(check int) "tally other domain" n (Sink.tally_value agg "decision.right");
+  let events = Sink.events_of_string (Buffer.contents buf) in
+  Alcotest.(check int) "every JSONL line intact" (4 * n) (List.length events)
+
+(* ------------------------------------------------------------------ *)
 (* Disabled handle.                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -219,6 +254,7 @@ let tests =
     Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "buffer sink produces parsable JSONL" `Quick test_buffer_sink_trace;
     Alcotest.test_case "event_of_json rejects garbage" `Quick test_event_of_json_rejects_garbage;
+    Alcotest.test_case "two-domain sink hammer" `Quick test_two_domain_hammer;
     Alcotest.test_case "disabled handle is a no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "disabled solver matches plain" `Quick test_disabled_solver_matches_plain;
   ]
