@@ -603,8 +603,11 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
    counters and core hashes legitimately differ — learnt clauses survive
    and cores may name activation variables — so each substrate is compared
    against its own snapshot history.  [mode]/[suffix] default to the snapshot
-   row; the Static/Dynamic instantiations are run only for their wall clocks
-   (the per-ordering sequential baselines the portfolio rows race against). *)
+   row; the Static/Dynamic instantiations ([+static] / [+dynamic]) are the
+   per-ordering sequential baselines the portfolio rows race against —
+   snapshotted and gated like every other sequential row, since their
+   orderings are deterministic functions of the (deterministic) core
+   sequence. *)
 let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
     ((case : Circuit.Generators.case), depth) =
   let config =
@@ -657,13 +660,29 @@ let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
    WHICH racer wins a round is timing-dependent, and the winner's core is
    what re-ranks the shared score, so core hashes and search counters are
    not reproducible.  The snapshot pins the hash to 0 and quick-check gates
-   portfolio rows on outcomes only. *)
-let quick_run_case_portfolio pool ((case : Circuit.Generators.case), depth) =
+   portfolio rows on outcomes only.  With [~share], the racers additionally
+   exchange learnt clauses through a per-case {!Share.Exchange} (the
+   [+portfolio+share] rows); sharing moves which clauses each racer holds
+   but never which verdict an instance has, so the gating is identical, and
+   the exchange counters are accumulated into [stats] for the snapshot's
+   "sharing" block. *)
+type quick_share_totals = {
+  mutable t_exported : int;
+  mutable t_imported : int;
+  mutable t_rejected_tainted : int;
+  mutable t_dropped_stale : int;
+}
+
+let quick_run_case_portfolio ?(suffix = "+portfolio") ?share pool
+    ((case : Circuit.Generators.case), depth) =
   let config =
     Bmc.Session.make_config ~budget:quick_budget ~max_depth:depth ~collect_cores:true
       ~telemetry:tel ()
   in
-  let race = Portfolio.create_race ~pool config case.netlist ~property:case.property in
+  let exchange = Option.map (fun _ -> Share.Exchange.create ()) share in
+  let race =
+    Portfolio.create_race ?share:exchange ~pool config case.netlist ~property:case.property
+  in
   let buf = Buffer.create (depth + 1) in
   let dec = ref 0 and confl = ref 0 and props = ref 0 in
   let build = ref 0.0 and slv = ref 0.0 in
@@ -681,8 +700,17 @@ let quick_run_case_portfolio pool ((case : Circuit.Generators.case), depth) =
     build := !build +. st.Bmc.Session.build_time;
     slv := !slv +. st.Bmc.Session.time
   done;
+  (match (share, exchange) with
+  | Some totals, Some ex ->
+    let st = Share.Exchange.stats ex in
+    totals.t_exported <- totals.t_exported + st.Share.Exchange.exported;
+    totals.t_imported <- totals.t_imported + st.Share.Exchange.imported;
+    totals.t_rejected_tainted <-
+      totals.t_rejected_tainted + st.Share.Exchange.rejected_tainted;
+    totals.t_dropped_stale <- totals.t_dropped_stale + st.Share.Exchange.dropped_stale
+  | _ -> ());
   {
-    q_name = case.name ^ "+portfolio";
+    q_name = case.name ^ suffix;
     q_outcomes = Buffer.contents buf;
     q_core_hash = 0;
     q_decisions = !dec;
@@ -702,15 +730,23 @@ type quick_portfolio_summary = {
   p_seq : (string * float) list; (* sequential session wall per ordering *)
 }
 
+(* Clause-sharing ablation for the snapshot: the same portfolio races with
+   the exchange off vs on, plus the aggregate exchange counters. *)
+type quick_sharing_summary = {
+  s_wall_off : float; (* total wall of the +portfolio rows *)
+  s_wall_on : float; (* total wall of the +portfolio+share rows *)
+  s_totals : quick_share_totals;
+}
+
 let quick_best_seq psum =
   List.fold_left
     (fun (bn, bw) (n, w) -> if w < bw then (n, w) else (bn, bw))
     ("standard", List.assoc "standard" psum.p_seq)
     psum.p_seq
 
-let quick_json rows ~alloc_mb ~portfolio:psum =
+let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v3\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v4\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
@@ -743,33 +779,49 @@ let quick_json rows ~alloc_mb ~portfolio:psum =
   Buffer.add_string b
     (Printf.sprintf
        "  \"portfolio\": { \"jobs\": %d, \"wall_s\": %.6f, \"sequential_wall_s\": { %s }, \
-        \"best_sequential\": \"%s\", \"speedup\": %.3f }\n}\n"
+        \"best_sequential\": \"%s\", \"speedup\": %.3f },\n"
        psum.p_jobs psum.p_wall
        (String.concat ", "
           (List.map (fun (n, w) -> Printf.sprintf "\"%s\": %.6f" n w) psum.p_seq))
        best_name
        (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sharing\": { \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \"exported\": %d, \
+        \"imported\": %d, \"rejected_tainted\": %d, \"dropped_stale\": %d }\n}\n"
+       ssum.s_wall_off ssum.s_wall_on ssum.s_totals.t_exported ssum.s_totals.t_imported
+       ssum.s_totals.t_rejected_tainted ssum.s_totals.t_dropped_stale);
   Buffer.contents b
 
 let quick_rows () =
   let a0 = Gc.allocated_bytes () in
   let cases = quick_cases () in
   let jobs = !quick_jobs in
-  (* three substrates over the same cases: classic per-depth rebuilds, the
-     persistent incremental session, and the racing portfolio *)
+  (* the substrates over the same cases: classic per-depth rebuilds, the
+     persistent incremental session (in all three orderings), and the racing
+     portfolio with the clause exchange off and on *)
   let classic = List.map quick_run_case cases in
   let session = List.map quick_run_case_session cases in
-  let portfolio =
-    Portfolio.Pool.with_pool ~telemetry:tel ~jobs (fun pool ->
-        List.map (quick_run_case_portfolio pool) cases)
-  in
-  (* sequential baselines for the other two orderings; walls only, the rows
-     themselves are not part of the snapshot *)
+  (* per-ordering sequential baselines: snapshotted rows AND the walls the
+     portfolio speedup line compares against *)
   let seq_static =
     List.map (quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static") cases
   in
   let seq_dynamic =
     List.map (quick_run_case_session ~mode:Bmc.Session.Dynamic ~suffix:"+dynamic") cases
+  in
+  let share_totals =
+    { t_exported = 0; t_imported = 0; t_rejected_tainted = 0; t_dropped_stale = 0 }
+  in
+  let portfolio, portfolio_share =
+    Portfolio.Pool.with_pool ~telemetry:tel ~jobs (fun pool ->
+        let off = List.map (quick_run_case_portfolio pool) cases in
+        let on =
+          List.map
+            (quick_run_case_portfolio ~suffix:"+portfolio+share" ~share:share_totals pool)
+            cases
+        in
+        (off, on))
   in
   let wall_of rs = List.fold_left (fun a r -> a +. r.q_wall) 0.0 rs in
   let psum =
@@ -784,7 +836,14 @@ let quick_rows () =
         ];
     }
   in
-  let rows = classic @ session @ portfolio in
+  let ssum =
+    {
+      s_wall_off = wall_of portfolio;
+      s_wall_on = wall_of portfolio_share;
+      s_totals = share_totals;
+    }
+  in
+  let rows = classic @ session @ seq_static @ seq_dynamic @ portfolio @ portfolio_share in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
   Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
   Printf.printf "%-24s %-14s %10s %10s %12s %9s %9s %9s %9s\n" "model" "outcomes" "decisions"
@@ -820,6 +879,11 @@ let quick_rows () =
       "   (note: %d worker domains on %d hardware thread(s) — racers are time-sliced, so\n\
       \    the race cannot beat sequential here; speedup > 1 needs >= %d cores)\n"
       jobs hw jobs;
+  Printf.printf
+    "   clause sharing: portfolio wall %.3fs off vs %.3fs on; exported=%d imported=%d \
+     rejected_tainted=%d dropped_stale=%d\n"
+    ssum.s_wall_off ssum.s_wall_on share_totals.t_exported share_totals.t_imported
+    share_totals.t_rejected_tainted share_totals.t_dropped_stale;
   Telemetry.gauge tel "quick.build_s" (List.fold_left (fun a r -> a +. r.q_build) 0.0 rows);
   Telemetry.gauge tel "quick.bcp_s" (List.fold_left (fun a r -> a +. r.q_bcp) 0.0 rows);
   Telemetry.gauge tel "quick.solve_s" (List.fold_left (fun a r -> a +. r.q_solve) 0.0 rows);
@@ -829,12 +893,17 @@ let quick_rows () =
   Telemetry.gauge tel "quick.portfolio.wall_s" psum.p_wall;
   Telemetry.gauge tel "quick.portfolio.speedup"
     (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0);
-  (rows, alloc_mb, psum)
+  Telemetry.gauge tel "quick.sharing.wall_on_s" ssum.s_wall_on;
+  Telemetry.gauge tel "quick.sharing.exported" (float_of_int share_totals.t_exported);
+  Telemetry.gauge tel "quick.sharing.imported" (float_of_int share_totals.t_imported);
+  Telemetry.gauge tel "quick.sharing.rejected_tainted"
+    (float_of_int share_totals.t_rejected_tainted);
+  (rows, alloc_mb, psum, ssum)
 
 let quick () =
-  let rows, alloc_mb, psum = quick_rows () in
+  let rows, alloc_mb, psum, ssum = quick_rows () in
   let oc = open_out quick_snapshot_file in
-  output_string oc (quick_json rows ~alloc_mb ~portfolio:psum);
+  output_string oc (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum);
   close_out oc;
   Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
 
@@ -855,7 +924,7 @@ let extract_str line key =
     Some (String.sub line start (j - start))
 
 let quick_check () =
-  let rows, _, _ = quick_rows () in
+  let rows, _, _, _ = quick_rows () in
   let expected =
     let ic = open_in quick_snapshot_file in
     let tbl = Hashtbl.create 16 in
@@ -895,9 +964,11 @@ let quick_check () =
             got_hash
         end)
     rows;
-  (* cross-substrate gates: classic, session and portfolio all solve the same
-     instance sequence, so their per-depth outcomes must agree exactly (which
-     racer WON a portfolio round is timing-dependent; the verdict is not) *)
+  (* cross-substrate gates: every substrate solves the same instance
+     sequence, so per-depth outcomes must agree exactly across the classic,
+     session (all three orderings), portfolio and sharing rows (which racer
+     WON a portfolio round — or which clauses travelled — is
+     timing-dependent; the verdict is not) *)
   let by_name = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace by_name r.q_name r) rows;
   List.iter
@@ -910,7 +981,7 @@ let quick_check () =
             Printf.eprintf "quick-check: %s: classic and %s outcomes diverge: %s vs %s\n"
               r.q_name suffix r.q_outcomes s.q_outcomes
           | Some _ | None -> ())
-        [ "+session"; "+portfolio" ])
+        [ "+session"; "+static"; "+dynamic"; "+portfolio"; "+portfolio+share" ])
     rows;
   if !failures > 0 then begin
     Printf.eprintf "quick-check: %d divergence(s) from %s\n" !failures quick_snapshot_file;

@@ -225,7 +225,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
 
 (* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
 let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-    trace_file metrics jobs =
+    trace_file metrics jobs share share_max_lbd =
   let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
@@ -244,9 +244,21 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
     let telemetry = setup_telemetry trace_file metrics in
     let config = Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ~telemetry () in
     let jobs = if jobs > 0 then jobs else 3 in
+    if share_max_lbd < 1 then begin
+      Format.eprintf "bmccheck: --share-max-lbd must be at least 1@.";
+      exit 2
+    end;
+    let exchange =
+      if share then
+        Some
+          (Share.Exchange.create
+             ~config:{ Share.Exchange.default_config with Share.Exchange.max_lbd = share_max_lbd }
+             ())
+      else None
+    in
     let code =
       Portfolio.Pool.with_pool ~telemetry ~jobs (fun pool ->
-          let r = Portfolio.check_race ~config ~pool netlist ~property in
+          let r = Portfolio.check_race ~config ?share:exchange ~pool netlist ~property in
           if verbose then
             List.iter
               (fun (rs : Portfolio.race_stat) ->
@@ -264,6 +276,16 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
                (List.map
                   (fun (m, n) -> Format.asprintf " %a=%d" Bmc.Session.pp_mode m n)
                   r.wins));
+          (match exchange with
+          | Some ex ->
+            let st = Share.Exchange.stats ex in
+            Format.printf
+              "sharing: exported=%d imported=%d rejected_tainted=%d dropped_stale=%d \
+               occupancy=%d/%d@."
+              st.Share.Exchange.exported st.Share.Exchange.imported
+              st.Share.Exchange.rejected_tainted st.Share.Exchange.dropped_stale
+              st.Share.Exchange.occupancy st.Share.Exchange.capacity
+          | None -> ());
           match r.verdict with
           | Bmc.Session.Falsified trace ->
             Format.printf "%a@." (Bmc.Trace.pp ~netlist ()) trace;
@@ -340,7 +362,12 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   exit !code
 
 let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula trace_file metrics jobs portfolio =
+    max_seconds simple_path fresh_solver ltl_formula trace_file metrics jobs portfolio
+    share share_max_lbd =
+  if share && not portfolio then begin
+    Format.eprintf "bmccheck: --share requires --portfolio (clause exchange races)@.";
+    exit 2
+  end;
   match (sources, portfolio) with
   | [], _ -> assert false (* cmdliner: the positional list is non-empty *)
   | _ :: _ :: _, true ->
@@ -352,7 +379,7 @@ let run sources engine_name mode_name max_depth coi weighting_name verbose max_c
       exit 2
     end;
     run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-      trace_file metrics jobs
+      trace_file metrics jobs share share_max_lbd
   | [ source ], false ->
     run_single source engine_name mode_name max_depth coi weighting_name verbose
       max_conflicts max_seconds simple_path fresh_solver ltl_formula trace_file metrics
@@ -466,6 +493,23 @@ let portfolio =
               workers; per depth, the first definitive answer wins, the losers are \
               cancelled, and the winner's unsat core refines the shared ranking.")
 
+let share =
+  Arg.(
+    value & flag
+    & info [ "share" ]
+        ~doc:"With --portfolio: exchange short learnt clauses between the racers.  \
+              Untainted clauses under the size/LBD caps are published to a lock-free \
+              ring; siblings import them at restart boundaries.  Prints the exchange \
+              counters (exported, imported, rejected_tainted, dropped_stale) after the \
+              run.")
+
+let share_max_lbd =
+  Arg.(
+    value & opt int 4
+    & info [ "share-max-lbd" ] ~docv:"N"
+        ~doc:"With --share: only clauses whose literal-block distance is at most $(docv) \
+              are exported (default 4).")
+
 let cmd =
   let doc = "bounded model checking with refined SAT decision orderings" in
   let info = Cmd.info "bmccheck" ~doc in
@@ -473,6 +517,6 @@ let cmd =
     Term.(
       const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
       $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics
-      $ jobs $ portfolio)
+      $ jobs $ portfolio $ share $ share_max_lbd)
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,7 @@ type config = Session.config = {
   budget : Sat.Solver.budget;
   max_depth : int;
   collect_cores : bool;
+  restart_base : int option;
   telemetry : Telemetry.t;
 }
 

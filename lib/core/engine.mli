@@ -39,6 +39,9 @@ type config = Session.config = {
   collect_cores : bool;
       (** force proof logging even in modes that do not consume cores (used
           by the overhead ablation) *)
+  restart_base : int option;
+      (** override the solver's Luby restart unit (see
+          {!Session.config}) *)
   telemetry : Telemetry.t;
       (** structured-tracing handle, threaded into every solver the engine
           creates; the engine additionally emits one "depth" event per
@@ -57,6 +60,7 @@ val config :
   ?budget:Sat.Solver.budget ->
   ?max_depth:int ->
   ?collect_cores:bool ->
+  ?restart_base:int ->
   ?telemetry:Telemetry.t ->
   unit ->
   config

@@ -21,6 +21,7 @@ type config = {
   budget : Sat.Solver.budget;
   max_depth : int;
   collect_cores : bool;
+  restart_base : int option;
   telemetry : Telemetry.t;
 }
 
@@ -32,13 +33,14 @@ let default_config =
     budget = Sat.Solver.no_budget;
     max_depth = 20;
     collect_cores = false;
+    restart_base = None;
     telemetry = Telemetry.disabled;
   }
 
 let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
-    ?(telemetry = Telemetry.disabled) () =
-  { mode; weighting; coi; budget; max_depth; collect_cores; telemetry }
+    ?restart_base ?(telemetry = Telemetry.disabled) () =
+  { mode; weighting; coi; budget; max_depth; collect_cores; restart_base; telemetry }
 
 (* Does this mode consume unsat cores between instances? *)
 let uses_cores = function
@@ -69,6 +71,9 @@ let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
     blocker_hits = after.blocker_hits - before.blocker_hits;
     arena_bytes = after.arena_bytes;
     arena_compactions = after.arena_compactions - before.arena_compactions;
+    shared_exported = after.shared_exported - before.shared_exported;
+    shared_imported = after.shared_imported - before.shared_imported;
+    shared_rejected_tainted = after.shared_rejected_tainted - before.shared_rejected_tainted;
     solve_time = after.solve_time -. before.solve_time;
     bcp_time = after.bcp_time -. before.bcp_time;
     analyze_time = after.analyze_time -. before.analyze_time;
@@ -136,12 +141,72 @@ let policy_of_string = function
   | "persistent" -> Some Persistent
   | _ -> None
 
+(* The session side of learnt-clause sharing: translate between this
+   session's SAT variables and the exchange's solver-independent packed
+   (node, frame, sign) keys, in both directions through the session's own
+   Varmap.
+
+   Export: a clause is only offered when every literal maps to a
+   non-negative circuit node — the reserved pseudo-nodes (activation
+   literals, instance auxiliaries) are negative, so nothing instance-local
+   can leave even if the solver's taint filter were bypassed.  Import uses
+   [Varmap.peek] (never allocating): a clause mentioning a frame this
+   session has not materialised is dropped and counted stale rather than
+   dragging unknown variables into the solver. *)
+let install_share solver unroll ep =
+  let vm = Unroll.varmap unroll in
+  let pack lits =
+    let n = Array.length lits in
+    let keys = Array.make n 0 in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let l = lits.(!i) in
+      (match Varmap.key_of vm (Sat.Lit.var l) with
+      | Some (node, frame)
+        when node >= 0 && node < Share.Exchange.max_node && frame < Share.Exchange.max_frame
+        ->
+        keys.(!i) <-
+          Share.Exchange.pack_lit ~node ~frame ~neg:(not (Sat.Lit.is_pos l))
+      | Some _ | None -> ok := false);
+      incr i
+    done;
+    if !ok then Some keys else None
+  in
+  let export lits ~lbd =
+    match pack lits with
+    | Some keys -> ignore (Share.Exchange.publish ep keys ~lbd : bool)
+    | None -> ()
+  in
+  let import () =
+    let acc = ref [] in
+    ignore
+      (Share.Exchange.drain ep (fun keys ->
+           let n = Array.length keys in
+           let rec build i lits =
+             if i >= n then Some lits
+             else begin
+               let node, frame, neg = Share.Exchange.unpack_lit keys.(i) in
+               match Varmap.peek vm ~node ~frame with
+               | Some v -> build (i + 1) (Sat.Lit.make v (not neg) :: lits)
+               | None -> None
+             end
+           in
+           match build 0 [] with
+           | Some lits -> acc := lits :: !acc
+           | None -> Share.Exchange.note_dropped ep 1));
+    !acc
+  in
+  Sat.Solver.set_share solver ~max_size:(Share.Exchange.max_size ep)
+    ~max_lbd:(Share.Exchange.max_lbd ep) ~export ~import
+
 type t = {
   cfg : config;
   pol : policy;
   owner : int; (* id of the domain that created the session *)
   unroll : Unroll.t;
   sc : Score.t;
+  share : Share.Exchange.endpoint option;
   learn_cores : bool;
   fold_cores : bool;
   with_proof : bool;
@@ -160,14 +225,23 @@ type t = {
 }
 
 let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
-    ?(fold_cores = true) cfg netlist ~property =
+    ?(fold_cores = true) ?share cfg netlist ~property =
+  (* Sharing is Persistent-only: a Fresh instance bakes its (unguarded)
+     property constraint into the formula itself, so the solver has no way
+     to tell instance-local clauses apart and the taint filter cannot
+     protect siblings. *)
+  if share <> None && policy = Fresh then
+    invalid_arg "Session.create: clause sharing requires the Persistent policy";
   let unroll = Unroll.create ~coi:cfg.coi ?constrain_init netlist ~property in
   let sc = match score with Some s -> s | None -> Score.create ~weighting:cfg.weighting () in
   let with_proof = learn_cores && (uses_cores cfg.mode || cfg.collect_cores) in
   let solver =
     match policy with
     | Persistent ->
-      Some (Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ()))
+      let s = Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ()) in
+      (match cfg.restart_base with Some b -> Sat.Solver.set_restart_base s b | None -> ());
+      (match share with Some ep -> install_share s unroll ep | None -> ());
+      Some s
     | Fresh -> None
   in
   {
@@ -176,6 +250,7 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
     owner = (Domain.self () :> int);
     unroll;
     sc;
+    share;
     learn_cores;
     fold_cores;
     with_proof;
@@ -244,6 +319,8 @@ let begin_instance ?frames t ~k =
           t.loaded_clauses <- t.loaded_clauses + 1)
     done;
     let act = Varmap.var (Unroll.varmap t.unroll) ~node:activation_node ~frame:k in
+    (* the guard is instance-local: taint every clause derived through it *)
+    Sat.Solver.mark_local solver act;
     t.act <- Some (Sat.Lit.pos act)
   | Fresh ->
     t.fresh_solver <- None;
@@ -275,7 +352,9 @@ let fresh_lit t =
   | Persistent ->
     let frame = t.aux_count in
     t.aux_count <- t.aux_count + 1;
-    Sat.Lit.pos (Varmap.var (Unroll.varmap t.unroll) ~node:aux_node ~frame)
+    let v = Varmap.var (Unroll.varmap t.unroll) ~node:aux_node ~frame in
+    Sat.Solver.mark_local (live_solver t) v;
+    Sat.Lit.pos v
   | Fresh -> (
     match t.pending with
     | Some cnf -> Sat.Lit.pos (Sat.Cnf.fresh_var cnf)
@@ -310,6 +389,9 @@ let solve_instance t =
       let solver =
         Sat.Solver.create ~with_proof:t.with_proof ~mode ~telemetry:cfg.telemetry cnf
       in
+      (match cfg.restart_base with
+      | Some b -> Sat.Solver.set_restart_base solver b
+      | None -> ());
       t.fresh_solver <- Some solver;
       (solver, [])
   in
@@ -320,6 +402,17 @@ let solve_instance t =
   let outcome = Sat.Solver.solve ~budget:cfg.budget ~assumptions solver in
   let time = Sys.time () -. t0 in
   let delta = stats_delta ~before ~after:(Sat.Solver.stats solver) in
+  (match t.share with
+  | Some ep ->
+    Share.Exchange.note_rejected_tainted ep delta.Sat.Stats.shared_rejected_tainted;
+    if delta.Sat.Stats.shared_exported > 0 then
+      Telemetry.counter cfg.telemetry "share.exported" delta.Sat.Stats.shared_exported;
+    if delta.Sat.Stats.shared_imported > 0 then
+      Telemetry.counter cfg.telemetry "share.imported" delta.Sat.Stats.shared_imported;
+    if delta.Sat.Stats.shared_rejected_tainted > 0 then
+      Telemetry.counter cfg.telemetry "share.rejected_tainted"
+        delta.Sat.Stats.shared_rejected_tainted
+  | None -> ());
   let core, core_vars =
     match outcome with
     | Sat.Solver.Unsat when t.with_proof ->
@@ -384,9 +477,9 @@ let pp_verdict ppf = function
   | Bounded_pass k -> Format.fprintf ppf "no counterexample up to depth %d" k
   | Aborted k -> Format.fprintf ppf "aborted at depth %d (budget)" k
 
-let check ?(config = default_config) ~policy netlist ~property =
+let check ?(config = default_config) ?share ~policy netlist ~property =
   let cfg = config in
-  let t = create ~policy cfg netlist ~property in
+  let t = create ~policy ?share cfg netlist ~property in
   let per_depth = ref [] in
   let start = Sys.time () in
   let finish verdict =

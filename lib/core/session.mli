@@ -57,6 +57,11 @@ type config = {
   collect_cores : bool;
       (** force proof logging even in modes that do not consume cores (used
           by the overhead ablation) *)
+  restart_base : int option;
+      (** override the solver's Luby restart unit (default [None] keeps the
+          solver default of 128).  The portfolio gives each racer a
+          distinct unit so restart schedules — and therefore the clauses
+          they learn and share — diversify. *)
   telemetry : Telemetry.t;
       (** structured-tracing handle, threaded into every solver the session
           creates; the session additionally emits one "depth" event per
@@ -74,6 +79,7 @@ val make_config :
   ?budget:Sat.Solver.budget ->
   ?max_depth:int ->
   ?collect_cores:bool ->
+  ?restart_base:int ->
   ?telemetry:Telemetry.t ->
   unit ->
   config
@@ -146,6 +152,7 @@ val create :
   ?score:Score.t ->
   ?learn_cores:bool ->
   ?fold_cores:bool ->
+  ?share:Share.Exchange.endpoint ->
   config ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
@@ -163,9 +170,18 @@ val create :
     the score by {!solve_instance} — the portfolio racers run this way, so
     the shared ranking is updated once per depth with the {e winner's}
     core by the coordinator, not three times by whichever racer finishes
-    first.  The session captures the calling domain as its owner (see the
-    domain-ownership rule above).
-    @raise Invalid_argument if the netlist does not validate. *)
+    first.  [share] attaches the session's solver to a learnt-clause
+    exchange ({!Share.Exchange}): untainted short learnt clauses are
+    published as packed literal keys, and siblings' clauses are remapped
+    through this session's {!Varmap} and attached at solve-start/restart
+    boundaries (unmappable ones are counted dropped-stale).  The endpoint
+    must be confined to the same domain as the session.  The session
+    captures the calling domain as its owner (see the domain-ownership
+    rule above).
+    @raise Invalid_argument if the netlist does not validate, or if
+    [share] is combined with the [Fresh] policy (a fresh instance bakes
+    unguarded instance constraints into its formula, so nothing it learns
+    is safe to exchange and the taint filter cannot tell). *)
 
 val policy : t -> policy
 
@@ -262,6 +278,7 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 val check :
   ?config:config ->
+  ?share:Share.Exchange.endpoint ->
   policy:policy ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
@@ -271,7 +288,8 @@ val check :
     ordering; on SAT extract, replay and report the counterexample; on
     UNSAT refine the ordering from the core and deepen; on budget
     exhaustion abort.  [Engine.run] is this with [~policy:Fresh],
-    [Incremental.run] with [~policy:Persistent].
+    [Incremental.run] with [~policy:Persistent].  [share] attaches the
+    session to a learnt-clause exchange, as in {!create}.
     @raise Invalid_argument if the netlist does not validate, and
     [Failure] if a counterexample fails to replay (a solver or encoder
     bug — surfaced loudly rather than reported as a result). *)

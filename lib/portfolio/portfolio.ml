@@ -5,8 +5,23 @@ module Session = Bmc.Session
 (* Mode A: strategy races.                                             *)
 (* ------------------------------------------------------------------ *)
 
+type racer = {
+  r_mode : Session.mode;
+  r_restart_base : int option;
+}
+
+(* Distinct Luby units diversify the racers' restart schedules — and
+   therefore which clauses each learns and offers to the exchange. *)
+let default_racers =
+  [
+    { r_mode = Session.Standard; r_restart_base = Some 64 };
+    { r_mode = Session.Static; r_restart_base = Some 100 };
+    { r_mode = Session.Dynamic; r_restart_base = Some 150 };
+  ]
+
 type slot = {
   s_mode : Session.mode;
+  s_base : int option; (* per-racer Luby restart unit override *)
   s_token : Pool.Token.t;
   (* The racer's persistent session.  Created lazily by the first job that
      runs on the slot's pinned worker and only ever touched there — the
@@ -22,14 +37,20 @@ type race = {
   r_slots : slot array;
   r_score : Bmc.Score.t;
   r_wins : int array; (* per-slot race wins, coordinator-only *)
+  r_share : Share.Exchange.t option;
   mutable r_last_k : int;
 }
 
 let mode_string m = Format.asprintf "%a" Session.pp_mode m
 
-let create_race ?(modes = [ Session.Standard; Session.Static; Session.Dynamic ]) ~pool cfg
-    netlist ~property =
-  if modes = [] then invalid_arg "Portfolio.create_race: no modes";
+let create_race ?modes ?racers ?share ~pool cfg netlist ~property =
+  let racers =
+    match (racers, modes) with
+    | Some rs, _ -> rs
+    | None, Some ms -> List.map (fun m -> { r_mode = m; r_restart_base = None }) ms
+    | None, None -> default_racers
+  in
+  if racers = [] then invalid_arg "Portfolio.create_race: no racers";
   (* validate the netlist in the coordinator, where the error is useful,
      rather than inside a worker job *)
   (match Circuit.Netlist.validate netlist with
@@ -39,8 +60,14 @@ let create_race ?(modes = [ Session.Standard; Session.Static; Session.Dynamic ])
   let slots =
     Array.of_list
       (List.map
-         (fun m -> { s_mode = m; s_token = Pool.Token.create (); s_session = None })
-         modes)
+         (fun r ->
+           {
+             s_mode = r.r_mode;
+             s_base = r.r_restart_base;
+             s_token = Pool.Token.create ();
+             s_session = None;
+           })
+         racers)
   in
   {
     r_pool = pool;
@@ -50,6 +77,7 @@ let create_race ?(modes = [ Session.Standard; Session.Static; Session.Dynamic ])
     r_slots = slots;
     r_score = Bmc.Score.create ~weighting:cfg.Session.weighting ();
     r_wins = Array.make (Array.length slots) 0;
+    r_share = share;
     r_last_k = -1;
   }
 
@@ -70,13 +98,24 @@ let slot_session race slot =
         race.r_cfg with
         Session.mode = slot.s_mode;
         budget = { base with Sat.Solver.stop = Some stop };
+        restart_base =
+          (match slot.s_base with
+          | Some _ as b -> b
+          | None -> race.r_cfg.Session.restart_base);
       }
+    in
+    (* The endpoint, like the session, is created inside the pinned worker
+       and confined to it; only the exchange itself is shared. *)
+    let share =
+      Option.map
+        (fun ex -> Share.Exchange.endpoint ex ~name:(mode_string slot.s_mode))
+        race.r_share
     in
     (* [fold_cores:false]: racers extract cores but never write the shared
        score — the coordinator folds exactly one core (the winner's) per
        depth, between rounds. *)
     let s =
-      Session.create ~score:race.r_score ~fold_cores:false cfg race.r_netlist
+      Session.create ?share ~score:race.r_score ~fold_cores:false cfg race.r_netlist
         ~property:race.r_property
     in
     slot.s_session <- Some s;
@@ -240,8 +279,9 @@ type result = {
   wins : (Session.mode * int) list;
 }
 
-let check_race ?(config = Session.default_config) ?modes ~pool netlist ~property =
-  let race = create_race ?modes ~pool config netlist ~property in
+let check_race ?(config = Session.default_config) ?modes ?racers ?share ~pool netlist
+    ~property =
+  let race = create_race ?modes ?racers ?share ~pool config netlist ~property in
   let per_depth = ref [] in
   let t0 = Pool.wall () in
   let finish verdict =
@@ -281,13 +321,41 @@ let check_race ?(config = Session.default_config) ?modes ~pool netlist ~property
 (* Mode B: property batches.                                           *)
 (* ------------------------------------------------------------------ *)
 
-let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent) ~pool
-    items =
+let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent)
+    ?(share = false) ~pool items =
   let tel = config.Session.telemetry in
+  (* Clause exchange is sound only between sessions unrolling the same
+     circuit (packed keys are (node, frame) pairs of that netlist), so
+     group the batch by physical netlist and give each group of two or
+     more properties its own exchange.  Fresh-policy batches never share
+     (Session.create would reject the combination). *)
+  let exchanges =
+    if not (share && policy = Session.Persistent) then []
+    else begin
+      let counts = ref [] in
+      List.iter
+        (fun (_, netlist, _) ->
+          match List.assq_opt netlist !counts with
+          | Some r -> incr r
+          | None -> counts := (netlist, ref 1) :: !counts)
+        items;
+      List.filter_map
+        (fun (netlist, r) ->
+          if !r >= 2 then Some (netlist, Share.Exchange.create ()) else None)
+        !counts
+    end
+  in
   Pool.map_list ~label:"batch" pool
     (fun (name, netlist, property) ->
       let t0 = Pool.wall () in
-      let r = Session.check ~config ~policy netlist ~property in
+      (* endpoint created inside whichever worker stole the job, and
+         confined to it *)
+      let share =
+        Option.map
+          (fun ex -> Share.Exchange.endpoint ex ~name)
+          (List.assq_opt netlist exchanges)
+      in
+      let r = Session.check ~config ?share ~policy netlist ~property in
       if Telemetry.enabled tel then
         Telemetry.span_event tel "batch_item" ~dur:(Pool.wall () -. t0)
           [ ("name", Telemetry.Sink.Str name) ];

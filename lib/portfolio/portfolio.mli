@@ -39,21 +39,42 @@ type race
     score, and the cancellation tokens.  Owned by the creating domain
     (the coordinator); racer sessions are owned by their pool workers. *)
 
+type racer = {
+  r_mode : Bmc.Session.mode;  (** the racer's decision ordering *)
+  r_restart_base : int option;
+      (** Luby restart unit override ([None] keeps the solver default).
+          Distinct units diversify restart schedules across the ensemble,
+          so the racers learn — and, with an exchange attached, share —
+          different clauses. *)
+}
+
+val default_racers : racer list
+(** The paper's three orderings with diversified restart units:
+    [Standard]/64, [Static]/100, [Dynamic]/150. *)
+
 val create_race :
   ?modes:Bmc.Session.mode list ->
+  ?racers:racer list ->
+  ?share:Share.Exchange.t ->
   pool:Pool.t ->
   Bmc.Session.config ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
   race
-(** [modes] defaults to [[Standard; Static; Dynamic]] — the paper's three
-    orderings.  The [config]'s [mode] field is ignored (each racer gets its
-    own); its budget, COI, weighting, max_depth and telemetry apply to
-    every racer, and [collect_cores] is forced on so the winner always has
-    a core to contribute.  Racer [i] is pinned to pool worker
-    [i mod Pool.size pool]; with fewer workers than modes the race
-    serialises gracefully.
-    @raise Invalid_argument if [modes] is empty. *)
+(** The ensemble defaults to {!default_racers}.  [racers] overrides it
+    fully; [modes] (kept for compatibility) races the given orderings with
+    default restart units and is ignored when [racers] is present.  The
+    [config]'s [mode] field is ignored (each racer gets its own); its
+    budget, COI, weighting, max_depth and telemetry apply to every racer,
+    and [collect_cores] is forced on so the winner always has a core to
+    contribute.  [share] attaches every racer to the given learnt-clause
+    exchange: each racer's session gets its own {!Share.Exchange.endpoint}
+    (created inside its pinned worker), exports untainted short learnt
+    clauses, and imports the siblings' at restart boundaries.  The caller
+    keeps the exchange and reads {!Share.Exchange.stats} from it between
+    rounds.  Racer [i] is pinned to pool worker [i mod Pool.size pool];
+    with fewer workers than racers the race serialises gracefully.
+    @raise Invalid_argument if the ensemble is empty. *)
 
 type race_stat = {
   depth : int;
@@ -94,6 +115,8 @@ type result = {
 val check_race :
   ?config:Bmc.Session.config ->
   ?modes:Bmc.Session.mode list ->
+  ?racers:racer list ->
+  ?share:Share.Exchange.t ->
   pool:Pool.t ->
   Circuit.Netlist.t ->
   property:Circuit.Netlist.node ->
@@ -112,6 +135,7 @@ val check_race :
 val check_batch :
   ?config:Bmc.Session.config ->
   ?policy:Bmc.Session.policy ->
+  ?share:bool ->
   pool:Pool.t ->
   (string * Circuit.Netlist.t * Circuit.Netlist.node) list ->
   (string * Bmc.Session.result) list
@@ -119,6 +143,11 @@ val check_batch :
     pool's shared queue, each running the plain sequential
     {!Bmc.Session.check} (policy defaults to [Persistent]) on whichever
     worker steals it.  Results come back in input order, and each is
-    bit-identical to a sequential run of the same property.  Emits one
-    ["batch_item"] telemetry span per property (wall seconds, tagged with
-    the property's name). *)
+    bit-identical to a sequential run of the same property — clause
+    sharing included, since imports are sound clauses of the same
+    formula.  [share] (default [false]) groups the batch by physical
+    netlist and attaches the properties of each group of two or more to a
+    common learnt-clause exchange (endpoints named after the properties);
+    it has no effect under the [Fresh] policy or on netlists checked only
+    once.  Emits one ["batch_item"] telemetry span per property (wall
+    seconds, tagged with the property's name). *)

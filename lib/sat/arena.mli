@@ -5,8 +5,9 @@
     {v [header | cid | activity | lit_0 ... lit_{n-1}] v}
 
     addressed by an integer {e clause reference} ([cref]): the offset of the
-    header word.  The header packs the literal count with three flag bits
-    (learnt, deleted, relocated).  Compared to boxed clause records behind
+    header word.  The header packs the literal count with four flag bits
+    (learnt, deleted, relocated, tainted).  Compared to boxed clause records
+    behind
     pointers, this layout removes a dereference per clause visit in BCP,
     keeps the clause database off the OCaml heap scan, and makes the whole
     database one cache-friendly allocation.
@@ -40,9 +41,12 @@ val activity_unit : int
 val create : ?capacity:int -> unit -> t
 (** Fresh arena. [capacity] pre-allocates that many words. *)
 
-val alloc : t -> cid:int -> learnt:bool -> Lit.t array -> cref
+val alloc : t -> cid:int -> learnt:bool -> ?tainted:bool -> Lit.t array -> cref
 (** Append a clause block.  The literal array is copied.  Learnt clauses
-    start with activity 1.0, originals with 0. *)
+    start with activity 1.0, originals with 0.  [tainted] (default [false])
+    marks clauses whose derivation involves an instance-local literal — the
+    clause-sharing export filter refuses them (see {!Solver.set_share});
+    the flag lives in the header, so it survives relocation. *)
 
 val size : t -> cref -> int
 (** Number of literals in the clause. *)
@@ -59,6 +63,11 @@ val cid : t -> cref -> int
     off). *)
 
 val learnt : t -> cref -> bool
+
+val tainted : t -> cref -> bool
+(** Whether the clause was allocated [~tainted:true] — its derivation
+    involves an instance-local (activation/auxiliary) literal, so it is
+    unsound in a sibling solver and must never be exported. *)
 
 val deleted : t -> cref -> bool
 

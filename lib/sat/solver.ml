@@ -15,6 +15,23 @@ type budget = {
 let no_budget =
   { max_conflicts = None; max_propagations = None; max_seconds = None; stop = None }
 
+(* Clause-exchange hooks (the portfolio's learnt-clause sharing).  The
+   solver stays transport-agnostic: [sh_export] receives learnt clauses
+   that pass the size/LBD caps and the taint filter, [sh_import] is asked
+   for foreign clauses (already remapped to this solver's variables) at
+   solve-start and restart boundaries. *)
+type share = {
+  sh_max_size : int;
+  sh_max_lbd : int;
+  sh_export : Lit.t array -> lbd:int -> unit;
+  sh_import : unit -> Lit.t list list;
+}
+
+(* Poll the budget (and with it the cooperative-stop hook) every this many
+   propagations, so a BCP-heavy solve with few conflicts and few decisions
+   still observes cancellation promptly. *)
+let propagation_poll_period = 4096
+
 (* Assignment cells: -1 unassigned, 0 false, 1 true. *)
 let unassigned = -1
 
@@ -49,10 +66,19 @@ type t = {
   mutable max_learnts : int;
   mutable gc_fraction : float; (* wasted/size ratio that triggers compaction *)
   mutable dynamic_threshold : int; (* decisions before the dynamic fallback fires *)
-  luby : Luby.t;
+  mutable luby : Luby.t;
   mutable assumptions : Lit.t array; (* for the solve call in progress *)
   mutable failed_assumptions : Lit.t list; (* valid after assumption-UNSAT *)
   tel : Telemetry.t;
+  (* clause-sharing state *)
+  mutable share : share option;
+  mutable local_mask : bool array; (* per var: instance-local (activation/aux) *)
+  mutable analysis_tainted : bool; (* scratch: current conflict analysis touched a tainted antecedent *)
+  imported_ids : (int, unit) Hashtbl.t; (* proof pseudo IDs of imported clauses *)
+  (* in-propagate budget polling *)
+  mutable cur_budget : budget;
+  mutable solve_start : float;
+  mutable props_at_poll : int;
 }
 
 let value_var t v = t.assigns.(v)
@@ -119,6 +145,8 @@ let final_analysis t confl =
    after level-0 propagation: watches must sit on non-false literals, a
    clause with a single non-false literal is a (possibly pending) unit, and
    a clause with none is a top-level conflict. *)
+let[@inline] is_local t v = t.local_mask.(v)
+
 let add_original t index lits =
   let cid =
     match t.proof with
@@ -143,7 +171,8 @@ let add_original t index lits =
         incr nf
       end
     done;
-    let cr = Arena.alloc t.arena ~cid ~learnt:false arr in
+    let tainted = List.exists (fun l -> is_local t (Lit.var l)) lits in
+    let cr = Arena.alloc t.arena ~cid ~learnt:false ~tainted arr in
     if !nf = 0 then begin
       (* conflicts with the level-0 assignment: the formula is refuted *)
       t.ok <- false;
@@ -203,6 +232,13 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       assumptions = [||];
       failed_assumptions = [];
       tel = telemetry;
+      share = None;
+      local_mask = Array.make (max nvars 1) false;
+      analysis_tainted = false;
+      imported_ids = Hashtbl.create 16;
+      cur_budget = no_budget;
+      solve_start = 0.0;
+      props_at_poll = 0;
     }
   in
   Cnf.iter_clauses (fun i c -> add_original t i c) cnf;
@@ -232,6 +268,7 @@ let ensure_vars t n =
       t.reason <- grow_array t.reason cap Arena.none;
       t.seen <- grow_array t.seen cap false;
       t.trail_height <- grow_array t.trail_height cap 0;
+      t.local_mask <- grow_array t.local_mask cap false;
       let watches = Array.init nlits (fun _ -> Arena.Watch.create ()) in
       Array.blit t.watches 0 watches 0 (Array.length t.watches);
       t.watches <- watches
@@ -246,9 +283,36 @@ let new_var t =
   ensure_vars t (v + 1);
   v
 
+(* Mark a variable instance-local: activation guards and per-instance
+   Tseitin auxiliaries.  Clauses containing such a variable — and learnt
+   clauses whose 1UIP derivation resolves against any of them — are tainted
+   and never exported to sibling solvers (their truth depends on this
+   session's private guards). *)
+let mark_local t v =
+  ensure_vars t (v + 1);
+  t.local_mask.(v) <- true
+
 (* ------------------------------------------------------------------ *)
 (* Boolean constraint propagation (two watched literals + blockers).   *)
 (* ------------------------------------------------------------------ *)
+
+exception Done of outcome
+
+let budget_exceeded t budget start_time =
+  (* The external stop hook comes first: it is the cooperative-cancellation
+     path of the portfolio layer (typically an [Atomic.get] behind a closure),
+     so a cancelled worker abandons its solve at the next conflict,
+     1024-decision or 4096-propagation boundary — within one restart
+     interval even for conflict-free BCP-heavy instances. *)
+  (match budget.stop with Some f -> f () | None -> false)
+  || (match budget.max_conflicts with Some m -> t.stats.conflicts >= m | None -> false)
+  || (match budget.max_propagations with
+     | Some m -> t.stats.propagations >= m
+     | None -> false)
+  ||
+  match budget.max_seconds with
+  | Some s -> Sys.time () -. start_time >= s
+  | None -> false
 
 (* Returns the conflicting cref, or [Arena.none].  Deleted clauses are
    never present in watch lists (reduce_db detaches eagerly), so the loop
@@ -258,6 +322,15 @@ let propagate t =
   let arena = t.arena in
   let conflict = ref Arena.none in
   while !conflict = Arena.none && t.qhead < Vec.length t.trail do
+    (* Propagation-count poll: a conflict-free solve with huge implication
+       chains would otherwise only observe its budget (and the portfolio's
+       cancellation hook) at decision boundaries.  Checked between trail
+       literals, so the watch lists are always in a consistent state when
+       [Done] aborts the solve. *)
+    if t.stats.propagations - t.props_at_poll >= propagation_poll_period then begin
+      t.props_at_poll <- t.stats.propagations;
+      if budget_exceeded t t.cur_budget t.solve_start then raise (Done Unknown)
+    end;
     let p = Vec.get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     let false_lit = Lit.negate p in
@@ -356,6 +429,78 @@ let add_clause t lits =
   add_original t index (Array.of_list lits)
 
 (* ------------------------------------------------------------------ *)
+(* Clause import (sharing).                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Attach one foreign clause, already remapped to this solver's variables.
+   Precondition: decision level 0 (solve start or a restart), so every
+   current assignment is a level-0 fact.  Mirrors [add_original]'s
+   assignment-aware attachment, but the clause enters as a learnt — never
+   recorded in [t.cnf], eligible for [reduce_db], and (in proof mode)
+   registered as an original leaf whose pseudo ID is remembered in
+   [imported_ids] so core reporting can skip it. *)
+let attach_import t lits =
+  match Cnf.normalize_clause lits with
+  | None -> ()
+  | Some lits ->
+    if not (List.exists (fun l -> value_lit t l = 1) lits) then begin
+      let arr = Array.of_list lits in
+      let n = Array.length arr in
+      let nf = ref 0 in
+      for i = 0 to n - 1 do
+        if value_lit t arr.(i) <> 0 then begin
+          let tmp = arr.(!nf) in
+          arr.(!nf) <- arr.(i);
+          arr.(i) <- tmp;
+          incr nf
+        end
+      done;
+      let cid =
+        match t.proof with
+        | Some p ->
+          let id = Proof.register_original p in
+          Hashtbl.replace t.imported_ids id ();
+          Hashtbl.replace t.learnt_lits id lits;
+          id
+        | None -> -1
+      in
+      let cr = Arena.alloc t.arena ~cid ~learnt:true arr in
+      t.stats.shared_imported <- t.stats.shared_imported + 1;
+      if !nf = 0 then begin
+        (* conflicts with the level-0 facts: the shared formula is refuted *)
+        t.ok <- false;
+        match t.proof with
+        | Some p ->
+          if not (Proof.has_final p) then
+            Proof.set_final p ~antecedents:(final_analysis t cr)
+        | None -> ()
+      end
+      else begin
+        if !nf = 1 then begin
+          match value_lit t arr.(0) with
+          | 1 -> ()
+          | _ -> enqueue t arr.(0) cr
+        end;
+        if n >= 2 then begin
+          attach t cr;
+          Vec.push t.learnts cr
+        end
+      end
+    end
+
+let import_pending t =
+  match t.share with
+  | None -> ()
+  | Some sh ->
+    List.iter
+      (fun lits ->
+        if t.ok then begin
+          List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
+          attach_import t lits
+        end)
+      (sh.sh_import ())
+
+(* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP).                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -363,6 +508,7 @@ let add_clause t lits =
    level, antecedent clause IDs).  Precondition: decision_level > 0. *)
 let analyze t conflict =
   let arena = t.arena in
+  t.analysis_tainted <- false;
   let learnt = ref [] in
   let steps = ref [] in
   let path_count = ref 0 in
@@ -387,6 +533,7 @@ let analyze t conflict =
           let r = t.reason.(v) in
           if r <> Arena.none then begin
             steps := (v, Arena.cid arena r) :: !steps;
+            if Arena.tainted arena r then t.analysis_tainted <- true;
             Arena.iter_lits arena r (fun l ->
                 let u = Lit.var l in
                 if u <> v && t.level.(u) = 0 then stack := u :: !stack)
@@ -403,6 +550,9 @@ let analyze t conflict =
     let c = !confl in
     if not !first_iter then steps := (Lit.var (Option.get !p), Arena.cid arena c) :: !steps;
     first_iter := false;
+    (* taint flows through every antecedent: the conflict clause itself on
+       the first iteration, reason clauses afterwards *)
+    if Arena.tainted arena c then t.analysis_tainted <- true;
     if Arena.learnt arena c then Arena.bump_activity arena c;
     let start = match !p with None -> 0 | Some _ -> 1 in
     for jj = start to Arena.size arena c - 1 do
@@ -452,6 +602,7 @@ let analyze t conflict =
               if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then ok := false);
           if !ok then begin
             steps := (Lit.var q, Arena.cid arena r) :: !steps;
+            if Arena.tainted arena r then t.analysis_tainted <- true;
             Arena.iter_lits arena r (fun l ->
                 let v = Lit.var l in
                 if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) = 0 then
@@ -510,6 +661,35 @@ let analyze_final_assumption t p =
 (* Learning.                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Literal block distance at learning time: distinct decision levels among
+   the clause's literals.  Computed only for export candidates (short
+   clauses when sharing is on), so the sort stays off the common path.
+   [t.level] of the just-unassigned UIP variable is stale but still holds
+   the conflict level, which is exactly the value LBD wants. *)
+let learnt_lbd t lits =
+  List.map (fun l -> t.level.(Lit.var l)) lits |> List.sort_uniq Int.compare |> List.length
+
+(* The export filter.  A clause leaves the solver only when (a) no
+   antecedent of its 1UIP derivation was tainted, (b) none of its own
+   literals is instance-local (an assumption guard can enter the clause as
+   a decision literal without ever being resolved against), and (c) it is
+   short and low-LBD enough to be worth a sibling's attention. *)
+let maybe_export t lits ~tainted =
+  match t.share with
+  | None -> ()
+  | Some sh ->
+    if List.compare_length_with lits sh.sh_max_size <= 0 then begin
+      if tainted then
+        t.stats.shared_rejected_tainted <- t.stats.shared_rejected_tainted + 1
+      else begin
+        let lbd = learnt_lbd t lits in
+        if lbd <= sh.sh_max_lbd then begin
+          t.stats.shared_exported <- t.stats.shared_exported + 1;
+          sh.sh_export (Array.of_list lits) ~lbd
+        end
+      end
+    end
+
 let record_learnt t lits ants =
   let cid =
     match t.proof with
@@ -521,13 +701,17 @@ let record_learnt t lits ants =
   in
   (match t.drat with Some d -> Vec.push d (Checker.Learnt lits) | None -> ());
   t.stats.learned <- t.stats.learned + 1;
+  let tainted =
+    t.analysis_tainted || List.exists (fun l -> is_local t (Lit.var l)) lits
+  in
+  maybe_export t lits ~tainted;
   (* Chaff's new_lit_counts: every literal of the new conflict clause gets
      one activity point. *)
   List.iter (Order.bump t.order) lits;
   match lits with
   | [] -> assert false
   | [ l ] ->
-    let cr = Arena.alloc t.arena ~cid ~learnt:true [| l |] in
+    let cr = Arena.alloc t.arena ~cid ~learnt:true ~tainted [| l |] in
     enqueue t l cr
   | first :: _ ->
     let arr = Array.of_list lits in
@@ -539,7 +723,7 @@ let record_learnt t lits ants =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
-    let cr = Arena.alloc t.arena ~cid ~learnt:true arr in
+    let cr = Arena.alloc t.arena ~cid ~learnt:true ~tainted arr in
     Vec.push t.learnts cr;
     attach t cr;
     t.stats.propagations <- t.stats.propagations + 1;
@@ -620,32 +804,17 @@ let maybe_decay t =
 (* Main search loop.                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let budget_exceeded t budget start_time =
-  (* The external stop hook comes first: it is the cooperative-cancellation
-     path of the portfolio layer (typically an [Atomic.get] behind a closure),
-     so a cancelled worker abandons its solve at the next conflict or
-     1024-decision boundary — within one restart interval. *)
-  (match budget.stop with Some f -> f () | None -> false)
-  || (match budget.max_conflicts with Some m -> t.stats.conflicts >= m | None -> false)
-  || (match budget.max_propagations with
-     | Some m -> t.stats.propagations >= m
-     | None -> false)
-  ||
-  match budget.max_seconds with
-  | Some s -> Sys.time () -. start_time >= s
-  | None -> false
-
-exception Done of outcome
-
 (* Hot-path timing is gated on telemetry so the disabled configuration pays
-   only this branch, never a clock read. *)
+   only this branch, never a clock read.  [Fun.protect]: the in-propagate
+   budget poll can abandon a propagation by raising [Done], and the time
+   already spent must still be accounted. *)
 let propagate_timed t =
   if not (Telemetry.enabled t.tel) then propagate t
   else begin
     let t0 = Sys.time () in
-    let c = propagate t in
-    t.stats.bcp_time <- t.stats.bcp_time +. (Sys.time () -. t0);
-    c
+    Fun.protect
+      ~finally:(fun () -> t.stats.bcp_time <- t.stats.bcp_time +. (Sys.time () -. t0))
+      (fun () -> propagate t)
   end
 
 let analyze_timed t conflict =
@@ -707,7 +876,12 @@ let search t budget start_time =
         if Telemetry.enabled t.tel then
           Telemetry.event t.tel "restart"
             [ ("conflicts", Telemetry.Sink.Int t.stats.conflicts) ];
-        cancel_until t 0
+        cancel_until t 0;
+        (* restart boundary: adopt foreign clauses while at level 0 *)
+        if t.share <> None then begin
+          import_pending t;
+          if not t.ok then raise (Done Unsat)
+        end
       end;
       loop ()
     end
@@ -776,7 +950,14 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       let bcp0 = s.bcp_time and analyze0 = s.analyze_time and cdg0 = cdg_seconds t in
       let props0 = s.propagations and confl0 = s.conflicts and learned0 = s.learned in
       let start_time = Sys.time () in
-      let r = try search t budget start_time with Done r -> r in
+      t.cur_budget <- budget;
+      t.solve_start <- start_time;
+      t.props_at_poll <- s.propagations;
+      (* adopt foreign clauses before searching; they may already refute *)
+      import_pending t;
+      let r =
+        if not t.ok then Unsat else try search t budget start_time with Done r -> r
+      in
       let dur = Sys.time () -. start_time in
       s.solve_time <- s.solve_time +. dur;
       s.arena_bytes <- Arena.bytes t.arena;
@@ -811,8 +992,12 @@ let model t =
 let unsat_core t =
   match (t.result, t.proof) with
   | Some Unsat, Some p ->
+    (* Imported clauses are proof leaves without a clause index of their
+       own; a core that used one is reported without it (each import is a
+       consequence of some sibling's frame clauses, so the projection is an
+       under-approximation, never wrong). *)
     Proof.core p
-    |> List.map (fun id -> Hashtbl.find t.proof_to_cnf id)
+    |> List.filter_map (fun id -> Hashtbl.find_opt t.proof_to_cnf id)
     |> List.sort Int.compare
   | Some Unsat, None -> invalid_arg "Solver.unsat_core: proof logging was off"
   | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.unsat_core: not UNSAT"
@@ -863,7 +1048,11 @@ let interpolant t ~a_side =
     Itp.compute ~clause_lits
       ~antecedents:(fun id -> Proof.antecedents p id)
       ~final
-      ~side:(fun id -> if a_side (Hashtbl.find t.proof_to_cnf id) then `A else `B)
+      ~side:(fun id ->
+        if Hashtbl.mem t.imported_ids id then
+          invalid_arg "Solver.interpolant: the proof uses imported (shared) clauses"
+        else if a_side (Hashtbl.find t.proof_to_cnf id) then `A
+        else `B)
       ~b_vars:(fun v -> v >= 0 && v < Array.length b_vars && b_vars.(v))
   | Some Unsat, None -> invalid_arg "Solver.interpolant: proof logging was off"
   | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.interpolant: not UNSAT"
@@ -880,6 +1069,16 @@ let set_order t mode =
 let set_mode = set_order
 
 let set_max_learnts t n = t.max_learnts <- max 1 n
+
+let set_restart_base t base = t.luby <- Luby.create ~base
+
+let set_share ?(max_size = 8) ?(max_lbd = 4) t ~export ~import =
+  if t.drat <> None then invalid_arg "Solver.set_share: incompatible with DRAT logging";
+  if max_size < 1 || max_lbd < 1 then invalid_arg "Solver.set_share: caps must be >= 1";
+  t.share <-
+    Some { sh_max_size = max_size; sh_max_lbd = max_lbd; sh_export = export; sh_import = import }
+
+let clear_share t = t.share <- None
 
 let set_gc_fraction t f =
   if f < 0.0 then invalid_arg "Solver.set_gc_fraction: negative";

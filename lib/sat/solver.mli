@@ -38,12 +38,14 @@ type budget = {
   max_seconds : float option;  (** CPU seconds, via [Sys.time] *)
   stop : (unit -> bool) option;
       (** External cooperative-stop hook.  Polled together with the other
-          budget checks — after every conflict and every 1024 decisions, so
-          at most one restart interval elapses between the hook first
-          returning [true] and the solve returning [Unknown].  The hook must
-          be cheap and thread-safe (the portfolio layer passes an
-          [Atomic.get] behind a closure); it is called from the solver's own
-          domain. *)
+          budget checks — after every conflict, every 1024 decisions and
+          every 4096 propagations (the last one inside BCP itself, so even a
+          conflict-free solve chewing through huge implication chains
+          observes cancellation promptly).  At most one restart interval
+          elapses between the hook first returning [true] and the solve
+          returning [Unknown].  The hook must be cheap and thread-safe (the
+          portfolio layer passes an [Atomic.get] behind a closure); it is
+          called from the solver's own domain. *)
 }
 
 val no_budget : budget
@@ -105,6 +107,54 @@ val set_order : t -> Order.mode -> unit
 
 val set_mode : t -> Order.mode -> unit
 (** Alias of {!set_order} (historical name). *)
+
+(** {2 Clause sharing (the portfolio's learnt-clause exchange)}
+
+    The solver side of cross-solver clause exchange: an export filter fired
+    at clause-learning time and an import hook polled at solve-start and
+    restart boundaries.  The solver stays transport-agnostic — packing,
+    remapping and deduplication live in the exchange layer above.
+
+    {b Soundness.}  A clause learnt under instance-local activation guards
+    may be true only in this session, so exporting it to a sibling would be
+    unsound.  The filter tracks {e taint} through derivations: originals
+    containing a variable marked with {!mark_local} are tainted, a learnt
+    clause is tainted when any antecedent of its 1UIP derivation (including
+    level-0 reason chains and minimisation steps) was tainted or when the
+    clause itself mentions a local variable (an assumption guard can enter
+    as a decision literal without being resolved against).  Tainted clauses
+    are never handed to [export]. *)
+
+val mark_local : t -> Lit.var -> unit
+(** Declare a variable instance-local (activation guards, per-instance
+    Tseitin auxiliaries).  Grows the variable space if needed. *)
+
+val set_share :
+  ?max_size:int ->
+  ?max_lbd:int ->
+  t ->
+  export:(Lit.t array -> lbd:int -> unit) ->
+  import:(unit -> Lit.t list list) ->
+  unit
+(** Install sharing hooks.  [export] receives each learnt clause that is at
+    most [max_size] literals (default 8), has literal-block distance at
+    most [max_lbd] (default 4) and is untainted.  [import] is polled at
+    solve-start and at every restart (decision level 0); it must return
+    clauses already remapped to this solver's variables, each sound for the
+    formula being solved.  Imports attach as learnt clauses (eligible for
+    database reduction); in proof mode they become proof leaves that
+    {!unsat_core} skips, so a core that used an import is reported as an
+    under-approximation.
+    @raise Invalid_argument with DRAT logging on (imported clauses are not
+    RUP-derivable from this solver's own trace), or on caps < 1. *)
+
+val clear_share : t -> unit
+
+val set_restart_base : t -> int -> unit
+(** Replace the Luby restart sequence with one of the given unit (default
+    128), restarting the sequence.  The portfolio gives each racer a
+    distinct unit so sharing has heterogeneous producers.
+    @raise Invalid_argument if the base is < 1 (via {!Luby.create}). *)
 
 val set_max_learnts : t -> int -> unit
 (** Override the learnt-clause limit that triggers database reduction

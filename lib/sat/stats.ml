@@ -10,6 +10,9 @@ type t = {
   mutable blocker_hits : int;
   mutable arena_bytes : int;
   mutable arena_compactions : int;
+  mutable shared_exported : int;
+  mutable shared_imported : int;
+  mutable shared_rejected_tainted : int;
   mutable solve_time : float;
   mutable bcp_time : float;
   mutable analyze_time : float;
@@ -28,6 +31,9 @@ let create () =
     blocker_hits = 0;
     arena_bytes = 0;
     arena_compactions = 0;
+    shared_exported = 0;
+    shared_imported = 0;
+    shared_rejected_tainted = 0;
     solve_time = 0.0;
     bcp_time = 0.0;
     analyze_time = 0.0;
@@ -47,6 +53,9 @@ let add acc s =
   acc.blocker_hits <- acc.blocker_hits + s.blocker_hits;
   acc.arena_bytes <- max acc.arena_bytes s.arena_bytes;
   acc.arena_compactions <- acc.arena_compactions + s.arena_compactions;
+  acc.shared_exported <- acc.shared_exported + s.shared_exported;
+  acc.shared_imported <- acc.shared_imported + s.shared_imported;
+  acc.shared_rejected_tainted <- acc.shared_rejected_tainted + s.shared_rejected_tainted;
   acc.solve_time <- acc.solve_time +. s.solve_time;
   acc.bcp_time <- acc.bcp_time +. s.bcp_time;
   acc.analyze_time <- acc.analyze_time +. s.analyze_time
@@ -59,6 +68,9 @@ let pp ppf s =
     s.max_decision_level s.heuristic_switches s.blocker_hits;
   if s.arena_bytes > 0 then
     Format.fprintf ppf " arena=%dB gcs=%d" s.arena_bytes s.arena_compactions;
+  if s.shared_exported > 0 || s.shared_imported > 0 || s.shared_rejected_tainted > 0 then
+    Format.fprintf ppf " sh_exported=%d sh_imported=%d sh_tainted=%d" s.shared_exported
+      s.shared_imported s.shared_rejected_tainted;
   if s.solve_time > 0.0 then
     Format.fprintf ppf " solve=%.3fs bcp=%.3fs analyze=%.3fs" s.solve_time s.bcp_time
       s.analyze_time

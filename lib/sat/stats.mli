@@ -20,6 +20,15 @@ type t = {
       (** current clause-arena footprint in bytes (live + not-yet-compacted
           waste); a gauge, so {!add} takes the max *)
   mutable arena_compactions : int;  (** arena garbage collections run *)
+  mutable shared_exported : int;
+      (** learnt clauses offered to the clause exchange (passed the
+          size/LBD caps and the taint filter; see {!Solver.set_share}) *)
+  mutable shared_imported : int;
+      (** clauses attached from the exchange at solve-start/restart
+          boundaries *)
+  mutable shared_rejected_tainted : int;
+      (** exports withheld because the derivation involved an
+          instance-local (activation/auxiliary) literal *)
   mutable solve_time : float;  (** CPU seconds spent inside {!Solver.solve} *)
   mutable bcp_time : float;
       (** CPU seconds in unit propagation; only accumulated while telemetry

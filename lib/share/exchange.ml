@@ -1,0 +1,162 @@
+(* Key layout: ((node lsl frame_bits) lor frame) lsl 1 lor neg — 40 node
+   bits, 20 frame bits, one sign bit, all inside OCaml's 63-bit int. *)
+let frame_bits = 20
+
+let max_frame = 1 lsl frame_bits
+
+let max_node = 1 lsl 40
+
+let pack_lit ~node ~frame ~neg =
+  (((node lsl frame_bits) lor frame) lsl 1) lor (if neg then 1 else 0)
+
+let unpack_lit key =
+  let neg = key land 1 = 1 in
+  let nf = key lsr 1 in
+  (nf lsr frame_bits, nf land (max_frame - 1), neg)
+
+type config = { capacity : int; max_size : int; max_lbd : int }
+
+let default_config = { capacity = 1024; max_size = 8; max_lbd = 4 }
+
+(* [c_consumed] is the first-import latch: the first sibling to consume the
+   clause flips it with a CAS, so the aggregate "imported" counter counts
+   distinct clauses and [imported <= exported] holds by construction
+   whatever the number of consumers. *)
+type clause = { c_lits : int array; c_consumed : bool Atomic.t }
+
+type t = {
+  cfg : config;
+  ring : clause Ring.t;
+  next_id : int Atomic.t;
+  exported : int Atomic.t;
+  imported : int Atomic.t;
+  delivered : int Atomic.t;
+  rejected_tainted : int Atomic.t;
+  dropped_stale : int Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  if config.capacity < 1 || config.max_size < 1 || config.max_lbd < 1 then
+    invalid_arg "Exchange.create";
+  {
+    cfg = config;
+    ring = Ring.create ~capacity:config.capacity;
+    next_id = Atomic.make 0;
+    exported = Atomic.make 0;
+    imported = Atomic.make 0;
+    delivered = Atomic.make 0;
+    rejected_tainted = Atomic.make 0;
+    dropped_stale = Atomic.make 0;
+  }
+
+let config t = t.cfg
+
+type endpoint = {
+  ex : t;
+  id : int;
+  ep_name : string;
+  cur : clause Ring.cursor;
+  seen : (int, unit) Hashtbl.t; (* hashes published or imported here *)
+  mutable drops_reported : int; (* cursor drops already pushed to the aggregate *)
+}
+
+let endpoint t ~name =
+  {
+    ex = t;
+    id = Atomic.fetch_and_add t.next_id 1;
+    ep_name = name;
+    cur = Ring.cursor t.ring;
+    seen = Hashtbl.create 256;
+    drops_reported = 0;
+  }
+
+let name ep = ep.ep_name
+
+let max_size ep = ep.ex.cfg.max_size
+
+let max_lbd ep = ep.ex.cfg.max_lbd
+
+(* Order-independent hash: the same clause hashes identically whatever
+   literal order the exporter's watch scheme left it in.  A collision only
+   costs a suppressed share, never soundness. *)
+let clause_hash lits =
+  let a = Array.copy lits in
+  Array.sort compare a;
+  Array.fold_left (fun h k -> (h * 1000003) + k) (Array.length a) a
+
+let publish ep lits ~lbd =
+  let n = Array.length lits in
+  if n < 1 || n > ep.ex.cfg.max_size || lbd > ep.ex.cfg.max_lbd then false
+  else begin
+    let h = clause_hash lits in
+    if Hashtbl.mem ep.seen h then false
+    else begin
+      Hashtbl.replace ep.seen h ();
+      Ring.publish ep.ex.ring ~src:ep.id { c_lits = lits; c_consumed = Atomic.make false };
+      Atomic.incr ep.ex.exported;
+      true
+    end
+  end
+
+let flush_drops ep =
+  let d = Ring.dropped ep.cur in
+  if d > ep.drops_reported then begin
+    ignore (Atomic.fetch_and_add ep.ex.dropped_stale (d - ep.drops_reported));
+    ep.drops_reported <- d
+  end
+
+let drain ep f =
+  let delivered = ref 0 in
+  ignore
+    (Ring.poll ep.cur (fun ~src cl ->
+         if src <> ep.id then begin
+           let h = clause_hash cl.c_lits in
+           if not (Hashtbl.mem ep.seen h) then begin
+             Hashtbl.replace ep.seen h ();
+             if Atomic.compare_and_set cl.c_consumed false true then
+               Atomic.incr ep.ex.imported;
+             Atomic.incr ep.ex.delivered;
+             incr delivered;
+             f cl.c_lits
+           end
+         end));
+  flush_drops ep;
+  !delivered
+
+let note_dropped ep n = if n > 0 then ignore (Atomic.fetch_and_add ep.ex.dropped_stale n)
+
+let note_rejected_tainted ep n =
+  if n > 0 then ignore (Atomic.fetch_and_add ep.ex.rejected_tainted n)
+
+type stats = {
+  exported : int;
+  imported : int;
+  delivered : int;
+  rejected_tainted : int;
+  dropped_stale : int;
+  occupancy : int;
+  capacity : int;
+}
+
+let stats (t : t) =
+  {
+    exported = Atomic.get t.exported;
+    imported = Atomic.get t.imported;
+    delivered = Atomic.get t.delivered;
+    rejected_tainted = Atomic.get t.rejected_tainted;
+    dropped_stale = Atomic.get t.dropped_stale;
+    occupancy = Ring.occupancy t.ring;
+    capacity = t.cfg.capacity;
+  }
+
+let dump t =
+  (* a fresh cursor starts at the oldest readable entry *)
+  let cur = Ring.cursor t.ring in
+  let acc = ref [] in
+  ignore (Ring.poll cur (fun ~src:_ cl -> acc := cl.c_lits :: !acc));
+  List.rev !acc
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "exported=%d imported=%d delivered=%d rejected_tainted=%d dropped_stale=%d occupancy=%d/%d"
+    s.exported s.imported s.delivered s.rejected_tainted s.dropped_stale s.occupancy s.capacity

@@ -1,0 +1,109 @@
+(** Learnt-clause exchange between sibling solvers.
+
+    One {!t} (exchange) is shared by all participants solving instances of
+    the {e same} circuit; each participant attaches an {!endpoint}.  Clauses
+    travel as flat arrays of {e packed literal keys} — solver-independent
+    [(node, frame, sign)] triples packed into single non-negative ints — so
+    an importer can remap them through its own variable numbering, which
+    need not agree with the exporter's.
+
+    The transport is a {!Ring}: publishing never blocks, a slow consumer
+    loses the oldest clauses (counted as {e dropped-stale}), and every
+    endpoint sees every clause published by the others exactly once
+    (modulo overwriting).  Per-endpoint hash dedup suppresses re-imports
+    and re-exports of a clause already seen.
+
+    Endpoints are domain-confined like the solvers they serve: create one
+    per worker and only touch it there.  The exchange itself — its ring and
+    aggregate counters — is freely shared. *)
+
+(** {1 Packed literal keys} *)
+
+val max_node : int
+(** Exclusive upper bound on circuit node ids a key can carry. *)
+
+val max_frame : int
+(** Exclusive upper bound on time frames a key can carry. *)
+
+val pack_lit : node:int -> frame:int -> neg:bool -> int
+(** Pack a literal over circuit node [node] at time frame [frame].  The
+    caller must check [0 <= node < max_node] and [0 <= frame < max_frame]
+    (session-private pseudo-nodes are negative and must never be packed —
+    that is the export filter's taint rule). *)
+
+val unpack_lit : int -> int * int * bool
+(** Inverse of {!pack_lit}: [(node, frame, neg)]. *)
+
+(** {1 The exchange} *)
+
+type config = {
+  capacity : int;  (** ring slots *)
+  max_size : int;  (** longest clause (literals) eligible for export *)
+  max_lbd : int;  (** highest literal-block distance eligible for export *)
+}
+
+val default_config : config
+(** 1024 slots, clauses up to 8 literals with LBD up to 4 — the short
+    low-LBD clauses that carry most of the pruning power. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument if any config field is < 1. *)
+
+val config : t -> config
+
+type endpoint
+
+val endpoint : t -> name:string -> endpoint
+(** Attach a participant.  Thread-safe (workers attach lazily from their
+    own domains); the returned endpoint is confined to the calling
+    domain. *)
+
+val name : endpoint -> string
+
+val max_size : endpoint -> int
+
+val max_lbd : endpoint -> int
+
+val publish : endpoint -> int array -> lbd:int -> bool
+(** Offer a clause of packed literal keys to the siblings.  Returns [false]
+    (and publishes nothing) if the clause is empty, over the size/LBD caps,
+    or a duplicate of one this endpoint already published or imported.  The
+    array is owned by the exchange afterwards — do not mutate it. *)
+
+val drain : endpoint -> (int array -> unit) -> int
+(** Deliver every clause published by {e other} endpoints since the last
+    drain, newest ones included, skipping duplicates.  Returns the number
+    delivered.  The callback must not call back into the exchange. *)
+
+val note_dropped : endpoint -> int -> unit
+(** Account clauses the importer had to discard (e.g. mentioning frames its
+    varmap has not materialised) as dropped-stale. *)
+
+val note_rejected_tainted : endpoint -> int -> unit
+(** Account clauses the exporting solver withheld because their derivation
+    was tainted by an instance-local (activation/auxiliary) literal. *)
+
+(** {1 Counters} *)
+
+type stats = {
+  exported : int;  (** clauses published to the ring *)
+  imported : int;  (** distinct clauses consumed by at least one sibling *)
+  delivered : int;  (** total deliveries summed over endpoints *)
+  rejected_tainted : int;  (** exports withheld by the taint filter *)
+  dropped_stale : int;  (** overwritten before consumption, or unmappable *)
+  occupancy : int;  (** clauses currently readable in the ring *)
+  capacity : int;
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot of the aggregate counters.  [imported <=
+    exported] always holds: a clause counts as imported the first time any
+    sibling consumes it ([delivered] counts every consumption). *)
+
+val dump : t -> int array list
+(** The packed clauses currently readable in the ring (test/debug use;
+    racy while producers are active). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,71 @@
+(* Each slot holds a complete immutable entry behind one Atomic cell, so a
+   reader sees either the whole entry or the whole previous one — never a
+   torn mixture.  The entry carries its own ticket: that is what lets a
+   consumer detect both "not yet stored" (older ticket than expected) and
+   "lapped" (newer ticket) from a single load. *)
+
+type 'a entry = { e_ticket : int; e_src : int; e_payload : 'a }
+
+type 'a t = {
+  cap : int;
+  head : int Atomic.t; (* next ticket to claim *)
+  slots : 'a entry option Atomic.t array;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create";
+  {
+    cap = capacity;
+    head = Atomic.make 0;
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+  }
+
+let capacity t = t.cap
+
+let published t = Atomic.get t.head
+
+let occupancy t = min (published t) t.cap
+
+let publish t ~src payload =
+  let ticket = Atomic.fetch_and_add t.head 1 in
+  Atomic.set t.slots.(ticket mod t.cap) (Some { e_ticket = ticket; e_src = src; e_payload = payload })
+
+type 'a cursor = {
+  ring : 'a t;
+  mutable next : int; (* next ticket this consumer expects *)
+  mutable lost : int;
+}
+
+let cursor t = { ring = t; next = max 0 (Atomic.get t.head - t.cap); lost = 0 }
+
+let poll cur f =
+  let t = cur.ring in
+  let delivered = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if cur.next >= Atomic.get t.head then continue := false
+    else
+      match Atomic.get t.slots.(cur.next mod t.cap) with
+      | None -> continue := false (* ticket claimed, entry not stored yet *)
+      | Some e ->
+        if e.e_ticket < cur.next then continue := false (* ditto: older lap still in place *)
+        else if e.e_ticket > cur.next then begin
+          (* tickets in one slot are congruent mod cap, so e_ticket > next
+             means the ring lapped us.  Only the tickets below head - cap
+             are actually gone: re-sync to the oldest still-readable one
+             and re-read from there rather than skipping a whole lap. *)
+          let oldest = max cur.next (Atomic.get t.head - t.cap) in
+          cur.lost <- cur.lost + (oldest - cur.next);
+          cur.next <- oldest
+        end
+        else begin
+          f ~src:e.e_src e.e_payload;
+          incr delivered;
+          cur.next <- e.e_ticket + 1
+        end
+  done;
+  !delivered
+
+let dropped cur = cur.lost
+
+let lag cur = max 0 (Atomic.get cur.ring.head - cur.next)

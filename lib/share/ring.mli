@@ -1,0 +1,60 @@
+(** Lock-free multi-producer / multi-consumer broadcast ring.
+
+    A fixed-capacity ring of published values with {e overwrite-oldest}
+    semantics: producers never block (a slow consumer loses old entries, it
+    never stalls a publisher) and every consumer holds its own {!cursor}, so
+    consumers do not contend with each other either.
+
+    Publication protocol: a producer claims a monotonically increasing
+    {e ticket} with [Atomic.fetch_and_add] on the head counter and then
+    stores an entry record — carrying its own ticket — into slot
+    [ticket mod capacity] with a single atomic write.  Because the whole
+    entry (ticket, source id, payload) is one immutable record published
+    through an [Atomic.t] cell, a reader either sees the complete entry or a
+    previous complete entry, never a torn mixture — the OCaml memory model's
+    release/acquire pairing on [Atomic.set]/[Atomic.get] makes the payload
+    contents visible together with the ticket.
+
+    A consumer's cursor tracks the next ticket it expects.  Reading the slot
+    either finds that ticket (deliver, advance), an older one (the producer
+    has claimed but not yet stored — try again later), or a newer one (the
+    ring lapped the consumer: the cursor re-syncs to the oldest still-
+    readable ticket, counting only the truly overwritten ones as dropped,
+    and resumes from there).  All operations are wait-free. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val publish : 'a t -> src:int -> 'a -> unit
+(** Claim the next ticket and store the value.  [src] is an opaque producer
+    id handed back to consumers (so an endpoint can skip its own entries).
+    Never blocks; with more than [capacity] outstanding entries the oldest
+    are overwritten. *)
+
+val published : 'a t -> int
+(** Total tickets claimed so far (monotonic). *)
+
+val occupancy : 'a t -> int
+(** Entries currently readable: [min (published t) (capacity t)]. *)
+
+type 'a cursor
+(** A consumer's private position.  Not thread-safe: each cursor belongs to
+    exactly one consumer domain (the ring itself is shared freely). *)
+
+val cursor : 'a t -> 'a cursor
+(** A new consumer positioned at the oldest still-readable entry. *)
+
+val poll : 'a cursor -> (src:int -> 'a -> unit) -> int
+(** Deliver every readable entry newer than the cursor, in ticket order,
+    and advance past them.  Returns the number delivered.  Entries lost to
+    overwriting are skipped and accounted in {!dropped}. *)
+
+val dropped : 'a cursor -> int
+(** Total entries this consumer lost to overwriting (monotonic). *)
+
+val lag : 'a cursor -> int
+(** Tickets published but not yet consumed through this cursor. *)

@@ -192,6 +192,94 @@ let test_race_depth_must_increase () =
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail "expected Invalid_argument on a repeated depth")
 
+let test_race_custom_racers () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (match
+         Portfolio.create_race ~racers:[] ~pool (race_config ~max_depth:4) case.netlist
+           ~property:case.property
+       with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument on an empty ensemble");
+      (* a two-racer ensemble with custom restart units must still agree
+         with the sequential run *)
+      let seq =
+        Bmc.Session.check ~config:(race_config ~max_depth:4) ~policy:Bmc.Session.Persistent
+          case.netlist ~property:case.property
+      in
+      let par =
+        Portfolio.check_race ~config:(race_config ~max_depth:4)
+          ~racers:
+            [
+              { Portfolio.r_mode = Bmc.Session.Standard; r_restart_base = Some 32 };
+              { Portfolio.r_mode = Bmc.Session.Dynamic; r_restart_base = Some 200 };
+            ]
+          ~pool case.netlist ~property:case.property
+      in
+      Alcotest.(check string) "outcome string" (session_outcomes seq) (race_outcomes par))
+
+(* ------------------------------------------------------------------ *)
+(* Clause sharing (satellite): the exchange must not change any answer. *)
+(* ------------------------------------------------------------------ *)
+
+let test_race_share_differential () =
+  (* sharing on ≡ sharing off ≡ sequential, on a holding circuit and on a
+     falsifiable one — imported clauses are sound consequences of the same
+     netlist, so only the route to the answer may differ, never the answer *)
+  List.iter
+    (fun (case : Circuit.Generators.case) ->
+      let config = race_config ~max_depth:7 in
+      let seq =
+        Bmc.Session.check ~config ~policy:Bmc.Session.Persistent case.netlist
+          ~property:case.property
+      in
+      Pool.with_pool ~jobs:3 (fun pool ->
+          let off =
+            Portfolio.check_race ~config ~pool case.netlist ~property:case.property
+          in
+          let ex = Share.Exchange.create () in
+          let on =
+            Portfolio.check_race ~config ~share:ex ~pool case.netlist
+              ~property:case.property
+          in
+          Alcotest.(check string)
+            (case.name ^ ": sharing off = sequential")
+            (session_outcomes seq) (race_outcomes off);
+          Alcotest.(check string)
+            (case.name ^ ": sharing on = sequential")
+            (session_outcomes seq) (race_outcomes on);
+          (match (seq.verdict, on.verdict) with
+          | Bmc.Session.Bounded_pass a, Bmc.Session.Bounded_pass b ->
+            Alcotest.(check int) (case.name ^ ": same bound") a b
+          | Bmc.Session.Falsified ts, Bmc.Session.Falsified tp ->
+            Alcotest.(check int)
+              (case.name ^ ": same counterexample depth")
+              ts.Bmc.Trace.depth tp.Bmc.Trace.depth
+          | _ -> Alcotest.failf "%s: verdicts diverge under sharing" case.name);
+          let st = Share.Exchange.stats ex in
+          Alcotest.(check bool) "imported <= exported" true
+            (st.Share.Exchange.imported <= st.Share.Exchange.exported)))
+    [
+      Circuit.Generators.ring ~len:6 ~noise:8 ();
+      Circuit.Generators.counter ~noise:6 ~bits:4 ~target:5 ();
+    ]
+
+let test_batch_share_differential () =
+  (* two checks of the same physical netlist share one exchange; results
+     must be bit-identical to the unshared batch *)
+  let case = Circuit.Generators.ring ~len:6 ~noise:8 () in
+  let items = [ ("a", case.netlist, case.property); ("b", case.netlist, case.property) ] in
+  let config = race_config ~max_depth:6 in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let off = Portfolio.check_batch ~config ~pool items in
+      let on = Portfolio.check_batch ~config ~share:true ~pool items in
+      List.iter2
+        (fun (n, a) (n', b) ->
+          Alcotest.(check string) "name" n n';
+          Alcotest.(check string) (n ^ ": outcomes unchanged by sharing")
+            (session_outcomes a) (session_outcomes b))
+        off on)
+
 (* ------------------------------------------------------------------ *)
 (* The deterministic-portfolio differential (satellite): outcomes at     *)
 (* --jobs 2 and 4 must equal the sequential run, per engine.            *)
@@ -313,6 +401,10 @@ let tests =
     Alcotest.test_case "race telemetry and cancellation latency" `Quick
       test_race_telemetry_and_cancellation;
     Alcotest.test_case "race depths must increase" `Quick test_race_depth_must_increase;
+    Alcotest.test_case "custom racer ensembles" `Quick test_race_custom_racers;
+    Alcotest.test_case "differential: sharing on/off (race)" `Quick test_race_share_differential;
+    Alcotest.test_case "differential: sharing on/off (batch)" `Quick
+      test_batch_share_differential;
     Alcotest.test_case "differential: engine (jobs 2/4)" `Quick test_batch_differential_engine;
     Alcotest.test_case "differential: induction (jobs 2/4)" `Quick
       test_batch_differential_induction;

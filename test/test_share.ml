@@ -1,0 +1,420 @@
+(* Clause-exchange subsystem: ring broadcast semantics (overwrite-oldest,
+   per-consumer cursors), exchange packing / dedup / caps, the solver-level
+   export taint filter, and the QCheck soundness property that every
+   exported clause is implied by the unguarded clauses alone. *)
+
+module Ring = Share.Ring
+module Exchange = Share.Exchange
+
+(* ------------------------------------------------------------------ *)
+(* Ring.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_capacity_validated () =
+  (match Ring.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  Alcotest.(check int) "capacity" 4 (Ring.capacity (Ring.create ~capacity:4))
+
+let test_ring_delivers_in_order () =
+  let r = Ring.create ~capacity:8 in
+  let c = Ring.cursor r in
+  List.iter (fun x -> Ring.publish r ~src:1 x) [ 10; 11; 12 ];
+  let got = ref [] in
+  let n = Ring.poll c (fun ~src x -> got := (src, x) :: !got) in
+  Alcotest.(check int) "delivered" 3 n;
+  Alcotest.(check (list (pair int int)))
+    "in ticket order, with src"
+    [ (1, 10); (1, 11); (1, 12) ]
+    (List.rev !got);
+  Alcotest.(check int) "nothing more" 0 (Ring.poll c (fun ~src:_ _ -> ()));
+  Alcotest.(check int) "no drops" 0 (Ring.dropped c)
+
+let test_ring_overwrites_oldest () =
+  let r = Ring.create ~capacity:4 in
+  let c = Ring.cursor r in
+  for x = 0 to 9 do
+    Ring.publish r ~src:0 x
+  done;
+  let got = ref [] in
+  let n = Ring.poll c (fun ~src:_ x -> got := x :: !got) in
+  (* a lapped consumer sees exactly the newest [capacity] entries *)
+  Alcotest.(check int) "delivered" 4 n;
+  Alcotest.(check (list int)) "newest survive" [ 6; 7; 8; 9 ] (List.rev !got);
+  Alcotest.(check int) "losses counted" 6 (Ring.dropped c);
+  Alcotest.(check int) "occupancy is capped" 4 (Ring.occupancy r);
+  Alcotest.(check int) "published is monotonic" 10 (Ring.published r)
+
+let test_ring_late_cursor_starts_at_oldest_readable () =
+  let r = Ring.create ~capacity:4 in
+  for x = 0 to 9 do
+    Ring.publish r ~src:0 x
+  done;
+  let c = Ring.cursor r in
+  let got = ref [] in
+  ignore (Ring.poll c (fun ~src:_ x -> got := x :: !got));
+  Alcotest.(check (list int)) "recent entries, nothing counted dropped" [ 6; 7; 8; 9 ]
+    (List.rev !got);
+  Alcotest.(check int) "no drops for a late joiner" 0 (Ring.dropped c)
+
+let test_ring_independent_cursors () =
+  let r = Ring.create ~capacity:8 in
+  let a = Ring.cursor r and b = Ring.cursor r in
+  Ring.publish r ~src:0 1;
+  Alcotest.(check int) "a sees it" 1 (Ring.poll a (fun ~src:_ _ -> ()));
+  Ring.publish r ~src:0 2;
+  Alcotest.(check int) "a sees only the new one" 1 (Ring.poll a (fun ~src:_ _ -> ()));
+  Alcotest.(check int) "b sees both" 2 (Ring.poll b (fun ~src:_ _ -> ()));
+  Alcotest.(check int) "lag is zero when drained" 0 (Ring.lag a)
+
+let test_ring_concurrent_publishers () =
+  (* two domains publish concurrently; a coordinator cursor must account for
+     every ticket exactly once (delivered + dropped = published) *)
+  let r = Ring.create ~capacity:64 in
+  let per = 500 in
+  let worker src = Domain.spawn (fun () -> for x = 1 to per do Ring.publish r ~src x done) in
+  let d1 = worker 1 and d2 = worker 2 in
+  Domain.join d1;
+  Domain.join d2;
+  let c = Ring.cursor r in
+  let n = Ring.poll c (fun ~src:_ _ -> ()) in
+  Alcotest.(check int) "all tickets claimed" (2 * per) (Ring.published r);
+  Alcotest.(check bool) "cursor saw at most capacity" true (n <= 64);
+  Alcotest.(check bool) "cursor saw something" true (n > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Exchange: packing.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pack_roundtrip () =
+  List.iter
+    (fun (node, frame, neg) ->
+      let k = Exchange.pack_lit ~node ~frame ~neg in
+      Alcotest.(check bool) "key is non-negative" true (k >= 0);
+      let n, f, s = Exchange.unpack_lit k in
+      Alcotest.(check int) "node" node n;
+      Alcotest.(check int) "frame" frame f;
+      Alcotest.(check bool) "sign" neg s)
+    [
+      (0, 0, false);
+      (0, 0, true);
+      (17, 3, true);
+      (Exchange.max_node - 1, Exchange.max_frame - 1, true);
+    ]
+
+let prop_pack_roundtrip =
+  QCheck.Test.make ~name:"pack_lit/unpack_lit roundtrip" ~count:500
+    QCheck.(
+      triple (int_bound (Exchange.max_node - 1)) (int_bound (Exchange.max_frame - 1)) bool)
+    (fun (node, frame, neg) ->
+      Exchange.unpack_lit (Exchange.pack_lit ~node ~frame ~neg) = (node, frame, neg))
+
+(* ------------------------------------------------------------------ *)
+(* Exchange: publish / drain.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_exchange ?(capacity = 64) ?(max_size = 8) ?(max_lbd = 4) () =
+  Exchange.create ~config:{ Exchange.capacity; max_size; max_lbd } ()
+
+let keys lits = Array.of_list (List.map (fun (n, f, neg) -> Exchange.pack_lit ~node:n ~frame:f ~neg) lits)
+
+let test_exchange_caps_and_dedup () =
+  let ex = mk_exchange ~max_size:3 ~max_lbd:2 () in
+  let ep = Exchange.endpoint ex ~name:"a" in
+  Alcotest.(check bool) "publishes" true
+    (Exchange.publish ep (keys [ (1, 0, false); (2, 0, true) ]) ~lbd:2);
+  Alcotest.(check bool) "duplicate suppressed" false
+    (Exchange.publish ep (keys [ (2, 0, true); (1, 0, false) ]) ~lbd:1);
+  Alcotest.(check bool) "size cap" false
+    (Exchange.publish ep (keys [ (1, 0, false); (2, 0, false); (3, 0, false); (4, 0, false) ])
+       ~lbd:1);
+  Alcotest.(check bool) "lbd cap" false
+    (Exchange.publish ep (keys [ (5, 0, false) ]) ~lbd:3);
+  Alcotest.(check bool) "empty clause" false (Exchange.publish ep [||] ~lbd:1);
+  let st = Exchange.stats ex in
+  Alcotest.(check int) "one export" 1 st.Exchange.exported
+
+let test_exchange_skips_own_and_counts_imports () =
+  let ex = mk_exchange () in
+  let a = Exchange.endpoint ex ~name:"a" in
+  let b = Exchange.endpoint ex ~name:"b" in
+  let c = Exchange.endpoint ex ~name:"c" in
+  for i = 1 to 5 do
+    ignore (Exchange.publish a (keys [ (i, 0, false) ]) ~lbd:1)
+  done;
+  Alcotest.(check int) "own clauses are invisible" 0 (Exchange.drain a (fun _ -> ()));
+  let seen_b = ref 0 in
+  Alcotest.(check int) "b imports all five" 5 (Exchange.drain b (fun _ -> incr seen_b));
+  Alcotest.(check int) "callback per clause" 5 !seen_b;
+  Alcotest.(check int) "c also imports" 5 (Exchange.drain c (fun _ -> ()));
+  Alcotest.(check int) "drain is idempotent" 0 (Exchange.drain b (fun _ -> ()));
+  let st = Exchange.stats ex in
+  Alcotest.(check int) "exported" 5 st.Exchange.exported;
+  (* two consumers each saw five deliveries, but a clause counts as imported
+     once — the aggregate invariant imported <= exported is by construction *)
+  Alcotest.(check int) "delivered counts every consumption" 10 st.Exchange.delivered;
+  Alcotest.(check int) "imported counts distinct clauses" 5 st.Exchange.imported;
+  Alcotest.(check bool) "imported <= exported" true (st.Exchange.imported <= st.Exchange.exported)
+
+let test_exchange_import_dedup_and_republish () =
+  let ex = mk_exchange () in
+  let a = Exchange.endpoint ex ~name:"a" in
+  let b = Exchange.endpoint ex ~name:"b" in
+  ignore (Exchange.publish a (keys [ (1, 0, false); (2, 1, true) ]) ~lbd:2);
+  Alcotest.(check int) "b imports it" 1 (Exchange.drain b (fun _ -> ()));
+  (* having imported the clause, b must not re-export it back to the ring *)
+  Alcotest.(check bool) "no republish of an import" false
+    (Exchange.publish b (keys [ (1, 0, false); (2, 1, true) ]) ~lbd:2);
+  Alcotest.(check int) "still one export" 1 (Exchange.stats ex).Exchange.exported
+
+let test_exchange_dropped_stale () =
+  let ex = mk_exchange ~capacity:2 () in
+  let a = Exchange.endpoint ex ~name:"a" in
+  let b = Exchange.endpoint ex ~name:"b" in
+  for i = 1 to 10 do
+    ignore (Exchange.publish a (keys [ (i, 0, false) ]) ~lbd:1)
+  done;
+  let n = Exchange.drain b (fun _ -> ()) in
+  Alcotest.(check int) "only the live window arrives" 2 n;
+  Exchange.note_dropped b 3;
+  let st = Exchange.stats ex in
+  Alcotest.(check int) "lapped and unmappable clauses counted" (8 + 3)
+    st.Exchange.dropped_stale;
+  Alcotest.(check int) "occupancy capped" 2 st.Exchange.occupancy
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_exchange_stats_pp () =
+  let ex = mk_exchange () in
+  let s = Format.asprintf "%a" Exchange.pp_stats (Exchange.stats ex) in
+  Alcotest.(check bool) "mentions exported" true (contains_substring s "exported")
+
+(* ------------------------------------------------------------------ *)
+(* Solver-level export filter.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+(* Capture everything a solver exports while solving [clauses] under
+   [assumptions], with [locals] marked instance-local. *)
+let solve_capturing ?(max_size = 10) ?(max_lbd = 10) ~locals ~assumptions clauses =
+  let s = Sat.Solver.create (mk_cnf clauses) in
+  List.iter (fun v -> Sat.Solver.mark_local s v) locals;
+  let exported = ref [] in
+  Sat.Solver.set_share ~max_size ~max_lbd s
+    ~export:(fun lits ~lbd:_ -> exported := Array.to_list lits :: !exported)
+    ~import:(fun () -> []);
+  let o = Sat.Solver.solve ~assumptions:(List.map lit assumptions) s in
+  (o, List.rev !exported, Sat.Solver.stats s)
+
+let test_tainted_learnts_withheld () =
+  (* Under assumption g, both phases of the free variable d conflict through
+     g-guarded clauses, so every learnt clause of this refutation is tainted:
+     nothing may be exported, and the taint rejections must be counted. *)
+  let g = 0 and d = 1 and b = 2 and c = 3 in
+  let clauses =
+    [
+      [ (g, false); (d, false); (b, true) ];
+      [ (g, false); (d, false); (b, false) ];
+      [ (g, false); (d, true); (c, true) ];
+      [ (g, false); (d, true); (c, false) ];
+    ]
+  in
+  let o, exported, st =
+    solve_capturing ~locals:[ g ] ~assumptions:[ (g, true) ] clauses
+  in
+  Alcotest.(check string) "UNSAT under the guard" "unsat" (Sat.Solver.outcome_string o);
+  Alcotest.(check (list (list int))) "nothing exported" []
+    (List.map (List.map Sat.Lit.to_dimacs) exported);
+  Alcotest.(check bool) "taint rejections counted" true
+    (st.Sat.Stats.shared_rejected_tainted >= 1)
+
+let test_untainted_learnts_exported () =
+  (* The same shape without a guard: the refutation is over free clauses
+     only, so its short learnt clauses are exported. *)
+  let d = 0 and b = 1 and c = 2 in
+  let clauses =
+    [
+      [ (d, false); (b, true) ];
+      [ (d, false); (b, false) ];
+      [ (d, true); (c, true) ];
+      [ (d, true); (c, false) ];
+    ]
+  in
+  let o, exported, st = solve_capturing ~locals:[] ~assumptions:[] clauses in
+  Alcotest.(check string) "UNSAT" "unsat" (Sat.Solver.outcome_string o);
+  Alcotest.(check bool) "something exported" true (exported <> []);
+  Alcotest.(check int) "no taint rejections" 0 st.Sat.Stats.shared_rejected_tainted
+
+let test_set_share_rejects_drat_and_bad_caps () =
+  let s = Sat.Solver.create ~with_drat:true (mk_cnf [ [ (0, true) ] ]) in
+  (match
+     Sat.Solver.set_share s ~export:(fun _ ~lbd:_ -> ()) ~import:(fun () -> [])
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "set_share accepted DRAT logging");
+  let s2 = Sat.Solver.create (mk_cnf [ [ (0, true) ] ]) in
+  match
+    Sat.Solver.set_share ~max_size:0 s2 ~export:(fun _ ~lbd:_ -> ()) ~import:(fun () -> [])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "set_share accepted max_size 0"
+
+let test_import_attaches_and_constrains () =
+  (* importing the two units (x0) and (x1) must constrain the model *)
+  let imports = ref [ [ lit (0, true) ]; [ lit (1, true) ] ] in
+  let s = Sat.Solver.create (mk_cnf ~num_vars:2 [ [ (0, true); (1, true) ] ]) in
+  Sat.Solver.set_share s
+    ~export:(fun _ ~lbd:_ -> ())
+    ~import:(fun () ->
+      let cs = !imports in
+      imports := [];
+      cs);
+  let o = Sat.Solver.solve s in
+  Alcotest.(check string) "SAT" "sat" (Sat.Solver.outcome_string o);
+  let m = Sat.Solver.model s in
+  Alcotest.(check bool) "import x0 respected" true m.(0);
+  Alcotest.(check bool) "import x1 respected" true m.(1);
+  Alcotest.(check int) "imports counted" 2 (Sat.Solver.stats s).Sat.Stats.shared_imported
+
+let test_import_conflicting_clause_refutes () =
+  let first = ref true in
+  let s = Sat.Solver.create (mk_cnf ~num_vars:1 [ [ (0, true) ] ]) in
+  Sat.Solver.set_share s
+    ~export:(fun _ ~lbd:_ -> ())
+    ~import:(fun () ->
+      if !first then begin
+        first := false;
+        [ [ lit (0, false) ] ]
+      end
+      else []);
+  let o = Sat.Solver.solve s in
+  Alcotest.(check string) "UNSAT from the imported unit" "unsat"
+    (Sat.Solver.outcome_string o)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: export soundness.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random mixed instances: clean clauses over x1..x6 plus a guarded block
+   (same shape with ¬g added).  Every clause the solver exports while
+   solving under the assumption g must (a) avoid the local guard variable
+   and (b) be implied by the clean clauses alone — checked by refuting
+   clean ∧ ¬clause with a fresh solver.  This is the exchange's soundness
+   contract: an export is a consequence any sibling may adopt. *)
+let random_mixed_gen =
+  let open QCheck.Gen in
+  let var = int_range 1 6 in
+  let literal = pair var bool in
+  let clause = list_size (int_range 1 3) literal in
+  let clauses = list_size (int_range 1 10) clause in
+  pair clauses clauses
+
+let random_mixed_arbitrary =
+  QCheck.make ~print:(fun _ -> "<mixed cnf>") random_mixed_gen
+
+let prop_exports_sound =
+  QCheck.Test.make ~name:"exports avoid locals and follow from clean clauses" ~count:300
+    random_mixed_arbitrary (fun (clean, guarded) ->
+      let g = 0 in
+      let all = clean @ List.map (fun c -> (g, false) :: c) guarded in
+      let _, exported, _ =
+        solve_capturing ~locals:[ g ] ~assumptions:[ (g, true) ] all
+      in
+      List.for_all
+        (fun clause ->
+          List.for_all (fun l -> Sat.Lit.var l <> g) clause
+          &&
+          (* refutation check: clean ∧ ¬clause must be UNSAT *)
+          let f = mk_cnf ~num_vars:7 clean in
+          List.iter (fun l -> Sat.Cnf.add_clause f [ Sat.Lit.negate l ]) clause;
+          let s = Sat.Solver.create f in
+          Sat.Solver.solve s = Sat.Solver.Unsat)
+        exported)
+
+(* ------------------------------------------------------------------ *)
+(* Session-level: packed keys never carry pseudo-nodes.                *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_share_persistent_only () =
+  let case = Circuit.Generators.ring ~len:4 () in
+  let ex = Exchange.create () in
+  let ep = Exchange.endpoint ex ~name:"t" in
+  match
+    Bmc.Session.create ~policy:Bmc.Session.Fresh ~share:ep
+      (Bmc.Session.make_config ())
+      case.Circuit.Generators.netlist ~property:case.Circuit.Generators.property
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Fresh policy accepted a share endpoint"
+
+let test_session_exports_decode_to_circuit_nodes () =
+  (* Drive one sharing session over a small passing circuit, then decode
+     every packed key in the ring: all must name real (non-negative)
+     circuit nodes in materialised frames — activation guards and Tseitin
+     auxiliaries live on negative pseudo-nodes and must never appear. *)
+  let case = Circuit.Generators.ring ~len:6 ~noise:8 () in
+  let max_depth = 6 in
+  let ex = Exchange.create () in
+  let ep = Exchange.endpoint ex ~name:"t" in
+  let r =
+    Bmc.Session.check
+      ~config:(Bmc.Session.make_config ~max_depth ())
+      ~share:ep ~policy:Bmc.Session.Persistent case.Circuit.Generators.netlist
+      ~property:case.Circuit.Generators.property
+  in
+  (match r.Bmc.Session.verdict with
+  | Bmc.Session.Bounded_pass _ -> ()
+  | _ -> Alcotest.fail "expected Bounded_pass");
+  let clauses = Exchange.dump ex in
+  List.iter
+    (fun clause ->
+      Array.iter
+        (fun key ->
+          let node, frame, _neg = Exchange.unpack_lit key in
+          Alcotest.(check bool) "node is a circuit node" true (node >= 0);
+          Alcotest.(check bool) "frame was materialised" true
+            (frame >= 0 && frame <= max_depth + 1))
+        clause)
+    clauses
+
+let tests =
+  [
+    Alcotest.test_case "ring: capacity validated" `Quick test_ring_capacity_validated;
+    Alcotest.test_case "ring: delivers in order" `Quick test_ring_delivers_in_order;
+    Alcotest.test_case "ring: overwrites oldest" `Quick test_ring_overwrites_oldest;
+    Alcotest.test_case "ring: late cursor" `Quick test_ring_late_cursor_starts_at_oldest_readable;
+    Alcotest.test_case "ring: independent cursors" `Quick test_ring_independent_cursors;
+    Alcotest.test_case "ring: concurrent publishers" `Quick test_ring_concurrent_publishers;
+    Alcotest.test_case "exchange: pack roundtrip" `Quick test_pack_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pack_roundtrip;
+    Alcotest.test_case "exchange: caps and dedup" `Quick test_exchange_caps_and_dedup;
+    Alcotest.test_case "exchange: own-skip and import counting" `Quick
+      test_exchange_skips_own_and_counts_imports;
+    Alcotest.test_case "exchange: imports are not republished" `Quick
+      test_exchange_import_dedup_and_republish;
+    Alcotest.test_case "exchange: dropped-stale accounting" `Quick test_exchange_dropped_stale;
+    Alcotest.test_case "exchange: stats printer" `Quick test_exchange_stats_pp;
+    Alcotest.test_case "solver: tainted learnts withheld" `Quick test_tainted_learnts_withheld;
+    Alcotest.test_case "solver: untainted learnts exported" `Quick
+      test_untainted_learnts_exported;
+    Alcotest.test_case "solver: set_share validation" `Quick
+      test_set_share_rejects_drat_and_bad_caps;
+    Alcotest.test_case "solver: imports constrain the model" `Quick
+      test_import_attaches_and_constrains;
+    Alcotest.test_case "solver: conflicting import refutes" `Quick
+      test_import_conflicting_clause_refutes;
+    QCheck_alcotest.to_alcotest prop_exports_sound;
+    Alcotest.test_case "session: sharing is Persistent-only" `Quick
+      test_session_share_persistent_only;
+    Alcotest.test_case "session: exports decode to circuit nodes" `Quick
+      test_session_exports_decode_to_circuit_nodes;
+  ]

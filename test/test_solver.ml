@@ -177,6 +177,34 @@ let test_stop_hook_bounded_latency () =
   Alcotest.(check bool) "stopped within one conflict of trigger" true
     ((Sat.Solver.stats s).Sat.Stats.conflicts <= 21)
 
+let test_stop_hook_mid_bcp () =
+  (* A zero-conflict instance: one huge equivalence chain, driven by an
+     assumption so the whole chain propagates inside the solve (a unit
+     clause would be chased eagerly at add_clause time instead).  The solve
+     is then a single ~2n-propagation BCP run with no conflicts and no
+     decisions.  A solver polling the stop hook only at decision/conflict
+     boundaries would finish the entire chain before noticing; the in-BCP
+     poll (every 4096 propagations) must cancel mid-chain, promptly. *)
+  let n = 200_000 in
+  let f = Sat.Cnf.create ~num_vars:n () in
+  for i = 0 to n - 2 do
+    Sat.Cnf.add_clause f [ lit (i, false); lit (i + 1, true) ];
+    Sat.Cnf.add_clause f [ lit (i, true); lit (i + 1, false) ]
+  done;
+  let s = Sat.Solver.create f in
+  let stop () = (Sat.Solver.stats s).Sat.Stats.propagations > 0 in
+  let budget = { Sat.Solver.no_budget with stop = Some stop } in
+  let t0 = Unix.gettimeofday () in
+  (match Sat.Solver.solve ~budget ~assumptions:[ lit (0, true) ] s with
+  | Sat.Solver.Unknown -> ()
+  | o -> Alcotest.failf "expected Unknown, got %a" Sat.Solver.pp_outcome o);
+  let wall = Unix.gettimeofday () -. t0 in
+  let st = Sat.Solver.stats s in
+  Alcotest.(check int) "no conflicts" 0 st.Sat.Stats.conflicts;
+  Alcotest.(check bool) "cancelled mid-chain, not at its end" true
+    (st.Sat.Stats.propagations < 50_000);
+  Alcotest.(check bool) "cancelled in under a second" true (wall < 1.0)
+
 let test_stop_hook_inert () =
   (* A hook that never fires must not perturb the answer. *)
   let s = Sat.Solver.create (mk_cnf (php 5 4)) in
@@ -442,6 +470,7 @@ let tests =
     Alcotest.test_case "propagation budget" `Quick test_propagation_budget;
     Alcotest.test_case "stop hook aborts" `Quick test_stop_hook_aborts;
     Alcotest.test_case "stop hook bounded latency" `Quick test_stop_hook_bounded_latency;
+    Alcotest.test_case "stop hook observed mid-BCP" `Quick test_stop_hook_mid_bcp;
     Alcotest.test_case "stop hook inert" `Quick test_stop_hook_inert;
     Alcotest.test_case "dynamic switch fires" `Quick test_dynamic_switch_fires;
     Alcotest.test_case "core subset" `Quick test_core_subset_of_clauses;
