@@ -26,10 +26,12 @@ let load source =
     | Circuit.Aiger.Parse_error msg -> Error msg
     | Sys_error msg -> Error msg)
 
-(* Build the telemetry handle for --trace/--metrics and register the
-   end-of-process reporting; at_exit covers every exit path (the tool exits
-   with protocol-specific codes all over). *)
-let setup_telemetry trace_file metrics =
+(* Build the telemetry handle for --trace/--metrics/--ledger and register
+   the end-of-process reporting; at_exit covers every exit path (the tool
+   exits with protocol-specific codes all over).  --ledger tees a memory
+   sink into the same stream and folds it into an {!Obs.Ledger} at exit —
+   by then every worker domain has been joined, so the read-back is safe. *)
+let setup_telemetry trace_file metrics ledger_file =
   let agg = if metrics then Some (Telemetry.Sink.aggregate ()) else None in
   let trace_oc =
     Option.map
@@ -40,22 +42,58 @@ let setup_telemetry trace_file metrics =
           exit 2)
       trace_file
   in
+  let mem =
+    Option.map (fun path -> (path, Telemetry.Sink.memory ())) ledger_file
+  in
   let sinks =
     Option.to_list (Option.map Telemetry.Sink.of_channel trace_oc)
     @ Option.to_list (Option.map Telemetry.Sink.of_aggregate agg)
+    @ Option.to_list (Option.map (fun (_, (sink, _)) -> sink) mem)
   in
   match sinks with
   | [] -> Telemetry.disabled
   | sinks ->
-    let telemetry = Telemetry.create (Telemetry.Sink.tee sinks) in
+    (* a ledger-only handle skips hot-path phase timing (two clock reads
+       per BCP) — that detail costs real wall time and only --trace and
+       --metrics consumers read it *)
+    let timing = trace_file <> None || metrics in
+    let telemetry = Telemetry.create ~timing (Telemetry.Sink.tee sinks) in
     at_exit (fun () ->
         Telemetry.flush telemetry;
         Option.iter close_out trace_oc;
         (match trace_file with
         | Some path -> Format.eprintf "bmccheck: trace written to %s@." path
         | None -> ());
+        (match mem with
+        | Some (path, (_, events)) -> (
+          let ledger = Obs.Ledger.of_events (events ()) in
+          try
+            let oc = open_out path in
+            output_string oc (Obs.Ledger.to_string ledger);
+            close_out oc;
+            Format.eprintf "bmccheck: ledger written to %s@." path
+          with Sys_error msg ->
+            Format.eprintf "bmccheck: cannot write ledger: %s@." msg)
+        | None -> ());
         Option.iter (Format.printf "%a@." Telemetry.Sink.pp_report) agg);
     telemetry
+
+(* --flight-recorder: a bounded per-domain event ring every solver the run
+   creates records into; dumped at exit, and on SIGUSR1 so a wedged run can
+   be inspected from outside. *)
+let setup_recorder flight_file =
+  Option.map
+    (fun path ->
+      let r = Obs.Recorder.create () in
+      Obs.Recorder.on_sigusr1 r ~path;
+      at_exit (fun () ->
+          try
+            Obs.Recorder.dump r path;
+            Format.eprintf "bmccheck: flight recording written to %s@." path
+          with Sys_error msg ->
+            Format.eprintf "bmccheck: cannot write flight recording: %s@." msg);
+      r)
+    flight_file
 
 let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
   Format.fprintf ppf
@@ -82,7 +120,8 @@ let parse_weighting = function
     exit 2
 
 let run_single source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula trace_file metrics =
+    max_seconds simple_path fresh_solver ltl_formula trace_file metrics ledger_file
+    flight_file =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
   match load source with
@@ -99,9 +138,10 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     let budget =
       { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
     in
-    let telemetry = setup_telemetry trace_file metrics in
+    let telemetry = setup_telemetry trace_file metrics ledger_file in
+    let recorder = setup_recorder flight_file in
     let config =
-      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ()
+      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ?recorder ()
     in
     (* induction and LTL take the session policy directly; for the invariant
        engines the policy is the engine name (bmc = fresh, incremental =
@@ -225,7 +265,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
 
 (* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
 let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-    trace_file metrics jobs share share_max_lbd =
+    trace_file metrics ledger_file flight_file jobs share share_max_lbd =
   let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
@@ -241,8 +281,11 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
     let budget =
       { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
     in
-    let telemetry = setup_telemetry trace_file metrics in
-    let config = Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ~telemetry () in
+    let telemetry = setup_telemetry trace_file metrics ledger_file in
+    let recorder = setup_recorder flight_file in
+    let config =
+      Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ~telemetry ?recorder ()
+    in
     let jobs = if jobs > 0 then jobs else 3 in
     if share_max_lbd < 1 then begin
       Format.eprintf "bmccheck: --share-max-lbd must be at least 1@.";
@@ -297,7 +340,7 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
 
 (* Several CIRCUITs: batch-solve the properties across the pool (mode B). *)
 let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-    max_conflicts max_seconds trace_file metrics jobs =
+    max_conflicts max_seconds trace_file metrics ledger_file flight_file jobs =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
   let policy =
@@ -328,7 +371,8 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   let budget =
     { Sat.Solver.max_conflicts; max_propagations = None; max_seconds; stop = None }
   in
-  let telemetry = setup_telemetry trace_file metrics in
+  let telemetry = setup_telemetry trace_file metrics ledger_file in
+  let recorder = setup_recorder flight_file in
   let jobs =
     if jobs > 0 then jobs else min (List.length items) (Domain.recommended_domain_count ())
   in
@@ -338,7 +382,8 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
         Portfolio.Pool.map_list ~label:"batch" pool
           (fun (source, netlist, property, max_depth) ->
             let config =
-              Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ()
+              Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry
+                ?recorder ()
             in
             (source, netlist, Bmc.Session.check ~config ~policy netlist ~property))
           items)
@@ -362,8 +407,8 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   exit !code
 
 let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula trace_file metrics jobs portfolio
-    share share_max_lbd =
+    max_seconds simple_path fresh_solver ltl_formula trace_file metrics ledger_file
+    flight_file jobs portfolio share share_max_lbd =
   if share && not portfolio then begin
     Format.eprintf "bmccheck: --share requires --portfolio (clause exchange races)@.";
     exit 2
@@ -379,17 +424,18 @@ let run sources engine_name mode_name max_depth coi weighting_name verbose max_c
       exit 2
     end;
     run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-      trace_file metrics jobs share share_max_lbd
+      trace_file metrics ledger_file flight_file jobs share share_max_lbd
   | [ source ], false ->
     run_single source engine_name mode_name max_depth coi weighting_name verbose
       max_conflicts max_seconds simple_path fresh_solver ltl_formula trace_file metrics
+      ledger_file flight_file
   | sources, false ->
     if ltl_formula <> None then begin
       Format.eprintf "bmccheck: batch mode checks built-in invariants, not --ltl@.";
       exit 2
     end;
     run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-      max_conflicts max_seconds trace_file metrics jobs
+      max_conflicts max_seconds trace_file metrics ledger_file flight_file jobs
 
 open Cmdliner
 
@@ -466,9 +512,11 @@ let trace_file =
     value
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write a JSONL telemetry trace to $(docv): per-depth summaries, solver phase \
-              spans (BCP, conflict analysis, clause deletion, CDG bookkeeping), restarts, \
-              and one decision-attribution event per decision (bmc_score vs VSIDS).")
+        ~doc:"Write a JSONL telemetry trace to $(docv): per-depth summaries (with \
+              rank-vs-VSIDS decision attribution and core churn), solver phase spans (BCP, \
+              conflict analysis, clause deletion, CDG bookkeeping), restarts, and \
+              per-solve decisions.rank / decisions.vsids counters.  Feed the file to \
+              bmcprof trace to rebuild the run ledger from it.")
 
 let metrics =
   Arg.(
@@ -476,6 +524,26 @@ let metrics =
     & info [ "metrics" ]
         ~doc:"Collect telemetry in memory and print a phase-breakdown report (span times, \
               counters, per-depth build/solve/CDG table) when the run finishes.")
+
+let ledger_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"Write the structured run ledger (bmc-ledger/v1 JSON) to $(docv) when the run \
+              finishes: per-depth decision/conflict work with rank-vs-VSIDS attribution, \
+              core-variable churn, racer wins and clause-sharing flow.  Analyse it with \
+              bmcprof report / diff / prom.")
+
+let flight_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:"Keep a bounded in-memory flight recording (restarts, GC, ordering switches, \
+              depth transitions, racer starts/wins/cancels, clause sharing) and dump it to \
+              $(docv) as JSONL at exit — or on SIGUSR1, to inspect a wedged run.  Render \
+              it with bmcprof timeline.")
 
 let jobs =
   Arg.(
@@ -517,6 +585,6 @@ let cmd =
     Term.(
       const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
       $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics
-      $ jobs $ portfolio $ share $ share_max_lbd)
+      $ ledger_file $ flight_file $ jobs $ portfolio $ share $ share_max_lbd)
 
 let () = exit (Cmd.eval cmd)

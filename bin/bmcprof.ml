@@ -1,0 +1,331 @@
+(* bmcprof: analysis toolchain for bmccheck run artefacts.
+
+   Reads the run ledger (--ledger), the JSONL telemetry trace (--trace) and
+   the flight-recorder dump (--flight-recorder) that bmccheck writes, and
+   turns them into the reports the paper's evaluation wants: per-depth heat
+   tables, the ordering-effectiveness report (how many decisions the
+   bmc_score rank actually steered), an ASCII racer timeline, a regression
+   diff between two runs (or two BENCH snapshots) with pass/warn/fail
+   verdicts, and a Prometheus textfile export.
+
+   Exit codes: 0 = ok (diff: no FAIL findings), 1 = diff found a FAIL,
+   2 = input error. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Format.eprintf "bmcprof: %s@." msg;
+    exit 2
+
+let load_ledger path =
+  match Obs.Ledger.of_string (read_file path) with
+  | Ok l -> l
+  | Error msg ->
+    Format.eprintf "bmcprof: %s: not a ledger: %s@." path msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+(* report / trace: ledger-backed reports                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_reports ledger =
+  Format.printf "%a@." Obs.Ledger.pp_depth_table ledger;
+  Format.printf "%a@." Obs.Ledger.pp_effectiveness ledger
+
+let run_report path = print_reports (load_ledger path)
+
+(* A trace is the same event stream a --ledger run folds in-process; fold
+   it here instead, so a ledger can be reconstructed from any saved trace. *)
+let run_trace path =
+  let events =
+    try Telemetry.Sink.events_of_string (read_file path)
+    with Failure msg ->
+      Format.eprintf "bmcprof: %s: not a JSONL trace: %s@." path msg;
+      exit 2
+  in
+  if events = [] then begin
+    Format.eprintf "bmcprof: %s: empty trace@." path;
+    exit 2
+  end;
+  print_reports (Obs.Ledger.of_events events)
+
+(* ------------------------------------------------------------------ *)
+(* timeline: ASCII rendering of a flight-recorder dump                 *)
+(* ------------------------------------------------------------------ *)
+
+let kind_char = function
+  | Obs.Recorder.Restart -> 'R'
+  | Obs.Recorder.Reduce_db -> 'G'
+  | Obs.Recorder.Compact -> 'C'
+  | Obs.Recorder.Switch -> 'S'
+  | Obs.Recorder.Depth -> 'D'
+  | Obs.Recorder.Solve -> 'o'
+  | Obs.Recorder.Racer_start -> '<'
+  | Obs.Recorder.Racer_cancel -> 'x'
+  | Obs.Recorder.Racer_win -> '*'
+  | Obs.Recorder.Share_export -> 'e'
+  | Obs.Recorder.Share_import -> 'i'
+
+(* Later events overwrite earlier ones in a cell; rarer, more interesting
+   kinds take precedence over bulk ones so a win is never hidden by the
+   solver chatter around it. *)
+let kind_weight = function
+  | Obs.Recorder.Racer_win -> 6
+  | Obs.Recorder.Racer_cancel -> 5
+  | Obs.Recorder.Depth -> 4
+  | Obs.Recorder.Switch -> 4
+  | Obs.Recorder.Racer_start -> 3
+  | Obs.Recorder.Compact -> 3
+  | Obs.Recorder.Reduce_db -> 2
+  | Obs.Recorder.Restart -> 2
+  | Obs.Recorder.Solve -> 1
+  | Obs.Recorder.Share_export -> 1
+  | Obs.Recorder.Share_import -> 1
+
+let run_timeline path width =
+  let entries =
+    try Obs.Recorder.entries_of_string (read_file path)
+    with Failure msg ->
+      Format.eprintf "bmcprof: %s: not a flight-recorder dump: %s@." path msg;
+      exit 2
+  in
+  match entries with
+  | [] -> Format.printf "flight recorder: no events@."
+  | entries ->
+    let width = max 20 width in
+    let t_min =
+      List.fold_left (fun a e -> min a e.Obs.Recorder.e_t_us) max_int entries
+    and t_max =
+      List.fold_left (fun a e -> max a e.Obs.Recorder.e_t_us) min_int entries
+    in
+    let span = max 1 (t_max - t_min) in
+    let doms = List.sort_uniq compare (List.map (fun e -> e.Obs.Recorder.e_dom) entries) in
+    let lanes = List.map (fun d -> (d, Bytes.make width '.')) doms in
+    let weights = List.map (fun d -> (d, Array.make width 0)) doms in
+    List.iter
+      (fun e ->
+        let col = min (width - 1) ((e.Obs.Recorder.e_t_us - t_min) * width / span) in
+        let lane = List.assoc e.Obs.Recorder.e_dom lanes in
+        let w = List.assoc e.Obs.Recorder.e_dom weights in
+        let kw = kind_weight e.Obs.Recorder.e_kind in
+        if kw >= w.(col) then begin
+          w.(col) <- kw;
+          Bytes.set lane col (kind_char e.Obs.Recorder.e_kind)
+        end)
+      entries;
+    Format.printf "flight recorder: %d events, %d domain(s), %.3fs span@."
+      (List.length entries) (List.length doms)
+      (float_of_int span /. 1e6);
+    List.iter
+      (fun (d, lane) ->
+        let n =
+          List.length (List.filter (fun e -> e.Obs.Recorder.e_dom = d) entries)
+        in
+        Format.printf "dom %3d |%s| %d ev@." d (Bytes.to_string lane) n)
+      lanes;
+    Format.printf
+      "legend: R restart  G reduce_db  C compact  S switch  D depth  o solve@.";
+    Format.printf
+      "        < racer_start  * racer_win  x racer_cancel  e share_export  i share_import@.";
+    (* the race storyline, spelled out: who started, won, was cancelled *)
+    let racers =
+      List.filter
+        (fun e ->
+          match e.Obs.Recorder.e_kind with
+          | Obs.Recorder.Racer_start | Obs.Recorder.Racer_win | Obs.Recorder.Racer_cancel ->
+            true
+          | _ -> false)
+        entries
+    in
+    if racers <> [] then begin
+      Format.printf "@.races:@.";
+      List.iter
+        (fun e ->
+          Format.printf "  %8.3fs dom %d %-12s depth=%d slot=%d@."
+            (float_of_int (e.Obs.Recorder.e_t_us - t_min) /. 1e6)
+            e.Obs.Recorder.e_dom
+            (Obs.Recorder.kind_name e.Obs.Recorder.e_kind)
+            e.Obs.Recorder.e_a e.Obs.Recorder.e_b)
+        racers
+    end
+
+(* ------------------------------------------------------------------ *)
+(* diff: ledger-vs-ledger or BENCH-vs-BENCH regression gate            *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_quick.json rows keyed by case name; outcomes gate hard, counters
+   gate softly, and +portfolio rows are exempt from counter drift (winners
+   are timing-dependent, so their counters are not reproducible). *)
+let bench_diff ~warn_pct a b =
+  let cases doc =
+    List.filter_map
+      (fun c ->
+        match Obs.Json.member "name" c with
+        | Some (Obs.Json.Str name) -> Some (name, c)
+        | _ -> None)
+      (Obs.Json.get_list doc "cases")
+  in
+  let ca = cases a and cb = cases b in
+  let findings = ref [] in
+  let add severity message = findings := { Obs.Ledger.severity; message } :: !findings in
+  let pct x y =
+    if x = y then 0.0
+    else if x = 0 then infinity
+    else Float.abs (float_of_int (y - x)) *. 100.0 /. float_of_int x
+  in
+  List.iter
+    (fun (name, ra) ->
+      match List.assoc_opt name cb with
+      | None -> add Obs.Ledger.Warn (Printf.sprintf "case %s only in baseline" name)
+      | Some rb ->
+        let sa = Obs.Json.get_str ra "outcomes" and sb = Obs.Json.get_str rb "outcomes" in
+        if sa <> sb then
+          add Obs.Ledger.Fail
+            (Printf.sprintf "case %s: outcomes changed %s -> %s" name sa sb);
+        let timing_dependent =
+          (* winner identity is a race, so counters drift legitimately *)
+          let has_sub sub =
+            let n = String.length sub and h = String.length name in
+            let rec at i = i + n <= h && (String.sub name i n = sub || at (i + 1)) in
+            at 0
+          in
+          has_sub "+portfolio"
+        in
+        if not timing_dependent then
+          List.iter
+            (fun key ->
+              let va = Obs.Json.get_int ra key and vb = Obs.Json.get_int rb key in
+              let d = pct va vb in
+              if d > warn_pct then
+                add Obs.Ledger.Warn
+                  (Printf.sprintf "case %s: %s drifted %.0f%% (%d -> %d)" name key d va vb))
+            [ "decisions"; "conflicts" ])
+    ca;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name ca) then
+        add Obs.Ledger.Warn (Printf.sprintf "case %s only in candidate" name))
+    cb;
+  List.rev !findings
+
+let run_diff path_a path_b warn_pct =
+  let doc path =
+    match Obs.Json.of_string (read_file path) with
+    | Ok d -> d
+    | Error msg ->
+      Format.eprintf "bmcprof: %s: %s@." path msg;
+      exit 2
+  in
+  let da = doc path_a and db = doc path_b in
+  let schema d = Obs.Json.get_str ~default:"" d "schema" in
+  let is_bench d =
+    let s = schema d in
+    String.length s >= 6 && String.sub s 0 6 = "bench-"
+  in
+  let findings =
+    if is_bench da && is_bench db then bench_diff ~warn_pct da db
+    else
+      let ledger path d =
+        match Obs.Ledger.of_json d with
+        | Ok l -> l
+        | Error msg ->
+          Format.eprintf "bmcprof: %s: not a ledger or bench snapshot: %s@." path msg;
+          exit 2
+      in
+      Obs.Ledger.diff ~warn_pct (ledger path_a da) (ledger path_b db)
+  in
+  let fails =
+    List.length (List.filter (fun f -> f.Obs.Ledger.severity = Obs.Ledger.Fail) findings)
+  in
+  let warns = List.length findings - fails in
+  List.iter (fun f -> Format.printf "%a@." Obs.Ledger.pp_finding f) findings;
+  if fails > 0 then begin
+    Format.printf "diff: FAIL (%d regression(s), %d warning(s))@." fails warns;
+    exit 1
+  end
+  else if warns > 0 then Format.printf "diff: PASS with %d warning(s)@." warns
+  else Format.printf "diff: PASS (no regressions)@."
+
+(* ------------------------------------------------------------------ *)
+(* prom: Prometheus textfile export                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_prom path output =
+  let ledger = load_ledger path in
+  match output with
+  | Some out ->
+    Obs.Prom.write ledger out;
+    Format.eprintf "bmcprof: metrics written to %s@." out
+  | None -> print_string (Obs.Prom.render ledger)
+
+(* ------------------------------------------------------------------ *)
+(* command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let ledger_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"LEDGER" ~doc:"A run ledger written by bmccheck --ledger.")
+
+let warn_pct =
+  Arg.(
+    value & opt float 25.0
+    & info [ "warn-pct" ] ~docv:"PCT"
+        ~doc:"Decision/conflict drift (percent) above which the diff warns (default 25).")
+
+let report_cmd =
+  let doc = "per-depth heat table and ordering-effectiveness report from a ledger" in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ ledger_arg)
+
+let trace_cmd =
+  let doc = "fold a JSONL telemetry trace into a ledger and print its reports" in
+  let trace_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"A JSONL trace written by bmccheck --trace.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ trace_arg)
+
+let timeline_cmd =
+  let doc = "ASCII per-domain timeline from a flight-recorder dump" in
+  let flight_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FLIGHT"
+          ~doc:"A flight-recorder JSONL dump written by bmccheck --flight-recorder.")
+  in
+  let width =
+    Arg.(
+      value & opt int 72
+      & info [ "width" ] ~docv:"COLS" ~doc:"Timeline width in columns (default 72).")
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run_timeline $ flight_arg $ width)
+
+let diff_cmd =
+  let doc =
+    "regression diff between two ledgers or two BENCH snapshots (exit 1 on FAIL)"
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline ledger or BENCH snapshot.") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE" ~doc:"Candidate ledger or BENCH snapshot.") in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run_diff $ a $ b $ warn_pct)
+
+let prom_cmd =
+  let doc = "render a ledger as a Prometheus textfile-collector document" in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v (Cmd.info "prom" ~doc) Term.(const run_prom $ ledger_arg $ output)
+
+let cmd =
+  let doc = "analyse bmccheck run artefacts: ledgers, traces, flight recordings" in
+  Cmd.group (Cmd.info "bmcprof" ~doc) [ report_cmd; trace_cmd; timeline_cmd; diff_cmd; prom_cmd ]
+
+let () = exit (Cmd.eval cmd)

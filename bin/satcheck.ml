@@ -47,7 +47,7 @@ let parse_assumptions text =
              Some (if d > 0 then Sat.Lit.pos v else Sat.Lit.neg v)))
 
 let run file core stats_flag max_conflicts max_seconds assume drat_file certify preprocess
-    trace_file metrics =
+    trace_file metrics flight_file =
   match
     (try Ok (Sat.Dimacs.parse_file file) with
     | Sat.Dimacs.Parse_error msg -> Error msg
@@ -86,6 +86,16 @@ let run file core stats_flag max_conflicts max_seconds assume drat_file certify 
     let with_drat = drat_file <> None || certify in
     let telemetry = setup_telemetry trace_file metrics in
     let solver = Sat.Solver.create ~with_proof:core ~with_drat ~telemetry work in
+    Option.iter
+      (fun path ->
+        let r = Obs.Recorder.create () in
+        Sat.Solver.set_recorder solver r;
+        Obs.Recorder.on_sigusr1 r ~path;
+        at_exit (fun () ->
+            try Obs.Recorder.dump r path
+            with Sys_error msg ->
+              Format.eprintf "satcheck: cannot write flight recording: %s@." msg))
+      flight_file;
     let budget =
       {
         Sat.Solver.max_conflicts;
@@ -201,7 +211,16 @@ let trace_file =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a JSONL telemetry trace to $(docv): solver phase spans, restarts, and \
-              per-decision attribution events.")
+              per-solve decision-attribution counters.")
+
+let flight_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:"Keep a bounded in-memory flight recording (restarts, clause-DB reductions, \
+              arena compactions, ordering switches) and dump it to $(docv) as JSONL at \
+              exit — or on SIGUSR1.  Render it with bmcprof timeline.")
 
 let metrics =
   Arg.(
@@ -216,6 +235,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ file $ core $ stats $ max_conflicts $ max_seconds $ assume $ drat_file
-      $ certify $ preprocess $ trace_file $ metrics)
+      $ certify $ preprocess $ trace_file $ metrics $ flight_file)
 
 let () = exit (Cmd.eval cmd)

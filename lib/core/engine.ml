@@ -18,6 +18,7 @@ type config = Session.config = {
   collect_cores : bool;
   restart_base : int option;
   telemetry : Telemetry.t;
+  recorder : Obs.Recorder.t option;
 }
 
 let default_config = Session.default_config
@@ -26,15 +27,21 @@ let config = Session.make_config
 
 type depth_stat = Session.depth_stat = {
   depth : int;
+  mode : mode;
   outcome : Sat.Solver.outcome;
   decisions : int;
+  dec_rank : int;
+  dec_vsids : int;
   implications : int;
   conflicts : int;
   core_size : int;
   core_var_count : int;
+  core_new : int;
+  core_dropped : int;
   switched : bool;
   time : float;
   build_time : float;
+  bcp_time : float;
   cdg_time : float;
 }
 

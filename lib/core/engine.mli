@@ -47,6 +47,9 @@ type config = Session.config = {
           creates; the engine additionally emits one "depth" event per
           instance (build / solve / CDG time, core size, decision counts).
           Default {!Telemetry.disabled} — a no-op. *)
+  recorder : Obs.Recorder.t option;
+      (** flight recorder installed on every solver the engine creates
+          (see {!Session.config}).  Default [None]. *)
 }
 
 val default_config : config
@@ -62,20 +65,27 @@ val config :
   ?collect_cores:bool ->
   ?restart_base:int ->
   ?telemetry:Telemetry.t ->
+  ?recorder:Obs.Recorder.t ->
   unit ->
   config
 
 type depth_stat = Session.depth_stat = {
   depth : int;
+  mode : mode;  (** the ordering this instance was configured with *)
   outcome : Sat.Solver.outcome;
   decisions : int;
+  dec_rank : int;  (** decisions branching on a positively ranked variable *)
+  dec_vsids : int;  (** decisions taken on VSIDS activity alone *)
   implications : int;  (** BCP-derived assignments, Figure 7's metric *)
   conflicts : int;
   core_size : int;  (** clauses in the unsat core; 0 if not collected *)
   core_var_count : int;
+  core_new : int;  (** core vars absent from the previous depth's core *)
+  core_dropped : int;  (** previous-depth core vars gone from this core *)
   switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
   time : float;  (** CPU seconds solving this instance *)
   build_time : float;  (** CPU seconds building the instance (unroll + solver setup) *)
+  bcp_time : float;  (** CPU seconds of BCP (0 unless telemetry was enabled) *)
   cdg_time : float;
       (** CPU seconds of CDG bookkeeping inside the solve (0 unless
           telemetry was enabled — the Section 3.1 overhead, per depth) *)

@@ -23,6 +23,7 @@ type config = {
   collect_cores : bool;
   restart_base : int option;
   telemetry : Telemetry.t;
+  recorder : Obs.Recorder.t option;
 }
 
 let default_config =
@@ -35,12 +36,23 @@ let default_config =
     collect_cores = false;
     restart_base = None;
     telemetry = Telemetry.disabled;
+    recorder = None;
   }
 
 let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
-    ?restart_base ?(telemetry = Telemetry.disabled) () =
-  { mode; weighting; coi; budget; max_depth; collect_cores; restart_base; telemetry }
+    ?restart_base ?(telemetry = Telemetry.disabled) ?recorder () =
+  {
+    mode;
+    weighting;
+    coi;
+    budget;
+    max_depth;
+    collect_cores;
+    restart_base;
+    telemetry;
+    recorder;
+  }
 
 (* Does this mode consume unsat cores between instances? *)
 let uses_cores = function
@@ -61,6 +73,8 @@ let order_mode cfg unroll score ~k =
 let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
   {
     Sat.Stats.decisions = after.decisions - before.decisions;
+    decisions_rank = after.decisions_rank - before.decisions_rank;
+    decisions_vsids = after.decisions_vsids - before.decisions_vsids;
     propagations = after.propagations - before.propagations;
     conflicts = after.conflicts - before.conflicts;
     restarts = after.restarts - before.restarts;
@@ -94,19 +108,44 @@ let mode_of_string = function
 
 let all_modes = [ Standard; Static; Dynamic; Shtrichman ]
 
+let mode_string m = Format.asprintf "%a" pp_mode m
+
 type depth_stat = {
   depth : int;
+  mode : mode;
   outcome : Sat.Solver.outcome;
   decisions : int;
+  dec_rank : int;
+  dec_vsids : int;
   implications : int;
   conflicts : int;
   core_size : int;
   core_var_count : int;
+  core_new : int;
+  core_dropped : int;
   switched : bool;
   time : float;
   build_time : float;
+  bcp_time : float;
   cdg_time : float;
 }
+
+(* Symmetric difference sizes between two core-variable sets: how much of
+   the previous depth's proof survives into this one — the stability the
+   paper's rank folding bets on. *)
+let core_churn ~prev ~cur =
+  let prev = List.sort_uniq compare prev and cur = List.sort_uniq compare cur in
+  let rec go p c added dropped =
+    match (p, c) with
+    | [], [] -> (added, dropped)
+    | [], _ :: c' -> go [] c' (added + 1) dropped
+    | _ :: p', [] -> go p' [] added (dropped + 1)
+    | x :: p', y :: c' ->
+      if x = y then go p' c' added dropped
+      else if x < y then go p' c added (dropped + 1)
+      else go p c' (added + 1) dropped
+  in
+  go prev cur 0 0
 
 (* One "depth" telemetry event per solved instance; every engine that
    produces depth_stats routes them through here so the JSONL schema stays
@@ -116,15 +155,21 @@ let emit_depth_event tel (d : depth_stat) =
     Telemetry.event tel "depth"
       [
         ("depth", Telemetry.Sink.Int d.depth);
+        ("mode", Telemetry.Sink.Str (mode_string d.mode));
         ("outcome", Telemetry.Sink.Str (Sat.Solver.outcome_string d.outcome));
         ("build_s", Telemetry.Sink.Float d.build_time);
         ("solve_s", Telemetry.Sink.Float d.time);
+        ("bcp_s", Telemetry.Sink.Float d.bcp_time);
         ("cdg_s", Telemetry.Sink.Float d.cdg_time);
         ("decisions", Telemetry.Sink.Int d.decisions);
+        ("dec_rank", Telemetry.Sink.Int d.dec_rank);
+        ("dec_vsids", Telemetry.Sink.Int d.dec_vsids);
         ("implications", Telemetry.Sink.Int d.implications);
         ("conflicts", Telemetry.Sink.Int d.conflicts);
         ("core_clauses", Telemetry.Sink.Int d.core_size);
         ("core_vars", Telemetry.Sink.Int d.core_var_count);
+        ("core_new", Telemetry.Sink.Int d.core_new);
+        ("core_dropped", Telemetry.Sink.Int d.core_dropped);
         ("switched", Telemetry.Sink.Bool d.switched);
       ]
 
@@ -240,6 +285,7 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
     | Persistent ->
       let s = Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ()) in
       (match cfg.restart_base with Some b -> Sat.Solver.set_restart_base s b | None -> ());
+      (match cfg.recorder with Some r -> Sat.Solver.set_recorder s r | None -> ());
       (match share with Some ep -> install_share s unroll ep | None -> ());
       Some s
     | Fresh -> None
@@ -392,6 +438,9 @@ let solve_instance t =
       (match cfg.restart_base with
       | Some b -> Sat.Solver.set_restart_base solver b
       | None -> ());
+      (match cfg.recorder with
+      | Some r -> Sat.Solver.set_recorder solver r
+      | None -> ());
       t.fresh_solver <- Some solver;
       (solver, [])
   in
@@ -419,6 +468,13 @@ let solve_instance t =
       (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
     | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
   in
+  (* Churn against the previous depth's core, before it is overwritten;
+     only meaningful between consecutive unsat instances. *)
+  let core_new, core_dropped =
+    match outcome with
+    | Sat.Solver.Unsat when t.with_proof -> core_churn ~prev:t.last_core_vars ~cur:core_vars
+    | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> (0, 0)
+  in
   t.last_core <- core;
   t.last_core_vars <- core_vars;
   (match outcome with
@@ -428,19 +484,30 @@ let solve_instance t =
   let stat =
     {
       depth = k;
+      mode = cfg.mode;
       outcome;
       decisions = delta.Sat.Stats.decisions;
+      dec_rank = delta.Sat.Stats.decisions_rank;
+      dec_vsids = delta.Sat.Stats.decisions_vsids;
       implications = delta.Sat.Stats.propagations;
       conflicts = delta.Sat.Stats.conflicts;
       core_size = List.length core;
       core_var_count = List.length core_vars;
+      core_new;
+      core_dropped;
       switched = delta.Sat.Stats.heuristic_switches > 0;
       time;
       build_time = t.build_acc;
+      bcp_time = delta.Sat.Stats.bcp_time;
       cdg_time = Sat.Solver.cdg_seconds solver -. cdg_before;
     }
   in
   emit_depth_event cfg.telemetry stat;
+  (match cfg.recorder with
+  | Some r ->
+    Obs.Recorder.record r Obs.Recorder.Depth ~a:k
+      ~b:(match outcome with Sat.Solver.Unsat -> 0 | Sat.Solver.Sat -> 1 | Sat.Solver.Unknown -> 2)
+  | None -> ());
   stat
 
 let model t =

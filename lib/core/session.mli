@@ -66,6 +66,10 @@ type config = {
       (** structured-tracing handle, threaded into every solver the session
           creates; the session additionally emits one "depth" event per
           solved instance.  Default {!Telemetry.disabled} — a no-op. *)
+  recorder : Obs.Recorder.t option;
+      (** flight recorder, installed on every solver the session creates
+          ({!Sat.Solver.set_recorder}); the session additionally records
+          one [Depth] event per solved instance.  Default [None]. *)
 }
 
 val default_config : config
@@ -81,6 +85,7 @@ val make_config :
   ?collect_cores:bool ->
   ?restart_base:int ->
   ?telemetry:Telemetry.t ->
+  ?recorder:Obs.Recorder.t ->
   unit ->
   config
 
@@ -99,6 +104,8 @@ val stats_delta : before:Sat.Stats.t -> after:Sat.Stats.t -> Sat.Stats.t
 
 val pp_mode : Format.formatter -> mode -> unit
 
+val mode_string : mode -> string
+
 val mode_of_string : string -> mode option
 
 val all_modes : mode list
@@ -107,17 +114,31 @@ val all_modes : mode list
 
 type depth_stat = {
   depth : int;
+  mode : mode;  (** the ordering this instance was configured with *)
   outcome : Sat.Solver.outcome;
   decisions : int;
+  dec_rank : int;
+      (** decisions that branched on a positively ranked variable — the
+          per-variable decision-source histogram's refined-ordering bucket
+          (see {!Sat.Order.decided_by_rank}) *)
+  dec_vsids : int;  (** decisions taken on VSIDS activity alone *)
   implications : int;  (** BCP-derived assignments, Figure 7's metric *)
   conflicts : int;
   core_size : int;  (** clauses in the unsat core; 0 if not collected *)
   core_var_count : int;
+  core_new : int;
+      (** core variables absent from the previous depth's core (0 unless
+          this instance was UNSAT with proof logging on) *)
+  core_dropped : int;
+      (** previous-depth core variables gone from this core *)
   switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
   time : float;  (** CPU seconds solving this instance *)
   build_time : float;
       (** CPU seconds building this instance (frame deltas + constraints +
           ordering refresh, or unroll + solver setup under [Fresh]) *)
+  bcp_time : float;
+      (** CPU seconds of unit propagation inside the solve (0 unless
+          telemetry was enabled — timing the hot path costs clock reads) *)
   cdg_time : float;
       (** CPU seconds of CDG bookkeeping inside the solve (0 unless
           telemetry was enabled — the Section 3.1 overhead, per depth) *)

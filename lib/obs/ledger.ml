@@ -1,0 +1,401 @@
+module Sink = Telemetry.Sink
+
+let version = "bmc-ledger/v1"
+
+type depth_row = {
+  l_depth : int;
+  l_mode : string;
+  l_outcome : string;
+  l_decisions : int;
+  l_dec_rank : int;
+  l_dec_vsids : int;
+  l_implications : int;
+  l_conflicts : int;
+  l_core_clauses : int;
+  l_core_vars : int;
+  l_core_new : int;
+  l_core_dropped : int;
+  l_switched : bool;
+  l_build_s : float;
+  l_solve_s : float;
+  l_bcp_s : float;
+  l_cdg_s : float;
+}
+
+type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }
+
+type share_flow = {
+  sh_exported : int;
+  sh_imported : int;
+  sh_rejected_tainted : int;
+  sh_dropped_stale : int;
+}
+
+type t = {
+  schema : string;
+  depths : depth_row list;
+  races : race_row list;
+  restarts : int;
+  switches : int;
+  share : share_flow;
+  wins : (string * int) list;  (* ordering mode -> races won, sorted by mode *)
+}
+
+let no_share = { sh_exported = 0; sh_imported = 0; sh_rejected_tainted = 0; sh_dropped_stale = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Building from a telemetry event stream. *)
+
+let of_events (events : Sink.event list) =
+  let depths = ref [] and races = ref [] in
+  let restarts = ref 0 and switches = ref 0 in
+  let share = ref no_share in
+  List.iter
+    (fun (e : Sink.event) ->
+      let fi k = Option.value ~default:0 (Sink.find_int e.fields k) in
+      let ff k = Option.value ~default:0.0 (Sink.find_float e.fields k) in
+      let fs k = Option.value ~default:"" (Sink.find_str e.fields k) in
+      match e.kind with
+      | "depth" ->
+        depths :=
+          {
+            l_depth = fi "depth";
+            l_mode = fs "mode";
+            l_outcome = fs "outcome";
+            l_decisions = fi "decisions";
+            l_dec_rank = fi "dec_rank";
+            l_dec_vsids = fi "dec_vsids";
+            l_implications = fi "implications";
+            l_conflicts = fi "conflicts";
+            l_core_clauses = fi "core_clauses";
+            l_core_vars = fi "core_vars";
+            l_core_new = fi "core_new";
+            l_core_dropped = fi "core_dropped";
+            l_switched =
+              (match List.assoc_opt "switched" e.fields with
+              | Some (Sink.Bool b) -> b
+              | _ -> false);
+            l_build_s = ff "build_s";
+            l_solve_s = ff "solve_s";
+            l_bcp_s = ff "bcp_s";
+            l_cdg_s = ff "cdg_s";
+          }
+          :: !depths
+      | "race" ->
+        races :=
+          {
+            r_depth = fi "depth";
+            r_winner = fs "winner";
+            r_wall_s = ff "wall_s";
+            r_cancelled = fi "cancelled";
+          }
+          :: !races
+      | "restart" -> incr restarts
+      | "switch" -> incr switches
+      | "counter" -> (
+        let v = fi "value" in
+        match fs "name" with
+        | "share.exported" -> share := { !share with sh_exported = !share.sh_exported + v }
+        | "share.imported" -> share := { !share with sh_imported = !share.sh_imported + v }
+        | "share.rejected_tainted" ->
+          share := { !share with sh_rejected_tainted = !share.sh_rejected_tainted + v }
+        | "share.dropped_stale" ->
+          share := { !share with sh_dropped_stale = !share.sh_dropped_stale + v }
+        | _ -> ())
+      | _ -> ())
+    events;
+  let races = List.rev !races in
+  let wins =
+    List.fold_left
+      (fun acc r ->
+        if r.r_winner = "" || r.r_winner = "none" then acc
+        else
+          let n = try List.assoc r.r_winner acc with Not_found -> 0 in
+          (r.r_winner, n + 1) :: List.remove_assoc r.r_winner acc)
+      [] races
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    schema = version;
+    depths = List.rev !depths;
+    races;
+    restarts = !restarts;
+    switches = !switches;
+    share = !share;
+    wins;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec.  Field order below is the schema; [of_json] rebuilds the
+   record field-by-field, so print -> parse -> print is the identity. *)
+
+let depth_to_json (d : depth_row) =
+  Json.Obj
+    [
+      ("depth", Json.Int d.l_depth);
+      ("mode", Json.Str d.l_mode);
+      ("outcome", Json.Str d.l_outcome);
+      ("decisions", Json.Int d.l_decisions);
+      ("dec_rank", Json.Int d.l_dec_rank);
+      ("dec_vsids", Json.Int d.l_dec_vsids);
+      ("implications", Json.Int d.l_implications);
+      ("conflicts", Json.Int d.l_conflicts);
+      ("core_clauses", Json.Int d.l_core_clauses);
+      ("core_vars", Json.Int d.l_core_vars);
+      ("core_new", Json.Int d.l_core_new);
+      ("core_dropped", Json.Int d.l_core_dropped);
+      ("switched", Json.Bool d.l_switched);
+      ("build_s", Json.Float d.l_build_s);
+      ("solve_s", Json.Float d.l_solve_s);
+      ("bcp_s", Json.Float d.l_bcp_s);
+      ("cdg_s", Json.Float d.l_cdg_s);
+    ]
+
+let depth_of_json j =
+  {
+    l_depth = Json.get_int j "depth";
+    l_mode = Json.get_str j "mode";
+    l_outcome = Json.get_str j "outcome";
+    l_decisions = Json.get_int j "decisions";
+    l_dec_rank = Json.get_int j "dec_rank";
+    l_dec_vsids = Json.get_int j "dec_vsids";
+    l_implications = Json.get_int j "implications";
+    l_conflicts = Json.get_int j "conflicts";
+    l_core_clauses = Json.get_int j "core_clauses";
+    l_core_vars = Json.get_int j "core_vars";
+    l_core_new = Json.get_int j "core_new";
+    l_core_dropped = Json.get_int j "core_dropped";
+    l_switched = Json.get_bool j "switched";
+    l_build_s = Json.get_float j "build_s";
+    l_solve_s = Json.get_float j "solve_s";
+    l_bcp_s = Json.get_float j "bcp_s";
+    l_cdg_s = Json.get_float j "cdg_s";
+  }
+
+let race_to_json (r : race_row) =
+  Json.Obj
+    [
+      ("depth", Json.Int r.r_depth);
+      ("winner", Json.Str r.r_winner);
+      ("wall_s", Json.Float r.r_wall_s);
+      ("cancelled", Json.Int r.r_cancelled);
+    ]
+
+let race_of_json j =
+  {
+    r_depth = Json.get_int j "depth";
+    r_winner = Json.get_str j "winner";
+    r_wall_s = Json.get_float j "wall_s";
+    r_cancelled = Json.get_int j "cancelled";
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str t.schema);
+      ("depths", Json.List (List.map depth_to_json t.depths));
+      ("races", Json.List (List.map race_to_json t.races));
+      ("restarts", Json.Int t.restarts);
+      ("switches", Json.Int t.switches);
+      ( "share",
+        Json.Obj
+          [
+            ("exported", Json.Int t.share.sh_exported);
+            ("imported", Json.Int t.share.sh_imported);
+            ("rejected_tainted", Json.Int t.share.sh_rejected_tainted);
+            ("dropped_stale", Json.Int t.share.sh_dropped_stale);
+          ] );
+      ("wins", Json.Obj (List.map (fun (m, n) -> (m, Json.Int n)) t.wins));
+    ]
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = version ->
+    let share_j = Option.value ~default:(Json.Obj []) (Json.member "share" j) in
+    Ok
+      {
+        schema = s;
+        depths = List.map depth_of_json (Json.get_list j "depths");
+        races = List.map race_of_json (Json.get_list j "races");
+        restarts = Json.get_int j "restarts";
+        switches = Json.get_int j "switches";
+        share =
+          {
+            sh_exported = Json.get_int share_j "exported";
+            sh_imported = Json.get_int share_j "imported";
+            sh_rejected_tainted = Json.get_int share_j "rejected_tainted";
+            sh_dropped_stale = Json.get_int share_j "dropped_stale";
+          };
+        wins =
+          (match Json.member "wins" j with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+              kvs
+          | _ -> []);
+      }
+  | Some (Json.Str s) -> Error (Printf.sprintf "unsupported ledger schema %S" s)
+  | _ -> Error "not a ledger: missing \"schema\" member"
+
+let to_string ?(indent = true) t = Json.to_string ~indent (to_json t)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate accessors. *)
+
+let total f t = List.fold_left (fun acc d -> acc + f d) 0 t.depths
+
+let decisions = total (fun d -> d.l_decisions)
+let dec_rank = total (fun d -> d.l_dec_rank)
+let dec_vsids = total (fun d -> d.l_dec_vsids)
+let conflicts = total (fun d -> d.l_conflicts)
+
+let rank_share t =
+  let attributed = dec_rank t + dec_vsids t in
+  if attributed = 0 then 0.0 else 100.0 *. float_of_int (dec_rank t) /. float_of_int attributed
+
+(* ------------------------------------------------------------------ *)
+(* Reports. *)
+
+let bar width frac =
+  let full = int_of_float (frac *. float_of_int width +. 0.5) in
+  let full = max 0 (min width full) in
+  String.make full '#' ^ String.make (width - full) ' '
+
+let pp_depth_table ppf t =
+  if t.depths = [] then Format.fprintf ppf "(no depth rows)@."
+  else begin
+    let maxd =
+      List.fold_left (fun m d -> max m d.l_decisions) 1 t.depths |> float_of_int
+    in
+    Format.fprintf ppf
+      "depth  outcome  mode       decisions (heat)        rank%%  conflicts  churn(+/-)  sw  solve_s@.";
+    List.iter
+      (fun d ->
+        let attributed = d.l_dec_rank + d.l_dec_vsids in
+        let rank_pct =
+          if attributed = 0 then 0.0
+          else 100.0 *. float_of_int d.l_dec_rank /. float_of_int attributed
+        in
+        Format.fprintf ppf "%5d  %-7s  %-9s  %8d %s %5.1f  %9d  %+5d/%-5d  %2s  %7.3f@."
+          d.l_depth d.l_outcome d.l_mode d.l_decisions
+          (bar 12 (float_of_int d.l_decisions /. maxd))
+          rank_pct d.l_conflicts d.l_core_new (-d.l_core_dropped)
+          (if d.l_switched then "*" else "")
+          d.l_solve_s)
+      t.depths
+  end
+
+let pp_effectiveness ppf t =
+  let unsat = List.length (List.filter (fun d -> d.l_outcome = "unsat") t.depths) in
+  let sat = List.length (List.filter (fun d -> d.l_outcome = "sat") t.depths) in
+  let churn_new = total (fun d -> d.l_core_new) t in
+  let churn_dropped = total (fun d -> d.l_core_dropped) t in
+  let switched = List.length (List.filter (fun d -> d.l_switched) t.depths) in
+  Format.fprintf ppf "ordering effectiveness (%s)@." t.schema;
+  Format.fprintf ppf "  depths solved     : %d (unsat %d, sat %d)@."
+    (List.length t.depths) unsat sat;
+  Format.fprintf ppf "  decisions         : %d (rank-guided %.1f%%, vsids %.1f%%)@."
+    (decisions t) (rank_share t)
+    (if dec_rank t + dec_vsids t = 0 then 0.0 else 100.0 -. rank_share t);
+  Format.fprintf ppf "  conflicts         : %d@." (conflicts t);
+  Format.fprintf ppf "  restarts          : %d@." t.restarts;
+  Format.fprintf ppf "  dynamic fallbacks : %d switch event(s), %d/%d depths switched@."
+    t.switches switched (List.length t.depths);
+  Format.fprintf ppf "  core churn        : +%d / -%d vars across %d unsat depth(s)@."
+    churn_new churn_dropped unsat;
+  (match t.races with
+  | [] -> Format.fprintf ppf "  races             : none@."
+  | races ->
+    let cancelled = List.fold_left (fun a r -> a + r.r_cancelled) 0 races in
+    Format.fprintf ppf "  races             : %d (cancelled racers %d; wins:%s)@."
+      (List.length races) cancelled
+      (if t.wins = [] then " none"
+       else
+         String.concat ""
+           (List.map (fun (m, n) -> Printf.sprintf " %s %d" m n) t.wins)));
+  Format.fprintf ppf
+    "  sharing           : exported %d, imported %d, tainted-rejected %d, dropped-stale %d@."
+    t.share.sh_exported t.share.sh_imported t.share.sh_rejected_tainted
+    t.share.sh_dropped_stale;
+  if t.depths <> [] then begin
+    Format.fprintf ppf "  rank share by depth :";
+    List.iter
+      (fun d ->
+        let attributed = d.l_dec_rank + d.l_dec_vsids in
+        let pct =
+          if attributed = 0 then 0.0
+          else 100.0 *. float_of_int d.l_dec_rank /. float_of_int attributed
+        in
+        Format.fprintf ppf " d%d %.0f%%" d.l_depth pct)
+      t.depths;
+    Format.fprintf ppf "@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Diff. *)
+
+type severity = Fail | Warn
+
+type finding = { severity : severity; message : string }
+
+let pct_drift a b =
+  if a = 0 && b = 0 then 0.0
+  else if a = 0 then infinity
+  else 100.0 *. Float.abs (float_of_int (b - a)) /. float_of_int a
+
+let diff ?(warn_pct = 25.0) (a : t) (b : t) =
+  let findings = ref [] in
+  let add severity fmt =
+    Printf.ksprintf (fun message -> findings := { severity; message } :: !findings) fmt
+  in
+  (* A portfolio run records one row per racer per depth, so depth alone is
+     not a key: pair rows by (depth, mode, occurrence index) so identical
+     ledgers always diff clean and each racer's row meets its counterpart. *)
+  let keyed depths =
+    let seen = Hashtbl.create 16 in
+    List.map
+      (fun d ->
+        let k = (d.l_depth, d.l_mode) in
+        let n = Option.value ~default:0 (Hashtbl.find_opt seen k) in
+        Hashtbl.replace seen k (n + 1);
+        ((d.l_depth, d.l_mode, n), d))
+      depths
+  in
+  let tbl_a = keyed a.depths in
+  let tbl_b = keyed b.depths in
+  List.iter
+    (fun ((k, _, _) as key, da) ->
+      match List.assoc_opt key tbl_b with
+      | None -> add Warn "depth %d present only in baseline" k
+      | Some db ->
+        if da.l_outcome <> db.l_outcome then
+          add Fail "depth %d outcome changed: %s -> %s" k da.l_outcome db.l_outcome;
+        if pct_drift da.l_decisions db.l_decisions > warn_pct then
+          add Warn "depth %d decisions drifted %d -> %d (>%.0f%%)" k da.l_decisions
+            db.l_decisions warn_pct;
+        if pct_drift da.l_conflicts db.l_conflicts > warn_pct then
+          add Warn "depth %d conflicts drifted %d -> %d (>%.0f%%)" k da.l_conflicts
+            db.l_conflicts warn_pct;
+        if da.l_switched <> db.l_switched then
+          add Warn "depth %d dynamic fallback %s" k
+            (if db.l_switched then "now fires" else "no longer fires"))
+    tbl_a;
+  List.iter
+    (fun ((k, _, _) as key, _) ->
+      if not (List.mem_assoc key tbl_a) then
+        add Warn "depth %d present only in candidate" k)
+    tbl_b;
+  let ra = rank_share a and rb = rank_share b in
+  if Float.abs (ra -. rb) > 10.0 then
+    add Warn "rank-guided decision share moved %.1f%% -> %.1f%%" ra rb;
+  List.rev !findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s %s"
+    (match f.severity with Fail -> "FAIL" | Warn -> "WARN")
+    f.message

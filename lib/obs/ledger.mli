@@ -1,0 +1,105 @@
+(** The run ledger: a versioned, structured per-check report.
+
+    A ledger is distilled from a telemetry event stream ({!of_events}) —
+    the same events whether they were collected in-process by a memory
+    sink ([bmccheck --ledger]) or re-read from a JSONL trace file
+    ([bmcprof trace]).  It captures what the paper's refinement is
+    supposed to change: per-depth decision/conflict/propagation work, the
+    decision-source histogram (branches taken from the [bmc_score] rank
+    versus VSIDS-activity fallback), core-variable churn between depths,
+    racer win/cancel tallies and clause-sharing flow.
+
+    The JSON codec is field-order-deterministic: [to_string] after
+    {!of_string} reproduces the input byte-for-byte, which the schema
+    round-trip test asserts. *)
+
+val version : string
+(** ["bmc-ledger/v1"]. *)
+
+type depth_row = {
+  l_depth : int;
+  l_mode : string;  (** configured ordering for this depth *)
+  l_outcome : string;  (** "unsat" | "sat" | "unknown" *)
+  l_decisions : int;
+  l_dec_rank : int;  (** decisions whose variable carried a positive rank *)
+  l_dec_vsids : int;  (** decisions taken on activity alone *)
+  l_implications : int;
+  l_conflicts : int;
+  l_core_clauses : int;
+  l_core_vars : int;
+  l_core_new : int;  (** core vars not in the previous depth's core *)
+  l_core_dropped : int;  (** previous core vars gone from this one *)
+  l_switched : bool;  (** dynamic fallback fired during this depth *)
+  l_build_s : float;
+  l_solve_s : float;
+  l_bcp_s : float;
+  l_cdg_s : float;
+}
+
+type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }
+
+type share_flow = {
+  sh_exported : int;
+  sh_imported : int;
+  sh_rejected_tainted : int;
+  sh_dropped_stale : int;
+}
+
+type t = {
+  schema : string;
+  depths : depth_row list;
+  races : race_row list;
+  restarts : int;
+  switches : int;
+  share : share_flow;
+  wins : (string * int) list;  (** races won per ordering mode, sorted *)
+}
+
+val of_events : Telemetry.Sink.event list -> t
+(** Fold a telemetry stream (depth / race / restart / switch / counter
+    events; everything else ignored) into a ledger. *)
+
+(** {1 Codec} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val to_string : ?indent:bool -> t -> string
+(** Pretty-printed by default (ledgers are meant to be read). *)
+
+val of_string : string -> (t, string) result
+
+(** {1 Aggregates} *)
+
+val decisions : t -> int
+val dec_rank : t -> int
+val dec_vsids : t -> int
+val conflicts : t -> int
+val rank_share : t -> float
+(** Percentage of attributed decisions that branched on a ranked variable
+    (0 when nothing was attributed). *)
+
+(** {1 Reports} *)
+
+val pp_depth_table : Format.formatter -> t -> unit
+(** Per-depth heat table: decision bars, rank share, conflicts, core
+    churn, fallback markers, solve times. *)
+
+val pp_effectiveness : Format.formatter -> t -> unit
+(** The ordering-effectiveness report: decision-source split, fallback
+    and restart counts, core churn, race and sharing tallies.  Never
+    empty, even for a ledger with no depth rows. *)
+
+(** {1 Regression diff} *)
+
+type severity = Fail | Warn
+
+type finding = { severity : severity; message : string }
+
+val diff : ?warn_pct:float -> t -> t -> finding list
+(** [diff baseline candidate]: [Fail] on a changed per-depth outcome;
+    [Warn] on decision/conflict drift beyond [warn_pct] (default 25%), a
+    depth present on only one side, a fallback firing differently, or the
+    rank-guided share moving more than 10 points.  Two equal ledgers
+    produce []. *)
+
+val pp_finding : Format.formatter -> finding -> unit

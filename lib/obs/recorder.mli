@@ -1,0 +1,90 @@
+(** Solver flight recorder: a bounded, per-domain, low-overhead event ring.
+
+    A recorder keeps one fixed-size ring of binary events {e per domain}
+    that ever records through it (allocated lazily via domain-local
+    storage).  Each event is four plain ints — kind, two payload words and
+    a microsecond timestamp — so recording is a handful of array stores
+    plus one atomic publish: cheap enough to leave on in production, and
+    bounded, so a run that spins for hours still holds only the last
+    [capacity] events per domain.
+
+    {2 Memory model}
+
+    Each ring has a single writer (its owning domain).  The writer fills a
+    slot with plain stores, then publishes by bumping the ring's atomic
+    sequence counter (release).  A snapshotting domain reads the counter
+    (acquire), copies the live window, and re-reads the counter: any event
+    whose slot the writer may since have re-entered — index [<= c2 -
+    capacity] — is discarded, so a snapshot never contains a torn event.
+    Plain-int races on discarded slots are defined (no tearing per word)
+    under the OCaml memory model; the decoder additionally drops any slot
+    whose kind word does not decode, as belt and braces.
+
+    Snapshots can be taken at any time from any domain — on demand, from a
+    SIGUSR1 handler ({!on_sigusr1}) or an [at_exit] hook — which is what
+    makes a wedged portfolio run diagnosable post-mortem. *)
+
+type kind =
+  | Restart  (** solver restart; [a] = conflicts so far, [b] = restart no. *)
+  | Reduce_db  (** learnt-DB reduction; [a] = clauses removed, [b] = kept *)
+  | Compact  (** arena compaction; [a] = bytes before, [b] = bytes after *)
+  | Switch  (** dynamic ordering fallback fired; [a] = decisions, [b] = conflicts *)
+  | Depth  (** BMC depth solved; [a] = depth, [b] = outcome (0 unsat / 1 sat / 2 unknown) *)
+  | Solve  (** one solver call finished; [a] = outcome, [b] = conflicts delta *)
+  | Racer_start  (** portfolio racer launched; [a] = depth, [b] = racer slot *)
+  | Racer_cancel  (** racer observed cancellation; [a] = depth, [b] = racer slot *)
+  | Racer_win  (** racer finished first; [a] = depth, [b] = racer slot *)
+  | Share_export  (** clause exported; [a] = LBD, [b] = size *)
+  | Share_import  (** clauses imported at level 0; [a] = count, [b] = 0 *)
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A recorder whose per-domain rings hold the last [capacity] (default
+    4096) events each.  @raise Invalid_argument if [capacity < 2]. *)
+
+val capacity : t -> int
+
+val record : t -> kind -> a:int -> b:int -> unit
+(** Append an event to the calling domain's ring, overwriting the oldest
+    once full.  The event is timestamped with wall-clock microseconds
+    since {!create}. *)
+
+(** {1 Snapshots} *)
+
+type entry = {
+  e_dom : int;  (** recording domain's id *)
+  e_seq : int;  (** per-domain sequence number *)
+  e_kind : kind;
+  e_a : int;
+  e_b : int;
+  e_t_us : int;  (** microseconds since the recorder was created *)
+}
+
+val snapshot : t -> entry list
+(** A consistent copy of every domain's surviving events, merged and
+    sorted by timestamp (ties: domain, then sequence).  Safe to call from
+    any domain while writers are still recording; per-ring, at most one
+    in-flight event's worth of history is conservatively dropped. *)
+
+val entry_to_json : entry -> string
+(** One JSONL line: [{"dom":..,"seq":..,"ev":"restart","a":..,"b":..,"t_us":..}]. *)
+
+val entry_of_json : string -> (entry, string) result
+val entries_of_string : string -> entry list
+(** Parse a whole JSONL dump (blank lines ignored).
+    @raise Failure on malformed input. *)
+
+val output : t -> out_channel -> unit
+(** Write {!snapshot} as JSONL. *)
+
+val dump : t -> string -> unit
+(** [dump t path] writes {!snapshot} to [path] (truncating). *)
+
+val on_sigusr1 : t -> path:string -> unit
+(** Install a SIGUSR1 handler that dumps a snapshot to [path] — poke a
+    wedged run with [kill -USR1] to see what its solvers are doing.
+    Best-effort: silently a no-op on platforms without SIGUSR1. *)

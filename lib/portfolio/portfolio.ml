@@ -132,6 +132,7 @@ type race_stat = {
   depth : int;
   winner : Session.mode option;
   stat : Session.depth_stat;
+  core_vars : Sat.Lit.var list;
   attempts : (Session.mode * Sat.Solver.outcome) list;
   wall : float;
   cancelled : int;
@@ -159,7 +160,14 @@ let race_depth race ~k =
   let winner = ref None in
   let cancel_at = ref 0.0 in
   let t0 = Pool.wall () in
+  (* Flight events land in the recording worker's own ring. *)
+  let frecord kind ~slot =
+    match race.r_cfg.Session.recorder with
+    | Some r -> Obs.Recorder.record r kind ~a:k ~b:slot
+    | None -> ()
+  in
   let job i () =
+    frecord Obs.Recorder.Racer_start ~slot:i;
     let outcome =
       try
         let s = slot_session race slots.(i) in
@@ -187,10 +195,16 @@ let race_depth race ~k =
         | Ok a when definitive a.a_stat.Session.outcome && !winner = None ->
           winner := Some i;
           cancel_at := Pool.wall ();
+          frecord Obs.Recorder.Racer_win ~slot:i;
           (* cancel from inside the winning job: lower cancellation latency
              than waiting for the coordinator to wake up *)
           Array.iteri (fun j sl -> if j <> i then Pool.Token.cancel sl.s_token) slots
-        | Ok _ | Error _ -> ());
+        | Ok a ->
+          if
+            Pool.Token.cancelled slots.(i).s_token
+            && not (definitive a.a_stat.Session.outcome)
+          then frecord Obs.Recorder.Racer_cancel ~slot:i
+        | Error _ -> ());
         incr settled;
         Condition.broadcast ccv)
   in
@@ -261,6 +275,7 @@ let race_depth race ~k =
     depth = k;
     winner = winner_mode;
     stat = best.a_stat;
+    core_vars = best.a_core_vars;
     attempts =
       Array.to_list
         (Array.mapi (fun i a -> (slots.(i).s_mode, a.a_stat.Session.outcome)) attempts);
@@ -271,6 +286,18 @@ let race_depth race ~k =
   }
 
 let race_score race = race.r_score
+
+(* Sessions publish per-instance share deltas (exported / imported /
+   rejected_tainted) themselves; the stale-drop count only exists at the
+   exchange, so the coordinator flushes it once a run is over. *)
+let emit_share_drops tel = function
+  | None -> ()
+  | Some ex ->
+    if Telemetry.enabled tel then
+      List.iter
+        (fun (name, v) -> if name = "dropped_stale" && v > 0 then
+            Telemetry.counter tel ("share." ^ name) v)
+        (Share.Exchange.stats_fields (Share.Exchange.stats ex))
 
 type result = {
   verdict : Session.verdict;
@@ -285,6 +312,7 @@ let check_race ?(config = Session.default_config) ?modes ?racers ?share ~pool ne
   let per_depth = ref [] in
   let t0 = Pool.wall () in
   let finish verdict =
+    emit_share_drops config.Session.telemetry race.r_share;
     {
       verdict;
       per_depth = List.rev !per_depth;
@@ -361,3 +389,6 @@ let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent
           [ ("name", Telemetry.Sink.Str name) ];
       (name, r))
     items
+  |> fun results ->
+  List.iter (fun (_, ex) -> emit_share_drops tel (Some ex)) exchanges;
+  results

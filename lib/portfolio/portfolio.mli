@@ -82,6 +82,11 @@ type race_stat = {
       (** [None] when every racer returned [Unknown] *)
   stat : Bmc.Session.depth_stat;
       (** the winner's per-instance stat (a loser's when [winner = None]) *)
+  core_vars : Sat.Lit.var list;
+      (** the winner's unsat-core variables ([[]] unless it answered UNSAT
+          with proof logging) — the set its session folded into the shared
+          ranking, exposed so reports and benches can fingerprint which
+          core actually steered depth k+1 *)
   attempts : (Bmc.Session.mode * Sat.Solver.outcome) list;
       (** every racer's outcome, in [modes] order ([Unknown] for cancelled
           losers) *)
@@ -99,7 +104,9 @@ val race_depth : race -> k:int -> race_stat
     must strictly increase across calls (the racers' persistent sessions
     require it).  Emits one "race" telemetry event per round, a
     ["race.win.<mode>"] counter for the winner, a ["race.cancelled"]
-    counter and one ["cancel_latency"] span per cancelled loser. *)
+    counter and one ["cancel_latency"] span per cancelled loser.  With a
+    flight recorder in the config, each racer records [Racer_start] and
+    [Racer_win] / [Racer_cancel] events to its own worker's ring. *)
 
 val race_score : race -> Bmc.Score.t
 (** The shared ranking the winners have built so far.  Coordinator-only:

@@ -168,6 +168,8 @@ let activity t l = t.act.(Lit.to_index l)
 
 let rank_of t v = t.rank.(v)
 
+let decided_by_rank t v = t.use_rank && t.rank.(v) > 0.0
+
 let grow t ~num_vars =
   if num_vars > t.num_vars then begin
     (* Grow capacity geometrically: callers add variables one at a time

@@ -68,6 +68,14 @@ val activity : t -> Lit.t -> float
 
 val rank_of : t -> Lit.var -> float
 
+val decided_by_rank : t -> Lit.var -> bool
+(** Whether a decision on [v] {e right now} is attributable to the
+    [bmc_score] ranking: the rank component is active and [v] carries a
+    positive rank.  A ranked order still breaks ties among zero-rank
+    variables by activity — those branches are VSIDS's, not the
+    paper's — so this is the per-variable refinement of
+    {!mode_uses_rank}. *)
+
 val grow : t -> num_vars:int -> unit
 (** Extend the variable space (incremental solving).  New variables start
     with zero scores and rank. *)

@@ -75,6 +75,7 @@ type t = {
   mutable local_mask : bool array; (* per var: instance-local (activation/aux) *)
   mutable analysis_tainted : bool; (* scratch: current conflict analysis touched a tainted antecedent *)
   imported_ids : (int, unit) Hashtbl.t; (* proof pseudo IDs of imported clauses *)
+  mutable frec : Obs.Recorder.t option; (* flight recorder, when installed *)
   (* in-propagate budget polling *)
   mutable cur_budget : budget;
   mutable solve_start : float;
@@ -88,6 +89,12 @@ let value_lit t l =
   if v = unassigned then unassigned else if Lit.is_pos l then v else 1 - v
 
 let decision_level t = Vec.length t.trail_lim
+
+(* Flight-recorder hook: a no-op unless a recorder was installed, and the
+   recorded events are all low-rate (restart / GC / switch / share / solve
+   boundaries — never per decision or per propagation). *)
+let frecord t kind ~a ~b =
+  match t.frec with None -> () | Some r -> Obs.Recorder.record r kind ~a ~b
 
 let watch_list t l = t.watches.(Lit.to_index l)
 
@@ -213,7 +220,7 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       qhead = 0;
       order;
       proof =
-        (if with_proof then Some (Proof.create ~timed:(Telemetry.enabled telemetry) ())
+        (if with_proof then Some (Proof.create ~timed:(Telemetry.timing telemetry) ())
          else None);
       proof_to_cnf = Hashtbl.create 256;
       learnt_lits = Hashtbl.create 256;
@@ -236,6 +243,7 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       local_mask = Array.make (max nvars 1) false;
       analysis_tainted = false;
       imported_ids = Hashtbl.create 16;
+      frec = None;
       cur_budget = no_budget;
       solve_start = 0.0;
       props_at_poll = 0;
@@ -492,13 +500,16 @@ let import_pending t =
   match t.share with
   | None -> ()
   | Some sh ->
+    let before = t.stats.shared_imported in
     List.iter
       (fun lits ->
         if t.ok then begin
           List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
           attach_import t lits
         end)
-      (sh.sh_import ())
+      (sh.sh_import ());
+    let imported = t.stats.shared_imported - before in
+    if imported > 0 then frecord t Obs.Recorder.Share_import ~a:imported ~b:0
 
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP).                                      *)
@@ -685,6 +696,7 @@ let maybe_export t lits ~tainted =
         let lbd = learnt_lbd t lits in
         if lbd <= sh.sh_max_lbd then begin
           t.stats.shared_exported <- t.stats.shared_exported + 1;
+          frecord t Obs.Recorder.Share_export ~a:lbd ~b:(List.length lits);
           sh.sh_export (Array.of_list lits) ~lbd
         end
       end
@@ -744,6 +756,7 @@ let locked t cr =
    Deleted clauses are unreachable by now (reduce_db detaches them), so
    everything relocated is live and the new arena has zero waste. *)
 let compact t =
+  let bytes_before = Arena.bytes t.arena in
   let into = Arena.create ~capacity:(max 1024 (Arena.live_words t.arena)) () in
   Array.iter
     (fun w -> Arena.Watch.map_crefs w (fun cr -> Arena.reloc t.arena ~into cr))
@@ -757,7 +770,8 @@ let compact t =
   done;
   Arena.commit t.arena ~into;
   t.stats.arena_compactions <- t.stats.arena_compactions + 1;
-  t.stats.arena_bytes <- Arena.bytes t.arena
+  t.stats.arena_bytes <- Arena.bytes t.arena;
+  frecord t Obs.Recorder.Compact ~a:bytes_before ~b:t.stats.arena_bytes
 
 let reduce_db t =
   let cs = Vec.to_array t.learnts in
@@ -784,6 +798,7 @@ let reduce_db t =
       t.watches;
   t.max_learnts <- t.max_learnts + (t.max_learnts / 10);
   t.stats.arena_bytes <- Arena.bytes t.arena;
+  frecord t Obs.Recorder.Reduce_db ~a:!removed ~b:(Vec.length t.learnts);
   if Arena.should_gc t.arena ~max_waste:t.gc_fraction then compact t
 
 (* ------------------------------------------------------------------ *)
@@ -804,12 +819,13 @@ let maybe_decay t =
 (* Main search loop.                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Hot-path timing is gated on telemetry so the disabled configuration pays
-   only this branch, never a clock read.  [Fun.protect]: the in-propagate
-   budget poll can abandon a propagation by raising [Done], and the time
-   already spent must still be accounted. *)
+(* Hot-path timing is gated on the telemetry handle's [timing] knob so the
+   disabled configuration — and event-stream-only handles like a ledger's —
+   pay only this branch, never a clock read.  [Fun.protect]: the
+   in-propagate budget poll can abandon a propagation by raising [Done],
+   and the time already spent must still be accounted. *)
 let propagate_timed t =
-  if not (Telemetry.enabled t.tel) then propagate t
+  if not (Telemetry.timing t.tel) then propagate t
   else begin
     let t0 = Sys.time () in
     Fun.protect
@@ -818,7 +834,7 @@ let propagate_timed t =
   end
 
 let analyze_timed t conflict =
-  if not (Telemetry.enabled t.tel) then analyze t conflict
+  if not (Telemetry.timing t.tel) then analyze t conflict
   else begin
     let t0 = Sys.time () in
     let r = analyze t conflict in
@@ -852,6 +868,7 @@ let pick_decision t =
   then begin
     Order.switch_to_vsids t.order;
     t.stats.heuristic_switches <- t.stats.heuristic_switches + 1;
+    frecord t Obs.Recorder.Switch ~a:t.stats.decisions ~b:t.stats.conflicts;
     if Telemetry.enabled t.tel then
       Telemetry.event t.tel "switch"
         [
@@ -873,6 +890,7 @@ let search t budget start_time =
       if !conflicts_until_restart <= 0 then begin
         t.stats.restarts <- t.stats.restarts + 1;
         conflicts_until_restart := Luby.next t.luby;
+        frecord t Obs.Recorder.Restart ~a:t.stats.conflicts ~b:t.stats.restarts;
         if Telemetry.enabled t.tel then
           Telemetry.event t.tel "restart"
             [ ("conflicts", Telemetry.Sink.Int t.stats.conflicts) ];
@@ -915,16 +933,17 @@ let search t budget start_time =
           if t.stats.decisions land 1023 = 0 && budget_exceeded t budget start_time then
             raise (Done Unknown);
           t.stats.decisions <- t.stats.decisions + 1;
+          (* Per-variable source attribution: a ranked order still breaks
+             ties among zero-rank variables on activity alone, so only a
+             branch on a positively ranked variable counts as the
+             paper's.  One array read per decision — cheap enough to
+             count unconditionally; the split is published coalesced per
+             solve call, never as a per-decision event. *)
+          if Order.decided_by_rank t.order (Lit.var l) then
+            t.stats.decisions_rank <- t.stats.decisions_rank + 1
+          else t.stats.decisions_vsids <- t.stats.decisions_vsids + 1;
           new_level ();
           t.stats.max_decision_level <- max t.stats.max_decision_level (decision_level t);
-          if Telemetry.enabled t.tel then
-            Telemetry.event t.tel "decision"
-              [
-                ( "src",
-                  Telemetry.Sink.Str
-                    (if Order.mode_uses_rank t.order then "bmc_score" else "vsids") );
-                ("level", Telemetry.Sink.Int (decision_level t));
-              ];
           enqueue t l Arena.none;
           loop ()
       end
@@ -936,6 +955,7 @@ let cdg_seconds t = match t.proof with Some p -> Proof.cdg_seconds p | None -> 0
 
 let solve ?(budget = no_budget) ?(assumptions = []) t =
   t.failed_assumptions <- [];
+  let confl_before = t.stats.conflicts in
   let r =
     if not t.ok then Unsat
     else begin
@@ -949,6 +969,7 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       (* snapshots so an incremental solver reports this call's share only *)
       let bcp0 = s.bcp_time and analyze0 = s.analyze_time and cdg0 = cdg_seconds t in
       let props0 = s.propagations and confl0 = s.conflicts and learned0 = s.learned in
+      let rank0 = s.decisions_rank and vsids0 = s.decisions_vsids in
       let start_time = Sys.time () in
       t.cur_budget <- budget;
       t.solve_start <- start_time;
@@ -970,16 +991,25 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
         if t.proof <> None then
           Telemetry.span_event t.tel "cdg" ~dur:(cdg_seconds t -. cdg0)
             [ ("count", Int (s.learned - learned0)) ];
+        Telemetry.counter t.tel "decisions.rank" (s.decisions_rank - rank0);
+        Telemetry.counter t.tel "decisions.vsids" (s.decisions_vsids - vsids0);
         Telemetry.span_event t.tel "solve" ~dur
           [
             ("outcome", Str (outcome_string r));
             ("decisions", Int s.decisions);
             ("conflicts", Int s.conflicts);
+            ("dec_rank", Int (s.decisions_rank - rank0));
+            ("dec_vsids", Int (s.decisions_vsids - vsids0));
           ]
       end;
       r
     end
   in
+  (* outside the search path so even instances refuted during clause
+     loading (t.ok already false) leave a Solve mark in the recording *)
+  frecord t Obs.Recorder.Solve
+    ~a:(match r with Unsat -> 0 | Sat -> 1 | Unknown -> 2)
+    ~b:(t.stats.conflicts - confl_before);
   (* keep the model available after Sat; reset nothing *)
   t.result <- Some r;
   r
@@ -1079,6 +1109,10 @@ let set_share ?(max_size = 8) ?(max_lbd = 4) t ~export ~import =
     Some { sh_max_size = max_size; sh_max_lbd = max_lbd; sh_export = export; sh_import = import }
 
 let clear_share t = t.share <- None
+
+let set_recorder t r = t.frec <- Some r
+
+let clear_recorder t = t.frec <- None
 
 let set_gc_fraction t f =
   if f < 0.0 then invalid_arg "Solver.set_gc_fraction: negative";

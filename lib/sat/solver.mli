@@ -69,9 +69,12 @@ val create :
     (DRAT) proof for {!drat_events} / {!Checker}.  [telemetry] (default
     {!Telemetry.disabled}) turns on structured tracing: per-solve phase
     spans ("bcp", "analyze", "cdg", "solve"), "reduce_db" spans, instant
-    "restart" / "switch" events, and one "decision" attribution event per
-    decision tagged [bmc_score] or [vsids]; it also feeds the wall-time
-    fields of {!Stats.t} and enables the timed CDG bookkeeping. *)
+    "restart" / "switch" events, and per-solve "decisions.rank" /
+    "decisions.vsids" counters (the decision-source histogram, attributed
+    per variable by {!Order.decided_by_rank} and published coalesced —
+    never as per-decision events); it also feeds the wall-time fields of
+    {!Stats.t} and enables the timed CDG bookkeeping.  The attribution
+    counters in {!Stats.t} are maintained unconditionally. *)
 
 val solve : ?budget:budget -> ?assumptions:Lit.t list -> t -> outcome
 (** Run the search, optionally under assumptions.  Each call starts from
@@ -149,6 +152,15 @@ val set_share :
     RUP-derivable from this solver's own trace), or on caps < 1. *)
 
 val clear_share : t -> unit
+
+val set_recorder : t -> Obs.Recorder.t -> unit
+(** Install a flight recorder.  The solver then records low-rate events to
+    the calling domain's ring — {!Obs.Recorder.Restart}, [Reduce_db],
+    [Compact], [Switch], [Solve], [Share_export], [Share_import] — cheap
+    enough to leave on in production and snapshottable post-mortem.  Hot
+    per-decision / per-propagation paths are never recorded. *)
+
+val clear_recorder : t -> unit
 
 val set_restart_base : t -> int -> unit
 (** Replace the Luby restart sequence with one of the given unit (default

@@ -1,5 +1,7 @@
 type t = {
   mutable decisions : int;
+  mutable decisions_rank : int;
+  mutable decisions_vsids : int;
   mutable propagations : int;
   mutable conflicts : int;
   mutable restarts : int;
@@ -21,6 +23,8 @@ type t = {
 let create () =
   {
     decisions = 0;
+    decisions_rank = 0;
+    decisions_vsids = 0;
     propagations = 0;
     conflicts = 0;
     restarts = 0;
@@ -43,6 +47,8 @@ let copy s = { s with decisions = s.decisions }
 
 let add acc s =
   acc.decisions <- acc.decisions + s.decisions;
+  acc.decisions_rank <- acc.decisions_rank + s.decisions_rank;
+  acc.decisions_vsids <- acc.decisions_vsids + s.decisions_vsids;
   acc.propagations <- acc.propagations + s.propagations;
   acc.conflicts <- acc.conflicts + s.conflicts;
   acc.restarts <- acc.restarts + s.restarts;
@@ -66,6 +72,8 @@ let pp ppf s =
      max_level=%d switches=%d blockers=%d"
     s.decisions s.propagations s.conflicts s.restarts s.learned s.deleted
     s.max_decision_level s.heuristic_switches s.blocker_hits;
+  if s.decisions_rank > 0 || s.decisions_vsids > 0 then
+    Format.fprintf ppf " dec_rank=%d dec_vsids=%d" s.decisions_rank s.decisions_vsids;
   if s.arena_bytes > 0 then
     Format.fprintf ppf " arena=%dB gcs=%d" s.arena_bytes s.arena_compactions;
   if s.shared_exported > 0 || s.shared_imported > 0 || s.shared_rejected_tainted > 0 then

@@ -5,6 +5,13 @@
 
 type t = {
   mutable decisions : int;
+  mutable decisions_rank : int;
+      (** decisions whose variable carried a positive [bmc_score] rank —
+          the branch the paper's refined ordering steered (see
+          {!Order.decided_by_rank}) *)
+  mutable decisions_vsids : int;
+      (** decisions taken on VSIDS activity alone (unranked variable, or
+          the ordering fell back to pure VSIDS) *)
   mutable propagations : int;  (** implications derived by BCP *)
   mutable conflicts : int;
   mutable restarts : int;

@@ -156,6 +156,17 @@ let dump t =
   ignore (Ring.poll cur (fun ~src:_ cl -> acc := cl.c_lits :: !acc));
   List.rev !acc
 
+let stats_fields s =
+  [
+    ("exported", s.exported);
+    ("imported", s.imported);
+    ("delivered", s.delivered);
+    ("rejected_tainted", s.rejected_tainted);
+    ("dropped_stale", s.dropped_stale);
+    ("occupancy", s.occupancy);
+    ("capacity", s.capacity);
+  ]
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "exported=%d imported=%d delivered=%d rejected_tainted=%d dropped_stale=%d occupancy=%d/%d"

@@ -106,4 +106,9 @@ val dump : t -> int array list
 (** The packed clauses currently readable in the ring (test/debug use;
     racy while producers are active). *)
 
+val stats_fields : stats -> (string * int) list
+(** The counters as stable [(key, value)] pairs, in declaration order —
+    for structured emission (telemetry counters, run ledgers, Prometheus
+    export) without each consumer hand-listing the record fields. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -24,14 +24,23 @@ type t
 val disabled : t
 (** The no-op handle. *)
 
-val create : ?clock:(unit -> float) -> Sink.t -> t
+val create : ?clock:(unit -> float) -> ?timing:bool -> Sink.t -> t
 (** An enabled handle over the sink.  [clock] (default [Sys.time]) is read
     once at creation; event timestamps are seconds since then.  Tests pass a
-    deterministic clock. *)
+    deterministic clock.  [timing] (default [true]) additionally enables
+    hot-path phase timing — clock reads around every BCP and conflict
+    analysis; pass [~timing:false] for event-stream-only consumers (run
+    ledgers, flight-recorder ride-alongs) that must stay cheap enough to
+    leave on. *)
 
 val enabled : t -> bool
 (** [false] only for {!disabled}.  Guard any emission whose argument list is
     expensive to build. *)
+
+val timing : t -> bool
+(** Whether producers should pay per-call clock reads for phase timing.
+    [false] for {!disabled} and for handles created with [~timing:false];
+    implies {!enabled} when [true] by construction of {!create}. *)
 
 val now : t -> float
 (** Seconds since the handle was created (0 when disabled). *)
@@ -49,7 +58,9 @@ val span : t -> string -> ?fields:(string * Sink.value) list -> (unit -> 'a) -> 
 (** [span t name f] times [f ()] and emits a "span" event when it returns
     (or raises — the event is emitted either way and the exception
     re-raised).  The event's [ts] is the span's start; [nest] records how
-    many spans were open around it.  When disabled this is exactly
+    many spans were open around it {e on the calling domain} — nesting
+    depth is domain-local, so concurrent racers sharing a handle do not
+    corrupt each other's depths.  When disabled this is exactly
     [f ()]. *)
 
 val span_event : t -> string -> dur:float -> (string * Sink.value) list -> unit

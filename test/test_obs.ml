@@ -1,0 +1,317 @@
+(* Observability layer: flight-recorder ring semantics (bounded memory,
+   overwrite order, snapshot consistency under concurrent writers), the run
+   ledger's schema round-trip and event-stream distillation, the regression
+   diff and the Prometheus export. *)
+
+module R = Obs.Recorder
+module L = Obs.Ledger
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_bounded_overwrite () =
+  let cap = 64 in
+  let rec_ = R.create ~capacity:cap () in
+  let total = 10 * cap in
+  for i = 0 to total - 1 do
+    R.record rec_ R.Restart ~a:i ~b:(i * 2)
+  done;
+  let entries = R.snapshot rec_ in
+  (* a wrapped ring surrenders one slot: the entry at [written - cap] may
+     have been mid-overwrite when the cursor was read, so the snapshot keeps
+     only the cap - 1 events strictly above it *)
+  Alcotest.(check int) "the last capacity-1 events survive" (cap - 1)
+    (List.length entries);
+  (* the survivors are the final window, in order, payloads intact *)
+  List.iteri
+    (fun idx e ->
+      let expect = total - (cap - 1) + idx in
+      Alcotest.(check int) "sequence" expect e.R.e_seq;
+      Alcotest.(check int) "payload a" expect e.R.e_a;
+      Alcotest.(check int) "payload b" (expect * 2) e.R.e_b;
+      Alcotest.(check string) "kind" "restart" (R.kind_name e.R.e_kind))
+    entries
+
+let test_ring_snapshot_under_hammer () =
+  (* Two writer domains fill their own rings while the main domain
+     snapshots concurrently.  Every snapshot must be internally consistent:
+     per-domain sequences strictly increasing, each event's payload
+     matching its sequence (so a torn slot — kind from one event, payload
+     from another — would be caught), never more than [cap] per domain. *)
+  let cap = 128 in
+  let rec_ = R.create ~capacity:cap () in
+  let n = 20_000 in
+  let worker tag () =
+    for i = 0 to n - 1 do
+      R.record rec_ R.Solve ~a:tag ~b:i
+    done
+  in
+  let d1 = Domain.spawn (worker 1) in
+  let d2 = Domain.spawn (worker 2) in
+  let check_snapshot entries =
+    let last = Hashtbl.create 4 and count = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        (match Hashtbl.find_opt last e.R.e_dom with
+        | Some (prev_seq, prev_b) ->
+          if e.R.e_seq <= prev_seq then
+            Alcotest.failf "dom %d: seq %d after %d" e.R.e_dom e.R.e_seq prev_seq;
+          if e.R.e_b <= prev_b then
+            Alcotest.failf "dom %d: payload %d after %d" e.R.e_dom e.R.e_b prev_b
+        | None -> ());
+        (* single writer per ring records b = loop index = sequence *)
+        if e.R.e_kind = R.Solve then begin
+          if e.R.e_b <> e.R.e_seq then
+            Alcotest.failf "dom %d: torn event seq=%d b=%d" e.R.e_dom e.R.e_seq e.R.e_b;
+          if e.R.e_a <> 1 && e.R.e_a <> 2 then
+            Alcotest.failf "dom %d: foreign payload a=%d" e.R.e_dom e.R.e_a
+        end;
+        Hashtbl.replace last e.R.e_dom (e.R.e_seq, e.R.e_b);
+        Hashtbl.replace count e.R.e_dom
+          (1 + Option.value ~default:0 (Hashtbl.find_opt count e.R.e_dom)))
+      entries;
+    Hashtbl.iter
+      (fun dom c ->
+        if c > cap then Alcotest.failf "dom %d: %d > capacity %d events" dom c cap)
+      count
+  in
+  for _ = 1 to 50 do
+    check_snapshot (R.snapshot rec_)
+  done;
+  Domain.join d1;
+  Domain.join d2;
+  let final = R.snapshot rec_ in
+  check_snapshot final;
+  (* each full ring yields cap - 1 entries (torn-slot rule) *)
+  Alcotest.(check int) "both rings full after the writers finish"
+    (2 * (cap - 1))
+    (List.length final)
+
+let test_ring_entry_jsonl_roundtrip () =
+  let rec_ = R.create ~capacity:8 () in
+  R.record rec_ R.Racer_win ~a:3 ~b:1;
+  R.record rec_ R.Share_export ~a:2 ~b:5;
+  let entries = R.snapshot rec_ in
+  Alcotest.(check int) "two events" 2 (List.length entries);
+  List.iter
+    (fun e ->
+      match R.entry_of_json (R.entry_to_json e) with
+      | Error msg -> Alcotest.failf "entry did not round-trip: %s" msg
+      | Ok e' ->
+        Alcotest.(check bool) "entry round-trips" true (e = e'))
+    entries;
+  let dump = String.concat "\n" (List.map R.entry_to_json entries) in
+  Alcotest.(check int) "entries_of_string parses the dump" 2
+    (List.length (R.entries_of_string dump))
+
+(* ------------------------------------------------------------------ *)
+(* Ledger: distillation from a real run.                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_ledger ?(mode = Bmc.Session.Dynamic) ?(depth = 10) () =
+  let sink, events = Telemetry.Sink.memory () in
+  let telemetry = Telemetry.create ~timing:false sink in
+  let case = Circuit.Generators.ring ~len:8 ~noise:8 () in
+  let config =
+    Bmc.Session.make_config ~mode ~max_depth:depth ~collect_cores:true ~telemetry ()
+  in
+  let r =
+    Bmc.Session.check ~config ~policy:Bmc.Session.Persistent
+      case.Circuit.Generators.netlist ~property:case.Circuit.Generators.property
+  in
+  (L.of_events (events ()), r)
+
+let test_ledger_from_session () =
+  let ledger, r = run_ledger () in
+  Alcotest.(check bool) "depth rows present" true (ledger.L.depths <> []);
+  Alcotest.(check int) "one row per instance" (List.length r.Bmc.Session.per_depth)
+    (List.length ledger.L.depths);
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "depth %d: attribution partitions decisions" d.L.l_depth)
+        d.L.l_decisions
+        (d.L.l_dec_rank + d.L.l_dec_vsids);
+      Alcotest.(check string) "mode recorded" "dynamic" d.L.l_mode)
+    ledger.L.depths;
+  Alcotest.(check int) "aggregate decisions match the run" r.Bmc.Session.total_decisions
+    (L.decisions ledger);
+  Alcotest.(check bool) "effectiveness report is never empty" true
+    (String.length (Format.asprintf "%a" L.pp_effectiveness ledger) > 0);
+  Alcotest.(check bool) "depth table renders" true
+    (String.length (Format.asprintf "%a" L.pp_depth_table ledger) > 0)
+
+let test_ledger_schema_roundtrip () =
+  let ledger, _ = run_ledger () in
+  let printed = L.to_string ledger in
+  match L.of_string printed with
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+  | Ok reparsed ->
+    Alcotest.(check string) "emit -> parse -> re-emit is the identity" printed
+      (L.to_string reparsed);
+    Alcotest.(check string) "schema version" L.version reparsed.L.schema
+
+let test_ledger_synthetic_events () =
+  (* counters and race events fold into the ledger's flow blocks *)
+  let ev kind fields = { Telemetry.Sink.ts = 0.0; kind; fields } in
+  let open Telemetry.Sink in
+  let ledger =
+    L.of_events
+      [
+        ev "race"
+          [
+            ("depth", Int 2);
+            ("winner", Str "static");
+            ("wall_s", Float 0.25);
+            ("cancelled", Int 2);
+          ];
+        ev "restart" [ ("conflicts", Int 100) ];
+        ev "restart" [ ("conflicts", Int 200) ];
+        ev "switch" [ ("decisions", Int 50) ];
+        ev "counter" [ ("name", Str "share.exported"); ("value", Int 7) ];
+        ev "counter" [ ("name", Str "share.imported"); ("value", Int 4) ];
+        ev "counter" [ ("name", Str "share.rejected_tainted"); ("value", Int 1) ];
+        ev "counter" [ ("name", Str "share.dropped_stale"); ("value", Int 2) ];
+      ]
+  in
+  Alcotest.(check int) "restarts" 2 ledger.L.restarts;
+  Alcotest.(check int) "switches" 1 ledger.L.switches;
+  Alcotest.(check int) "exported" 7 ledger.L.share.L.sh_exported;
+  Alcotest.(check int) "imported" 4 ledger.L.share.L.sh_imported;
+  Alcotest.(check int) "rejected" 1 ledger.L.share.L.sh_rejected_tainted;
+  Alcotest.(check int) "dropped" 2 ledger.L.share.L.sh_dropped_stale;
+  (match ledger.L.races with
+  | [ race ] ->
+    Alcotest.(check string) "race winner" "static" race.L.r_winner;
+    Alcotest.(check int) "race cancelled" 2 race.L.r_cancelled
+  | races -> Alcotest.failf "expected 1 race row, got %d" (List.length races));
+  Alcotest.(check (list (pair string int))) "wins tally" [ ("static", 1) ] ledger.L.wins
+
+(* ------------------------------------------------------------------ *)
+(* Diff.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_identical_is_empty () =
+  let ledger, _ = run_ledger () in
+  Alcotest.(check int) "no findings between identical runs" 0
+    (List.length (L.diff ledger ledger));
+  (* a portfolio run records one row per racer per depth with divergent
+     loser stats — duplicate depths must pair one-to-one, not first-match *)
+  let racers =
+    {
+      ledger with
+      L.depths =
+        List.concat_map
+          (fun (d : L.depth_row) ->
+            [
+              { d with L.l_mode = "static" };
+              { d with L.l_mode = "dynamic"; l_decisions = 0; l_outcome = "unknown" };
+            ])
+          ledger.L.depths;
+    }
+  in
+  Alcotest.(check int) "identical portfolio ledgers diff clean" 0
+    (List.length (L.diff racers racers))
+
+let test_diff_flags_regressions () =
+  let ledger, _ = run_ledger () in
+  let perturbed =
+    {
+      ledger with
+      L.depths =
+        List.map
+          (fun d ->
+            if d.L.l_depth = 3 then
+              { d with L.l_outcome = "sat"; l_decisions = d.L.l_decisions + 1000 }
+            else d)
+          ledger.L.depths;
+    }
+  in
+  let findings = L.diff ledger perturbed in
+  let fails = List.filter (fun f -> f.L.severity = L.Fail) findings in
+  Alcotest.(check bool) "outcome change is a FAIL" true (fails <> []);
+  let rendered = Format.asprintf "%a" L.pp_finding (List.hd fails) in
+  Alcotest.(check bool) "finding names the depth" true
+    (Test_stats.contains rendered "depth 3")
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus export.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_prom_render () =
+  let ledger, _ = run_ledger () in
+  let doc = Obs.Prom.render ledger in
+  List.iter
+    (fun metric ->
+      Alcotest.(check bool) (metric ^ " present") true (Test_stats.contains doc metric))
+    [
+      "bmc_depths_total";
+      "bmc_decisions_total";
+      "bmc_conflicts_total";
+      "bmc_rank_decision_share";
+      "# HELP";
+      "# TYPE";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "test/v1");
+        ("n", J.Int 42);
+        ("x", J.Float 0.125);
+        ("flag", J.Bool true);
+        ("nothing", J.Null);
+        ("text", J.Str "say \"hi\"\n\ttab\\slash");
+        ("list", J.List [ J.Int 1; J.Obj [ ("k", J.Str "v") ]; J.List [] ]);
+        ("empty", J.Obj []);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      let s = J.to_string ~indent doc in
+      match J.of_string s with
+      | Error msg -> Alcotest.failf "re-parse failed (indent=%b): %s" indent msg
+      | Ok doc' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "value round-trips (indent=%b)" indent)
+          true (doc = doc'))
+    [ false; true ];
+  (* accessors *)
+  Alcotest.(check int) "get_int" 42 (J.get_int doc "n");
+  Alcotest.(check (float 0.0)) "get_float accepts Int" 42.0 (J.get_float doc "n");
+  Alcotest.(check string) "get_str default" "none" (J.get_str ~default:"none" doc "missing");
+  Alcotest.(check int) "get_list length" 3 (List.length (J.get_list doc "list"));
+  (* rejects garbage *)
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse failure on %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "{'a':1}"; "nul" ]
+
+let tests =
+  [
+    Alcotest.test_case "ring keeps only the last capacity events" `Quick
+      test_ring_bounded_overwrite;
+    Alcotest.test_case "ring snapshots consistent under two writers" `Slow
+      test_ring_snapshot_under_hammer;
+    Alcotest.test_case "recorder entries round-trip as JSONL" `Quick
+      test_ring_entry_jsonl_roundtrip;
+    Alcotest.test_case "ledger distils a session run" `Quick test_ledger_from_session;
+    Alcotest.test_case "ledger schema round-trip is the identity" `Quick
+      test_ledger_schema_roundtrip;
+    Alcotest.test_case "ledger folds races, restarts and sharing" `Quick
+      test_ledger_synthetic_events;
+    Alcotest.test_case "diff of identical runs is empty" `Quick test_diff_identical_is_empty;
+    Alcotest.test_case "diff fails on outcome change" `Quick test_diff_flags_regressions;
+    Alcotest.test_case "prometheus export names its metrics" `Quick test_prom_render;
+    Alcotest.test_case "json codec round-trips and rejects garbage" `Quick
+      test_json_roundtrip;
+  ]

@@ -202,6 +202,39 @@ let test_two_domain_hammer () =
   let events = Sink.events_of_string (Buffer.contents buf) in
   Alcotest.(check int) "every JSONL line intact" (4 * n) (List.length events)
 
+let test_two_domain_span_nesting () =
+  (* Span nesting depth is domain-local: two domains nesting spans through
+     one shared handle must each see their own depths (outer 0, inner 1),
+     never a sibling's.  With a shared mutable nest counter this flakes —
+     one domain's open span would shift the other's recorded depth. *)
+  let sink, events = Sink.memory () in
+  let tel = Telemetry.create sink in
+  let worker tag () =
+    for _ = 1 to 200 do
+      Telemetry.span tel (tag ^ ".outer") (fun () ->
+          Telemetry.span tel (tag ^ ".inner") (fun () -> ()))
+    done
+  in
+  let d1 = Domain.spawn (worker "left") in
+  let d2 = Domain.spawn (worker "right") in
+  Domain.join d1;
+  Domain.join d2;
+  let evs = events () in
+  Alcotest.(check int) "all spans recorded" 800 (List.length evs);
+  List.iter
+    (fun (ev : Sink.event) ->
+      match (Sink.find_str ev.fields "name", Sink.find_int ev.fields "nest") with
+      | Some name, Some nest ->
+        let expected =
+          if String.length name > 6 && String.sub name (String.length name - 6) 6 = ".inner"
+          then 1
+          else 0
+        in
+        if nest <> expected then
+          Alcotest.failf "span %s recorded nest %d, expected %d" name nest expected
+      | _ -> Alcotest.fail "span event missing name or nest")
+    evs
+
 (* ------------------------------------------------------------------ *)
 (* Disabled handle.                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -255,6 +288,8 @@ let tests =
     Alcotest.test_case "buffer sink produces parsable JSONL" `Quick test_buffer_sink_trace;
     Alcotest.test_case "event_of_json rejects garbage" `Quick test_event_of_json_rejects_garbage;
     Alcotest.test_case "two-domain sink hammer" `Quick test_two_domain_hammer;
+    Alcotest.test_case "two-domain span nesting is domain-local" `Quick
+      test_two_domain_span_nesting;
     Alcotest.test_case "disabled handle is a no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "disabled solver matches plain" `Quick test_disabled_solver_matches_plain;
   ]
