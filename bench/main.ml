@@ -597,6 +597,26 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
     q_wall = Portfolio.Pool.wall () -. w0;
   }
 
+(* Inprocessing ablation for the snapshot: the default session rows against
+   the same sweep with depth-boundary inprocessing on (deterministic budget:
+   the default preset has no wall-clock slice).  Outcomes are gated exactly
+   like every other sequential row; the block records what elimination
+   bought on the all-UNSAT tail of the sweep, which is where the clause
+   arena otherwise only ever grows. *)
+type quick_inpr_totals = {
+  mutable i_eliminated : int;
+  mutable i_subsumed : int;
+  mutable i_strengthened : int;
+  mutable i_probe_failed : int;
+  mutable i_resolvents : int;
+}
+
+type quick_inpr_summary = {
+  i_tail_off_s : float; (* UNSAT-depth solve time, inprocessing off *)
+  i_tail_on_s : float; (* same depths, inprocessing on *)
+  i_totals : quick_inpr_totals;
+}
+
 (* The session substrate: one persistent solver, frame deltas loaded once,
    the per-depth ¬P clause guarded by an activation literal.  Outcomes must
    match the classic rows depth for depth (quick-check gates on it); search
@@ -608,11 +628,11 @@ let quick_run_case ((case : Circuit.Generators.case), depth) =
    snapshotted and gated like every other sequential row, since their
    orderings are deterministic functions of the (deterministic) core
    sequence. *)
-let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
-    ((case : Circuit.Generators.case), depth) =
+let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session") ?inprocess
+    ?unsat_tail ?inpr_totals ((case : Circuit.Generators.case), depth) =
   let config =
     Bmc.Session.make_config ~mode ~budget:quick_budget ~max_depth:depth ~collect_cores:true
-      ~telemetry:tel ()
+      ?inprocess ~telemetry:tel ()
   in
   let session =
     Bmc.Session.create ~policy:Bmc.Session.Persistent config case.netlist
@@ -638,9 +658,22 @@ let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
     dec := !dec + st.Bmc.Session.decisions;
     confl := !confl + st.Bmc.Session.conflicts;
     props := !props + st.Bmc.Session.implications;
-    build := !build +. st.Bmc.Session.build_time
+    build := !build +. st.Bmc.Session.build_time;
+    (* the UNSAT tail: where inprocessing is supposed to pay — the deep
+       all-UNSAT suffix of the sweep, measured by per-depth solve time *)
+    match (unsat_tail, st.Bmc.Session.outcome) with
+    | Some acc, Sat.Solver.Unsat -> acc := !acc +. st.Bmc.Session.time
+    | Some _, (Sat.Solver.Sat | Sat.Solver.Unknown) | None, _ -> ()
   done;
   let stats = Bmc.Session.solver_stats session in
+  (match inpr_totals with
+  | Some t ->
+    t.i_eliminated <- t.i_eliminated + stats.Sat.Stats.inpr_eliminated;
+    t.i_subsumed <- t.i_subsumed + stats.Sat.Stats.inpr_subsumed;
+    t.i_strengthened <- t.i_strengthened + stats.Sat.Stats.inpr_strengthened;
+    t.i_probe_failed <- t.i_probe_failed + stats.Sat.Stats.inpr_probe_failed;
+    t.i_resolvents <- t.i_resolvents + stats.Sat.Stats.inpr_resolvents
+  | None -> ());
   {
     q_name = case.name ^ suffix;
     q_outcomes = Buffer.contents buf;
@@ -808,9 +841,10 @@ let quick_best_seq psum =
     ("standard", List.assoc "standard" psum.p_seq)
     psum.p_seq
 
-let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~observability:osum =
+let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum
+    ~observability:osum =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v5\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v6\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
@@ -857,6 +891,13 @@ let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~observability:osum 
        ssum.s_totals.t_rejected_tainted ssum.s_totals.t_dropped_stale);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"inprocess\": { \"unsat_tail_off_s\": %.6f, \"unsat_tail_on_s\": %.6f, \
+        \"eliminated\": %d, \"subsumed\": %d, \"strengthened\": %d, \"probe_failed\": %d, \
+        \"resolvents\": %d },\n"
+       isum.i_tail_off_s isum.i_tail_on_s isum.i_totals.i_eliminated isum.i_totals.i_subsumed
+       isum.i_totals.i_strengthened isum.i_totals.i_probe_failed isum.i_totals.i_resolvents);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"observability\": { \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \
         \"overhead_pct\": %.2f }\n}\n"
        osum.o_wall_off osum.o_wall_on osum.o_overhead_pct);
@@ -870,7 +911,18 @@ let quick_rows () =
      persistent incremental session (in all three orderings), and the racing
      portfolio with the clause exchange off and on *)
   let classic = List.map quick_run_case cases in
-  let session = List.map quick_run_case_session cases in
+  let inpr_tail_off = ref 0.0 in
+  let session = List.map (quick_run_case_session ~unsat_tail:inpr_tail_off) cases in
+  let inpr_tail_on = ref 0.0 in
+  let inpr_totals =
+    { i_eliminated = 0; i_subsumed = 0; i_strengthened = 0; i_probe_failed = 0; i_resolvents = 0 }
+  in
+  let session_inpr =
+    List.map
+      (quick_run_case_session ~inprocess:Sat.Inprocess.default ~suffix:"+session+inpr"
+         ~unsat_tail:inpr_tail_on ~inpr_totals)
+      cases
+  in
   (* per-ordering sequential baselines: snapshotted rows AND the walls the
      portfolio speedup line compares against *)
   let seq_static =
@@ -912,8 +964,13 @@ let quick_rows () =
       s_totals = share_totals;
     }
   in
+  let isum =
+    { i_tail_off_s = !inpr_tail_off; i_tail_on_s = !inpr_tail_on; i_totals = inpr_totals }
+  in
   let osum = quick_observability () in
-  let rows = classic @ session @ seq_static @ seq_dynamic @ portfolio @ portfolio_share in
+  let rows =
+    classic @ session @ session_inpr @ seq_static @ seq_dynamic @ portfolio @ portfolio_share
+  in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
   Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
   Printf.printf "%-24s %-14s %10s %10s %12s %9s %9s %9s %9s\n" "model" "outcomes" "decisions"
@@ -955,6 +1012,11 @@ let quick_rows () =
     ssum.s_wall_off ssum.s_wall_on share_totals.t_exported share_totals.t_imported
     share_totals.t_rejected_tainted share_totals.t_dropped_stale;
   Printf.printf
+    "   inprocessing: UNSAT-tail solve %.3fs off vs %.3fs on; eliminated=%d subsumed=%d \
+     strengthened=%d probe_failed=%d resolvents=%d\n"
+    isum.i_tail_off_s isum.i_tail_on_s inpr_totals.i_eliminated inpr_totals.i_subsumed
+    inpr_totals.i_strengthened inpr_totals.i_probe_failed inpr_totals.i_resolvents;
+  Printf.printf
     "   observability: session sweep %.3fs bare vs %.3fs with flight recorder + ledger \
      (%+.1f%% overhead, best of 3)\n"
     osum.o_wall_off osum.o_wall_on osum.o_overhead_pct;
@@ -973,12 +1035,18 @@ let quick_rows () =
   Telemetry.gauge tel "quick.sharing.rejected_tainted"
     (float_of_int share_totals.t_rejected_tainted);
   Telemetry.gauge tel "quick.observability.overhead_pct" osum.o_overhead_pct;
-  (rows, alloc_mb, psum, ssum, osum)
+  Telemetry.gauge tel "quick.inprocess.unsat_tail_off_s" isum.i_tail_off_s;
+  Telemetry.gauge tel "quick.inprocess.unsat_tail_on_s" isum.i_tail_on_s;
+  Telemetry.gauge tel "quick.inprocess.eliminated" (float_of_int inpr_totals.i_eliminated);
+  Telemetry.gauge tel "quick.inprocess.subsumed" (float_of_int inpr_totals.i_subsumed);
+  (rows, alloc_mb, psum, ssum, isum, osum)
 
 let quick () =
-  let rows, alloc_mb, psum, ssum, osum = quick_rows () in
+  let rows, alloc_mb, psum, ssum, isum, osum = quick_rows () in
   let oc = open_out quick_snapshot_file in
-  output_string oc (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~observability:osum);
+  output_string oc
+    (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum
+       ~observability:osum);
   close_out oc;
   Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
 
@@ -1007,7 +1075,7 @@ let quick_timing_dependent name =
   at 0
 
 let quick_check () =
-  let rows, _, _, _, osum = quick_rows () in
+  let rows, _, _, _, _, osum = quick_rows () in
   let expected =
     let ic = open_in quick_snapshot_file in
     let tbl = Hashtbl.create 16 in
@@ -1064,7 +1132,14 @@ let quick_check () =
             Printf.eprintf "quick-check: %s: classic and %s outcomes diverge: %s vs %s\n"
               r.q_name suffix r.q_outcomes s.q_outcomes
           | Some _ | None -> ())
-        [ "+session"; "+static"; "+dynamic"; "+portfolio"; "+portfolio+share" ])
+        [
+          "+session";
+          "+session+inpr";
+          "+static";
+          "+dynamic";
+          "+portfolio";
+          "+portfolio+share";
+        ])
     rows;
   (* the tracing-overhead gate: the flight recorder + ledger pipeline must
      stay within 5% of the bare wall (fresh measurement, best of 3) *)

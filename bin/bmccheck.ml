@@ -102,7 +102,34 @@ let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
     d.depth
     (Format.asprintf "%a" Sat.Solver.pp_outcome d.outcome)
     d.decisions d.implications d.conflicts d.core_var_count d.build_time d.time d.cdg_time
-    (if d.switched then " [switched to VSIDS]" else "")
+    (if d.switched then " [switched to VSIDS]" else "");
+  if d.inpr_elim + d.inpr_subsumed + d.inpr_strengthened + d.inpr_probe_failed > 0 then
+    Format.fprintf ppf " [inpr elim=%d sub=%d str=%d probes=%d]" d.inpr_elim d.inpr_subsumed
+      d.inpr_strengthened d.inpr_probe_failed
+
+(* --inprocess exit summary: totals over the run's depth stats, printed
+   only when inprocessing was requested (so default output is unchanged) *)
+let pp_inprocess_summary source (per_depth : Bmc.Engine.depth_stat list) =
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
+  let time = List.fold_left (fun acc (d : Bmc.Engine.depth_stat) -> acc +. d.inpr_time) 0.0 per_depth in
+  Format.printf
+    "%s: inprocessing eliminated %d vars, subsumed %d clauses, strengthened %d, %d failed \
+     probes (%.3fs)@."
+    source
+    (sum (fun d -> d.Bmc.Session.inpr_elim))
+    (sum (fun d -> d.Bmc.Session.inpr_subsumed))
+    (sum (fun d -> d.Bmc.Session.inpr_strengthened))
+    (sum (fun d -> d.Bmc.Session.inpr_probe_failed))
+    time
+
+let parse_inprocess = function
+  | None -> None
+  | Some spec -> (
+    match Sat.Inprocess.config_of_string spec with
+    | Ok cfg -> Some cfg
+    | Error msg ->
+      Format.eprintf "bmccheck: --inprocess: %s@." msg;
+      exit 2)
 
 let parse_mode mode_name =
   match Bmc.Engine.mode_of_string mode_name with
@@ -120,7 +147,7 @@ let parse_weighting = function
     exit 2
 
 let run_single source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula trace_file metrics ledger_file
+    max_seconds simple_path fresh_solver ltl_formula inprocess trace_file metrics ledger_file
     flight_file =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
@@ -141,12 +168,17 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     let telemetry = setup_telemetry trace_file metrics ledger_file in
     let recorder = setup_recorder flight_file in
     let config =
-      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry ?recorder ()
+      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ?inprocess ~telemetry
+        ?recorder ()
     in
     (* induction and LTL take the session policy directly; for the invariant
        engines the policy is the engine name (bmc = fresh, incremental =
        persistent) *)
     let policy = if fresh_solver then Bmc.Session.Fresh else Bmc.Session.Persistent in
+    if inprocess <> None && (fresh_solver || (ltl_formula = None && engine_name = "bmc")) then
+      Format.eprintf
+        "bmccheck: note: --inprocess only acts on persistent sessions (use --engine \
+         incremental, or drop --fresh-solver)@.";
     (match ltl_formula with
     | Some text ->
       let formula =
@@ -158,6 +190,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
       let r = Bmc.Ltl.check ~config ~policy netlist formula in
       if verbose then
         List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) r.per_depth;
+      if inprocess <> None then pp_inprocess_summary source r.per_depth;
       (match r.verdict with
       | Bmc.Ltl.Falsified w ->
         Format.printf "%s: LTL property falsified at depth %d (%s)@." source w.depth
@@ -253,6 +286,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     in
     if verbose then
       List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) result.per_depth;
+    if inprocess <> None then pp_inprocess_summary source result.per_depth;
     Format.printf "%s: %a (%.3fs, %d decisions, %d implications)@." source
       Bmc.Engine.pp_verdict result.verdict result.total_time result.total_decisions
       result.total_implications;
@@ -265,7 +299,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
 
 (* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
 let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-    trace_file metrics ledger_file flight_file jobs share share_max_lbd =
+    inprocess trace_file metrics ledger_file flight_file jobs share share_max_lbd =
   let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
@@ -284,7 +318,7 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
     let telemetry = setup_telemetry trace_file metrics ledger_file in
     let recorder = setup_recorder flight_file in
     let config =
-      Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ~telemetry ?recorder ()
+      Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ?inprocess ~telemetry ?recorder ()
     in
     let jobs = if jobs > 0 then jobs else 3 in
     if share_max_lbd < 1 then begin
@@ -340,7 +374,7 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
 
 (* Several CIRCUITs: batch-solve the properties across the pool (mode B). *)
 let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-    max_conflicts max_seconds trace_file metrics ledger_file flight_file jobs =
+    max_conflicts max_seconds inprocess trace_file metrics ledger_file flight_file jobs =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
   let policy =
@@ -382,8 +416,8 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
         Portfolio.Pool.map_list ~label:"batch" pool
           (fun (source, netlist, property, max_depth) ->
             let config =
-              Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ~telemetry
-                ?recorder ()
+              Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ?inprocess
+                ~telemetry ?recorder ()
             in
             (source, netlist, Bmc.Session.check ~config ~policy netlist ~property))
           items)
@@ -407,8 +441,9 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   exit !code
 
 let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula trace_file metrics ledger_file
-    flight_file jobs portfolio share share_max_lbd =
+    max_seconds simple_path fresh_solver ltl_formula inprocess_spec trace_file metrics
+    ledger_file flight_file jobs portfolio share share_max_lbd =
+  let inprocess = parse_inprocess inprocess_spec in
   if share && not portfolio then begin
     Format.eprintf "bmccheck: --share requires --portfolio (clause exchange races)@.";
     exit 2
@@ -424,18 +459,18 @@ let run sources engine_name mode_name max_depth coi weighting_name verbose max_c
       exit 2
     end;
     run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-      trace_file metrics ledger_file flight_file jobs share share_max_lbd
+      inprocess trace_file metrics ledger_file flight_file jobs share share_max_lbd
   | [ source ], false ->
     run_single source engine_name mode_name max_depth coi weighting_name verbose
-      max_conflicts max_seconds simple_path fresh_solver ltl_formula trace_file metrics
-      ledger_file flight_file
+      max_conflicts max_seconds simple_path fresh_solver ltl_formula inprocess trace_file
+      metrics ledger_file flight_file
   | sources, false ->
     if ltl_formula <> None then begin
       Format.eprintf "bmccheck: batch mode checks built-in invariants, not --ltl@.";
       exit 2
     end;
     run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-      max_conflicts max_seconds trace_file metrics ledger_file flight_file jobs
+      max_conflicts max_seconds inprocess trace_file metrics ledger_file flight_file jobs
 
 open Cmdliner
 
@@ -506,6 +541,21 @@ let max_seconds =
     value
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SEC" ~doc:"Per-instance CPU-second budget.")
+
+let inprocess =
+  Arg.(
+    value
+    & opt ~vopt:(Some "default") (some string) None
+    & info [ "inprocess" ] ~docv:"BUDGET"
+        ~doc:"Run proof-aware inprocessing (failed-literal probing, subsumption, \
+              self-subsuming resolution, bounded variable elimination) inside the \
+              persistent solver at every depth boundary.  Outcomes, unsat cores and \
+              certificates are unchanged; the retired instance's satisfied clauses and \
+              dead auxiliaries are swept before the next depth's deltas load.  $(docv) is \
+              a preset (default | light | aggressive) or comma-separated \
+              occ=/growth=/probes=/rounds=/ms= overrides (e.g. 'occ=16,probes=256').  \
+              Requires a persistent session (--engine incremental, --portfolio, batch \
+              incremental, or --ltl / --engine induction without --fresh-solver).")
 
 let trace_file =
   Arg.(
@@ -584,7 +634,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
-      $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ trace_file $ metrics
-      $ ledger_file $ flight_file $ jobs $ portfolio $ share $ share_max_lbd)
+      $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ inprocess
+      $ trace_file $ metrics $ ledger_file $ flight_file $ jobs $ portfolio $ share
+      $ share_max_lbd)
 
 let () = exit (Cmd.eval cmd)

@@ -69,6 +69,7 @@ let kind_char = function
   | Obs.Recorder.Racer_win -> '*'
   | Obs.Recorder.Share_export -> 'e'
   | Obs.Recorder.Share_import -> 'i'
+  | Obs.Recorder.Inprocess -> 'P'
 
 (* Later events overwrite earlier ones in a cell; rarer, more interesting
    kinds take precedence over bulk ones so a win is never hidden by the
@@ -85,6 +86,7 @@ let kind_weight = function
   | Obs.Recorder.Solve -> 1
   | Obs.Recorder.Share_export -> 1
   | Obs.Recorder.Share_import -> 1
+  | Obs.Recorder.Inprocess -> 3
 
 let run_timeline path width =
   let entries =
@@ -210,6 +212,22 @@ let bench_diff ~warn_pct a b =
       if not (List.mem_assoc name ca) then
         add Obs.Ledger.Warn (Printf.sprintf "case %s only in candidate" name))
     cb;
+  (* the v6 inprocess block: counters are deterministic, so drift beyond the
+     warn threshold flags a behaviour change in the boundary simplifier
+     (absent in pre-v6 snapshots — nothing to compare then) *)
+  (match (Obs.Json.member "inprocess" a, Obs.Json.member "inprocess" b) with
+  | Some ia, Some ib ->
+    List.iter
+      (fun key ->
+        let va = Obs.Json.get_int ia key and vb = Obs.Json.get_int ib key in
+        let d = pct va vb in
+        if d > warn_pct then
+          add Obs.Ledger.Warn
+            (Printf.sprintf "inprocess: %s drifted %.0f%% (%d -> %d)" key d va vb))
+      [ "eliminated"; "subsumed"; "strengthened"; "probe_failed" ]
+  | Some _, None ->
+    add Obs.Ledger.Warn "inprocess block present in baseline but missing from candidate"
+  | None, (Some _ | None) -> ());
   List.rev !findings
 
 let run_diff path_a path_b warn_pct =

@@ -47,7 +47,7 @@ let parse_assumptions text =
              Some (if d > 0 then Sat.Lit.pos v else Sat.Lit.neg v)))
 
 let run file core stats_flag max_conflicts max_seconds assume drat_file certify preprocess
-    trace_file metrics flight_file =
+    inprocess trace_file metrics flight_file =
   match
     (try Ok (Sat.Dimacs.parse_file file) with
     | Sat.Dimacs.Parse_error msg -> Error msg
@@ -64,15 +64,29 @@ let run file core stats_flag max_conflicts max_seconds assume drat_file certify 
       exit 2
     end;
     let assumptions = match assume with Some text -> parse_assumptions text | None -> [] in
-    if assumptions <> [] && (preprocess || certify || drat_file <> None) then begin
+    if assumptions <> [] && (certify || drat_file <> None) then begin
       Format.eprintf
         "satcheck: --assume solves under temporary hypotheses and cannot be combined with \
-         --preprocess/--certify/--drat@.";
+         --certify/--drat@.";
       exit 2
     end;
+    let inprocess_cfg =
+      match inprocess with
+      | None -> None
+      | Some spec -> (
+        match Sat.Inprocess.config_of_string spec with
+        | Ok cfg -> Some cfg
+        | Error msg ->
+          Format.eprintf "satcheck: --inprocess: %s@." msg;
+          exit 2)
+    in
     let work, reconstruct =
       if preprocess then begin
-        let r = Sat.Simplify.preprocess cnf in
+        (* assumption variables must survive elimination: an eliminated
+           variable no longer occurs, so assuming it would constrain
+           nothing and the answer could differ from the input formula's *)
+        let frozen = List.map Sat.Lit.var assumptions in
+        let r = Sat.Simplify.preprocess ~frozen cnf in
         Format.eprintf
           "c preprocess: %d vars eliminated, %d clauses subsumed, %d strengthened (%d -> %d \
            clauses)@."
@@ -104,6 +118,12 @@ let run file core stats_flag max_conflicts max_seconds assume drat_file certify 
         stop = None;
       }
     in
+    (match inprocess_cfg with
+    | Some config ->
+      List.iter (fun l -> Sat.Solver.freeze solver (Sat.Lit.var l)) assumptions;
+      let ist = Sat.Solver.inprocess ~config solver in
+      Format.eprintf "c inprocess: %a@." Sat.Inprocess.pp_stats ist
+    | None -> ());
     let outcome = Sat.Solver.solve ~budget ~assumptions solver in
     if stats_flag then Format.eprintf "c %a@." Sat.Stats.pp (Sat.Solver.stats solver);
     (match outcome with
@@ -205,6 +225,17 @@ let preprocess =
         ~doc:"Apply subsumption and bounded variable elimination before solving (models are \
               reconstructed; incompatible with core/proof output).")
 
+let inprocess =
+  Arg.(
+    value
+    & opt ~vopt:(Some "default") (some string) None
+    & info [ "inprocess" ] ~docv:"BUDGET"
+        ~doc:"Run one proof-aware inprocessing pass (failed-literal probing, subsumption, \
+              self-subsuming resolution, bounded variable elimination) before solving.  \
+              Assumption variables are frozen automatically, models are reconstructed, and \
+              core/certify/drat output stays exact.  $(docv) is a preset (default | light | \
+              aggressive) or comma-separated occ=/growth=/probes=/rounds=/ms= overrides.")
+
 let trace_file =
   Arg.(
     value
@@ -235,6 +266,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ file $ core $ stats $ max_conflicts $ max_seconds $ assume $ drat_file
-      $ certify $ preprocess $ trace_file $ metrics $ flight_file)
+      $ certify $ preprocess $ inprocess $ trace_file $ metrics $ flight_file)
 
 let () = exit (Cmd.eval cmd)

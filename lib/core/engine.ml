@@ -17,6 +17,7 @@ type config = Session.config = {
   max_depth : int;
   collect_cores : bool;
   restart_base : int option;
+  inprocess : Sat.Inprocess.config option;
   telemetry : Telemetry.t;
   recorder : Obs.Recorder.t option;
 }
@@ -43,6 +44,11 @@ type depth_stat = Session.depth_stat = {
   build_time : float;
   bcp_time : float;
   cdg_time : float;
+  inpr_elim : int;
+  inpr_subsumed : int;
+  inpr_strengthened : int;
+  inpr_probe_failed : int;
+  inpr_time : float;
 }
 
 let emit_depth_event = Session.emit_depth_event

@@ -42,6 +42,10 @@ type config = Session.config = {
   restart_base : int option;
       (** override the solver's Luby restart unit (see
           {!Session.config}) *)
+  inprocess : Sat.Inprocess.config option;
+      (** depth-boundary inprocessing budget ([Persistent]-policy sessions
+          only — ignored by this engine's [Fresh] policy; see
+          {!Session.config}) *)
   telemetry : Telemetry.t;
       (** structured-tracing handle, threaded into every solver the engine
           creates; the engine additionally emits one "depth" event per
@@ -64,6 +68,7 @@ val config :
   ?max_depth:int ->
   ?collect_cores:bool ->
   ?restart_base:int ->
+  ?inprocess:Sat.Inprocess.config ->
   ?telemetry:Telemetry.t ->
   ?recorder:Obs.Recorder.t ->
   unit ->
@@ -89,6 +94,11 @@ type depth_stat = Session.depth_stat = {
   cdg_time : float;
       (** CPU seconds of CDG bookkeeping inside the solve (0 unless
           telemetry was enabled — the Section 3.1 overhead, per depth) *)
+  inpr_elim : int;  (** boundary-inprocessing variables eliminated *)
+  inpr_subsumed : int;  (** boundary-inprocessing clauses subsumed *)
+  inpr_strengthened : int;  (** boundary self-subsuming resolutions *)
+  inpr_probe_failed : int;  (** boundary failed-literal probes *)
+  inpr_time : float;  (** CPU seconds of boundary inprocessing *)
 }
 
 val emit_depth_event : Telemetry.t -> depth_stat -> unit

@@ -65,6 +65,10 @@ let prove ?(config = Engine.default_config) ?(policy = Session.Persistent)
     Session.create ~policy ~constrain_init:false ~score ~learn_cores:false cfg netlist ~property
   in
   let regs = Circuit.Netlist.regs netlist in
+  (* the step instance constrains the property at every frame and (with
+     simple-path) the registers at every frame pair, so those nodes must
+     survive any depth-boundary variable elimination *)
+  Session.freeze_nodes step (property :: regs);
   let per_depth = ref [] in
   let start = Sys.time () in
   let finish verdict =

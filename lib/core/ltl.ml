@@ -460,6 +460,10 @@ let check ?(config = Engine.default_config) ?(policy = Session.Persistent) netli
   let cfg = { config with Session.coi = false } in
   let session = Session.create ~policy cfg netlist ~property:0 in
   let regs = Circuit.Netlist.regs netlist in
+  (* every instance re-reads the formula atoms at frames 0..k and the
+     registers at all frames (loop closing), so those variables must
+     survive any depth-boundary elimination *)
+  Session.freeze_nodes session (atoms regs psi);
   let per_depth = ref [] in
   let start = Sys.time () in
   let finish verdict =

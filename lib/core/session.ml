@@ -22,6 +22,7 @@ type config = {
   max_depth : int;
   collect_cores : bool;
   restart_base : int option;
+  inprocess : Sat.Inprocess.config option;
   telemetry : Telemetry.t;
   recorder : Obs.Recorder.t option;
 }
@@ -35,13 +36,14 @@ let default_config =
     max_depth = 20;
     collect_cores = false;
     restart_base = None;
+    inprocess = None;
     telemetry = Telemetry.disabled;
     recorder = None;
   }
 
 let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
-    ?restart_base ?(telemetry = Telemetry.disabled) ?recorder () =
+    ?restart_base ?inprocess ?(telemetry = Telemetry.disabled) ?recorder () =
   {
     mode;
     weighting;
@@ -50,6 +52,7 @@ let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     max_depth;
     collect_cores;
     restart_base;
+    inprocess;
     telemetry;
     recorder;
   }
@@ -88,6 +91,15 @@ let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
     shared_exported = after.shared_exported - before.shared_exported;
     shared_imported = after.shared_imported - before.shared_imported;
     shared_rejected_tainted = after.shared_rejected_tainted - before.shared_rejected_tainted;
+    inpr_runs = after.inpr_runs - before.inpr_runs;
+    inpr_probes = after.inpr_probes - before.inpr_probes;
+    inpr_probe_failed = after.inpr_probe_failed - before.inpr_probe_failed;
+    inpr_satisfied = after.inpr_satisfied - before.inpr_satisfied;
+    inpr_subsumed = after.inpr_subsumed - before.inpr_subsumed;
+    inpr_strengthened = after.inpr_strengthened - before.inpr_strengthened;
+    inpr_eliminated = after.inpr_eliminated - before.inpr_eliminated;
+    inpr_resolvents = after.inpr_resolvents - before.inpr_resolvents;
+    inpr_time = after.inpr_time -. before.inpr_time;
     solve_time = after.solve_time -. before.solve_time;
     bcp_time = after.bcp_time -. before.bcp_time;
     analyze_time = after.analyze_time -. before.analyze_time;
@@ -128,6 +140,11 @@ type depth_stat = {
   build_time : float;
   bcp_time : float;
   cdg_time : float;
+  inpr_elim : int;
+  inpr_subsumed : int;
+  inpr_strengthened : int;
+  inpr_probe_failed : int;
+  inpr_time : float;
 }
 
 (* Symmetric difference sizes between two core-variable sets: how much of
@@ -171,6 +188,11 @@ let emit_depth_event tel (d : depth_stat) =
         ("core_new", Telemetry.Sink.Int d.core_new);
         ("core_dropped", Telemetry.Sink.Int d.core_dropped);
         ("switched", Telemetry.Sink.Bool d.switched);
+        ("inpr_elim", Telemetry.Sink.Int d.inpr_elim);
+        ("inpr_sub", Telemetry.Sink.Int d.inpr_subsumed);
+        ("inpr_str", Telemetry.Sink.Int d.inpr_strengthened);
+        ("inpr_probe_failed", Telemetry.Sink.Int d.inpr_probe_failed);
+        ("inpr_s", Telemetry.Sink.Float d.inpr_time);
       ]
 
 type policy =
@@ -267,6 +289,13 @@ type t = {
   mutable build_acc : float; (* CPU seconds building the open instance *)
   mutable last_core : int list;
   mutable last_core_vars : Sat.Lit.var list;
+  freeze_tbl : (Circuit.Netlist.node, unit) Hashtbl.t;
+      (* nodes whose variables stay frozen at every frame: engines register
+         the nodes their instance constraints revisit at old frames
+         (induction's property / registers, LTL's atoms) *)
+  mutable inpr_pending : Sat.Inprocess.stats;
+      (* boundary-inprocessing counters accumulated since the last
+         [solve_instance], folded into its depth_stat *)
 }
 
 let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
@@ -312,6 +341,8 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
     build_acc = 0.0;
     last_core = [];
     last_core_vars = [];
+    freeze_tbl = Hashtbl.create 16;
+    inpr_pending = Sat.Inprocess.fresh_stats ();
   }
 
 let policy t = t.pol
@@ -337,6 +368,62 @@ let live_solver t =
   | Some s -> s
   | None -> assert false
 
+let freeze_nodes t nodes =
+  List.iter (fun n -> if n >= 0 then Hashtbl.replace t.freeze_tbl n ()) nodes
+
+(* The freeze set for one depth-boundary inprocessing run, recomputed from
+   the Varmap each time.  A variable survives elimination when future
+   clauses can mention it again:
+   - unmapped or activation-literal variables — conservatively frozen
+     (retired activation literals are level-0-assigned anyway);
+   - instance-local auxiliaries (pseudo-node [-2]) of retired instances —
+     melted: nothing ever mentions them again, the prime BVE fodder;
+   - circuit variables at the top loaded frame — frozen: the next frame's
+     transition delta resolves against them;
+   - variables of nodes an engine registered via {!freeze_nodes} — frozen
+     at every frame (induction / LTL constraints revisit old frames);
+   - everything frozen while clause sharing is on: an imported clause may
+     mention any materialised (node, frame) variable. *)
+let refresh_freeze t solver =
+  let vm = Unroll.varmap t.unroll in
+  let all_circuit_frozen = t.share <> None in
+  for v = 0 to Varmap.num_vars vm - 1 do
+    match Varmap.key_of vm v with
+    | None -> Sat.Solver.freeze solver v
+    | Some (node, _) when node = activation_node -> Sat.Solver.freeze solver v
+    | Some (node, _) when node = aux_node -> Sat.Solver.melt solver v
+    | Some (node, frame) ->
+      if all_circuit_frozen || frame >= t.loaded_frames || Hashtbl.mem t.freeze_tbl node
+      then Sat.Solver.freeze solver v
+      else Sat.Solver.melt solver v
+  done
+
+let add_inpr_stats (acc : Sat.Inprocess.stats) (s : Sat.Inprocess.stats) =
+  acc.Sat.Inprocess.probes <- acc.Sat.Inprocess.probes + s.Sat.Inprocess.probes;
+  acc.probe_failed <- acc.probe_failed + s.probe_failed;
+  acc.satisfied_removed <- acc.satisfied_removed + s.satisfied_removed;
+  acc.subsumed <- acc.subsumed + s.subsumed;
+  acc.strengthened <- acc.strengthened + s.strengthened;
+  acc.eliminated <- acc.eliminated + s.eliminated;
+  acc.resolvents <- acc.resolvents + s.resolvents;
+  acc.rounds_run <- acc.rounds_run + s.rounds_run;
+  acc.time <- acc.time +. s.time
+
+let run_inprocess t solver icfg =
+  refresh_freeze t solver;
+  let st = Sat.Solver.inprocess ~config:icfg solver in
+  add_inpr_stats t.inpr_pending st;
+  let tel = t.cfg.telemetry in
+  if Telemetry.enabled tel then begin
+    let c name v = if v > 0 then Telemetry.counter tel ("inprocess." ^ name) v in
+    c "eliminated" st.Sat.Inprocess.eliminated;
+    c "subsumed" st.Sat.Inprocess.subsumed;
+    c "strengthened" st.Sat.Inprocess.strengthened;
+    c "satisfied" st.Sat.Inprocess.satisfied_removed;
+    c "probe_failed" st.Sat.Inprocess.probe_failed;
+    c "resolvents" st.Sat.Inprocess.resolvents
+  end
+
 let begin_instance ?frames t ~k =
   assert_owner t "begin_instance";
   let frames = match frames with Some f -> f | None -> k in
@@ -355,6 +442,12 @@ let begin_instance ?frames t ~k =
     | Some act -> Sat.Solver.add_clause solver [ Sat.Lit.negate act ]
     | None -> ());
     t.act <- None;
+    (* depth boundary: the retired instance's guard is a unit now, so its
+       clauses are level-0-satisfied fodder and its auxiliaries are dead —
+       simplify before the next frames' deltas arrive *)
+    (match t.cfg.inprocess with
+    | Some icfg when t.instance_k >= 0 -> run_inprocess t solver icfg
+    | Some _ | None -> ());
     Unroll.extend_to t.unroll frames;
     (* feed only the deltas of frames the solver has not seen yet — each
        frame enters the clause database exactly once per session *)
@@ -500,8 +593,14 @@ let solve_instance t =
       build_time = t.build_acc;
       bcp_time = delta.Sat.Stats.bcp_time;
       cdg_time = Sat.Solver.cdg_seconds solver -. cdg_before;
+      inpr_elim = t.inpr_pending.Sat.Inprocess.eliminated;
+      inpr_subsumed = t.inpr_pending.Sat.Inprocess.subsumed;
+      inpr_strengthened = t.inpr_pending.Sat.Inprocess.strengthened;
+      inpr_probe_failed = t.inpr_pending.Sat.Inprocess.probe_failed;
+      inpr_time = t.inpr_pending.Sat.Inprocess.time;
     }
   in
+  t.inpr_pending <- Sat.Inprocess.fresh_stats ();
   emit_depth_event cfg.telemetry stat;
   (match cfg.recorder with
   | Some r ->

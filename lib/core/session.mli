@@ -62,6 +62,12 @@ type config = {
           solver default of 128).  The portfolio gives each racer a
           distinct unit so restart schedules — and therefore the clauses
           they learn and share — diversify. *)
+  inprocess : Sat.Inprocess.config option;
+      (** run proof-aware inprocessing ({!Sat.Solver.inprocess}) at every
+          depth boundary under this budget ([Persistent] policy only;
+          ignored under [Fresh]).  The session computes the freeze set
+          from its {!Varmap} before each run — see {!freeze_nodes}.
+          Default [None]: no inprocessing, bit-compatible with the seed. *)
   telemetry : Telemetry.t;
       (** structured-tracing handle, threaded into every solver the session
           creates; the session additionally emits one "depth" event per
@@ -84,6 +90,7 @@ val make_config :
   ?max_depth:int ->
   ?collect_cores:bool ->
   ?restart_base:int ->
+  ?inprocess:Sat.Inprocess.config ->
   ?telemetry:Telemetry.t ->
   ?recorder:Obs.Recorder.t ->
   unit ->
@@ -142,6 +149,13 @@ type depth_stat = {
   cdg_time : float;
       (** CPU seconds of CDG bookkeeping inside the solve (0 unless
           telemetry was enabled — the Section 3.1 overhead, per depth) *)
+  inpr_elim : int;
+      (** variables eliminated by the depth-boundary inprocessing run(s)
+          preceding this instance (0 with inprocessing off) *)
+  inpr_subsumed : int;  (** clauses removed by subsumption at the boundary *)
+  inpr_strengthened : int;  (** self-subsuming resolutions at the boundary *)
+  inpr_probe_failed : int;  (** failed-literal probes at the boundary *)
+  inpr_time : float;  (** CPU seconds of boundary inprocessing *)
 }
 
 val emit_depth_event : Telemetry.t -> depth_stat -> unit
@@ -240,6 +254,19 @@ val fresh_lit : t -> Sat.Lit.t
 
 val var_of : t -> node:Circuit.Netlist.node -> frame:int -> Sat.Lit.var
 (** The SAT variable of a circuit node at a frame (via the unroller). *)
+
+val freeze_nodes : t -> Circuit.Netlist.node list -> unit
+(** Exempt the given circuit nodes — at {e every} frame — from variable
+    elimination by depth-boundary inprocessing.  Engines whose instance
+    constraints revisit already-loaded frames must register the nodes those
+    constraints mention (k-induction: the property and the registers; LTL:
+    the formula atoms and the registers); plain BMC constrains only the
+    newest frame, whose variables do not exist yet at boundary time, so it
+    needs no registration.  The session itself already freezes the top
+    loaded frame (the next transition delta resolves against it), keeps
+    activation literals frozen, and — with clause sharing on — freezes all
+    circuit variables.  Negative (pseudo-)nodes are ignored.  No-op unless
+    [config.inprocess] is set. *)
 
 val solve_instance : t -> depth_stat
 (** Refresh the decision ordering from the score ({!Sat.Solver.set_order}

@@ -20,6 +20,11 @@ type depth_row = {
   l_solve_s : float;
   l_bcp_s : float;
   l_cdg_s : float;
+  l_inpr_elim : int;
+  l_inpr_sub : int;
+  l_inpr_str : int;
+  l_inpr_probe_failed : int;
+  l_inpr_s : float;
 }
 
 type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }
@@ -79,6 +84,11 @@ let of_events (events : Sink.event list) =
             l_solve_s = ff "solve_s";
             l_bcp_s = ff "bcp_s";
             l_cdg_s = ff "cdg_s";
+            l_inpr_elim = fi "inpr_elim";
+            l_inpr_sub = fi "inpr_sub";
+            l_inpr_str = fi "inpr_str";
+            l_inpr_probe_failed = fi "inpr_probe_failed";
+            l_inpr_s = ff "inpr_s";
           }
           :: !depths
       | "race" ->
@@ -149,6 +159,11 @@ let depth_to_json (d : depth_row) =
       ("solve_s", Json.Float d.l_solve_s);
       ("bcp_s", Json.Float d.l_bcp_s);
       ("cdg_s", Json.Float d.l_cdg_s);
+      ("inpr_elim", Json.Int d.l_inpr_elim);
+      ("inpr_sub", Json.Int d.l_inpr_sub);
+      ("inpr_str", Json.Int d.l_inpr_str);
+      ("inpr_probe_failed", Json.Int d.l_inpr_probe_failed);
+      ("inpr_s", Json.Float d.l_inpr_s);
     ]
 
 let depth_of_json j =
@@ -170,6 +185,12 @@ let depth_of_json j =
     l_solve_s = Json.get_float j "solve_s";
     l_bcp_s = Json.get_float j "bcp_s";
     l_cdg_s = Json.get_float j "cdg_s";
+    (* additive columns: absent in pre-inprocessing ledgers, default 0 *)
+    l_inpr_elim = Json.get_int ~default:0 j "inpr_elim";
+    l_inpr_sub = Json.get_int ~default:0 j "inpr_sub";
+    l_inpr_str = Json.get_int ~default:0 j "inpr_str";
+    l_inpr_probe_failed = Json.get_int ~default:0 j "inpr_probe_failed";
+    l_inpr_s = Json.get_float ~default:0.0 j "inpr_s";
   }
 
 let race_to_json (r : race_row) =
@@ -308,6 +329,14 @@ let pp_effectiveness ppf t =
     t.switches switched (List.length t.depths);
   Format.fprintf ppf "  core churn        : +%d / -%d vars across %d unsat depth(s)@."
     churn_new churn_dropped unsat;
+  (let elim = total (fun d -> d.l_inpr_elim) t
+   and sub = total (fun d -> d.l_inpr_sub) t
+   and str = total (fun d -> d.l_inpr_str) t
+   and probes = total (fun d -> d.l_inpr_probe_failed) t in
+   if elim + sub + str + probes > 0 then
+     Format.fprintf ppf
+       "  inprocessing      : eliminated %d vars, subsumed %d, strengthened %d, failed probes %d@."
+       elim sub str probes);
   (match t.races with
   | [] -> Format.fprintf ppf "  races             : none@."
   | races ->

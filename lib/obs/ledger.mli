@@ -34,6 +34,14 @@ type depth_row = {
   l_solve_s : float;
   l_bcp_s : float;
   l_cdg_s : float;
+  l_inpr_elim : int;
+      (** variables eliminated by the boundary inprocessing before this
+          depth (0 with inprocessing off, and in pre-inprocessing ledgers
+          — the columns below parse with a 0 default, schema unchanged) *)
+  l_inpr_sub : int;  (** clauses subsumed at the boundary *)
+  l_inpr_str : int;  (** self-subsuming resolutions at the boundary *)
+  l_inpr_probe_failed : int;  (** failed-literal probes at the boundary *)
+  l_inpr_s : float;  (** CPU seconds of boundary inprocessing *)
 }
 
 type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }

@@ -10,6 +10,7 @@ type kind =
   | Racer_win
   | Share_export
   | Share_import
+  | Inprocess
 
 (* 0 is reserved: a fresh (all-zero) slot decodes as no event. *)
 let kind_to_int = function
@@ -24,6 +25,7 @@ let kind_to_int = function
   | Racer_win -> 9
   | Share_export -> 10
   | Share_import -> 11
+  | Inprocess -> 12
 
 let kind_of_int = function
   | 1 -> Some Restart
@@ -37,6 +39,7 @@ let kind_of_int = function
   | 9 -> Some Racer_win
   | 10 -> Some Share_export
   | 11 -> Some Share_import
+  | 12 -> Some Inprocess
   | _ -> None
 
 let kind_name = function
@@ -51,6 +54,7 @@ let kind_name = function
   | Racer_win -> "racer_win"
   | Share_export -> "share_export"
   | Share_import -> "share_import"
+  | Inprocess -> "inprocess"
 
 let kind_of_name = function
   | "restart" -> Some Restart
@@ -64,6 +68,7 @@ let kind_of_name = function
   | "racer_win" -> Some Racer_win
   | "share_export" -> Some Share_export
   | "share_import" -> Some Share_import
+  | "inprocess" -> Some Inprocess
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -36,6 +36,9 @@ type kind =
   | Racer_win  (** racer finished first; [a] = depth, [b] = racer slot *)
   | Share_export  (** clause exported; [a] = LBD, [b] = size *)
   | Share_import  (** clauses imported at level 0; [a] = count, [b] = 0 *)
+  | Inprocess
+      (** one inprocessing run at a depth boundary; [a] = variables
+          eliminated, [b] = clauses subsumed + strengthened *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option

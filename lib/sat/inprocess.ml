@@ -1,0 +1,321 @@
+(* Budgets, statistics and the pure simplification engine behind
+   [Solver.inprocess].  The engine works on a snapshot of the live clause
+   database and answers with an ordered action script; the solver replays
+   it against the arena / proof / DRAT state.  Keeping the engine pure
+   makes the derive-before-delete discipline auditable in one place: a new
+   clause is always emitted before any Delete of the clauses it was
+   resolved from. *)
+
+type config = {
+  max_occurrences : int;
+  growth : int;
+  max_probes : int;
+  rounds : int;
+  time_slice : float option;
+}
+
+let default =
+  { max_occurrences = 10; growth = 0; max_probes = 128; rounds = 2; time_slice = None }
+
+let light = { max_occurrences = 6; growth = 0; max_probes = 64; rounds = 1; time_slice = None }
+
+let aggressive =
+  { max_occurrences = 20; growth = 8; max_probes = 512; rounds = 4; time_slice = None }
+
+let config_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "default" -> Ok default
+  | "light" -> Ok light
+  | "aggressive" -> Ok aggressive
+  | spec ->
+    let parse_kv acc kv =
+      match acc with
+      | Error _ -> acc
+      | Ok cfg -> (
+        match String.split_on_char '=' kv with
+        | [ k; v ] -> (
+          match (String.trim k, int_of_string_opt (String.trim v)) with
+          | _, None -> Error (Printf.sprintf "inprocess budget: %S is not an integer" v)
+          | "occ", Some n when n >= 0 -> Ok { cfg with max_occurrences = n }
+          | "growth", Some n when n >= 0 -> Ok { cfg with growth = n }
+          | "probes", Some n when n >= 0 -> Ok { cfg with max_probes = n }
+          | "rounds", Some n when n >= 0 -> Ok { cfg with rounds = n }
+          | "ms", Some 0 -> Ok { cfg with time_slice = None }
+          | "ms", Some n when n > 0 ->
+            Ok { cfg with time_slice = Some (float_of_int n /. 1000.) }
+          | (("occ" | "growth" | "probes" | "rounds" | "ms") as k), Some _ ->
+            Error (Printf.sprintf "inprocess budget: %s must be non-negative" k)
+          | k, Some _ -> Error (Printf.sprintf "inprocess budget: unknown key %S" k))
+        | _ -> Error (Printf.sprintf "inprocess budget: expected key=value, got %S" kv))
+    in
+    List.fold_left parse_kv (Ok default) (String.split_on_char ',' spec)
+
+let pp_config ppf c =
+  Format.fprintf ppf "occ=%d growth=%d probes=%d rounds=%d" c.max_occurrences c.growth
+    c.max_probes c.rounds;
+  match c.time_slice with
+  | Some s -> Format.fprintf ppf " ms=%.0f" (s *. 1000.)
+  | None -> ()
+
+type stats = {
+  mutable probes : int;
+  mutable probe_failed : int;
+  mutable satisfied_removed : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable eliminated : int;
+  mutable resolvents : int;
+  mutable rounds_run : int;
+  mutable time : float;
+}
+
+let fresh_stats () =
+  {
+    probes = 0;
+    probe_failed = 0;
+    satisfied_removed = 0;
+    subsumed = 0;
+    strengthened = 0;
+    eliminated = 0;
+    resolvents = 0;
+    rounds_run = 0;
+    time = 0.0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "eliminated=%d subsumed=%d strengthened=%d satisfied=%d probes=%d failed=%d \
+     resolvents=%d"
+    s.eliminated s.subsumed s.strengthened s.satisfied_removed s.probes s.probe_failed
+    s.resolvents
+
+(* ------------------------------------------------------------------ *)
+(* The engine.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type clause_in = { lits : Lit.t list; deletable : bool; redundant : bool }
+
+type action =
+  | Delete of int
+  | Strengthen of { target : int; parent : int; lits : Lit.t list; id : int }
+  | Resolvent of { pos : int; neg : int; lits : Lit.t list; id : int; pivot : Lit.var }
+  | Eliminate of { v : Lit.var; pos : Lit.t list list }
+
+module LitSet = Set.Make (Lit)
+
+type cl = {
+  mutable set : LitSet.t option; (* None = removed from the working store *)
+  c_deletable : bool;
+  c_redundant : bool;
+}
+
+type state = {
+  mutable cls : cl array;
+  mutable n : int;
+  occ : (Lit.t, int list ref) Hashtbl.t; (* may hold stale indices *)
+  mutable acts : action list; (* reverse chronological *)
+  st : stats;
+}
+
+let occ_list st l =
+  match Hashtbl.find_opt st.occ l with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace st.occ l r;
+    r
+
+let push_clause st ~deletable ~redundant set =
+  if st.n = Array.length st.cls then begin
+    let bigger =
+      Array.make (max 16 (2 * st.n)) { set = None; c_deletable = true; c_redundant = false }
+    in
+    Array.blit st.cls 0 bigger 0 st.n;
+    st.cls <- bigger
+  end;
+  let idx = st.n in
+  st.cls.(idx) <- { set = Some set; c_deletable = deletable; c_redundant = redundant };
+  st.n <- st.n + 1;
+  LitSet.iter (fun l -> occ_list st l := idx :: !(occ_list st l)) set;
+  idx
+
+(* Occurrence lists are cleaned lazily, like [Simplify]'s. *)
+let live_occurrences st l =
+  let r = occ_list st l in
+  let live =
+    List.filter
+      (fun i -> match st.cls.(i).set with Some s -> LitSet.mem l s | None -> false)
+      !r
+  in
+  r := live;
+  live
+
+let tautology set = LitSet.exists (fun l -> LitSet.mem (Lit.negate l) set) set
+
+let over ~deadline = match deadline with Some d -> Sys.time () > d | None -> false
+
+(* Plain subsumption and self-subsuming resolution.  Only irredundant
+   clauses act as subsumer / resolution parent: deleting an irredundant
+   clause on the strength of a learnt one would break the invariant that
+   the irredundant set alone implies the formula (the learnt clause may be
+   reduced away later). *)
+let subsumption_round st ~deadline =
+  let changed = ref false in
+  let bound = st.n in
+  let ci = ref 0 in
+  while !ci < bound && not (over ~deadline) do
+    (match st.cls.(!ci) with
+    | { set = Some c; c_redundant = false; _ } when not (LitSet.is_empty c) ->
+      (* plain subsumption via the rarest literal's occurrence list *)
+      let pivot =
+        LitSet.fold
+          (fun l best ->
+            match best with
+            | None -> Some l
+            | Some b ->
+              if List.length (live_occurrences st l) < List.length (live_occurrences st b)
+              then Some l
+              else best)
+          c None
+      in
+      (match pivot with
+      | None -> ()
+      | Some p ->
+        List.iter
+          (fun di ->
+            if di <> !ci then
+              match st.cls.(di) with
+              | { set = Some d; c_deletable = true; _ } when LitSet.subset c d ->
+                st.cls.(di).set <- None;
+                st.acts <- Delete di :: st.acts;
+                st.st.subsumed <- st.st.subsumed + 1;
+                changed := true
+              | _ -> ())
+          (live_occurrences st p));
+      (* self-subsuming resolution: D ∋ ¬l with c \ {l} ⊆ D loses ¬l *)
+      LitSet.iter
+        (fun l ->
+          let rest = LitSet.remove l c in
+          List.iter
+            (fun di ->
+              if di <> !ci then
+                match st.cls.(di) with
+                | { set = Some d; c_deletable = true; c_redundant = false }
+                  when LitSet.mem (Lit.negate l) d && LitSet.subset rest d ->
+                  let d' = LitSet.remove (Lit.negate l) d in
+                  st.cls.(di).set <- None;
+                  let id = push_clause st ~deletable:true ~redundant:false d' in
+                  st.acts <-
+                    Strengthen { target = di; parent = !ci; lits = LitSet.elements d'; id }
+                    :: st.acts;
+                  st.st.strengthened <- st.st.strengthened + 1;
+                  changed := true
+                | _ -> ())
+            (live_occurrences st (Lit.negate l)))
+        c
+    | _ -> ());
+    incr ci
+  done;
+  !changed
+
+(* Bounded variable elimination.  A variable is eliminable when it is
+   unassigned, not frozen, every live occurrence is deletable, and the
+   irredundant occurrence counts fit the budget; the resolvent set (minus
+   tautologies and level-0-satisfied clauses) must not grow the database
+   beyond [growth].  Redundant occurrences are simply deleted — they are
+   implied by the remaining irredundant clauses. *)
+let eliminate_round cfg st ~num_vars ~frozen ~value ~deadline eliminated =
+  let changed = ref false in
+  let v = ref 0 in
+  while !v < num_vars && not (over ~deadline) do
+    let var = !v in
+    if (not eliminated.(var)) && (not (frozen var)) && value (Lit.pos var) = -1 then begin
+      let pos_all = live_occurrences st (Lit.pos var) in
+      let neg_all = live_occurrences st (Lit.neg var) in
+      if List.for_all (fun i -> st.cls.(i).c_deletable) pos_all
+         && List.for_all (fun i -> st.cls.(i).c_deletable) neg_all
+      then begin
+        let irr = List.filter (fun i -> not st.cls.(i).c_redundant) in
+        let pos = irr pos_all and neg = irr neg_all in
+        let np = List.length pos and nn = List.length neg in
+        if np <= cfg.max_occurrences && nn <= cfg.max_occurrences then begin
+          let set_of i = Option.get st.cls.(i).set in
+          let resolvents =
+            List.concat_map
+              (fun pi ->
+                List.filter_map
+                  (fun ni ->
+                    let r =
+                      LitSet.union
+                        (LitSet.remove (Lit.pos var) (set_of pi))
+                        (LitSet.remove (Lit.neg var) (set_of ni))
+                    in
+                    if tautology r || LitSet.exists (fun l -> value l = 1) r then None
+                    else Some (pi, ni, r))
+                  neg)
+              pos
+          in
+          if List.length resolvents <= np + nn + cfg.growth then begin
+            (* derive first, then save the reconstruction witness, then
+               delete every remaining occurrence (redundant ones too) *)
+            List.iter
+              (fun (pi, ni, r) ->
+                let id = push_clause st ~deletable:true ~redundant:false r in
+                st.acts <-
+                  Resolvent
+                    { pos = pi; neg = ni; lits = LitSet.elements r; id; pivot = var }
+                  :: st.acts;
+                st.st.resolvents <- st.st.resolvents + 1)
+              resolvents;
+            st.acts <-
+              Eliminate { v = var; pos = List.map (fun i -> LitSet.elements (set_of i)) pos }
+              :: st.acts;
+            List.iter
+              (fun i ->
+                if st.cls.(i).set <> None then begin
+                  st.cls.(i).set <- None;
+                  st.acts <- Delete i :: st.acts
+                end)
+              (pos_all @ neg_all);
+            eliminated.(var) <- true;
+            st.st.eliminated <- st.st.eliminated + 1;
+            changed := true
+          end
+        end
+      end
+    end;
+    incr v
+  done;
+  !changed
+
+let simplify cfg stats ~num_vars ~frozen ~value ~deadline clauses =
+  let st =
+    {
+      cls =
+        Array.map
+          (fun (c : clause_in) ->
+            { set = Some (LitSet.of_list c.lits); c_deletable = c.deletable;
+              c_redundant = c.redundant })
+          clauses;
+      n = Array.length clauses;
+      occ = Hashtbl.create 512;
+      acts = [];
+      st = stats;
+    }
+  in
+  Array.iteri
+    (fun i cl ->
+      match cl.set with
+      | Some set -> LitSet.iter (fun l -> occ_list st l := i :: !(occ_list st l)) set
+      | None -> ())
+    st.cls;
+  let eliminated = Array.make (max num_vars 1) false in
+  let round () =
+    let s = subsumption_round st ~deadline in
+    let e = eliminate_round cfg st ~num_vars ~frozen ~value ~deadline eliminated in
+    stats.rounds_run <- stats.rounds_run + 1;
+    s || e
+  in
+  let rec iterate n = if n > 0 && (not (over ~deadline)) && round () then iterate (n - 1) in
+  iterate cfg.rounds;
+  List.rev st.acts

@@ -114,10 +114,10 @@ let subsumption_round st =
 (* Bounded variable elimination.                                       *)
 (* ------------------------------------------------------------------ *)
 
-let eliminate_round st ~num_vars ~max_occurrences saved order =
+let eliminate_round st ~num_vars ~max_occurrences ~frozen saved order =
   let changed = ref false in
   for v = 0 to num_vars - 1 do
-    if not (Hashtbl.mem saved v) then begin
+    if (not (Hashtbl.mem saved v)) && not (frozen v) then begin
       let pos = live_occurrences st (Lit.pos v) in
       let neg = live_occurrences st (Lit.neg v) in
       let np = List.length pos and nn = List.length neg in
@@ -155,8 +155,11 @@ let eliminate_round st ~num_vars ~max_occurrences saved order =
 (* Entry point.                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let preprocess ?(max_occurrences = 10) ?(rounds = 3) cnf =
+let preprocess ?(max_occurrences = 10) ?(rounds = 3) ?(frozen = []) cnf =
   let num_vars = Cnf.num_vars cnf in
+  let frozen_tbl = Hashtbl.create (max 16 (List.length frozen)) in
+  List.iter (fun v -> Hashtbl.replace frozen_tbl v ()) frozen;
+  let frozen v = Hashtbl.mem frozen_tbl v in
   let st =
     {
       clauses = Array.make (max 16 (Cnf.num_clauses cnf)) None;
@@ -179,7 +182,7 @@ let preprocess ?(max_occurrences = 10) ?(rounds = 3) cnf =
      order reconstruction must fix them in *)
   let round () =
     let s = subsumption_round st in
-    let e = eliminate_round st ~num_vars ~max_occurrences saved order in
+    let e = eliminate_round st ~num_vars ~max_occurrences ~frozen saved order in
     s || e
   in
   let rec iterate n = if n > 0 && round () then iterate (n - 1) in

@@ -22,10 +22,15 @@ type result = {
   strengthened_clauses : int;
 }
 
-val preprocess : ?max_occurrences:int -> ?rounds:int -> Cnf.t -> result
+val preprocess :
+  ?max_occurrences:int -> ?rounds:int -> ?frozen:Lit.var list -> Cnf.t -> result
 (** [preprocess cnf] applies, per round, subsumption + self-subsuming
     resolution followed by bounded variable elimination, until a fixpoint
     or [rounds] (default 3).  Variables occurring more than
     [max_occurrences] times (default 10) are never eliminated, and an
     elimination must not grow the clause count.  Variable numbering is
-    preserved (eliminated variables simply stop occurring). *)
+    preserved (eliminated variables simply stop occurring).  [frozen]
+    variables (default none) are exempt from elimination — callers that
+    will later solve under assumptions must freeze the assumption
+    variables, otherwise an eliminated assumption variable no longer
+    constrains the simplified formula and the answer can differ. *)

@@ -76,6 +76,12 @@ type t = {
   mutable analysis_tainted : bool; (* scratch: current conflict analysis touched a tainted antecedent *)
   imported_ids : (int, unit) Hashtbl.t; (* proof pseudo IDs of imported clauses *)
   mutable frec : Obs.Recorder.t option; (* flight recorder, when installed *)
+  (* inprocessing state *)
+  mutable frozen : bool array; (* per var: exempt from variable elimination *)
+  mutable eliminated : bool array; (* per var: removed by BVE *)
+  mutable elim_stack : (Lit.var * Lit.t list list) list;
+      (* most-recently-eliminated first, with the saved positive
+         occurrences that drive model reconstruction *)
   (* in-propagate budget polling *)
   mutable cur_budget : budget;
   mutable solve_start : float;
@@ -244,6 +250,9 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       analysis_tainted = false;
       imported_ids = Hashtbl.create 16;
       frec = None;
+      frozen = Array.make (max nvars 1) false;
+      eliminated = Array.make (max nvars 1) false;
+      elim_stack = [];
       cur_budget = no_budget;
       solve_start = 0.0;
       props_at_poll = 0;
@@ -277,6 +286,8 @@ let ensure_vars t n =
       t.seen <- grow_array t.seen cap false;
       t.trail_height <- grow_array t.trail_height cap 0;
       t.local_mask <- grow_array t.local_mask cap false;
+      t.frozen <- grow_array t.frozen cap false;
+      t.eliminated <- grow_array t.eliminated cap false;
       let watches = Array.init nlits (fun _ -> Arena.Watch.create ()) in
       Array.blit t.watches 0 watches 0 (Array.length t.watches);
       t.watches <- watches
@@ -431,6 +442,15 @@ let add_clause t lits =
   cancel_until t 0;
   t.result <- None;
   List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
+  List.iter
+    (fun l ->
+      if t.eliminated.(Lit.var l) then
+        invalid_arg
+          (Printf.sprintf
+             "Solver.add_clause: variable %d was eliminated by inprocessing (freeze \
+              variables that later clauses mention)"
+             (Lit.var l)))
+    lits;
   Cnf.add_clause t.cnf lits;
   let index = Cnf.num_clauses t.cnf - 1 in
   List.iter (fun l -> Order.bump_by t.order l 1.0) lits;
@@ -451,7 +471,13 @@ let attach_import t lits =
   match Cnf.normalize_clause lits with
   | None -> ()
   | Some lits ->
-    if not (List.exists (fun l -> value_lit t l = 1) lits) then begin
+    (* a clause mentioning an eliminated variable cannot be attached: the
+       variable is gone from the search and its value is reconstructed, so
+       drop the import (sound — imports are optional consequences) *)
+    if
+      (not (List.exists (fun l -> t.eliminated.(Lit.var l)) lits))
+      && not (List.exists (fun l -> value_lit t l = 1) lits)
+    then begin
       let arr = Array.of_list lits in
       let n = Array.length arr in
       let nf = ref 0 in
@@ -816,6 +842,286 @@ let maybe_decay t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Inprocessing (the solver-side driver of {!Inprocess}).              *)
+(* ------------------------------------------------------------------ *)
+
+let freeze t v =
+  ensure_vars t (v + 1);
+  t.frozen.(v) <- true
+
+let melt t v = if v < Array.length t.frozen then t.frozen.(v) <- false
+
+let is_frozen t v = v < Array.length t.frozen && t.frozen.(v)
+
+let is_eliminated t v = v < Array.length t.eliminated && t.eliminated.(v)
+
+let num_eliminated t = List.length t.elim_stack
+
+(* Record a level-0 refutation discovered outside the search loop (during
+   probing or while attaching derived clauses). *)
+let refuted_at_level0 t confl =
+  t.stats.conflicts <- t.stats.conflicts + 1;
+  (match t.proof with
+  | Some p ->
+    if not (Proof.has_final p) then Proof.set_final p ~antecedents:(final_analysis t confl)
+  | None -> ());
+  (match t.drat with Some d -> Vec.push d (Checker.Learnt []) | None -> ());
+  t.ok <- false
+
+let over_deadline deadline = match deadline with Some d -> Sys.time () > d | None -> false
+
+(* Failed-literal probing: speculatively decide each candidate literal at a
+   fresh level and propagate.  A conflict means the literal fails; the
+   ordinary 1UIP machinery then learns the implied unit — proof node, DRAT
+   record and export filtering for free — and level-0 propagation
+   saturates before the next probe.  Probing never removes a variable, so
+   frozen variables are fair game. *)
+let probe_round t (cfg : Inprocess.config) (st : Inprocess.stats) ~deadline =
+  let budget_left = ref cfg.Inprocess.max_probes in
+  let v = ref 0 in
+  while t.ok && !budget_left > 0 && !v < t.nvars && not (over_deadline deadline) do
+    let var = !v in
+    if value_var t var = unassigned && not t.eliminated.(var) then
+      List.iter
+        (fun l ->
+          if t.ok && !budget_left > 0 && value_lit t l = unassigned then begin
+            decr budget_left;
+            st.Inprocess.probes <- st.Inprocess.probes + 1;
+            Vec.push t.trail_lim (Vec.length t.trail);
+            enqueue t l Arena.none;
+            let confl = propagate t in
+            if confl = Arena.none then cancel_until t 0
+            else begin
+              st.Inprocess.probe_failed <- st.Inprocess.probe_failed + 1;
+              t.stats.conflicts <- t.stats.conflicts + 1;
+              let learnt, bt_level, ants = analyze t confl in
+              cancel_until t bt_level;
+              record_learnt t learnt ants;
+              let confl0 = propagate t in
+              if confl0 <> Arena.none then refuted_at_level0 t confl0
+            end
+          end)
+        [ Lit.pos var; Lit.neg var ];
+    incr v
+  done
+
+(* Every live clause is reachable from the watch lists (all clauses of two
+   or more literals), the learnt list, or a reason slot (unit clauses
+   enqueued at level 0).  Sorted by cref — allocation order — so the
+   engine's input is deterministic. *)
+let collect_live_crefs t =
+  let tbl = Hashtbl.create 1024 in
+  let add cr = if cr <> Arena.none && not (Hashtbl.mem tbl cr) then Hashtbl.replace tbl cr () in
+  Array.iter (fun w -> Arena.Watch.fold_crefs (fun () cr -> add cr) () w) t.watches;
+  Vec.iter add t.learnts;
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) <> unassigned && t.reason.(v) <> Arena.none then add t.reason.(v)
+  done;
+  Hashtbl.fold (fun cr () acc -> cr :: acc) tbl [] |> List.sort Int.compare
+
+(* Bookkeeping for one clause named by the engine's script: its proof ID,
+   stored literals, taint, redundancy and current arena block. *)
+type inpr_info = {
+  ii_cid : int;
+  ii_lits : Lit.t list;
+  ii_tainted : bool;
+  ii_learnt : bool;
+  ii_cref : Arena.cref;
+}
+
+(* Attach a clause newly allocated by inprocessing, assignment-aware like
+   [add_original]: watches go on non-false literals, a single non-false
+   literal is a (possibly pending) unit, none is a refutation. *)
+let attach_derived t cr =
+  let arena = t.arena in
+  let n = Arena.size arena cr in
+  let nf = ref 0 in
+  for i = 0 to n - 1 do
+    if value_lit t (Arena.lit arena cr i) <> 0 then begin
+      Arena.swap_lits arena cr !nf i;
+      incr nf
+    end
+  done;
+  if !nf = 0 then refuted_at_level0 t cr
+  else begin
+    (if !nf = 1 then
+       let first = Arena.lit arena cr 0 in
+       match value_lit t first with
+       | 1 -> ()
+       | _ -> enqueue t first cr);
+    if n >= 2 then attach t cr
+  end
+
+(* One inprocessing run: saturate level-0 BCP, probe, snapshot the live
+   database, run the {!Inprocess} engine and replay its script.  Every
+   derived clause becomes a proof node carrying its antecedent IDs and a
+   DRAT addition emitted before its parents' deletions, so [unsat_core]
+   and DRAT checking stay exact.  Locked (reason) clauses are never
+   deleted and block the elimination of their variables; frozen variables
+   are exempt from elimination only. *)
+let inprocess ?(config = Inprocess.default) t =
+  let st = Inprocess.fresh_stats () in
+  if t.ok then begin
+    let t0 = Sys.time () in
+    cancel_until t 0;
+    t.result <- None;
+    t.failed_assumptions <- [];
+    t.assumptions <- [||];
+    (match t.proof with Some p -> Proof.clear_final p | None -> ());
+    t.cur_budget <- no_budget;
+    t.props_at_poll <- t.stats.propagations;
+    let deadline = Option.map (fun s -> t0 +. s) config.Inprocess.time_slice in
+    let confl = propagate t in
+    if confl <> Arena.none then refuted_at_level0 t confl
+    else begin
+      if config.Inprocess.max_probes > 0 then probe_round t config st ~deadline;
+      if t.ok then begin
+        let arena = t.arena in
+        (* snapshot the live clauses, dropping level-0-satisfied ones *)
+        let inputs = ref [] and handles = ref [] in
+        List.iter
+          (fun cr ->
+            if not (Arena.deleted arena cr) then begin
+              let satisfied = ref false in
+              Arena.iter_lits arena cr (fun l ->
+                  if value_lit t l = 1 then satisfied := true);
+              let lk = locked t cr in
+              if !satisfied && not lk then begin
+                (match t.drat with
+                | Some d -> Vec.push d (Checker.Deleted (Arena.lits_list arena cr))
+                | None -> ());
+                Arena.delete arena cr;
+                st.Inprocess.satisfied_removed <- st.Inprocess.satisfied_removed + 1
+              end
+              else begin
+                inputs :=
+                  {
+                    Inprocess.lits = Arena.lits_list arena cr;
+                    deletable = not lk;
+                    redundant = Arena.learnt arena cr;
+                  }
+                  :: !inputs;
+                handles := cr :: !handles
+              end
+            end)
+          (collect_live_crefs t);
+        let inputs = Array.of_list (List.rev !inputs) in
+        let handles = Array.of_list (List.rev !handles) in
+        let frozen v = t.frozen.(v) || t.eliminated.(v) in
+        let actions =
+          Inprocess.simplify config st ~num_vars:t.nvars ~frozen
+            ~value:(fun l -> value_lit t l)
+            ~deadline inputs
+        in
+        (* replay the script against the arena / proof / DRAT state *)
+        let infos = Hashtbl.create (max 16 (2 * Array.length inputs)) in
+        let info_of id =
+          match Hashtbl.find_opt infos id with
+          | Some i -> i
+          | None ->
+            let cr = handles.(id) in
+            let i =
+              {
+                ii_cid = Arena.cid arena cr;
+                ii_lits = inputs.(id).Inprocess.lits;
+                ii_tainted = Arena.tainted arena cr;
+                ii_learnt = Arena.learnt arena cr;
+                ii_cref = cr;
+              }
+            in
+            Hashtbl.replace infos id i;
+            i
+        in
+        let new_crefs = ref [] in
+        let delete_clause info =
+          if not (Arena.deleted arena info.ii_cref) then begin
+            (match t.drat with
+            | Some d -> Vec.push d (Checker.Deleted (Arena.lits_list arena info.ii_cref))
+            | None -> ());
+            Arena.delete arena info.ii_cref
+          end
+        in
+        let derive ~id ~lits ~parents ~learnt =
+          let tainted = List.exists (fun i -> i.ii_tainted) parents in
+          let cid =
+            match t.proof with
+            | Some p ->
+              let pid =
+                Proof.register_learnt p
+                  ~antecedents:(List.map (fun i -> i.ii_cid) parents)
+              in
+              Hashtbl.replace t.learnt_lits pid lits;
+              pid
+            | None -> -1
+          in
+          (match t.drat with Some d -> Vec.push d (Checker.Learnt lits) | None -> ());
+          let cr = Arena.alloc arena ~cid ~learnt ~tainted (Array.of_list lits) in
+          Hashtbl.replace infos id
+            { ii_cid = cid; ii_lits = lits; ii_tainted = tainted; ii_learnt = learnt;
+              ii_cref = cr };
+          new_crefs := cr :: !new_crefs;
+          if learnt then Vec.push t.learnts cr
+        in
+        List.iter
+          (fun (a : Inprocess.action) ->
+            match a with
+            | Inprocess.Delete id -> delete_clause (info_of id)
+            | Inprocess.Strengthen { target; parent; lits; id } ->
+              let ti = info_of target and pi = info_of parent in
+              derive ~id ~lits ~parents:[ ti; pi ] ~learnt:ti.ii_learnt;
+              delete_clause ti
+            | Inprocess.Resolvent { pos; neg; lits; id; pivot = _ } ->
+              derive ~id ~lits ~parents:[ info_of pos; info_of neg ] ~learnt:false
+            | Inprocess.Eliminate { v; pos } ->
+              t.eliminated.(v) <- true;
+              t.elim_stack <- (v, pos) :: t.elim_stack)
+          actions;
+        (* one sweep detaches every deleted clause, then the surviving
+           derived clauses attach and level-0 propagation saturates *)
+        Array.iter
+          (fun w -> Arena.Watch.filter_crefs w (fun cr -> not (Arena.deleted arena cr)))
+          t.watches;
+        Vec.filter_in_place (fun cr -> not (Arena.deleted arena cr)) t.learnts;
+        List.iter
+          (fun cr -> if t.ok && not (Arena.deleted arena cr) then attach_derived t cr)
+          (List.rev !new_crefs);
+        if t.ok then begin
+          let confl = propagate t in
+          if confl <> Arena.none then refuted_at_level0 t confl
+        end;
+        if Arena.should_gc arena ~max_waste:t.gc_fraction then compact t
+      end
+    end;
+    st.Inprocess.time <- Sys.time () -. t0;
+    let s = t.stats in
+    s.inpr_runs <- s.inpr_runs + 1;
+    s.inpr_probes <- s.inpr_probes + st.Inprocess.probes;
+    s.inpr_probe_failed <- s.inpr_probe_failed + st.Inprocess.probe_failed;
+    s.inpr_satisfied <- s.inpr_satisfied + st.Inprocess.satisfied_removed;
+    s.inpr_subsumed <- s.inpr_subsumed + st.Inprocess.subsumed;
+    s.inpr_strengthened <- s.inpr_strengthened + st.Inprocess.strengthened;
+    s.inpr_eliminated <- s.inpr_eliminated + st.Inprocess.eliminated;
+    s.inpr_resolvents <- s.inpr_resolvents + st.Inprocess.resolvents;
+    s.inpr_time <- s.inpr_time +. st.Inprocess.time;
+    s.arena_bytes <- Arena.bytes t.arena;
+    frecord t Obs.Recorder.Inprocess ~a:st.Inprocess.eliminated
+      ~b:(st.Inprocess.subsumed + st.Inprocess.strengthened);
+    if Telemetry.enabled t.tel then begin
+      let open Telemetry.Sink in
+      Telemetry.span_event t.tel "inprocess" ~dur:st.Inprocess.time
+        [
+          ("eliminated", Int st.Inprocess.eliminated);
+          ("subsumed", Int st.Inprocess.subsumed);
+          ("strengthened", Int st.Inprocess.strengthened);
+          ("satisfied", Int st.Inprocess.satisfied_removed);
+          ("probe_failed", Int st.Inprocess.probe_failed);
+          ("resolvents", Int st.Inprocess.resolvents);
+        ]
+    end
+  end;
+  st
+
+(* ------------------------------------------------------------------ *)
 (* Main search loop.                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -876,7 +1182,8 @@ let pick_decision t =
           ("threshold", Telemetry.Sink.Int t.dynamic_threshold);
         ]
   end;
-  Order.pop_best t.order ~is_unassigned:(fun v -> value_var t v = unassigned)
+  Order.pop_best t.order ~is_unassigned:(fun v ->
+      value_var t v = unassigned && not t.eliminated.(v))
 
 let search t budget start_time =
   let conflicts_until_restart = ref (Luby.next t.luby) in
@@ -962,9 +1269,17 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       cancel_until t 0;
       (match t.proof with Some p -> Proof.clear_final p | None -> ());
       List.iter (fun l -> ensure_vars t (Lit.var l + 1)) assumptions;
+      List.iter
+        (fun l ->
+          if t.eliminated.(Lit.var l) then
+            invalid_arg
+              "Solver.solve: assumption on an eliminated variable (freeze assumption \
+               variables before inprocessing)")
+        assumptions;
       t.assumptions <- Array.of_list assumptions;
       t.dynamic_threshold <- max 1 (Cnf.num_literals t.cnf / 64);
-      Order.rebuild t.order ~is_unassigned:(fun v -> value_var t v = unassigned);
+      Order.rebuild t.order ~is_unassigned:(fun v ->
+          value_var t v = unassigned && not t.eliminated.(v));
       let s = t.stats in
       (* snapshots so an incremental solver reports this call's share only *)
       let bcp0 = s.bcp_time and analyze0 = s.analyze_time and cdg0 = cdg_seconds t in
@@ -1016,7 +1331,28 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
 
 let model t =
   match t.result with
-  | Some Sat -> Array.init t.nvars (fun v -> t.assigns.(v) = 1)
+  | Some Sat ->
+    let m = Array.init t.nvars (fun v -> t.assigns.(v) = 1) in
+    (* Extend the assignment over eliminated variables, most recently
+       eliminated first (earlier-eliminated variables may depend on later
+       ones through their saved occurrences).  [v := false] satisfies every
+       negative saved occurrence; it is forced true iff some positive saved
+       occurrence has no other true literal — the same reconstruction rule
+       as {!Simplify}. *)
+    List.iter
+      (fun (v, pos) ->
+        let lit_true l =
+          let u = Lit.var l in
+          if Lit.is_pos l then m.(u) else not m.(u)
+        in
+        let forced =
+          List.exists
+            (fun lits -> not (List.exists (fun l -> Lit.var l <> v && lit_true l) lits))
+            pos
+        in
+        m.(v) <- forced)
+      t.elim_stack;
+    m
   | Some (Unsat | Unknown) | None -> invalid_arg "Solver.model: no satisfying assignment"
 
 let unsat_core t =

@@ -153,6 +153,57 @@ val set_share :
 
 val clear_share : t -> unit
 
+(** {2 Inprocessing}
+
+    Proof-aware in-solver simplification, run between {!solve} calls —
+    the {!Session} calls it at BMC depth boundaries.  One {!inprocess}
+    run saturates level-0 propagation, performs failed-literal probing
+    (each failed probe becomes an ordinary learnt unit), removes
+    level-0-satisfied clauses, and runs the {!Inprocess} engine —
+    subsumption, self-subsuming resolution and bounded variable
+    elimination — over the live clause database.  Every derived clause is
+    registered in the proof graph with its antecedent IDs and logged as a
+    DRAT addition before its parents' deletions, so {!unsat_core} and
+    {!drat_events} stay exact.
+
+    An eliminated variable leaves the search space: it is never decided,
+    clauses over it are removed, and {!model} extends satisfying
+    assignments over it from the saved occurrence lists, so callers see a
+    complete model.  Because later {!add_clause} / {!solve} calls must
+    not mention eliminated variables (that would be unsound without
+    clause restoration), callers {!freeze} every variable that can recur
+    — assumption variables, variables future clauses will mention.
+    Frozen variables are exempt from elimination only; everything else
+    still applies to them. *)
+
+val freeze : t -> Lit.var -> unit
+(** Exempt a variable from elimination by {!inprocess}.  Grows the
+    variable space if needed.  Freezing is idempotent and reversible with
+    {!melt}; it has no effect on an already-eliminated variable. *)
+
+val melt : t -> Lit.var -> unit
+(** Undo {!freeze}: the variable becomes eliminable again from the next
+    {!inprocess} run on. *)
+
+val is_frozen : t -> Lit.var -> bool
+
+val is_eliminated : t -> Lit.var -> bool
+(** Whether {!inprocess} eliminated the variable.  {!add_clause} and
+    assumptions mentioning such a variable raise [Invalid_argument]. *)
+
+val num_eliminated : t -> int
+
+val inprocess : ?config:Inprocess.config -> t -> Inprocess.stats
+(** Run one inprocessing pass under [config] (default
+    {!Inprocess.default}) and return its statistics (also accumulated
+    into {!stats} as the [inpr_*] fields).  Retracts all decisions
+    first and clears any cached outcome and pending assumption state.  A
+    refutation discovered during the run (a failed probe propagating to a
+    level-0 conflict, or an empty resolvent) is recorded exactly like a
+    search refutation: the next {!solve} answers [Unsat] with the proof
+    final already set.  No-op when the solver is already refuted.  With
+    [time_slice = None] (the default) a run is deterministic. *)
+
 val set_recorder : t -> Obs.Recorder.t -> unit
 (** Install a flight recorder.  The solver then records low-rate events to
     the calling domain's ring — {!Obs.Recorder.Restart}, [Reduce_db],

@@ -15,6 +15,15 @@ type t = {
   mutable shared_exported : int;
   mutable shared_imported : int;
   mutable shared_rejected_tainted : int;
+  mutable inpr_runs : int;
+  mutable inpr_probes : int;
+  mutable inpr_probe_failed : int;
+  mutable inpr_satisfied : int;
+  mutable inpr_subsumed : int;
+  mutable inpr_strengthened : int;
+  mutable inpr_eliminated : int;
+  mutable inpr_resolvents : int;
+  mutable inpr_time : float;
   mutable solve_time : float;
   mutable bcp_time : float;
   mutable analyze_time : float;
@@ -38,6 +47,15 @@ let create () =
     shared_exported = 0;
     shared_imported = 0;
     shared_rejected_tainted = 0;
+    inpr_runs = 0;
+    inpr_probes = 0;
+    inpr_probe_failed = 0;
+    inpr_satisfied = 0;
+    inpr_subsumed = 0;
+    inpr_strengthened = 0;
+    inpr_eliminated = 0;
+    inpr_resolvents = 0;
+    inpr_time = 0.0;
     solve_time = 0.0;
     bcp_time = 0.0;
     analyze_time = 0.0;
@@ -62,6 +80,15 @@ let add acc s =
   acc.shared_exported <- acc.shared_exported + s.shared_exported;
   acc.shared_imported <- acc.shared_imported + s.shared_imported;
   acc.shared_rejected_tainted <- acc.shared_rejected_tainted + s.shared_rejected_tainted;
+  acc.inpr_runs <- acc.inpr_runs + s.inpr_runs;
+  acc.inpr_probes <- acc.inpr_probes + s.inpr_probes;
+  acc.inpr_probe_failed <- acc.inpr_probe_failed + s.inpr_probe_failed;
+  acc.inpr_satisfied <- acc.inpr_satisfied + s.inpr_satisfied;
+  acc.inpr_subsumed <- acc.inpr_subsumed + s.inpr_subsumed;
+  acc.inpr_strengthened <- acc.inpr_strengthened + s.inpr_strengthened;
+  acc.inpr_eliminated <- acc.inpr_eliminated + s.inpr_eliminated;
+  acc.inpr_resolvents <- acc.inpr_resolvents + s.inpr_resolvents;
+  acc.inpr_time <- acc.inpr_time +. s.inpr_time;
   acc.solve_time <- acc.solve_time +. s.solve_time;
   acc.bcp_time <- acc.bcp_time +. s.bcp_time;
   acc.analyze_time <- acc.analyze_time +. s.analyze_time
@@ -79,6 +106,9 @@ let pp ppf s =
   if s.shared_exported > 0 || s.shared_imported > 0 || s.shared_rejected_tainted > 0 then
     Format.fprintf ppf " sh_exported=%d sh_imported=%d sh_tainted=%d" s.shared_exported
       s.shared_imported s.shared_rejected_tainted;
+  if s.inpr_runs > 0 then
+    Format.fprintf ppf " inpr_elim=%d inpr_sub=%d inpr_str=%d inpr_probe_failed=%d"
+      s.inpr_eliminated s.inpr_subsumed s.inpr_strengthened s.inpr_probe_failed;
   if s.solve_time > 0.0 then
     Format.fprintf ppf " solve=%.3fs bcp=%.3fs analyze=%.3fs" s.solve_time s.bcp_time
       s.analyze_time

@@ -36,6 +36,15 @@ type t = {
   mutable shared_rejected_tainted : int;
       (** exports withheld because the derivation involved an
           instance-local (activation/auxiliary) literal *)
+  mutable inpr_runs : int;  (** {!Solver.inprocess} invocations *)
+  mutable inpr_probes : int;  (** failed-literal probes attempted *)
+  mutable inpr_probe_failed : int;  (** probes that yielded a conflict *)
+  mutable inpr_satisfied : int;  (** level-0-satisfied clauses removed *)
+  mutable inpr_subsumed : int;  (** clauses removed by subsumption *)
+  mutable inpr_strengthened : int;  (** self-subsuming resolutions *)
+  mutable inpr_eliminated : int;  (** variables eliminated (BVE) *)
+  mutable inpr_resolvents : int;  (** clauses added by elimination *)
+  mutable inpr_time : float;  (** CPU seconds inside {!Solver.inprocess} *)
   mutable solve_time : float;  (** CPU seconds spent inside {!Solver.solve} *)
   mutable bcp_time : float;
       (** CPU seconds in unit propagation; only accumulated while telemetry

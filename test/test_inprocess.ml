@@ -1,0 +1,230 @@
+(* Depth-boundary inprocessing: outcome preservation, proof exactness and
+   model reconstruction.
+
+   Inprocessing is a performance device — it must be semantically
+   invisible.  The tests here run every persistent-session engine twice,
+   inprocessing off and on with an aggressive budget (so elimination and
+   strengthening actually fire on tiny circuits), and demand identical
+   verdicts; and at the solver level they demand that refutations found
+   after an inprocessing pass still certify against the *original* formula
+   and that SAT models still evaluate it to true. *)
+
+let lit (v, s) = Sat.Lit.make v s
+
+let mk_cnf ?(num_vars = 0) clauses =
+  let f = Sat.Cnf.create ~num_vars () in
+  List.iter (fun c -> Sat.Cnf.add_clause f (List.map lit c)) clauses;
+  f
+
+let brute cnf =
+  let n = Sat.Cnf.num_vars cnf in
+  let a = Array.make (max n 1) false in
+  let rec go i =
+    if i = n then Sat.Cnf.eval cnf (fun v -> a.(v))
+    else
+      (a.(i) <- false;
+       go (i + 1))
+      ||
+      (a.(i) <- true;
+       go (i + 1))
+  in
+  go 0
+
+(* a deterministic budget that fires on small inputs: no occurrence cap to
+   speak of, generous probing, no wall-clock slice (reproducibility) *)
+let eager = Sat.Inprocess.aggressive
+
+(* ------------------------------------------------------------------ *)
+(* Budget parsing.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_of_string () =
+  (match Sat.Inprocess.config_of_string "default" with
+  | Ok c -> Alcotest.(check int) "default occ" Sat.Inprocess.default.max_occurrences c.max_occurrences
+  | Error e -> Alcotest.fail e);
+  (match Sat.Inprocess.config_of_string "occ=16,probes=256,rounds=1" with
+  | Ok c ->
+    Alcotest.(check int) "occ" 16 c.max_occurrences;
+    Alcotest.(check int) "probes" 256 c.max_probes;
+    Alcotest.(check int) "rounds" 1 c.rounds
+  | Error e -> Alcotest.fail e);
+  (match Sat.Inprocess.config_of_string "ms=0" with
+  | Ok c -> Alcotest.(check bool) "ms=0 disables the slice" true (c.time_slice = None)
+  | Error e -> Alcotest.fail e);
+  match Sat.Inprocess.config_of_string "bogus=1" with
+  | Ok _ -> Alcotest.fail "accepted an unknown key"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Solver level: random CNF.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let clause_gen nv =
+  let open QCheck.Gen in
+  list_size (1 -- 4) (pair (0 -- (nv - 1)) bool)
+
+let formula_gen =
+  let open QCheck.Gen in
+  (1 -- 8) >>= fun nv -> pair (return nv) (list_size (0 -- 25) (clause_gen nv))
+
+let prop_solver_outcome_preserved =
+  QCheck.Test.make ~name:"inprocess: solver outcome matches brute force" ~count:400
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let s = Sat.Solver.create cnf in
+      ignore (Sat.Solver.inprocess ~config:eager s);
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> brute cnf
+      | Sat.Solver.Unsat -> not (brute cnf)
+      | Sat.Solver.Unknown -> false)
+
+let prop_models_reconstruct =
+  QCheck.Test.make ~name:"inprocess: models satisfy the original formula" ~count:400
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let s = Sat.Solver.create cnf in
+      ignore (Sat.Solver.inprocess ~config:eager s);
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+        (* the model is reconstructed over the elimination stack; it must
+           satisfy the formula as given, eliminated variables included *)
+        let m = Sat.Solver.model s in
+        Sat.Cnf.eval cnf (fun v -> m.(v))
+      | Sat.Solver.Unsat -> not (brute cnf)
+      | Sat.Solver.Unknown -> false)
+
+let prop_frozen_assumptions_sound =
+  QCheck.Test.make ~name:"inprocess: frozen assumption variables keep answers exact"
+    ~count:300
+    (QCheck.make QCheck.Gen.(pair formula_gen (list_size (1 -- 3) (pair (0 -- 7) bool))))
+    (fun ((nv, cls), assumed) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let assumptions =
+        List.filter_map
+          (fun (v, sign) -> if v < nv then Some (Sat.Lit.make v sign) else None)
+          assumed
+      in
+      let reference =
+        Sat.Solver.solve ~assumptions (Sat.Solver.create cnf)
+      in
+      let s = Sat.Solver.create cnf in
+      List.iter (fun l -> Sat.Solver.freeze s (Sat.Lit.var l)) assumptions;
+      ignore (Sat.Solver.inprocess ~config:eager s);
+      let outcome = Sat.Solver.solve ~assumptions s in
+      Sat.Solver.outcome_string outcome = Sat.Solver.outcome_string reference)
+
+let prop_proofs_stay_exact =
+  QCheck.Test.make
+    ~name:"inprocess: refutations certify and cores refer to original clauses" ~count:150
+    (QCheck.make formula_gen) (fun (nv, cls) ->
+      let cnf = mk_cnf ~num_vars:nv cls in
+      let s = Sat.Solver.create ~with_proof:true ~with_drat:true cnf in
+      ignore (Sat.Solver.inprocess ~config:eager s);
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> brute cnf
+      | Sat.Solver.Unknown -> false
+      | Sat.Solver.Unsat ->
+        (not (brute cnf))
+        (* the DRAT log includes every inprocessing derivation, so the
+           independent checker replays it against the input formula *)
+        && Sat.Checker.check_refutation cnf (Sat.Solver.drat_events s) = Ok ()
+        && (* the core cites original clause ids only *)
+        List.for_all
+          (fun id -> id >= 0 && id < Sat.Cnf.num_clauses cnf)
+          (Sat.Solver.unsat_core s))
+
+(* ------------------------------------------------------------------ *)
+(* Engine level: random circuits, inprocessing on ≡ off.               *)
+(* ------------------------------------------------------------------ *)
+
+let random_case_gen =
+  let open QCheck.Gen in
+  let* seed = 0 -- 100_000 in
+  let* regs = 1 -- 6 in
+  let* gates = 1 -- 25 in
+  let* inputs = 0 -- 3 in
+  return (Circuit.Generators.random ~seed ~regs ~gates ~inputs)
+
+let arb =
+  QCheck.make ~print:(fun (c : Circuit.Generators.case) -> c.name) random_case_gen
+
+let config ?inprocess () =
+  Bmc.Engine.config ~mode:Bmc.Engine.Dynamic ~max_depth:8 ?inprocess ()
+
+let same_verdict a b =
+  match (a, b) with
+  | Bmc.Engine.Falsified t, Bmc.Engine.Falsified t' -> t.Bmc.Trace.depth = t'.Bmc.Trace.depth
+  | Bmc.Engine.Bounded_pass k, Bmc.Engine.Bounded_pass k' -> k = k'
+  | Bmc.Engine.Aborted k, Bmc.Engine.Aborted k' -> k = k'
+  | ( ( Bmc.Engine.Falsified _ | Bmc.Engine.Bounded_pass _ | Bmc.Engine.Aborted _ ),
+      _ ) ->
+    false
+
+let prop_incremental_on_off =
+  QCheck.Test.make ~name:"inprocess: incremental BMC verdicts unchanged" ~count:60 arb
+    (fun case ->
+      let off =
+        Bmc.Incremental.run ~config:(config ()) case.netlist ~property:case.property
+      in
+      let on =
+        Bmc.Incremental.run
+          ~config:(config ~inprocess:eager ())
+          case.netlist ~property:case.property
+      in
+      same_verdict off.verdict on.verdict)
+
+let prop_induction_on_off =
+  QCheck.Test.make ~name:"inprocess: induction verdicts unchanged" ~count:40 arb (fun case ->
+      let prove cfg =
+        (Bmc.Induction.prove ~config:cfg ~policy:Bmc.Session.Persistent ~simple_path:true
+           case.netlist ~property:case.property)
+          .verdict
+      in
+      match (prove (config ()), prove (config ~inprocess:eager ())) with
+      | Bmc.Induction.Proved k, Bmc.Induction.Proved k' -> k = k'
+      | Bmc.Induction.Falsified t, Bmc.Induction.Falsified t' ->
+        t.Bmc.Trace.depth = t'.Bmc.Trace.depth
+      | Bmc.Induction.Unknown k, Bmc.Induction.Unknown k' -> k = k'
+      | ( ( Bmc.Induction.Proved _ | Bmc.Induction.Falsified _ | Bmc.Induction.Unknown _ ),
+          _ ) ->
+        false)
+
+let prop_ltl_on_off =
+  QCheck.Test.make ~name:"inprocess: LTL verdicts unchanged" ~count:40 arb (fun case ->
+      let formula = Bmc.Ltl.eventually (Bmc.Ltl.atom case.property) in
+      let check cfg = (Bmc.Ltl.check ~config:cfg case.netlist formula).verdict in
+      match (check (config ()), check (config ~inprocess:eager ())) with
+      | Bmc.Ltl.Falsified w, Bmc.Ltl.Falsified w' ->
+        w.Bmc.Ltl.depth = w'.Bmc.Ltl.depth && w.Bmc.Ltl.loop_start = w'.Bmc.Ltl.loop_start
+      | Bmc.Ltl.Bounded_pass k, Bmc.Ltl.Bounded_pass k' -> k = k'
+      | Bmc.Ltl.Aborted k, Bmc.Ltl.Aborted k' -> k = k'
+      | ((Bmc.Ltl.Falsified _ | Bmc.Ltl.Bounded_pass _ | Bmc.Ltl.Aborted _), _) -> false)
+
+let prop_session_cores_still_exact =
+  QCheck.Test.make
+    ~name:"inprocess: session UNSAT cores still index the loaded groups" ~count:40 arb
+    (fun case ->
+      (* the engine consumes each UNSAT core to rebuild its ordering; a
+         stale or out-of-range group id after elimination would poison the
+         ranking or raise.  Run with proofs on and let the engine's own
+         core consumption exercise the path; verdict equality is asserted
+         by the on/off properties above, here we only require no raise. *)
+      let (_ : Bmc.Engine.result) =
+        Bmc.Incremental.run
+          ~config:(config ~inprocess:eager ())
+          case.netlist ~property:case.property
+      in
+      true)
+
+let tests =
+  [
+    Alcotest.test_case "budget parsing" `Quick test_config_of_string;
+    QCheck_alcotest.to_alcotest prop_solver_outcome_preserved;
+    QCheck_alcotest.to_alcotest prop_models_reconstruct;
+    QCheck_alcotest.to_alcotest prop_frozen_assumptions_sound;
+    QCheck_alcotest.to_alcotest prop_proofs_stay_exact;
+    QCheck_alcotest.to_alcotest prop_incremental_on_off;
+    QCheck_alcotest.to_alcotest prop_induction_on_off;
+    QCheck_alcotest.to_alcotest prop_ltl_on_off;
+    QCheck_alcotest.to_alcotest prop_session_cores_still_exact;
+  ]

@@ -76,6 +76,25 @@ let test_reconstruction_on_chain () =
   Alcotest.(check bool) "reconstructed model satisfies the original" true
     (Sat.Cnf.eval cnf (fun v -> m.(v)))
 
+let test_frozen_vars_survive () =
+  (* x1 is eliminable (one positive, one negative occurrence) but frozen:
+     it must keep occurring, so assuming it later still constrains the
+     simplified formula *)
+  let cnf = mk_cnf [ [ (0, true); (1, true) ]; [ (1, false); (2, true) ] ] in
+  let r = Sat.Simplify.preprocess ~frozen:[ 1; 2 ] cnf in
+  (* solving the simplified formula under x1 must force x2, exactly as
+     the original does — the satcheck --preprocess --assume contract *)
+  let s = Sat.Solver.create r.simplified in
+  (match Sat.Solver.solve ~assumptions:[ lit (1, true); lit (2, false) ] s with
+  | Sat.Solver.Unknown -> Alcotest.fail "budget on a 3-var formula?"
+  | o ->
+    Alcotest.(check string) "x1 forces x2 after preprocessing" "unsat"
+      (Sat.Solver.outcome_string o));
+  (* and without freezing, the same assumptions would be vacuous *)
+  let r' = Sat.Simplify.preprocess cnf in
+  Alcotest.(check bool) "control: x1 eliminable when melted" true
+    (r'.eliminated_vars >= 1)
+
 let clause_gen nv =
   let open QCheck.Gen in
   list_size (1 -- 4) (pair (0 -- (nv - 1)) bool)
@@ -120,6 +139,7 @@ let tests =
     Alcotest.test_case "tautologies dropped" `Quick test_tautologies_dropped;
     Alcotest.test_case "empty formula" `Quick test_empty_formula;
     Alcotest.test_case "reconstruction chain" `Quick test_reconstruction_on_chain;
+    Alcotest.test_case "frozen variables survive" `Quick test_frozen_vars_survive;
     QCheck_alcotest.to_alcotest prop_equisatisfiable;
     QCheck_alcotest.to_alcotest prop_models_reconstruct;
     QCheck_alcotest.to_alcotest prop_simplified_not_larger;
