@@ -617,6 +617,43 @@ type quick_inpr_summary = {
   i_totals : quick_inpr_totals;
 }
 
+(* Core-minimisation ablation for the snapshot: the static-ordering rows
+   against the same sweep under [Core_minimal] with a deterministic
+   solve-count budget (no wall-clock term, so the minimised cores — and the
+   row's core hash — are reproducible and snapshot-gated like any other
+   sequential row).  The block records how much the destructive minimiser
+   shrank the proof-derived cores and that every minimised core was
+   re-proved by the independent checker. *)
+type quick_cores_totals = {
+  mutable c_pre : int; (* core clauses before minimisation, summed *)
+  mutable c_post : int; (* after *)
+  mutable c_min_s : float; (* CPU seconds spent minimising *)
+  mutable c_all_certified : bool;
+}
+
+type quick_cores_summary = {
+  c_tail_plain_s : float; (* UNSAT-depth solve time, +static rows *)
+  c_tail_min_s : float; (* same depths under Core_minimal *)
+  c_rank_share_plain : float; (* % of attributed decisions on ranked vars *)
+  c_rank_share_min : float; (* same, under Core_minimal *)
+  c_totals : quick_cores_totals;
+}
+
+(* deterministic: a solve-count cap only, never wall-clock *)
+let quick_coremin_budget = { Sat.Coremin.no_budget with Sat.Coremin.max_solves = Some 32 }
+
+(* The ablation runs on the lighter half of the suite: destructive
+   minimisation re-solves the candidate core from scratch per depth (plus an
+   independent certification solve), which on the two deep noise-24 cases
+   costs tens of seconds each — out of scale for a quick gate that the other
+   blocks keep under a minute.  The plain-static accumulators are restricted
+   to the same subset so the tail and rank-share comparisons stay
+   apples-to-apples. *)
+let quick_cores_case ((case : Circuit.Generators.case), _) =
+  match case.name with
+  | "cnt6_t30_z8" | "shift8_z4" | "gray5_z16" | "parity10_z16" -> true
+  | _ -> false
+
 (* The session substrate: one persistent solver, frame deltas loaded once,
    the per-depth ¬P clause guarded by an activation literal.  Outcomes must
    match the classic rows depth for depth (quick-check gates on it); search
@@ -629,10 +666,11 @@ type quick_inpr_summary = {
    orderings are deterministic functions of the (deterministic) core
    sequence. *)
 let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session") ?inprocess
-    ?unsat_tail ?inpr_totals ((case : Circuit.Generators.case), depth) =
+    ?core_mode ?coremin_budget ?unsat_tail ?inpr_totals ?cores_totals ?dec_split
+    ((case : Circuit.Generators.case), depth) =
   let config =
     Bmc.Session.make_config ~mode ~budget:quick_budget ~max_depth:depth ~collect_cores:true
-      ?inprocess ~telemetry:tel ()
+      ?inprocess ?core_mode ?coremin_budget ~telemetry:tel ()
   in
   let session =
     Bmc.Session.create ~policy:Bmc.Session.Persistent config case.netlist
@@ -659,6 +697,18 @@ let quick_run_case_session ?(mode = Bmc.Session.Standard) ?(suffix = "+session")
     confl := !confl + st.Bmc.Session.conflicts;
     props := !props + st.Bmc.Session.implications;
     build := !build +. st.Bmc.Session.build_time;
+    (match cores_totals with
+    | Some t ->
+      t.c_pre <- t.c_pre + st.Bmc.Session.core_pre;
+      t.c_post <- t.c_post + st.Bmc.Session.core_size;
+      t.c_min_s <- t.c_min_s +. st.Bmc.Session.coremin_time;
+      if not st.Bmc.Session.coremin_certified then t.c_all_certified <- false
+    | None -> ());
+    (match dec_split with
+    | Some (rank, vsids) ->
+      rank := !rank + st.Bmc.Session.dec_rank;
+      vsids := !vsids + st.Bmc.Session.dec_vsids
+    | None -> ());
     (* the UNSAT tail: where inprocessing is supposed to pay — the deep
        all-UNSAT suffix of the sweep, measured by per-depth solve time *)
     match (unsat_tail, st.Bmc.Session.outcome) with
@@ -841,10 +891,10 @@ let quick_best_seq psum =
     ("standard", List.assoc "standard" psum.p_seq)
     psum.p_seq
 
-let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum
+let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum ~cores:csum
     ~observability:osum =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v6\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v7\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
@@ -898,6 +948,14 @@ let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum
        isum.i_totals.i_strengthened isum.i_totals.i_probe_failed isum.i_totals.i_resolvents);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"cores\": { \"pre_clauses\": %d, \"post_clauses\": %d, \"coremin_s\": %.6f, \
+        \"certified\": %b, \"unsat_tail_plain_s\": %.6f, \"unsat_tail_min_s\": %.6f, \
+        \"dec_rank_share_plain_pct\": %.2f, \"dec_rank_share_min_pct\": %.2f },\n"
+       csum.c_totals.c_pre csum.c_totals.c_post csum.c_totals.c_min_s
+       csum.c_totals.c_all_certified csum.c_tail_plain_s csum.c_tail_min_s
+       csum.c_rank_share_plain csum.c_rank_share_min);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"observability\": { \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \
         \"overhead_pct\": %.2f }\n}\n"
        osum.o_wall_off osum.o_wall_on osum.o_overhead_pct);
@@ -925,11 +983,33 @@ let quick_rows () =
   in
   (* per-ordering sequential baselines: snapshotted rows AND the walls the
      portfolio speedup line compares against *)
+  let cores_tail_plain = ref 0.0 in
+  let split_plain = (ref 0, ref 0) in
   let seq_static =
-    List.map (quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static") cases
+    List.map
+      (fun cd ->
+        if quick_cores_case cd then
+          quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static"
+            ~unsat_tail:cores_tail_plain ~dec_split:split_plain cd
+        else quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static" cd)
+      cases
   in
   let seq_dynamic =
     List.map (quick_run_case_session ~mode:Bmc.Session.Dynamic ~suffix:"+dynamic") cases
+  in
+  (* the static sweep again under [Core_minimal]: same instances, so the
+     outcome string is gated against +static; the minimised cores re-rank
+     the score, so decisions and core hashes legitimately differ and the
+     row keeps its own snapshot history *)
+  let cores_tail_min = ref 0.0 in
+  let split_min = (ref 0, ref 0) in
+  let cores_totals = { c_pre = 0; c_post = 0; c_min_s = 0.0; c_all_certified = true } in
+  let seq_static_coremin =
+    List.map
+      (quick_run_case_session ~mode:Bmc.Session.Static ~suffix:"+static+coremin"
+         ~core_mode:Bmc.Session.Core_minimal ~coremin_budget:quick_coremin_budget
+         ~unsat_tail:cores_tail_min ~cores_totals ~dec_split:split_min)
+      (List.filter quick_cores_case cases)
   in
   let share_totals =
     { t_exported = 0; t_imported = 0; t_rejected_tainted = 0; t_dropped_stale = 0 }
@@ -967,9 +1047,23 @@ let quick_rows () =
   let isum =
     { i_tail_off_s = !inpr_tail_off; i_tail_on_s = !inpr_tail_on; i_totals = inpr_totals }
   in
+  let rank_share (rank, vsids) =
+    let attributed = !rank + !vsids in
+    if attributed = 0 then 0.0 else float_of_int !rank /. float_of_int attributed *. 100.0
+  in
+  let csum =
+    {
+      c_tail_plain_s = !cores_tail_plain;
+      c_tail_min_s = !cores_tail_min;
+      c_rank_share_plain = rank_share split_plain;
+      c_rank_share_min = rank_share split_min;
+      c_totals = cores_totals;
+    }
+  in
   let osum = quick_observability () in
   let rows =
-    classic @ session @ session_inpr @ seq_static @ seq_dynamic @ portfolio @ portfolio_share
+    classic @ session @ session_inpr @ seq_static @ seq_static_coremin @ seq_dynamic
+    @ portfolio @ portfolio_share
   in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024.0 *. 1024.0) in
   Printf.printf "\n== bench quick: fixed small subset (deterministic outcomes) ==\n\n";
@@ -1017,6 +1111,12 @@ let quick_rows () =
     isum.i_tail_off_s isum.i_tail_on_s inpr_totals.i_eliminated inpr_totals.i_subsumed
     inpr_totals.i_strengthened inpr_totals.i_probe_failed inpr_totals.i_resolvents;
   Printf.printf
+    "   core minimisation: %d -> %d core clauses (%.3fs, %s); UNSAT-tail solve %.3fs plain \
+     vs %.3fs minimised; rank share %.1f%% -> %.1f%%\n"
+    cores_totals.c_pre cores_totals.c_post cores_totals.c_min_s
+    (if cores_totals.c_all_certified then "all certified" else "NOT all certified")
+    csum.c_tail_plain_s csum.c_tail_min_s csum.c_rank_share_plain csum.c_rank_share_min;
+  Printf.printf
     "   observability: session sweep %.3fs bare vs %.3fs with flight recorder + ledger \
      (%+.1f%% overhead, best of 3)\n"
     osum.o_wall_off osum.o_wall_on osum.o_overhead_pct;
@@ -1039,13 +1139,16 @@ let quick_rows () =
   Telemetry.gauge tel "quick.inprocess.unsat_tail_on_s" isum.i_tail_on_s;
   Telemetry.gauge tel "quick.inprocess.eliminated" (float_of_int inpr_totals.i_eliminated);
   Telemetry.gauge tel "quick.inprocess.subsumed" (float_of_int inpr_totals.i_subsumed);
-  (rows, alloc_mb, psum, ssum, isum, osum)
+  Telemetry.gauge tel "quick.cores.pre_clauses" (float_of_int cores_totals.c_pre);
+  Telemetry.gauge tel "quick.cores.post_clauses" (float_of_int cores_totals.c_post);
+  Telemetry.gauge tel "quick.cores.coremin_s" cores_totals.c_min_s;
+  (rows, alloc_mb, psum, ssum, isum, csum, osum)
 
 let quick () =
-  let rows, alloc_mb, psum, ssum, isum, osum = quick_rows () in
+  let rows, alloc_mb, psum, ssum, isum, csum, osum = quick_rows () in
   let oc = open_out quick_snapshot_file in
   output_string oc
-    (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum
+    (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum ~cores:csum
        ~observability:osum);
   close_out oc;
   Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
@@ -1075,7 +1178,7 @@ let quick_timing_dependent name =
   at 0
 
 let quick_check () =
-  let rows, _, _, _, _, osum = quick_rows () in
+  let rows, _, _, _, _, csum, osum = quick_rows () in
   let expected =
     let ic = open_in quick_snapshot_file in
     let tbl = Hashtbl.create 16 in
@@ -1136,11 +1239,45 @@ let quick_check () =
           "+session";
           "+session+inpr";
           "+static";
+          "+static+coremin";
           "+dynamic";
           "+portfolio";
           "+portfolio+share";
         ])
     rows;
+  (* the core-minimisation gates: the minimised cores must be strictly
+     smaller in aggregate than the proof-derived ones (the point of the
+     pass), every one must be re-proved by the independent checker, and
+     the minimised sweep's UNSAT-tail solve time must stay close to the
+     plain static sweep's (the minimiser runs after each solve, so the
+     tails only drift if the re-ranked score degrades the search) *)
+  if csum.c_totals.c_pre > 0 && csum.c_totals.c_post >= csum.c_totals.c_pre then begin
+    incr failures;
+    Printf.eprintf
+      "quick-check: core minimisation did not shrink the cores (%d -> %d clauses)\n"
+      csum.c_totals.c_pre csum.c_totals.c_post
+  end;
+  if not csum.c_totals.c_all_certified then begin
+    incr failures;
+    Printf.eprintf "quick-check: a minimised core failed checker certification\n"
+  end;
+  if csum.c_tail_min_s > (2.0 *. csum.c_tail_plain_s) +. 0.5 then begin
+    incr failures;
+    Printf.eprintf
+      "quick-check: UNSAT-tail solve regressed under core minimisation (%.3fs plain vs \
+       %.3fs minimised)\n"
+      csum.c_tail_plain_s csum.c_tail_min_s
+  end;
+  (* ordering quality must not regress: the static sweep steered by minimised
+     cores has to keep branching on ranked variables about as often as the
+     one steered by raw cores (10-point tolerance, same as the ledger diff) *)
+  if csum.c_rank_share_min < csum.c_rank_share_plain -. 10.0 then begin
+    incr failures;
+    Printf.eprintf
+      "quick-check: rank-guided decision share dropped under core minimisation (%.1f%% \
+       plain vs %.1f%% minimised)\n"
+      csum.c_rank_share_plain csum.c_rank_share_min
+  end;
   (* the tracing-overhead gate: the flight recorder + ledger pipeline must
      stay within 5% of the bare wall (fresh measurement, best of 3) *)
   if osum.o_overhead_pct > 5.0 then begin

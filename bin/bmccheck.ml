@@ -105,7 +105,10 @@ let pp_depth_stat ppf (d : Bmc.Engine.depth_stat) =
     (if d.switched then " [switched to VSIDS]" else "");
   if d.inpr_elim + d.inpr_subsumed + d.inpr_strengthened + d.inpr_probe_failed > 0 then
     Format.fprintf ppf " [inpr elim=%d sub=%d str=%d probes=%d]" d.inpr_elim d.inpr_subsumed
-      d.inpr_strengthened d.inpr_probe_failed
+      d.inpr_strengthened d.inpr_probe_failed;
+  if d.core_pre > 0 && d.core_pre <> d.core_size then
+    Format.fprintf ppf " [coremin %d->%d clauses%s]" d.core_pre d.core_size
+      (if d.coremin_certified then "" else ", uncertified")
 
 (* --inprocess exit summary: totals over the run's depth stats, printed
    only when inprocessing was requested (so default output is unchanged) *)
@@ -121,6 +124,33 @@ let pp_inprocess_summary source (per_depth : Bmc.Engine.depth_stat list) =
     (sum (fun d -> d.Bmc.Session.inpr_strengthened))
     (sum (fun d -> d.Bmc.Session.inpr_probe_failed))
     time
+
+(* --core-min exit summary: totals over the run's depth stats, printed only
+   when minimisation was requested (so default output is unchanged) *)
+let pp_coremin_summary source (per_depth : Bmc.Engine.depth_stat list) =
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 per_depth in
+  let pre = sum (fun (d : Bmc.Engine.depth_stat) -> d.core_pre) in
+  let post = sum (fun (d : Bmc.Engine.depth_stat) -> d.core_size) in
+  let time =
+    List.fold_left
+      (fun acc (d : Bmc.Engine.depth_stat) -> acc +. d.coremin_time)
+      0.0 per_depth
+  in
+  let uncertified =
+    List.exists (fun (d : Bmc.Engine.depth_stat) -> not d.coremin_certified) per_depth
+  in
+  Format.printf "%s: core minimisation %d -> %d clauses (%.3fs, %s)@." source pre post time
+    (if uncertified then "NOT all certified" else "all certified")
+
+(* --core-min[=N] -> session core policy: minimal cores, optionally bounded
+   to N minimisation solver calls *)
+let core_opts core_min =
+  match core_min with
+  | None -> (Bmc.Session.Core_fast, Sat.Coremin.no_budget)
+  | Some n ->
+    ( Bmc.Session.Core_minimal,
+      if n >= 0 then { Sat.Coremin.no_budget with Sat.Coremin.max_solves = Some n }
+      else Sat.Coremin.no_budget )
 
 let parse_inprocess = function
   | None -> None
@@ -147,8 +177,8 @@ let parse_weighting = function
     exit 2
 
 let run_single source engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula inprocess trace_file metrics ledger_file
-    flight_file =
+    max_seconds simple_path fresh_solver ltl_formula inprocess core_min trace_file metrics
+    ledger_file flight_file =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
   match load source with
@@ -167,9 +197,10 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     in
     let telemetry = setup_telemetry trace_file metrics ledger_file in
     let recorder = setup_recorder flight_file in
+    let core_mode, coremin_budget = core_opts core_min in
     let config =
-      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ?inprocess ~telemetry
-        ?recorder ()
+      Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ?inprocess ~core_mode
+        ~coremin_budget ~telemetry ?recorder ()
     in
     (* induction and LTL take the session policy directly; for the invariant
        engines the policy is the engine name (bmc = fresh, incremental =
@@ -287,6 +318,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     if verbose then
       List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) result.per_depth;
     if inprocess <> None then pp_inprocess_summary source result.per_depth;
+    if core_min <> None then pp_coremin_summary source result.per_depth;
     Format.printf "%s: %a (%.3fs, %d decisions, %d implications)@." source
       Bmc.Engine.pp_verdict result.verdict result.total_time result.total_decisions
       result.total_implications;
@@ -299,7 +331,7 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
 
 (* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
 let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-    inprocess trace_file metrics ledger_file flight_file jobs share share_max_lbd =
+    inprocess core_min trace_file metrics ledger_file flight_file jobs share share_max_lbd =
   let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
@@ -317,8 +349,10 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
     in
     let telemetry = setup_telemetry trace_file metrics ledger_file in
     let recorder = setup_recorder flight_file in
+    let core_mode, coremin_budget = core_opts core_min in
     let config =
-      Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ?inprocess ~telemetry ?recorder ()
+      Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ?inprocess ~core_mode
+        ~coremin_budget ~telemetry ?recorder ()
     in
     let jobs = if jobs > 0 then jobs else 3 in
     if share_max_lbd < 1 then begin
@@ -347,6 +381,9 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
                   | None -> "-")
                   rs.Portfolio.wall rs.Portfolio.cancelled)
               r.per_depth;
+          if core_min <> None then
+            pp_coremin_summary source
+              (List.map (fun (rs : Portfolio.race_stat) -> rs.Portfolio.stat) r.per_depth);
           Format.printf "%s: %a (%.3fs wall, %d workers, wins:%s)@." source
             Bmc.Session.pp_verdict r.verdict r.total_wall jobs
             (String.concat ""
@@ -374,7 +411,8 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
 
 (* Several CIRCUITs: batch-solve the properties across the pool (mode B). *)
 let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-    max_conflicts max_seconds inprocess trace_file metrics ledger_file flight_file jobs =
+    max_conflicts max_seconds inprocess core_min trace_file metrics ledger_file flight_file
+    jobs =
   let mode = parse_mode mode_name in
   let weighting = parse_weighting weighting_name in
   let policy =
@@ -407,6 +445,7 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   in
   let telemetry = setup_telemetry trace_file metrics ledger_file in
   let recorder = setup_recorder flight_file in
+  let core_mode, coremin_budget = core_opts core_min in
   let jobs =
     if jobs > 0 then jobs else min (List.length items) (Domain.recommended_domain_count ())
   in
@@ -417,7 +456,7 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
           (fun (source, netlist, property, max_depth) ->
             let config =
               Bmc.Engine.config ~mode ~weighting ~coi ~budget ~max_depth ?inprocess
-                ~telemetry ?recorder ()
+                ~core_mode ~coremin_budget ~telemetry ?recorder ()
             in
             (source, netlist, Bmc.Session.check ~config ~policy netlist ~property))
           items)
@@ -427,6 +466,7 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   List.iter
     (fun (source, netlist, (r : Bmc.Session.result)) ->
       if verbose then List.iter (fun d -> Format.printf "%a@." pp_depth_stat d) r.per_depth;
+      if core_min <> None then pp_coremin_summary source r.per_depth;
       Format.printf "%s: %a (%.3fs, %d decisions)@." source Bmc.Session.pp_verdict r.verdict
         r.total_time r.total_decisions;
       match r.verdict with
@@ -441,8 +481,8 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
   exit !code
 
 let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
-    max_seconds simple_path fresh_solver ltl_formula inprocess_spec trace_file metrics
-    ledger_file flight_file jobs portfolio share share_max_lbd =
+    max_seconds simple_path fresh_solver ltl_formula inprocess_spec core_min trace_file
+    metrics ledger_file flight_file jobs portfolio share share_max_lbd =
   let inprocess = parse_inprocess inprocess_spec in
   if share && not portfolio then begin
     Format.eprintf "bmccheck: --share requires --portfolio (clause exchange races)@.";
@@ -459,18 +499,19 @@ let run sources engine_name mode_name max_depth coi weighting_name verbose max_c
       exit 2
     end;
     run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-      inprocess trace_file metrics ledger_file flight_file jobs share share_max_lbd
+      inprocess core_min trace_file metrics ledger_file flight_file jobs share share_max_lbd
   | [ source ], false ->
     run_single source engine_name mode_name max_depth coi weighting_name verbose
-      max_conflicts max_seconds simple_path fresh_solver ltl_formula inprocess trace_file
-      metrics ledger_file flight_file
+      max_conflicts max_seconds simple_path fresh_solver ltl_formula inprocess core_min
+      trace_file metrics ledger_file flight_file
   | sources, false ->
     if ltl_formula <> None then begin
       Format.eprintf "bmccheck: batch mode checks built-in invariants, not --ltl@.";
       exit 2
     end;
     run_batch sources engine_name mode_name max_depth coi weighting_name verbose
-      max_conflicts max_seconds inprocess trace_file metrics ledger_file flight_file jobs
+      max_conflicts max_seconds inprocess core_min trace_file metrics ledger_file flight_file
+      jobs
 
 open Cmdliner
 
@@ -557,6 +598,19 @@ let inprocess =
               Requires a persistent session (--engine incremental, --portfolio, batch \
               incremental, or --ltl / --engine induction without --fresh-solver).")
 
+let core_min =
+  Arg.(
+    value
+    & opt ~vopt:(Some (-1)) (some int) None
+    & info [ "core-min" ] ~docv:"N"
+        ~doc:"Destructively minimise every UNSAT instance's unsatisfiable core before it \
+              refines the decision ranking: each core clause is re-solved under a selector \
+              assumption and dropped if redundant, and the minimised core is re-proved and \
+              certified by the independent checker (uncertified results fall back to the \
+              raw core).  With a value, spend at most $(docv) minimisation solver calls \
+              per depth; without one, run each core to minimality.  Works with every \
+              session-based engine, --portfolio and batches.")
+
 let trace_file =
   Arg.(
     value
@@ -635,7 +689,7 @@ let cmd =
     Term.(
       const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
       $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ inprocess
-      $ trace_file $ metrics $ ledger_file $ flight_file $ jobs $ portfolio $ share
-      $ share_max_lbd)
+      $ core_min $ trace_file $ metrics $ ledger_file $ flight_file $ jobs $ portfolio
+      $ share $ share_max_lbd)
 
 let () = exit (Cmd.eval cmd)

@@ -228,6 +228,32 @@ let bench_diff ~warn_pct a b =
   | Some _, None ->
     add Obs.Ledger.Warn "inprocess block present in baseline but missing from candidate"
   | None, (Some _ | None) -> ());
+  (* the v7 cores block: the minimiser's budget is a deterministic solve
+     count, so pre/post totals are reproducible — drift flags a behaviour
+     change in the proof/core pipeline, and a candidate whose post-size
+     grew past the baseline's loses the refactor's gain outright *)
+  (match (Obs.Json.member "cores" a, Obs.Json.member "cores" b) with
+  | Some ka, Some kb ->
+    List.iter
+      (fun key ->
+        let va = Obs.Json.get_int ka key and vb = Obs.Json.get_int kb key in
+        let d = pct va vb in
+        if d > warn_pct then
+          add Obs.Ledger.Warn
+            (Printf.sprintf "cores: %s drifted %.0f%% (%d -> %d)" key d va vb))
+      [ "pre_clauses"; "post_clauses" ];
+    let post_a = Obs.Json.get_int ka "post_clauses"
+    and post_b = Obs.Json.get_int kb "post_clauses" in
+    if post_b > post_a && pct post_a post_b > warn_pct then
+      add Obs.Ledger.Warn
+        (Printf.sprintf "cores: minimised size grew %d -> %d clauses" post_a post_b);
+    if
+      Obs.Json.get_bool ~default:true ka "certified"
+      && not (Obs.Json.get_bool ~default:true kb "certified")
+    then add Obs.Ledger.Fail "cores: candidate lost checker certification"
+  | Some _, None ->
+    add Obs.Ledger.Warn "cores block present in baseline but missing from candidate"
+  | None, (Some _ | None) -> ());
   List.rev !findings
 
 let run_diff path_a path_b warn_pct =

@@ -46,8 +46,9 @@ let parse_assumptions text =
              let v = abs d - 1 in
              Some (if d > 0 then Sat.Lit.pos v else Sat.Lit.neg v)))
 
-let run file core stats_flag max_conflicts max_seconds assume drat_file certify preprocess
-    inprocess trace_file metrics flight_file =
+let run file core core_min stats_flag max_conflicts max_seconds assume drat_file certify
+    preprocess inprocess trace_file metrics flight_file =
+  let core = core || core_min <> None in
   match
     (try Ok (Sat.Dimacs.parse_file file) with
     | Sat.Dimacs.Parse_error msg -> Error msg
@@ -172,7 +173,29 @@ let run file core stats_flag max_conflicts max_seconds assume drat_file certify 
         Format.printf "@.";
         Format.printf "c core-vars";
         List.iter (fun v -> Format.printf " %d" (v + 1)) (Sat.Solver.core_vars solver);
-        Format.printf "@."
+        Format.printf "@.";
+        (match core_min with
+        | None -> ()
+        | Some n ->
+          let budget =
+            if n >= 0 then { Sat.Coremin.no_budget with Sat.Coremin.max_solves = Some n }
+            else Sat.Coremin.no_budget
+          in
+          let clauses =
+            List.map (fun i -> (i, Array.to_list (Sat.Cnf.get_clause cnf i))) ids
+          in
+          let kept, st =
+            Sat.Coremin.minimise ~budget ~assumptions ~num_vars:(Sat.Cnf.num_vars cnf)
+              ~clauses ()
+          in
+          Format.printf "c core-min %d -> %d clauses (%d solves, %.3fs%s, %s)@."
+            st.Sat.Coremin.initial st.Sat.Coremin.final st.Sat.Coremin.solves
+            st.Sat.Coremin.seconds
+            (if st.Sat.Coremin.minimal then ", minimal" else "")
+            (if st.Sat.Coremin.certified then "certified" else "NOT certified");
+          Format.printf "c core-min-clauses";
+          List.iter (fun i -> Format.printf " %d" i) kept;
+          Format.printf "@.")
       end;
       exit 20
     | Sat.Solver.Unknown ->
@@ -186,6 +209,17 @@ let file =
 
 let core =
   Arg.(value & flag & info [ "core" ] ~doc:"Log the resolution dependencies and print an unsatisfiable core on UNSAT.")
+
+let core_min =
+  Arg.(
+    value
+    & opt ~vopt:(Some (-1)) (some int) None
+    & info [ "core-min" ] ~docv:"N"
+        ~doc:"On UNSAT, destructively minimise the extracted core (implies --core): each \
+              core clause is guarded by a selector and dropped in turn; the result is \
+              re-proved from scratch and certified by the independent checker.  With a \
+              value, stop after $(docv) minimisation solver calls (the result is then a \
+              correct but possibly non-minimal core); without one, run to a minimal core.")
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics to stderr.")
 
@@ -265,7 +299,7 @@ let cmd =
   let info = Cmd.info "satcheck" ~doc in
   Cmd.v info
     Term.(
-      const run $ file $ core $ stats $ max_conflicts $ max_seconds $ assume $ drat_file
-      $ certify $ preprocess $ inprocess $ trace_file $ metrics $ flight_file)
+      const run $ file $ core $ core_min $ stats $ max_conflicts $ max_seconds $ assume
+      $ drat_file $ certify $ preprocess $ inprocess $ trace_file $ metrics $ flight_file)
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,11 @@ type mode = Session.mode =
   | Dynamic
   | Shtrichman
 
+type core_mode = Session.core_mode =
+  | Core_fast
+  | Core_exact
+  | Core_minimal
+
 type config = Session.config = {
   mode : mode;
   weighting : Score.weighting;
@@ -16,6 +21,8 @@ type config = Session.config = {
   budget : Sat.Solver.budget;
   max_depth : int;
   collect_cores : bool;
+  core_mode : core_mode;
+  coremin_budget : Sat.Coremin.budget;
   restart_base : int option;
   inprocess : Sat.Inprocess.config option;
   telemetry : Telemetry.t;
@@ -39,6 +46,9 @@ type depth_stat = Session.depth_stat = {
   core_var_count : int;
   core_new : int;
   core_dropped : int;
+  core_pre : int;
+  coremin_time : float;
+  coremin_certified : bool;
   switched : bool;
   time : float;
   build_time : float;

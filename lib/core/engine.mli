@@ -30,6 +30,11 @@ type mode = Session.mode =
   | Dynamic
   | Shtrichman
 
+type core_mode = Session.core_mode =
+  | Core_fast
+  | Core_exact
+  | Core_minimal
+
 type config = Session.config = {
   mode : mode;
   weighting : Score.weighting;
@@ -39,6 +44,10 @@ type config = Session.config = {
   collect_cores : bool;
       (** force proof logging even in modes that do not consume cores (used
           by the overhead ablation) *)
+  core_mode : core_mode;
+      (** core post-processing policy (see {!Session.config}) *)
+  coremin_budget : Sat.Coremin.budget;
+      (** work bound for [Core_minimal] minimisation *)
   restart_base : int option;
       (** override the solver's Luby restart unit (see
           {!Session.config}) *)
@@ -67,6 +76,8 @@ val config :
   ?budget:Sat.Solver.budget ->
   ?max_depth:int ->
   ?collect_cores:bool ->
+  ?core_mode:core_mode ->
+  ?coremin_budget:Sat.Coremin.budget ->
   ?restart_base:int ->
   ?inprocess:Sat.Inprocess.config ->
   ?telemetry:Telemetry.t ->
@@ -87,6 +98,9 @@ type depth_stat = Session.depth_stat = {
   core_var_count : int;
   core_new : int;  (** core vars absent from the previous depth's core *)
   core_dropped : int;  (** previous-depth core vars gone from this core *)
+  core_pre : int;  (** core clauses before minimisation (= [core_size] unless [Core_minimal]) *)
+  coremin_time : float;  (** CPU seconds spent minimising the core *)
+  coremin_certified : bool;  (** minimised core re-proved and checker-accepted *)
   switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
   time : float;  (** CPU seconds solving this instance *)
   build_time : float;  (** CPU seconds building the instance (unroll + solver setup) *)

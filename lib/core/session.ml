@@ -14,6 +14,16 @@ type mode =
   | Dynamic
   | Shtrichman
 
+(* What quality of unsat core feeds the ranking (and the reports):
+   [Fast] takes the proof-derived core as-is; [Exact] additionally asks for
+   proof collection so coordinators (the portfolio race) can stitch the
+   cross-solver core; [Minimal] runs destructive core minimisation
+   ({!Sat.Coremin}) on every UNSAT instance before folding. *)
+type core_mode =
+  | Core_fast
+  | Core_exact
+  | Core_minimal
+
 type config = {
   mode : mode;
   weighting : Score.weighting;
@@ -21,6 +31,8 @@ type config = {
   budget : Sat.Solver.budget;
   max_depth : int;
   collect_cores : bool;
+  core_mode : core_mode;
+  coremin_budget : Sat.Coremin.budget;
   restart_base : int option;
   inprocess : Sat.Inprocess.config option;
   telemetry : Telemetry.t;
@@ -35,6 +47,8 @@ let default_config =
     budget = Sat.Solver.no_budget;
     max_depth = 20;
     collect_cores = false;
+    core_mode = Core_fast;
+    coremin_budget = Sat.Coremin.no_budget;
     restart_base = None;
     inprocess = None;
     telemetry = Telemetry.disabled;
@@ -43,7 +57,8 @@ let default_config =
 
 let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     ?(budget = Sat.Solver.no_budget) ?(max_depth = 20) ?(collect_cores = false)
-    ?restart_base ?inprocess ?(telemetry = Telemetry.disabled) ?recorder () =
+    ?(core_mode = Core_fast) ?(coremin_budget = Sat.Coremin.no_budget) ?restart_base
+    ?inprocess ?(telemetry = Telemetry.disabled) ?recorder () =
   {
     mode;
     weighting;
@@ -51,11 +66,24 @@ let make_config ?(mode = Standard) ?(weighting = Score.Linear) ?(coi = false)
     budget;
     max_depth;
     collect_cores;
+    core_mode;
+    coremin_budget;
     restart_base;
     inprocess;
     telemetry;
     recorder;
   }
+
+let pp_core_mode ppf = function
+  | Core_fast -> Format.pp_print_string ppf "fast"
+  | Core_exact -> Format.pp_print_string ppf "exact"
+  | Core_minimal -> Format.pp_print_string ppf "minimal"
+
+let core_mode_of_string = function
+  | "fast" -> Some Core_fast
+  | "exact" -> Some Core_exact
+  | "minimal" -> Some Core_minimal
+  | _ -> None
 
 (* Does this mode consume unsat cores between instances? *)
 let uses_cores = function
@@ -135,6 +163,9 @@ type depth_stat = {
   core_var_count : int;
   core_new : int;
   core_dropped : int;
+  core_pre : int;
+  coremin_time : float;
+  coremin_certified : bool;
   switched : bool;
   time : float;
   build_time : float;
@@ -187,6 +218,8 @@ let emit_depth_event tel (d : depth_stat) =
         ("core_vars", Telemetry.Sink.Int d.core_var_count);
         ("core_new", Telemetry.Sink.Int d.core_new);
         ("core_dropped", Telemetry.Sink.Int d.core_dropped);
+        ("core_pre", Telemetry.Sink.Int d.core_pre);
+        ("coremin_s", Telemetry.Sink.Float d.coremin_time);
         ("switched", Telemetry.Sink.Bool d.switched);
         ("inpr_elim", Telemetry.Sink.Int d.inpr_elim);
         ("inpr_sub", Telemetry.Sink.Int d.inpr_subsumed);
@@ -240,15 +273,15 @@ let install_share solver unroll ep =
     done;
     if !ok then Some keys else None
   in
-  let export lits ~lbd =
+  let export lits ~lbd ~src_id =
     match pack lits with
-    | Some keys -> ignore (Share.Exchange.publish ep keys ~lbd : bool)
+    | Some keys -> ignore (Share.Exchange.publish ~src_id ep keys ~lbd : bool)
     | None -> ()
   in
   let import () =
     let acc = ref [] in
     ignore
-      (Share.Exchange.drain ep (fun keys ->
+      (Share.Exchange.drain ep (fun keys ~origin ->
            let n = Array.length keys in
            let rec build i lits =
              if i >= n then Some lits
@@ -260,7 +293,7 @@ let install_share solver unroll ep =
              end
            in
            match build 0 [] with
-           | Some lits -> acc := lits :: !acc
+           | Some lits -> acc := (lits, origin) :: !acc
            | None -> Share.Exchange.note_dropped ep 1));
     !acc
   in
@@ -308,11 +341,20 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
     invalid_arg "Session.create: clause sharing requires the Persistent policy";
   let unroll = Unroll.create ~coi:cfg.coi ?constrain_init netlist ~property in
   let sc = match score with Some s -> s | None -> Score.create ~weighting:cfg.weighting () in
-  let with_proof = learn_cores && (uses_cores cfg.mode || cfg.collect_cores) in
+  let with_proof =
+    learn_cores && (uses_cores cfg.mode || cfg.collect_cores || cfg.core_mode <> Core_fast)
+  in
   let solver =
     match policy with
     | Persistent ->
-      let s = Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry (Sat.Cnf.create ()) in
+      (* the exchange endpoint id doubles as the global solver id, so the
+         proof shard's provenance matches what siblings record on import *)
+      let solver_id =
+        match share with Some ep -> Share.Exchange.endpoint_id ep | None -> 0
+      in
+      let s =
+        Sat.Solver.create ~with_proof ~telemetry:cfg.telemetry ~solver_id (Sat.Cnf.create ())
+      in
       (match cfg.restart_base with Some b -> Sat.Solver.set_restart_base s b | None -> ());
       (match cfg.recorder with Some r -> Sat.Solver.set_recorder s r | None -> ());
       (match share with Some ep -> install_share s unroll ep | None -> ());
@@ -561,6 +603,44 @@ let solve_instance t =
       (Sat.Solver.unsat_core solver, Sat.Solver.core_vars solver)
     | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ([], [])
   in
+  (* Destructive minimisation ([Core_minimal]): re-solve the candidate core
+     under clause-selector assumptions until no clause can be dropped (or
+     the budget runs out).  Imported clauses reachable from the refutation
+     ride along as extra candidates under negative ids, so the candidate is
+     unsatisfiable even when sharing made an import load-bearing; the
+     instance's activation literal is passed as an assumption.  Every
+     minimised core is re-proved and checker-certified inside {!Sat.Coremin}. *)
+  let core_pre = List.length core in
+  let core, core_vars, coremin_time, coremin_certified =
+    if cfg.core_mode <> Core_minimal || core = [] then (core, core_vars, 0.0, true)
+    else begin
+      let imports = Sat.Solver.unsat_core_imports solver in
+      let candidates =
+        List.map (fun i -> (i, Sat.Solver.original_clause solver i)) core
+        @ List.mapi (fun j lits -> (-1 - j, lits)) imports
+      in
+      let kept, cm =
+        Sat.Coremin.minimise ~budget:cfg.coremin_budget ~assumptions
+          ~num_vars:(Sat.Solver.num_vars solver) ~clauses:candidates ()
+      in
+      if not cm.Sat.Coremin.certified then (core, core_vars, cm.Sat.Coremin.seconds, false)
+      else begin
+        let lits_of =
+          let tbl = Hashtbl.create 64 in
+          List.iter (fun (id, lits) -> Hashtbl.replace tbl id lits) candidates;
+          Hashtbl.find tbl
+        in
+        let vtbl = Hashtbl.create 64 in
+        List.iter
+          (fun id ->
+            List.iter (fun l -> Hashtbl.replace vtbl (Sat.Lit.var l) ()) (lits_of id))
+          kept;
+        let vars = Hashtbl.fold (fun v () acc -> v :: acc) vtbl [] |> List.sort Int.compare in
+        let min_core = List.filter (fun id -> id >= 0) kept |> List.sort Int.compare in
+        (min_core, vars, cm.Sat.Coremin.seconds, true)
+      end
+    end
+  in
   (* Churn against the previous depth's core, before it is overwritten;
      only meaningful between consecutive unsat instances. *)
   let core_new, core_dropped =
@@ -588,6 +668,9 @@ let solve_instance t =
       core_var_count = List.length core_vars;
       core_new;
       core_dropped;
+      core_pre;
+      coremin_time;
+      coremin_certified;
       switched = delta.Sat.Stats.heuristic_switches > 0;
       time;
       build_time = t.build_acc;
@@ -619,6 +702,69 @@ let trace t = Trace.of_model t.unroll ~k:t.instance_k ~model:(model t)
 let last_core t = t.last_core
 
 let last_core_vars t = t.last_core_vars
+
+let session_solver_opt t =
+  match t.pol with Persistent -> t.solver | Fresh -> t.fresh_solver
+
+let solver_id t =
+  match session_solver_opt t with Some s -> Sat.Solver.solver_id s | None -> 0
+
+(* The exact cross-solver core variables of the last UNSAT instance, in this
+   session's variable numbering.  Walks the stitched proof across sibling
+   shards ([siblings] resolves a session by its solver id) and remaps each
+   foreign shard's core-clause variables through its Varmap keys into this
+   session's Varmap.  Foreign core originals are always pure circuit clauses
+   — the export filter releases nothing derived from instance-local
+   variables — so every foreign variable carries a non-negative (node,
+   frame) key.  Coordinator-only: call once every sibling has quiesced. *)
+let exact_core_vars t ~siblings =
+  match session_solver_opt t with
+  | None -> t.last_core_vars
+  | Some s ->
+    if (not t.with_proof) || Sat.Solver.outcome_opt s <> Some Sat.Solver.Unsat then
+      t.last_core_vars
+    else begin
+      let solver_of sess = session_solver_opt sess in
+      let lookup sid = Option.bind (siblings sid) solver_of in
+      match Sat.Solver.stitched_core s ~lookup with
+      | exception Invalid_argument _ ->
+        (* a shard could not be resolved (e.g. a proof-less sibling):
+           fall back to the local projection rather than failing the race *)
+        t.last_core_vars
+      | shards ->
+        let own_vm = Unroll.varmap t.unroll in
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (sid, idxs) ->
+            if sid = Sat.Solver.solver_id s then
+              List.iter
+                (fun i ->
+                  List.iter
+                    (fun l -> Hashtbl.replace tbl (Sat.Lit.var l) ())
+                    (Sat.Solver.original_clause s i))
+                idxs
+            else
+              match Option.bind (siblings sid) (fun sib ->
+                        Option.map (fun so -> (sib, so)) (solver_of sib))
+              with
+              | None -> ()
+              | Some (sib, sib_solver) ->
+                let sib_vm = Unroll.varmap sib.unroll in
+                List.iter
+                  (fun i ->
+                    List.iter
+                      (fun l ->
+                        match Varmap.key_of sib_vm (Sat.Lit.var l) with
+                        | Some (node, frame) when node >= 0 -> (
+                          match Varmap.peek own_vm ~node ~frame with
+                          | Some v -> Hashtbl.replace tbl v ()
+                          | None -> ())
+                        | Some _ | None -> ())
+                      (Sat.Solver.original_clause sib_solver i))
+                  idxs)
+          shards;
+        Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort Int.compare
+    end
 
 let loaded_clauses t = t.loaded_clauses
 

@@ -48,6 +48,18 @@ type mode =
   | Dynamic  (** refined ordering with fallback to VSIDS (Section 3.3) *)
   | Shtrichman  (** the related-work time-axis static ordering *)
 
+(** Core-quality policy: what kind of unsat core feeds the ranking and the
+    reports. *)
+type core_mode =
+  | Core_fast  (** the proof-derived core as-is (the default) *)
+  | Core_exact
+      (** force proof logging so exact cores are available in every mode;
+          under a portfolio race the coordinator additionally stitches the
+          racers' proof shards ({!exact_core_vars}) *)
+  | Core_minimal
+      (** additionally run destructive, checker-certified core minimisation
+          ({!Sat.Coremin}) on every UNSAT instance before folding *)
+
 type config = {
   mode : mode;
   weighting : Score.weighting;
@@ -57,6 +69,10 @@ type config = {
   collect_cores : bool;
       (** force proof logging even in modes that do not consume cores (used
           by the overhead ablation) *)
+  core_mode : core_mode;  (** core quality policy (default [Core_fast]) *)
+  coremin_budget : Sat.Coremin.budget;
+      (** work bound for [Core_minimal]'s per-instance minimisation
+          (default {!Sat.Coremin.no_budget}: run to a minimal core) *)
   restart_base : int option;
       (** override the solver's Luby restart unit (default [None] keeps the
           solver default of 128).  The portfolio gives each racer a
@@ -89,6 +105,8 @@ val make_config :
   ?budget:Sat.Solver.budget ->
   ?max_depth:int ->
   ?collect_cores:bool ->
+  ?core_mode:core_mode ->
+  ?coremin_budget:Sat.Coremin.budget ->
   ?restart_base:int ->
   ?inprocess:Sat.Inprocess.config ->
   ?telemetry:Telemetry.t ->
@@ -117,6 +135,11 @@ val mode_of_string : string -> mode option
 
 val all_modes : mode list
 
+val pp_core_mode : Format.formatter -> core_mode -> unit
+
+val core_mode_of_string : string -> core_mode option
+(** ["fast"], ["exact"] or ["minimal"]. *)
+
 (** {1 Per-instance statistics} *)
 
 type depth_stat = {
@@ -138,6 +161,15 @@ type depth_stat = {
           this instance was UNSAT with proof logging on) *)
   core_dropped : int;
       (** previous-depth core variables gone from this core *)
+  core_pre : int;
+      (** clauses in the core {e before} minimisation (equals [core_size]
+          unless [Core_minimal] shrank it) *)
+  coremin_time : float;
+      (** CPU seconds spent minimising this instance's core (0 outside
+          [Core_minimal]) *)
+  coremin_certified : bool;
+      (** the reported core passed {!Sat.Coremin}'s independent checker
+          re-proof ([true] when no minimisation ran) *)
   switched : bool;  (** dynamic mode fell back to VSIDS in this instance *)
   time : float;  (** CPU seconds solving this instance *)
   build_time : float;
@@ -292,7 +324,26 @@ val last_core : t -> int list
 
 val last_core_vars : t -> Sat.Lit.var list
 (** Variables of the last instance's unsat core — the paper's [unsatVars]
-    (empty unless UNSAT with proof logging). *)
+    (empty unless UNSAT with proof logging).  Under clause sharing this is
+    the exact {e local-shard} projection; {!exact_core_vars} stitches the
+    cross-solver core. *)
+
+val solver_id : t -> int
+(** The global solver id of the session's (current) solver: the exchange
+    endpoint id when sharing, 0 otherwise.  0 under [Fresh] before the
+    first solve. *)
+
+val exact_core_vars : t -> siblings:(int -> t option) -> Sat.Lit.var list
+(** The {e exact} cross-solver core variables of the last UNSAT instance,
+    in this session's variable numbering: the stitched proof walk follows
+    import cross-edges into sibling sessions' shards ([siblings] resolves a
+    session by solver id — {!solver_id}; never called for this session's
+    own id) and remaps foreign core-clause variables through the siblings'
+    Varmap keys.  Falls back to {!last_core_vars} (the local projection)
+    when a shard cannot be resolved or proof logging is off.
+    {b Coordinator-only}: call strictly after every involved session's
+    owning domain has quiesced — the walk reads sibling state without
+    synchronisation. *)
 
 val loaded_clauses : t -> int
 (** [Persistent] only: total frame-delta clauses loaded into the live

@@ -15,6 +15,8 @@ type depth_row = {
   l_core_vars : int;
   l_core_new : int;
   l_core_dropped : int;
+  l_core_pre : int;
+  l_coremin_s : float;
   l_switched : bool;
   l_build_s : float;
   l_solve_s : float;
@@ -76,6 +78,13 @@ let of_events (events : Sink.event list) =
             l_core_vars = fi "core_vars";
             l_core_new = fi "core_new";
             l_core_dropped = fi "core_dropped";
+            (* pre-minimisation size: absent in pre-coremin streams, where
+               pre == post by definition *)
+            l_core_pre =
+              (match Sink.find_int e.fields "core_pre" with
+              | Some v -> v
+              | None -> fi "core_clauses");
+            l_coremin_s = ff "coremin_s";
             l_switched =
               (match List.assoc_opt "switched" e.fields with
               | Some (Sink.Bool b) -> b
@@ -140,8 +149,16 @@ let of_events (events : Sink.event list) =
    record field-by-field, so print -> parse -> print is the identity. *)
 
 let depth_to_json (d : depth_row) =
+  (* Core-minimisation columns are additive AND conditional: a row that
+     never minimised (pre == post, no time spent) omits them, so ledgers
+     written before the columns existed round-trip byte-identically. *)
+  let coremin_fields =
+    if d.l_core_pre <> d.l_core_clauses || d.l_coremin_s <> 0.0 then
+      [ ("core_pre", Json.Int d.l_core_pre); ("coremin_s", Json.Float d.l_coremin_s) ]
+    else []
+  in
   Json.Obj
-    [
+    ([
       ("depth", Json.Int d.l_depth);
       ("mode", Json.Str d.l_mode);
       ("outcome", Json.Str d.l_outcome);
@@ -165,6 +182,7 @@ let depth_to_json (d : depth_row) =
       ("inpr_probe_failed", Json.Int d.l_inpr_probe_failed);
       ("inpr_s", Json.Float d.l_inpr_s);
     ]
+    @ coremin_fields)
 
 let depth_of_json j =
   {
@@ -180,6 +198,11 @@ let depth_of_json j =
     l_core_vars = Json.get_int j "core_vars";
     l_core_new = Json.get_int j "core_new";
     l_core_dropped = Json.get_int j "core_dropped";
+    (* additive columns: absent unless the row minimised its core, and in
+       pre-coremin ledgers; pre defaults to post so the row reads as
+       "nothing minimised" *)
+    l_core_pre = Json.get_int ~default:(Json.get_int j "core_clauses") j "core_pre";
+    l_coremin_s = Json.get_float ~default:0.0 j "coremin_s";
     l_switched = Json.get_bool j "switched";
     l_build_s = Json.get_float j "build_s";
     l_solve_s = Json.get_float j "solve_s";
@@ -302,12 +325,15 @@ let pp_depth_table ppf t =
           if attributed = 0 then 0.0
           else 100.0 *. float_of_int d.l_dec_rank /. float_of_int attributed
         in
-        Format.fprintf ppf "%5d  %-7s  %-9s  %8d %s %5.1f  %9d  %+5d/%-5d  %2s  %7.3f@."
+        Format.fprintf ppf "%5d  %-7s  %-9s  %8d %s %5.1f  %9d  %+5d/%-5d  %2s  %7.3f%s@."
           d.l_depth d.l_outcome d.l_mode d.l_decisions
           (bar 12 (float_of_int d.l_decisions /. maxd))
           rank_pct d.l_conflicts d.l_core_new (-d.l_core_dropped)
           (if d.l_switched then "*" else "")
-          d.l_solve_s)
+          d.l_solve_s
+          (if d.l_core_pre <> d.l_core_clauses then
+             Printf.sprintf "  [coremin %d->%d]" d.l_core_pre d.l_core_clauses
+           else ""))
       t.depths
   end
 
@@ -337,6 +363,11 @@ let pp_effectiveness ppf t =
      Format.fprintf ppf
        "  inprocessing      : eliminated %d vars, subsumed %d, strengthened %d, failed probes %d@."
        elim sub str probes);
+  (let pre = total (fun d -> d.l_core_pre) t
+   and post = total (fun d -> d.l_core_clauses) t
+   and cm_s = List.fold_left (fun acc d -> acc +. d.l_coremin_s) 0.0 t.depths in
+   if pre <> post || cm_s > 0.0 then
+     Format.fprintf ppf "  core minimisation : %d -> %d clauses (%.3fs)@." pre post cm_s);
   (match t.races with
   | [] -> Format.fprintf ppf "  races             : none@."
   | races ->
@@ -410,6 +441,13 @@ let diff ?(warn_pct = 25.0) (a : t) (b : t) =
         if pct_drift da.l_conflicts db.l_conflicts > warn_pct then
           add Warn "depth %d conflicts drifted %d -> %d (>%.0f%%)" k da.l_conflicts
             db.l_conflicts warn_pct;
+        if
+          da.l_core_clauses > 0
+          && db.l_core_clauses > da.l_core_clauses
+          && pct_drift da.l_core_clauses db.l_core_clauses > warn_pct
+        then
+          add Warn "depth %d core grew %d -> %d clauses (>%.0f%%)" k da.l_core_clauses
+            db.l_core_clauses warn_pct;
         if da.l_switched <> db.l_switched then
           add Warn "depth %d dynamic fallback %s" k
             (if db.l_switched then "now fires" else "no longer fires"))

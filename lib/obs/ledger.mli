@@ -29,6 +29,14 @@ type depth_row = {
   l_core_vars : int;
   l_core_new : int;  (** core vars not in the previous depth's core *)
   l_core_dropped : int;  (** previous core vars gone from this one *)
+  l_core_pre : int;
+      (** core clauses {e before} minimisation ([l_core_clauses] is the
+          post-minimisation size).  Equal to [l_core_clauses] when
+          minimisation did not run; the JSON column (with [coremin_s]) is
+          emitted only when the row actually minimised, and parses with a
+          pre-equals-post default, so pre-coremin ledgers round-trip
+          byte-identically *)
+  l_coremin_s : float;  (** CPU seconds of core minimisation *)
   l_switched : bool;  (** dynamic fallback fired during this depth *)
   l_build_s : float;
   l_solve_s : float;
@@ -90,7 +98,8 @@ val rank_share : t -> float
 
 val pp_depth_table : Format.formatter -> t -> unit
 (** Per-depth heat table: decision bars, rank share, conflicts, core
-    churn, fallback markers, solve times. *)
+    churn, fallback markers, solve times, and a [coremin pre->post]
+    tail on rows whose core was minimised. *)
 
 val pp_effectiveness : Format.formatter -> t -> unit
 (** The ordering-effectiveness report: decision-source split, fallback
@@ -106,6 +115,7 @@ type finding = { severity : severity; message : string }
 val diff : ?warn_pct:float -> t -> t -> finding list
 (** [diff baseline candidate]: [Fail] on a changed per-depth outcome;
     [Warn] on decision/conflict drift beyond [warn_pct] (default 25%), a
+    candidate core growing past the baseline's by more than [warn_pct], a
     depth present on only one side, a fallback firing differently, or the
     rank-guided share moving more than 10 points.  Two equal ledgers
     produce []. *)

@@ -227,6 +227,7 @@ let race_depth race ~k =
   in
   let cancelled = ref 0 in
   let max_latency = ref 0.0 in
+  let folded_core_vars = ref None in
   (match !winner with
   | None -> ()
   | Some w ->
@@ -248,11 +249,33 @@ let race_depth race ~k =
         end)
       attempts;
     (* the paper's refinement step, once per depth: only the winner's core
-       reaches the shared ranking *)
+       reaches the shared ranking.  With sharing on, the winner's local core
+       may lean on imported clauses; every racer has settled by now (the
+       wait loop above is the quiescence barrier), so stitch the racers'
+       proof shards and fold the winner's true cross-solver core instead of
+       its local projection. *)
     let wa = attempts.(w) in
     (match wa.a_stat.Session.outcome with
     | Sat.Solver.Unsat ->
-      Bmc.Score.update race.r_score ~instance:k ~core_vars:wa.a_core_vars
+      let core_vars =
+        match (race.r_share, slots.(w).s_session) with
+        | Some _, Some ws ->
+          let siblings sid =
+            Array.fold_left
+              (fun acc sl ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                  match sl.s_session with
+                  | Some s when Session.solver_id s = sid -> Some s
+                  | Some _ | None -> None))
+              None slots
+          in
+          Session.exact_core_vars ws ~siblings
+        | _ -> wa.a_core_vars
+      in
+      folded_core_vars := Some core_vars;
+      Bmc.Score.update race.r_score ~instance:k ~core_vars
     | Sat.Solver.Sat | Sat.Solver.Unknown -> ()));
   let winner_mode = Option.map (fun w -> slots.(w).s_mode) !winner in
   if Telemetry.enabled tel then begin
@@ -275,7 +298,8 @@ let race_depth race ~k =
     depth = k;
     winner = winner_mode;
     stat = best.a_stat;
-    core_vars = best.a_core_vars;
+    core_vars =
+      (match !folded_core_vars with Some v -> v | None -> best.a_core_vars);
     attempts =
       Array.to_list
         (Array.mapi (fun i a -> (slots.(i).s_mode, a.a_stat.Session.outcome)) attempts);

@@ -70,9 +70,11 @@ val create_race :
     contribute.  [share] attaches every racer to the given learnt-clause
     exchange: each racer's session gets its own {!Share.Exchange.endpoint}
     (created inside its pinned worker), exports untainted short learnt
-    clauses, and imports the siblings' at restart boundaries.  The caller
-    keeps the exchange and reads {!Share.Exchange.stats} from it between
-    rounds.  Racer [i] is pinned to pool worker [i mod Pool.size pool];
+    clauses, and imports the siblings' at restart boundaries.  Imports
+    carry their provenance (source solver, source clause id), so the
+    winner's core stays {e exact} under sharing — see {!race_stat}'s
+    [core_vars].  The caller keeps the exchange and reads
+    {!Share.Exchange.stats} from it between rounds.  Racer [i] is pinned to pool worker [i mod Pool.size pool];
     with fewer workers than racers the race serialises gracefully.
     @raise Invalid_argument if the ensemble is empty. *)
 
@@ -84,9 +86,14 @@ type race_stat = {
       (** the winner's per-instance stat (a loser's when [winner = None]) *)
   core_vars : Sat.Lit.var list;
       (** the winner's unsat-core variables ([[]] unless it answered UNSAT
-          with proof logging) — the set its session folded into the shared
-          ranking, exposed so reports and benches can fingerprint which
-          core actually steered depth k+1 *)
+          with proof logging) — the set folded into the shared ranking,
+          exposed so reports and benches can fingerprint which core
+          actually steered depth k+1.  With an exchange attached this is
+          the {e exact cross-solver} core: after every racer settles, the
+          coordinator stitches the racers' proof shards
+          ({!Bmc.Session.exact_core_vars}) so imports in the winner's
+          refutation resolve to the sibling clauses that produced them
+          instead of being dropped at the shard boundary *)
   attempts : (Bmc.Session.mode * Sat.Solver.outcome) list;
       (** every racer's outcome, in [modes] order ([Unknown] for cancelled
           losers) *)

@@ -11,25 +11,42 @@
     empty clause.  A bug anywhere in the solver's learning, watching or
     deletion logic surfaces here as a rejected proof.
 
-    The checker shares no search code with the solver: propagation is a
-    naive counter-based scan, exactly because slow-and-obvious is what one
-    wants from a referee. *)
+    The checker shares no search code with the solver, but it does use the
+    two standard pieces of checker machinery (as drat-trim does): the
+    unit-propagation fixpoint of the formula is kept as a persistent root
+    assignment that queries stack their negated candidate on top of, and
+    each clause watches two literals so a query only visits clauses whose
+    watch it falsified.  That keeps certification roughly linear in proof
+    length instead of quadratic; every visited clause is still re-examined
+    literal by literal over a plain array — no arena, no blocking
+    literals, none of the solver's data structures. *)
 
 type event =
   | Learnt of Lit.t list
       (** clause added by conflict analysis, in derivation order; the empty
           clause terminates a refutation *)
+  | Imported of Lit.t list
+      (** clause imported from a sibling solver through the learnt-clause
+          exchange.  Sound over the shared formula (the export filter only
+          releases clauses derivable from the unguarded circuit clauses)
+          but not RUP-derivable from {e this} solver's trace alone, so the
+          checker admits it as an axiom — the trust boundary of a sharing
+          run's proof *)
   | Deleted of Lit.t list  (** clause removed by database reduction *)
 
 val check_refutation : Cnf.t -> event list -> (unit, string) result
 (** Replay the proof against the formula.  [Ok ()] iff every [Learnt]
     clause passes the RUP test against the originals plus the previously
-    accepted (and not yet deleted) learnt clauses, and the proof derives
-    the empty clause. *)
+    accepted (and not yet deleted) learnt and imported clauses, and the
+    proof derives the empty clause.  [Imported] clauses are admitted
+    without a RUP test (see {!event}). *)
 
 val to_drat : event list -> string
 (** Serialise in the standard DRAT text format (one clause per line,
-    deletions prefixed with [d], DIMACS literals, 0-terminated). *)
+    deletions prefixed with [d], DIMACS literals, 0-terminated).  Imported
+    clauses use a non-standard [i] prefix; when any are present the output
+    opens with a comment line documenting the trust boundary. *)
 
 val of_drat : string -> event list
-(** Parse DRAT text. @raise Failure on malformed input. *)
+(** Parse DRAT text (including the [i]-prefixed import extension).
+    @raise Failure on malformed input. *)

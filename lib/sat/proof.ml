@@ -1,10 +1,13 @@
 type node =
   | Original
-  | Learnt of int array (* antecedent ids *)
+  | Import of int * int (* origin (solver id, local id) in a sibling shard *)
+  | Learnt of int array (* antecedent ids, local to this shard *)
 
 type t = {
   nodes : node Vec.t;
+  solver_id : int; (* provenance: which solver owns this shard *)
   mutable n_original : int;
+  mutable n_import : int;
   mutable n_learnt : int;
   mutable n_edges : int;
   mutable final : int array option;
@@ -12,16 +15,20 @@ type t = {
   mutable cdg_time : float;
 }
 
-let create ?(timed = false) () =
+let create ?(timed = false) ?(solver_id = 0) () =
   {
     nodes = Vec.create ~dummy:Original ();
+    solver_id;
     n_original = 0;
+    n_import = 0;
     n_learnt = 0;
     n_edges = 0;
     final = None;
     timed;
     cdg_time = 0.0;
   }
+
+let solver_id t = t.solver_id
 
 let register_original_ t =
   let id = Vec.length t.nodes in
@@ -34,6 +41,24 @@ let register_original t =
   else begin
     let t0 = Sys.time () in
     let id = register_original_ t in
+    t.cdg_time <- t.cdg_time +. (Sys.time () -. t0);
+    id
+  end
+
+let register_import_ t ~origin:(o_solver, o_id) =
+  if o_id < 0 then
+    invalid_arg (Printf.sprintf "Proof.register_import: negative origin id %d" o_id);
+  let id = Vec.length t.nodes in
+  Vec.push t.nodes (Import (o_solver, o_id));
+  t.n_import <- t.n_import + 1;
+  t.n_edges <- t.n_edges + 1;
+  id
+
+let register_import t ~origin =
+  if not t.timed then register_import_ t ~origin
+  else begin
+    let t0 = Sys.time () in
+    let id = register_import_ t ~origin in
     t.cdg_time <- t.cdg_time +. (Sys.time () -. t0);
     id
   end
@@ -90,6 +115,7 @@ let core_ t =
         visited.(id) <- true;
         match Vec.get t.nodes id with
         | Original -> acc := id :: !acc
+        | Import _ -> () (* foreign leaf: invisible to the single-shard core *)
         | Learnt ants -> Array.iter (fun a -> stack := a :: !stack) ants
       end
     in
@@ -113,13 +139,122 @@ let core t =
     r
   end
 
+(* The import leaves the single-shard core walk skips over: the IDs of the
+   [Import] nodes reachable from the final conflict.  Together with {!core}
+   they are the complete leaf set of the local refutation — a caller that
+   cannot stitch (siblings still running) can still account for the foreign
+   axioms by their recorded literals. *)
+let core_imports t =
+  match t.final with
+  | None -> invalid_arg "Proof.core: no final conflict recorded"
+  | Some roots ->
+    let n = Vec.length t.nodes in
+    let visited = Array.make n false in
+    let acc = ref [] in
+    let stack = ref (Array.to_list roots) in
+    let visit id =
+      if not visited.(id) then begin
+        visited.(id) <- true;
+        match Vec.get t.nodes id with
+        | Original -> ()
+        | Import _ -> acc := id :: !acc
+        | Learnt ants -> Array.iter (fun a -> stack := a :: !stack) ants
+      end
+    in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | id :: rest ->
+        stack := rest;
+        visit id;
+        loop ()
+    in
+    loop ();
+    List.sort Int.compare !acc
+
+(* Cross-shard core: the same backwards walk, but an [Import (s, i)] node
+   continues into shard [s] at node [i] instead of being dropped.  The
+   merged graph is acyclic because a clause is published to the exchange
+   strictly before any sibling can import it, so an import can only ever
+   reference derivations that were complete at publication time. *)
+let stitched_core t ~lookup =
+  match t.final with
+  | None -> invalid_arg "Proof.core: no final conflict recorded"
+  | Some roots ->
+    let visited = Hashtbl.create 1024 in
+    let per_shard : (int, int list ref) Hashtbl.t = Hashtbl.create 7 in
+    let shard_of sid =
+      if sid = t.solver_id then t
+      else
+        match lookup sid with
+        | Some s ->
+          if s.solver_id <> sid then
+            invalid_arg
+              (Printf.sprintf
+                 "Proof.stitched_core: lookup returned shard %d for solver %d"
+                 s.solver_id sid);
+          s
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Proof.stitched_core: no shard for solver %d" sid)
+    in
+    let stack = ref (List.map (fun id -> (t, id)) (Array.to_list roots)) in
+    let visit (sh, id) =
+      let key = (sh.solver_id, id) in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        if id < 0 || id >= Vec.length sh.nodes then
+          invalid_arg
+            (Printf.sprintf "Proof.stitched_core: unknown node %d in shard %d" id
+               sh.solver_id);
+        match Vec.get sh.nodes id with
+        | Original ->
+          let acc =
+            match Hashtbl.find_opt per_shard sh.solver_id with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.add per_shard sh.solver_id r;
+              r
+          in
+          acc := id :: !acc
+        | Import (os, oi) -> stack := (shard_of os, oi) :: !stack
+        | Learnt ants -> Array.iter (fun a -> stack := (sh, a) :: !stack) ants
+      end
+    in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | top :: rest ->
+        stack := rest;
+        visit top;
+        loop ()
+    in
+    loop ();
+    Hashtbl.fold
+      (fun sid acc l -> (sid, List.sort Int.compare !acc) :: l)
+      per_shard []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let antecedents t id =
   if id < 0 || id >= Vec.length t.nodes then None
-  else match Vec.get t.nodes id with Original -> None | Learnt ants -> Some ants
+  else
+    match Vec.get t.nodes id with
+    | Original | Import _ -> None
+    | Learnt ants -> Some ants
+
+let origin_of t id =
+  if id < 0 || id >= Vec.length t.nodes then None
+  else
+    match Vec.get t.nodes id with
+    | Original | Learnt _ -> None
+    | Import (s, i) -> Some (s, i)
 
 let final t = t.final
 
 let num_original t = t.n_original
+
+let num_import t = t.n_import
 
 let num_learnt t = t.n_learnt
 

@@ -17,14 +17,16 @@ let no_budget =
 
 (* Clause-exchange hooks (the portfolio's learnt-clause sharing).  The
    solver stays transport-agnostic: [sh_export] receives learnt clauses
-   that pass the size/LBD caps and the taint filter, [sh_import] is asked
-   for foreign clauses (already remapped to this solver's variables) at
-   solve-start and restart boundaries. *)
+   that pass the size/LBD caps and the taint filter together with their
+   proof pseudo ID ([src_id], -1 when proof logging is off), [sh_import]
+   is asked for foreign clauses (already remapped to this solver's
+   variables, each with its global (solver id, clause id) provenance when
+   the exporter supplied one) at solve-start and restart boundaries. *)
 type share = {
   sh_max_size : int;
   sh_max_lbd : int;
-  sh_export : Lit.t array -> lbd:int -> unit;
-  sh_import : unit -> Lit.t list list;
+  sh_export : Lit.t array -> lbd:int -> src_id:int -> unit;
+  sh_import : unit -> (Lit.t list * (int * int) option) list;
 }
 
 (* Poll the budget (and with it the cooperative-stop hook) every this many
@@ -52,6 +54,7 @@ type t = {
   trail_lim : int Vec.t; (* trail index at the start of each decision level *)
   mutable qhead : int;
   mutable order : Order.t;
+  sid : int; (* global solver id (proof provenance); 0 outside a portfolio *)
   proof : Proof.t option;
   proof_to_cnf : (int, int) Hashtbl.t; (* proof pseudo ID -> clause index *)
   learnt_lits : (int, Lit.t list) Hashtbl.t; (* proof ID -> literals (proof mode) *)
@@ -205,7 +208,7 @@ let add_original t index lits =
     else attach t cr
 
 let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode = Order.Vsids)
-    ?(telemetry = Telemetry.disabled) cnf =
+    ?(telemetry = Telemetry.disabled) ?(solver_id = 0) cnf =
   let cnf = Cnf.copy cnf in
   let nvars = Cnf.num_vars cnf in
   let nlits = max (2 * nvars) 1 in
@@ -225,8 +228,10 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
       order;
+      sid = solver_id;
       proof =
-        (if with_proof then Some (Proof.create ~timed:(Telemetry.timing telemetry) ())
+        (if with_proof then
+           Some (Proof.create ~timed:(Telemetry.timing telemetry) ~solver_id ())
          else None);
       proof_to_cnf = Hashtbl.create 256;
       learnt_lits = Hashtbl.create 256;
@@ -464,10 +469,12 @@ let add_clause t lits =
    Precondition: decision level 0 (solve start or a restart), so every
    current assignment is a level-0 fact.  Mirrors [add_original]'s
    assignment-aware attachment, but the clause enters as a learnt — never
-   recorded in [t.cnf], eligible for [reduce_db], and (in proof mode)
-   registered as an original leaf whose pseudo ID is remembered in
-   [imported_ids] so core reporting can skip it. *)
-let attach_import t lits =
+   recorded in [t.cnf], eligible for [reduce_db].  In proof mode it becomes
+   an [Import] cross-edge into the exporter's shard when the exchange
+   supplied [origin], so stitched cores stay exact; without provenance it
+   falls back to an original leaf that core reporting skips.  In DRAT mode
+   the clause is recorded as an [i]-prefixed trusted axiom. *)
+let attach_import ?origin t lits =
   match Cnf.normalize_clause lits with
   | None -> ()
   | Some lits ->
@@ -492,17 +499,23 @@ let attach_import t lits =
       let cid =
         match t.proof with
         | Some p ->
-          let id = Proof.register_original p in
+          let id =
+            match origin with
+            | Some origin -> Proof.register_import p ~origin
+            | None -> Proof.register_original p
+          in
           Hashtbl.replace t.imported_ids id ();
           Hashtbl.replace t.learnt_lits id lits;
           id
         | None -> -1
       in
+      (match t.drat with Some d -> Vec.push d (Checker.Imported lits) | None -> ());
       let cr = Arena.alloc t.arena ~cid ~learnt:true arr in
       t.stats.shared_imported <- t.stats.shared_imported + 1;
       if !nf = 0 then begin
         (* conflicts with the level-0 facts: the shared formula is refuted *)
         t.ok <- false;
+        (match t.drat with Some d -> Vec.push d (Checker.Learnt []) | None -> ());
         match t.proof with
         | Some p ->
           if not (Proof.has_final p) then
@@ -528,10 +541,10 @@ let import_pending t =
   | Some sh ->
     let before = t.stats.shared_imported in
     List.iter
-      (fun lits ->
+      (fun (lits, origin) ->
         if t.ok then begin
           List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
-          attach_import t lits
+          attach_import ?origin t lits
         end)
       (sh.sh_import ());
     let imported = t.stats.shared_imported - before in
@@ -711,7 +724,7 @@ let learnt_lbd t lits =
    literals is instance-local (an assumption guard can enter the clause as
    a decision literal without ever being resolved against), and (c) it is
    short and low-LBD enough to be worth a sibling's attention. *)
-let maybe_export t lits ~tainted =
+let maybe_export t lits ~tainted ~src_id =
   match t.share with
   | None -> ()
   | Some sh ->
@@ -723,7 +736,7 @@ let maybe_export t lits ~tainted =
         if lbd <= sh.sh_max_lbd then begin
           t.stats.shared_exported <- t.stats.shared_exported + 1;
           frecord t Obs.Recorder.Share_export ~a:lbd ~b:(List.length lits);
-          sh.sh_export (Array.of_list lits) ~lbd
+          sh.sh_export (Array.of_list lits) ~lbd ~src_id
         end
       end
     end
@@ -742,7 +755,11 @@ let record_learnt t lits ants =
   let tainted =
     t.analysis_tainted || List.exists (fun l -> is_local t (Lit.var l)) lits
   in
-  maybe_export t lits ~tainted;
+  (* the learnt's own proof pseudo ID travels with the clause: an importer
+     records it as a cross-edge into this shard, keeping stitched cores
+     exact (cid is -1 when proof logging is off — imports then degrade to
+     provenance-less leaves, as before) *)
+  maybe_export t lits ~tainted ~src_id:cid;
   (* Chaff's new_lit_counts: every literal of the new conflict clause gets
      one activity point. *)
   List.iter (Order.bump t.order) lits;
@@ -1358,15 +1375,59 @@ let model t =
 let unsat_core t =
   match (t.result, t.proof) with
   | Some Unsat, Some p ->
-    (* Imported clauses are proof leaves without a clause index of their
-       own; a core that used one is reported without it (each import is a
-       consequence of some sibling's frame clauses, so the projection is an
-       under-approximation, never wrong). *)
+    (* The exact local-shard core.  Imported clauses are [Import] cross-edges
+       (or, when the exporter logged no proof, original leaves without a
+       clause index) and are excluded here — they belong to sibling shards;
+       {!stitched_core} follows them for the exact cross-solver core, and
+       {!unsat_core_imports} names the foreign axioms by their literals. *)
     Proof.core p
     |> List.filter_map (fun id -> Hashtbl.find_opt t.proof_to_cnf id)
     |> List.sort Int.compare
   | Some Unsat, None -> invalid_arg "Solver.unsat_core: proof logging was off"
   | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.unsat_core: not UNSAT"
+
+let unsat_core_imports t =
+  match (t.result, t.proof) with
+  | Some Unsat, Some p ->
+    let provenanced = Proof.core_imports p in
+    let originless = Proof.core p |> List.filter (Hashtbl.mem t.imported_ids) in
+    List.filter_map (fun id -> Hashtbl.find_opt t.learnt_lits id) (provenanced @ originless)
+  | Some Unsat, None -> invalid_arg "Solver.unsat_core_imports: proof logging was off"
+  | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.unsat_core_imports: not UNSAT"
+
+let solver_id t = t.sid
+
+let proof t = t.proof
+
+let original_clause t i = Array.to_list (Cnf.get_clause t.cnf i)
+
+(* The exact cross-solver core.  [lookup] resolves a sibling solver by its
+   global id; call only once every sibling has quiesced — the walk reads
+   their proof shards and clause tables without synchronisation. *)
+let stitched_core t ~lookup =
+  match (t.result, t.proof) with
+  | Some Unsat, Some p ->
+    let shards =
+      Proof.stitched_core p ~lookup:(fun sid -> Option.bind (lookup sid) (fun s -> s.proof))
+    in
+    List.filter_map
+      (fun (sid, ids) ->
+        let s =
+          if sid = t.sid then t
+          else
+            match lookup sid with
+            | Some s -> s
+            | None -> assert false (* Proof.stitched_core resolved it already *)
+        in
+        let idxs =
+          ids
+          |> List.filter_map (fun id -> Hashtbl.find_opt s.proof_to_cnf id)
+          |> List.sort Int.compare
+        in
+        if idxs = [] then None else Some (sid, idxs))
+      shards
+  | Some Unsat, None -> invalid_arg "Solver.stitched_core: proof logging was off"
+  | (Some (Sat | Unknown) | None), _ -> invalid_arg "Solver.stitched_core: not UNSAT"
 
 let core_vars t =
   let core = unsat_core t in
@@ -1439,7 +1500,9 @@ let set_max_learnts t n = t.max_learnts <- max 1 n
 let set_restart_base t base = t.luby <- Luby.create ~base
 
 let set_share ?(max_size = 8) ?(max_lbd = 4) t ~export ~import =
-  if t.drat <> None then invalid_arg "Solver.set_share: incompatible with DRAT logging";
+  (* DRAT and sharing now coexist: imports are recorded as [i]-prefixed
+     trusted axioms (see {!Checker.event}), so the clausal proof stays
+     replayable instead of being refused outright. *)
   if max_size < 1 || max_lbd < 1 then invalid_arg "Solver.set_share: caps must be >= 1";
   t.share <-
     Some { sh_max_size = max_size; sh_max_lbd = max_lbd; sh_export = export; sh_import = import }

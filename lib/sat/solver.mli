@@ -56,6 +56,7 @@ val create :
   ?minimize:bool ->
   ?mode:Order.mode ->
   ?telemetry:Telemetry.t ->
+  ?solver_id:int ->
   Cnf.t ->
   t
 (** [create cnf] prepares a solver over a snapshot of [cnf] (later mutations
@@ -74,7 +75,11 @@ val create :
     per variable by {!Order.decided_by_rank} and published coalesced —
     never as per-decision events); it also feeds the wall-time fields of
     {!Stats.t} and enables the timed CDG bookkeeping.  The attribution
-    counters in {!Stats.t} are maintained unconditionally. *)
+    counters in {!Stats.t} are maintained unconditionally.  [solver_id]
+    (default [0]) is this solver's global provenance id — its proof shard's
+    name in a cross-solver dependency graph; the portfolio layer passes
+    each racer its exchange endpoint id so [(solver id, clause id)] pairs
+    travelling with shared clauses resolve unambiguously. *)
 
 val solve : ?budget:budget -> ?assumptions:Lit.t list -> t -> outcome
 (** Run the search, optionally under assumptions.  Each call starts from
@@ -136,20 +141,26 @@ val set_share :
   ?max_size:int ->
   ?max_lbd:int ->
   t ->
-  export:(Lit.t array -> lbd:int -> unit) ->
-  import:(unit -> Lit.t list list) ->
+  export:(Lit.t array -> lbd:int -> src_id:int -> unit) ->
+  import:(unit -> (Lit.t list * (int * int) option) list) ->
   unit
 (** Install sharing hooks.  [export] receives each learnt clause that is at
     most [max_size] literals (default 8), has literal-block distance at
-    most [max_lbd] (default 4) and is untainted.  [import] is polled at
-    solve-start and at every restart (decision level 0); it must return
-    clauses already remapped to this solver's variables, each sound for the
-    formula being solved.  Imports attach as learnt clauses (eligible for
-    database reduction); in proof mode they become proof leaves that
-    {!unsat_core} skips, so a core that used an import is reported as an
-    under-approximation.
-    @raise Invalid_argument with DRAT logging on (imported clauses are not
-    RUP-derivable from this solver's own trace), or on caps < 1. *)
+    most [max_lbd] (default 4) and is untainted, together with the clause's
+    pseudo ID in this solver's proof shard ([src_id]; [-1] when proof
+    logging is off).  [import] is polled at solve-start and at every
+    restart (decision level 0); it must return clauses already remapped to
+    this solver's variables, each sound for the formula being solved and
+    each paired with its global [(solver id, clause id)] provenance when
+    the exporter supplied one.  Imports attach as learnt clauses (eligible
+    for database reduction); in proof mode a provenance-carrying import
+    becomes an [Import] cross-edge into the exporter's shard — {!unsat_core}
+    still reports the exact {e local-shard} core (foreign leaves excluded),
+    and {!stitched_core} resolves the cross-edges for the exact cross-solver
+    core.  With DRAT logging on, each import is additionally recorded as an
+    [i]-prefixed trusted axiom ({!Checker.event}), so sharing and clausal
+    proofs coexist.
+    @raise Invalid_argument on caps < 1. *)
 
 val clear_share : t -> unit
 
@@ -245,9 +256,42 @@ val model : t -> bool array
 
 val unsat_core : t -> int list
 (** Indices (into the original formula's clause list) of an unsatisfiable
-    core, ascending.
+    core, ascending.  Under clause sharing this is the exact {e local-shard}
+    core: foreign (imported) leaves are excluded — see {!stitched_core} for
+    the exact cross-solver core and {!unsat_core_imports} for the foreign
+    axioms themselves.
     @raise Invalid_argument unless the outcome was [Unsat] and the solver
     was created [~with_proof:true]. *)
+
+val unsat_core_imports : t -> Lit.t list list
+(** The literal contents of the imported clauses the refutation's backward
+    closure reaches — the foreign axioms {!unsat_core} excludes.  Empty
+    when no import was load-bearing; together with the {!unsat_core}
+    clauses these form an unsatisfiable set even when siblings cannot be
+    stitched.
+    @raise Invalid_argument as {!unsat_core}. *)
+
+val solver_id : t -> int
+(** The global provenance id passed at {!create} (default 0). *)
+
+val proof : t -> Proof.t option
+(** This solver's proof shard, when created [~with_proof:true].  Read-only
+    use by a coordinator, and only once the owning domain has quiesced. *)
+
+val stitched_core : t -> lookup:(int -> t option) -> (int * int list) list
+(** The exact cross-solver core: for each proof shard contributing at least
+    one original clause, the pair of its solver id and the ascending clause
+    indices {e into that solver's formula}.  [lookup] resolves a sibling
+    solver by its global id (never called for this solver's own id).  Call
+    only after every sibling has quiesced — the walk reads their shards
+    without synchronisation.
+    @raise Invalid_argument as {!unsat_core}, or if a referenced shard
+    cannot be resolved. *)
+
+val original_clause : t -> int -> Lit.t list
+(** The literals of original clause [i], as loaded (before normalisation) —
+    the contents behind {!unsat_core} indices, e.g. for re-solving a
+    candidate core under {!Coremin}. *)
 
 val core_vars : t -> Lit.var list
 (** Variables appearing in the {!unsat_core} clauses, ascending — the

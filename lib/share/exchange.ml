@@ -21,8 +21,11 @@ let default_config = { capacity = 1024; max_size = 8; max_lbd = 4 }
 (* [c_consumed] is the first-import latch: the first sibling to consume the
    clause flips it with a CAS, so the aggregate "imported" counter counts
    distinct clauses and [imported <= exported] holds by construction
-   whatever the number of consumers. *)
-type clause = { c_lits : int array; c_consumed : bool Atomic.t }
+   whatever the number of consumers.  [c_src_id] is the clause's pseudo ID
+   in the exporter's proof shard (-1 when the exporter logs no proof) —
+   together with the ring's [src] endpoint id it is the clause's global
+   provenance, which importers record as a cross-shard proof edge. *)
+type clause = { c_lits : int array; c_src_id : int; c_consumed : bool Atomic.t }
 
 type t = {
   cfg : config;
@@ -72,6 +75,8 @@ let endpoint t ~name =
 
 let name ep = ep.ep_name
 
+let endpoint_id ep = ep.id
+
 let max_size ep = ep.ex.cfg.max_size
 
 let max_lbd ep = ep.ex.cfg.max_lbd
@@ -84,7 +89,7 @@ let clause_hash lits =
   Array.sort compare a;
   Array.fold_left (fun h k -> (h * 1000003) + k) (Array.length a) a
 
-let publish ep lits ~lbd =
+let publish ?(src_id = -1) ep lits ~lbd =
   let n = Array.length lits in
   if n < 1 || n > ep.ex.cfg.max_size || lbd > ep.ex.cfg.max_lbd then false
   else begin
@@ -92,7 +97,8 @@ let publish ep lits ~lbd =
     if Hashtbl.mem ep.seen h then false
     else begin
       Hashtbl.replace ep.seen h ();
-      Ring.publish ep.ex.ring ~src:ep.id { c_lits = lits; c_consumed = Atomic.make false };
+      Ring.publish ep.ex.ring ~src:ep.id
+        { c_lits = lits; c_src_id = src_id; c_consumed = Atomic.make false };
       Atomic.incr ep.ex.exported;
       true
     end
@@ -117,7 +123,8 @@ let drain ep f =
                Atomic.incr ep.ex.imported;
              Atomic.incr ep.ex.delivered;
              incr delivered;
-             f cl.c_lits
+             let origin = if cl.c_src_id >= 0 then Some (src, cl.c_src_id) else None in
+             f cl.c_lits ~origin
            end
          end));
   flush_drops ep;

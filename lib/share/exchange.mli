@@ -62,20 +62,32 @@ val endpoint : t -> name:string -> endpoint
 
 val name : endpoint -> string
 
+val endpoint_id : endpoint -> int
+(** The endpoint's id — dense from 0 in attach order, unique within the
+    exchange.  Doubles as the participant's global {e solver id} for proof
+    provenance: racers create their proof shards with it, so the [(solver
+    id, clause id)] pairs travelling with clauses resolve unambiguously. *)
+
 val max_size : endpoint -> int
 
 val max_lbd : endpoint -> int
 
-val publish : endpoint -> int array -> lbd:int -> bool
-(** Offer a clause of packed literal keys to the siblings.  Returns [false]
-    (and publishes nothing) if the clause is empty, over the size/LBD caps,
-    or a duplicate of one this endpoint already published or imported.  The
-    array is owned by the exchange afterwards — do not mutate it. *)
+val publish : ?src_id:int -> endpoint -> int array -> lbd:int -> bool
+(** Offer a clause of packed literal keys to the siblings.  [src_id]
+    (default [-1] = none) is the clause's pseudo ID in the exporter's proof
+    shard; importers receive it as the clause's provenance.  Returns
+    [false] (and publishes nothing) if the clause is empty, over the
+    size/LBD caps, or a duplicate of one this endpoint already published or
+    imported.  The array is owned by the exchange afterwards — do not
+    mutate it. *)
 
-val drain : endpoint -> (int array -> unit) -> int
+val drain : endpoint -> (int array -> origin:(int * int) option -> unit) -> int
 (** Deliver every clause published by {e other} endpoints since the last
-    drain, newest ones included, skipping duplicates.  Returns the number
-    delivered.  The callback must not call back into the exchange. *)
+    drain, newest ones included, skipping duplicates.  [origin] is the
+    clause's global provenance — the publishing endpoint's id and the
+    clause's pseudo ID in the publisher's proof shard — or [None] if the
+    publisher exported without one.  Returns the number delivered.  The
+    callback must not call back into the exchange. *)
 
 val note_dropped : endpoint -> int -> unit
 (** Account clauses the importer had to discard (e.g. mentioning frames its

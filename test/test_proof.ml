@@ -49,6 +49,72 @@ let test_ids_dense () =
     Alcotest.(check int) "dense id" i (Sat.Proof.register_original p)
   done
 
+(* Provenance: imports are cross-edges, not core members. *)
+
+let test_import_is_leaf_not_core () =
+  let p = Sat.Proof.create ~solver_id:3 () in
+  let o = Sat.Proof.register_original p in
+  let i = Sat.Proof.register_import p ~origin:(7, 4) in
+  let l = Sat.Proof.register_learnt p ~antecedents:[ o; i ] in
+  Sat.Proof.set_final p ~antecedents:[ l ];
+  Alcotest.(check int) "solver id" 3 (Sat.Proof.solver_id p);
+  Alcotest.(check int) "imports counted" 1 (Sat.Proof.num_import p);
+  Alcotest.(check (list int)) "core skips the import" [ o ] (Sat.Proof.core p);
+  Alcotest.(check (list int)) "core_imports names it" [ i ] (Sat.Proof.core_imports p);
+  Alcotest.(check (option (pair int int))) "origin roundtrip" (Some (7, 4))
+    (Sat.Proof.origin_of p i);
+  Alcotest.(check (option (pair int int))) "originals have no origin" None
+    (Sat.Proof.origin_of p o)
+
+let test_import_negative_origin () =
+  let p = Sat.Proof.create () in
+  Alcotest.check_raises "negative origin"
+    (Invalid_argument "Proof.register_import: negative origin id -1") (fun () ->
+      ignore (Sat.Proof.register_import p ~origin:(0, -1)))
+
+(* Two shards: B refutes using a clause imported from A; the stitched core
+   must name A's originals behind the import, while B's local core stays
+   the shard projection. *)
+let test_stitched_core_two_shards () =
+  let a = Sat.Proof.create ~solver_id:1 () in
+  let a0 = Sat.Proof.register_original a in
+  let a1 = Sat.Proof.register_original a in
+  let al = Sat.Proof.register_learnt a ~antecedents:[ a0; a1 ] in
+  let b = Sat.Proof.create ~solver_id:2 () in
+  let b0 = Sat.Proof.register_original b in
+  let bi = Sat.Proof.register_import b ~origin:(1, al) in
+  let bl = Sat.Proof.register_learnt b ~antecedents:[ b0; bi ] in
+  Sat.Proof.set_final b ~antecedents:[ bl ];
+  Alcotest.(check (list int)) "local projection" [ b0 ] (Sat.Proof.core b);
+  let stitched =
+    Sat.Proof.stitched_core b ~lookup:(fun sid -> if sid = 1 then Some a else None)
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "stitched: both shards' originals"
+    [ (1, [ a0; a1 ]); (2, [ b0 ]) ]
+    stitched
+
+let test_stitched_core_missing_shard () =
+  let b = Sat.Proof.create ~solver_id:2 () in
+  let bi = Sat.Proof.register_import b ~origin:(9, 0) in
+  Sat.Proof.set_final b ~antecedents:[ bi ];
+  Alcotest.check_raises "unresolvable shard"
+    (Invalid_argument "Proof.stitched_core: no shard for solver 9") (fun () ->
+      ignore (Sat.Proof.stitched_core b ~lookup:(fun _ -> None)))
+
+(* Without imports, stitching degenerates to the local core under this
+   shard's own id — the single-solver case costs nothing. *)
+let test_stitched_equals_core_without_imports () =
+  let p = Sat.Proof.create ~solver_id:5 () in
+  let o0 = Sat.Proof.register_original p in
+  let o1 = Sat.Proof.register_original p in
+  let l = Sat.Proof.register_learnt p ~antecedents:[ o0; o1 ] in
+  Sat.Proof.set_final p ~antecedents:[ l ];
+  Alcotest.(check (list (pair int (list int))))
+    "one shard, same ids"
+    [ (5, Sat.Proof.core p) ]
+    (Sat.Proof.stitched_core p ~lookup:(fun _ -> None))
+
 (* Random DAG: every original that some chain of learnt clauses connects to
    the final node must be in the core, and nothing else. *)
 let prop_core_is_backward_reachable_set =
@@ -80,5 +146,11 @@ let tests =
     Alcotest.test_case "no final" `Quick test_no_final;
     Alcotest.test_case "unknown antecedent" `Quick test_unknown_antecedent;
     Alcotest.test_case "dense ids" `Quick test_ids_dense;
+    Alcotest.test_case "import is leaf" `Quick test_import_is_leaf_not_core;
+    Alcotest.test_case "import negative origin" `Quick test_import_negative_origin;
+    Alcotest.test_case "stitched core, two shards" `Quick test_stitched_core_two_shards;
+    Alcotest.test_case "stitched core, missing shard" `Quick test_stitched_core_missing_shard;
+    Alcotest.test_case "stitched = core without imports" `Quick
+      test_stitched_equals_core_without_imports;
     QCheck_alcotest.to_alcotest prop_core_is_backward_reachable_set;
   ]

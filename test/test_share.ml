@@ -142,12 +142,14 @@ let test_exchange_skips_own_and_counts_imports () =
   for i = 1 to 5 do
     ignore (Exchange.publish a (keys [ (i, 0, false) ]) ~lbd:1)
   done;
-  Alcotest.(check int) "own clauses are invisible" 0 (Exchange.drain a (fun _ -> ()));
+  Alcotest.(check int) "own clauses are invisible" 0
+    (Exchange.drain a (fun _ ~origin:_ -> ()));
   let seen_b = ref 0 in
-  Alcotest.(check int) "b imports all five" 5 (Exchange.drain b (fun _ -> incr seen_b));
+  Alcotest.(check int) "b imports all five" 5
+    (Exchange.drain b (fun _ ~origin:_ -> incr seen_b));
   Alcotest.(check int) "callback per clause" 5 !seen_b;
-  Alcotest.(check int) "c also imports" 5 (Exchange.drain c (fun _ -> ()));
-  Alcotest.(check int) "drain is idempotent" 0 (Exchange.drain b (fun _ -> ()));
+  Alcotest.(check int) "c also imports" 5 (Exchange.drain c (fun _ ~origin:_ -> ()));
+  Alcotest.(check int) "drain is idempotent" 0 (Exchange.drain b (fun _ ~origin:_ -> ()));
   let st = Exchange.stats ex in
   Alcotest.(check int) "exported" 5 st.Exchange.exported;
   (* two consumers each saw five deliveries, but a clause counts as imported
@@ -161,11 +163,28 @@ let test_exchange_import_dedup_and_republish () =
   let a = Exchange.endpoint ex ~name:"a" in
   let b = Exchange.endpoint ex ~name:"b" in
   ignore (Exchange.publish a (keys [ (1, 0, false); (2, 1, true) ]) ~lbd:2);
-  Alcotest.(check int) "b imports it" 1 (Exchange.drain b (fun _ -> ()));
+  Alcotest.(check int) "b imports it" 1 (Exchange.drain b (fun _ ~origin:_ -> ()));
   (* having imported the clause, b must not re-export it back to the ring *)
   Alcotest.(check bool) "no republish of an import" false
     (Exchange.publish b (keys [ (1, 0, false); (2, 1, true) ]) ~lbd:2);
   Alcotest.(check int) "still one export" 1 (Exchange.stats ex).Exchange.exported
+
+let test_exchange_origin_roundtrip () =
+  (* provenance: a clause published with a source clause id arrives with
+     [Some (publisher endpoint id, id)]; one published without arrives
+     origin-less *)
+  let ex = mk_exchange () in
+  let a = Exchange.endpoint ex ~name:"a" in
+  let b = Exchange.endpoint ex ~name:"b" in
+  ignore (Exchange.publish ~src_id:42 a (keys [ (1, 0, false) ]) ~lbd:1);
+  ignore (Exchange.publish a (keys [ (2, 0, false) ]) ~lbd:1);
+  let got = ref [] in
+  ignore (Exchange.drain b (fun _ ~origin -> got := origin :: !got));
+  let a_id = Exchange.endpoint_id a in
+  Alcotest.(check (list (option (pair int int))))
+    "origins travel with the clauses"
+    [ Some (a_id, 42); None ]
+    (List.rev !got)
 
 let test_exchange_dropped_stale () =
   let ex = mk_exchange ~capacity:2 () in
@@ -174,7 +193,7 @@ let test_exchange_dropped_stale () =
   for i = 1 to 10 do
     ignore (Exchange.publish a (keys [ (i, 0, false) ]) ~lbd:1)
   done;
-  let n = Exchange.drain b (fun _ -> ()) in
+  let n = Exchange.drain b (fun _ ~origin:_ -> ()) in
   Alcotest.(check int) "only the live window arrives" 2 n;
   Exchange.note_dropped b 3;
   let st = Exchange.stats ex in
@@ -210,7 +229,7 @@ let solve_capturing ?(max_size = 10) ?(max_lbd = 10) ~locals ~assumptions clause
   List.iter (fun v -> Sat.Solver.mark_local s v) locals;
   let exported = ref [] in
   Sat.Solver.set_share ~max_size ~max_lbd s
-    ~export:(fun lits ~lbd:_ -> exported := Array.to_list lits :: !exported)
+    ~export:(fun lits ~lbd:_ ~src_id:_ -> exported := Array.to_list lits :: !exported)
     ~import:(fun () -> []);
   let o = Sat.Solver.solve ~assumptions:(List.map lit assumptions) s in
   (o, List.rev !exported, Sat.Solver.stats s)
@@ -254,26 +273,44 @@ let test_untainted_learnts_exported () =
   Alcotest.(check bool) "something exported" true (exported <> []);
   Alcotest.(check int) "no taint rejections" 0 st.Sat.Stats.shared_rejected_tainted
 
-let test_set_share_rejects_drat_and_bad_caps () =
-  let s = Sat.Solver.create ~with_drat:true (mk_cnf [ [ (0, true) ] ]) in
-  (match
-     Sat.Solver.set_share s ~export:(fun _ ~lbd:_ -> ()) ~import:(fun () -> [])
-   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "set_share accepted DRAT logging");
+let test_set_share_drat_coexists_and_bad_caps_rejected () =
+  (* DRAT logging and sharing now coexist: imports surface as "i"-prefixed
+     trusted additions in the clausal proof rather than being forbidden *)
+  let s = Sat.Solver.create ~with_drat:true (mk_cnf ~num_vars:1 [ [ (0, true) ] ]) in
+  let first = ref true in
+  Sat.Solver.set_share s
+    ~export:(fun _ ~lbd:_ ~src_id:_ -> ())
+    ~import:(fun () ->
+      if !first then begin
+        first := false;
+        [ ([ lit (0, false) ], Some (1, 0)) ]
+      end
+      else []);
+  let o = Sat.Solver.solve s in
+  Alcotest.(check string) "refuted through the import" "unsat"
+    (Sat.Solver.outcome_string o);
+  let imported_events =
+    List.filter
+      (function Sat.Checker.Imported _ -> true | _ -> false)
+      (Sat.Solver.drat_events s)
+  in
+  Alcotest.(check int) "import logged as a trusted addition" 1
+    (List.length imported_events);
   let s2 = Sat.Solver.create (mk_cnf [ [ (0, true) ] ]) in
   match
-    Sat.Solver.set_share ~max_size:0 s2 ~export:(fun _ ~lbd:_ -> ()) ~import:(fun () -> [])
+    Sat.Solver.set_share ~max_size:0 s2
+      ~export:(fun _ ~lbd:_ ~src_id:_ -> ())
+      ~import:(fun () -> [])
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "set_share accepted max_size 0"
 
 let test_import_attaches_and_constrains () =
   (* importing the two units (x0) and (x1) must constrain the model *)
-  let imports = ref [ [ lit (0, true) ]; [ lit (1, true) ] ] in
+  let imports = ref [ ([ lit (0, true) ], None); ([ lit (1, true) ], Some (3, 5)) ] in
   let s = Sat.Solver.create (mk_cnf ~num_vars:2 [ [ (0, true); (1, true) ] ]) in
   Sat.Solver.set_share s
-    ~export:(fun _ ~lbd:_ -> ())
+    ~export:(fun _ ~lbd:_ ~src_id:_ -> ())
     ~import:(fun () ->
       let cs = !imports in
       imports := [];
@@ -289,11 +326,11 @@ let test_import_conflicting_clause_refutes () =
   let first = ref true in
   let s = Sat.Solver.create (mk_cnf ~num_vars:1 [ [ (0, true) ] ]) in
   Sat.Solver.set_share s
-    ~export:(fun _ ~lbd:_ -> ())
+    ~export:(fun _ ~lbd:_ ~src_id:_ -> ())
     ~import:(fun () ->
       if !first then begin
         first := false;
-        [ [ lit (0, false) ] ]
+        [ ([ lit (0, false) ], None) ]
       end
       else []);
   let o = Sat.Solver.solve s in
@@ -401,13 +438,14 @@ let tests =
       test_exchange_skips_own_and_counts_imports;
     Alcotest.test_case "exchange: imports are not republished" `Quick
       test_exchange_import_dedup_and_republish;
+    Alcotest.test_case "exchange: origin roundtrip" `Quick test_exchange_origin_roundtrip;
     Alcotest.test_case "exchange: dropped-stale accounting" `Quick test_exchange_dropped_stale;
     Alcotest.test_case "exchange: stats printer" `Quick test_exchange_stats_pp;
     Alcotest.test_case "solver: tainted learnts withheld" `Quick test_tainted_learnts_withheld;
     Alcotest.test_case "solver: untainted learnts exported" `Quick
       test_untainted_learnts_exported;
     Alcotest.test_case "solver: set_share validation" `Quick
-      test_set_share_rejects_drat_and_bad_caps;
+      test_set_share_drat_coexists_and_bad_caps_rejected;
     Alcotest.test_case "solver: imports constrain the model" `Quick
       test_import_attaches_and_constrains;
     Alcotest.test_case "solver: conflicting import refutes" `Quick
