@@ -1297,6 +1297,251 @@ let quick_check () =
     quick_snapshot_file osum.o_overhead_pct
 
 (* ------------------------------------------------------------------ *)
+(* bench serve: service-layer workload over the warm-session cache.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the quick subset through the Serve engine as three phases per
+   case: a cold request (cache miss, full depth sweep), an identical
+   repeat (answered from the entry's memo without touching a solver) and
+   a deeper extension (resuming the warm session at its first unproven
+   depth).  Circuits travel as inline text, so every request is parsed
+   fresh and cache identity really is the structural digest, not physical
+   equality.  With one worker and no conflict budget the verdicts, cache
+   classes and solve counts are deterministic; only the timing fields
+   move.  [serve] writes BENCH_serve.json; [serve-check] re-runs and
+   gates on the snapshot plus the headline service properties (hit rate
+   positive, memo repeats >= 2x faster than cold). *)
+
+let serve_snapshot_file = "BENCH_serve.json"
+
+type serve_row = {
+  sv_label : string; (* "<case>@<depth>/<phase>" *)
+  sv_cache : string;
+  sv_verdict : string;
+  sv_vdepth : int; (* depth in the verdict: failure depth or proven bound *)
+  sv_solved : int; (* solver instances run for this request *)
+  sv_wall_ms : float;
+}
+
+let serve_workload () =
+  List.concat_map
+    (fun ((case : Circuit.Generators.case), depth) ->
+      let d0 = max 2 (depth - 2) in
+      [ (case, d0, "cold"); (case, d0, "repeat"); (case, depth, "extend") ])
+    (quick_cases ())
+
+let serve_rows () =
+  let cfg =
+    Serve.Server.make_config ~jobs:1 ~cache_bytes:(256 * 1024 * 1024)
+      ~mode:Bmc.Session.Dynamic ()
+  in
+  let t = Serve.Server.create cfg in
+  let rows =
+    List.map
+      (fun ((case : Circuit.Generators.case), depth, phase) ->
+        let label = Printf.sprintf "%s@%d/%s" case.Circuit.Generators.name depth phase in
+        let text =
+          Circuit.Textio.to_string case.Circuit.Generators.netlist
+            ~property:case.Circuit.Generators.property
+        in
+        let rq =
+          {
+            Serve.Protocol.rq_id = label;
+            rq_src = Serve.Protocol.Inline text;
+            rq_depth = depth;
+            rq_mode = None;
+            rq_deadline_ms = None;
+            rq_stats = false;
+          }
+        in
+        let rs = Serve.Server.check_now t rq in
+        match rs.Serve.Protocol.rs_reply with
+        | Serve.Protocol.Answer b ->
+          let verdict, vdepth =
+            match b.Serve.Protocol.rs_verdict with
+            | Serve.Protocol.Falsified (d, _) -> ("falsified", d)
+            | Serve.Protocol.Bounded_pass d -> ("bounded_pass", d)
+            | Serve.Protocol.Aborted d -> ("aborted", d)
+          in
+          {
+            sv_label = label;
+            sv_cache = Serve.Protocol.cache_class_string b.Serve.Protocol.rs_cache;
+            sv_verdict = verdict;
+            sv_vdepth = vdepth;
+            sv_solved = b.Serve.Protocol.rs_solved;
+            sv_wall_ms = rs.Serve.Protocol.rs_wall_ms;
+          }
+        | Serve.Protocol.Shed | Serve.Protocol.Draining | Serve.Protocol.Bad_request _ ->
+          Printf.eprintf "bench serve: request %s was not answered\n" label;
+          exit 1)
+      (serve_workload ())
+  in
+  let st = Serve.Server.stats t in
+  let uptime_ms = Serve.Server.uptime_ms t in
+  Serve.Server.shutdown t;
+  (rows, st, uptime_ms)
+
+let serve_mean f rows =
+  match List.filter f rows with
+  | [] -> 0.0
+  | l -> List.fold_left (fun a r -> a +. r.sv_wall_ms) 0.0 l /. float_of_int (List.length l)
+
+let serve_phase p r =
+  let n = String.length r.sv_label and np = String.length p in
+  n > np && String.sub r.sv_label (n - np) np = p
+
+let serve_pctl rows p =
+  match List.sort compare (List.map (fun r -> r.sv_wall_ms) rows) with
+  | [] -> 0.0
+  | l ->
+    let a = Array.of_list l in
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int (Array.length a))) - 1 in
+    a.(max 0 (min (Array.length a - 1) i))
+
+let serve_json rows (st : Serve.Server.stats) uptime_ms =
+  let cold_mean = serve_mean (serve_phase "/cold") rows in
+  let repeat_mean = serve_mean (serve_phase "/repeat") rows in
+  let warm_mean = serve_mean (fun r -> r.sv_cache = "warm") rows in
+  let n = List.length rows in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "bench-serve/v1");
+      ("requests", Obs.Json.Int n);
+      ("shed", Obs.Json.Int st.Serve.Server.st_shed);
+      ("errors", Obs.Json.Int st.Serve.Server.st_errors);
+      ( "cache",
+        Obs.Json.Obj
+          [
+            ("hit", Obs.Json.Int st.Serve.Server.st_hits);
+            ("warm", Obs.Json.Int st.Serve.Server.st_warm);
+            ("miss", Obs.Json.Int st.Serve.Server.st_misses);
+          ] );
+      ( "cache_hit_rate",
+        Obs.Json.Float
+          (float_of_int st.Serve.Server.st_hits /. float_of_int (max 1 n)) );
+      ( "throughput_rps",
+        Obs.Json.Float (float_of_int n *. 1e3 /. Float.max 1e-6 uptime_ms) );
+      ("p50_ms", Obs.Json.Float (serve_pctl rows 50.0));
+      ("p95_ms", Obs.Json.Float (serve_pctl rows 95.0));
+      ("p99_ms", Obs.Json.Float (serve_pctl rows 99.0));
+      ("cold_mean_ms", Obs.Json.Float cold_mean);
+      ("repeat_mean_ms", Obs.Json.Float repeat_mean);
+      ("warm_mean_ms", Obs.Json.Float warm_mean);
+      ("warm_speedup", Obs.Json.Float (cold_mean /. Float.max 1e-6 repeat_mean));
+      ( "rows",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.Str r.sv_label);
+                   ("cache", Obs.Json.Str r.sv_cache);
+                   ("verdict", Obs.Json.Str r.sv_verdict);
+                   ("depth", Obs.Json.Int r.sv_vdepth);
+                   ("solved", Obs.Json.Int r.sv_solved);
+                 ])
+             rows) );
+    ]
+
+let serve () =
+  let rows, st, uptime_ms = serve_rows () in
+  let doc = serve_json rows st uptime_ms in
+  let oc = open_out serve_snapshot_file in
+  output_string oc (Obs.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Telemetry.gauge tel "serve.requests" (float_of_int (List.length rows));
+  Telemetry.gauge tel "serve.hits" (float_of_int st.Serve.Server.st_hits);
+  Printf.eprintf "bench: serve snapshot written to %s\n%!" serve_snapshot_file
+
+let serve_check () =
+  let rows, st, _uptime_ms = serve_rows () in
+  let snapshot =
+    let ic = open_in serve_snapshot_file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.of_string text with
+    | Ok d -> d
+    | Error msg ->
+      Printf.eprintf "serve-check: %s: %s\n" serve_snapshot_file msg;
+      exit 1
+  in
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.eprintf "serve-check: %s\n" m) fmt in
+  (* deterministic per-row fields must match the committed snapshot *)
+  let snap_rows =
+    List.filter_map
+      (fun r ->
+        match Obs.Json.member "name" r with
+        | Some (Obs.Json.Str name) -> Some (name, r)
+        | _ -> None)
+      (Obs.Json.get_list snapshot "rows")
+  in
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.sv_label snap_rows with
+      | None -> fail "row %s missing from %s" r.sv_label serve_snapshot_file
+      | Some s ->
+        List.iter
+          (fun (key, got) ->
+            let want = Obs.Json.get_str ~default:"?" s key in
+            if want <> got then
+              fail "%s: %s diverges: snapshot %s, got %s" r.sv_label key want got)
+          [ ("cache", r.sv_cache); ("verdict", r.sv_verdict) ];
+        List.iter
+          (fun (key, got) ->
+            let want = Obs.Json.get_int ~default:min_int s key in
+            if want <> got then
+              fail "%s: %s diverges: snapshot %d, got %d" r.sv_label key want got)
+          [ ("depth", r.sv_vdepth); ("solved", r.sv_solved) ])
+    rows;
+  if List.length snap_rows <> List.length rows then
+    fail "row count diverges: snapshot %d, got %d" (List.length snap_rows)
+      (List.length rows);
+  (* verdicts must agree with the generators' ground truth *)
+  List.iter
+    (fun ((case : Circuit.Generators.case), depth, phase) ->
+      let label = Printf.sprintf "%s@%d/%s" case.Circuit.Generators.name depth phase in
+      match
+        ( case.Circuit.Generators.expect,
+          List.find_opt (fun r -> r.sv_label = label) rows )
+      with
+      | Some expect, Some r ->
+        let want =
+          match expect with
+          | Circuit.Generators.Fails_at f when f <= depth -> ("falsified", f)
+          | Circuit.Generators.Fails_at _ | Circuit.Generators.Holds ->
+            ("bounded_pass", depth)
+        in
+        if (r.sv_verdict, r.sv_vdepth) <> want then
+          fail "%s: expected %s@%d, got %s@%d" label (fst want) (snd want) r.sv_verdict
+            r.sv_vdepth
+      | _ -> ())
+    (serve_workload ());
+  (* headline service gates: the cache must actually serve, and a memo
+     repeat must be far cheaper than the cold solve it replays *)
+  if st.Serve.Server.st_hits = 0 then fail "cache hit rate is zero";
+  if st.Serve.Server.st_warm = 0 then fail "no request resumed a warm session";
+  let cold_mean = serve_mean (serve_phase "/cold") rows in
+  let repeat_mean = serve_mean (serve_phase "/repeat") rows in
+  let speedup = cold_mean /. Float.max 1e-6 repeat_mean in
+  if speedup < 2.0 then
+    fail "memo repeats only %.1fx faster than cold (gate: >= 2x, %.2fms vs %.2fms)"
+      speedup cold_mean repeat_mean;
+  if !failures > 0 then begin
+    Printf.eprintf "serve-check: %d divergence(s) from %s\n" !failures serve_snapshot_file;
+    exit 1
+  end;
+  Printf.printf
+    "serve-check: all verdicts and cache classes match %s (%d hit / %d warm / %d miss; \
+     memo repeats %.0fx faster than cold)\n"
+    serve_snapshot_file st.Serve.Server.st_hits st.Serve.Server.st_warm
+    st.Serve.Server.st_misses speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1372,10 +1617,13 @@ let micro () =
 let usage () =
   Printf.printf
     "usage: main.exe [--jobs N] \
-     [table1|fig6|fig7|overhead|ablation|complement|quick|quick-check|micro]...\n\
-     with no arguments, runs every artefact except quick-check.\n\
+     [table1|fig6|fig7|overhead|ablation|complement|quick|quick-check|serve|serve-check|micro]...\n\
+     with no arguments, runs every artefact except quick-check and serve-check.\n\
      quick       small fixed-seed subset; writes the BENCH_quick.json snapshot\n\
      quick-check re-runs the quick subset and fails on any outcome divergence\n\
+     serve       cold/repeat/extend workload through the service layer;\n\
+    \             writes the BENCH_serve.json snapshot\n\
+     serve-check re-runs the serve workload and fails on any divergence\n\
      --jobs N    worker domains for the quick portfolio rows (default 3)\n"
 
 let write_results () =
@@ -1398,6 +1646,8 @@ let () =
       ("complement", complement);
       ("quick", quick);
       ("quick-check", quick_check);
+      ("serve", serve);
+      ("serve-check", serve_check);
       ("micro", micro);
     ]
   in
@@ -1418,7 +1668,8 @@ let () =
   match strip (List.tl (Array.to_list Sys.argv)) with
   | [] ->
     List.iter
-      (fun (name, f) -> if name <> "quick-check" then run_artefact name f)
+      (fun (name, f) ->
+        if name <> "quick-check" && name <> "serve-check" then run_artefact name f)
       artefacts;
     write_results ()
   | args ->

@@ -295,6 +295,95 @@ let run_diff path_a path_b warn_pct =
   else Format.printf "diff: PASS (no regressions)@."
 
 (* ------------------------------------------------------------------ *)
+(* serve: aggregate a bmcserve request ledger                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON object per answered request (bmcserve --ledger); this folds
+   the stream into the service-level numbers the serve bench gates on:
+   throughput, cache hit rate and tail latency. *)
+let run_serve path =
+  let rows =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.mapi (fun i l ->
+           match Obs.Json.of_string l with
+           | Ok (Obs.Json.Obj _ as j) -> j
+           | Ok _ | Error _ ->
+             Format.eprintf "bmcprof: %s: line %d is not a JSON object@." path (i + 1);
+             exit 2)
+  in
+  if rows = [] then begin
+    Format.eprintf "bmcprof: %s: empty serve ledger@." path;
+    exit 2
+  end;
+  let n = List.length rows in
+  let count pred = List.length (List.filter pred rows) in
+  let status s = count (fun r -> Obs.Json.get_str ~default:"" r "status" = s) in
+  let cache c = count (fun r -> Obs.Json.get_str ~default:"" r "cache" = c) in
+  let ok = status "ok" and shed = status "shed" in
+  let draining = status "draining" and errors = status "error" in
+  let hits = cache "hit" and warm = cache "warm" and miss = cache "miss" in
+  let span_ms =
+    List.fold_left
+      (fun a r -> max a (Obs.Json.get_float ~default:0.0 r "t_ms"))
+      0.0 rows
+  in
+  let walls =
+    List.filter_map
+      (fun r ->
+        if Obs.Json.get_str ~default:"" r "status" = "ok" then
+          Some (Obs.Json.get_float ~default:0.0 r "wall_ms")
+        else None)
+      rows
+    |> List.sort compare |> Array.of_list
+  in
+  let pctl p =
+    if Array.length walls = 0 then 0.0
+    else
+      let i = int_of_float (ceil (p /. 100.0 *. float_of_int (Array.length walls))) - 1 in
+      walls.(max 0 (min (Array.length walls - 1) i))
+  in
+  Format.printf "serve ledger: %d request(s) over %.1fs@." n (span_ms /. 1e3);
+  Format.printf "  answered %d  shed %d  draining %d  error %d@." ok shed draining errors;
+  let solved = hits + warm + miss in
+  if solved > 0 then
+    Format.printf "  cache: %d hit / %d warm / %d miss  (hit rate %.1f%%, warm-or-hit %.1f%%)@."
+      hits warm miss
+      (100.0 *. float_of_int hits /. float_of_int solved)
+      (100.0 *. float_of_int (hits + warm) /. float_of_int solved);
+  if span_ms > 0.0 then
+    Format.printf "  throughput: %.1f req/s@." (float_of_int n *. 1e3 /. span_ms);
+  if Array.length walls > 0 then
+    Format.printf "  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@."
+      (pctl 50.0) (pctl 95.0) (pctl 99.0) walls.(Array.length walls - 1);
+  (* per-digest rollup: which circuits the cache actually served warm *)
+  let digests = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match Obs.Json.member "digest" r with
+      | Some (Obs.Json.Str d) ->
+        let h, w, m, depth =
+          match Hashtbl.find_opt digests d with Some x -> x | None -> (0, 0, 0, 0)
+        in
+        let c = Obs.Json.get_str ~default:"" r "cache" in
+        Hashtbl.replace digests d
+          ( (h + if c = "hit" then 1 else 0),
+            (w + if c = "warm" then 1 else 0),
+            (m + if c = "miss" then 1 else 0),
+            max depth (Obs.Json.get_int ~default:0 r "depth") )
+      | _ -> ())
+    rows;
+  if Hashtbl.length digests > 0 then begin
+    Format.printf "@.per circuit:@.";
+    Hashtbl.fold (fun d v acc -> (d, v) :: acc) digests []
+    |> List.sort compare
+    |> List.iter (fun (d, (h, w, m, depth)) ->
+           Format.printf "  %s  depth<=%-3d  %d hit / %d warm / %d miss@."
+             (String.sub d 0 (min 12 (String.length d)))
+             depth h w m)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* prom: Prometheus textfile export                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -359,6 +448,15 @@ let diff_cmd =
   let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE" ~doc:"Candidate ledger or BENCH snapshot.") in
   Cmd.v (Cmd.info "diff" ~doc) Term.(const run_diff $ a $ b $ warn_pct)
 
+let serve_cmd =
+  let doc = "throughput, cache and latency report from a bmcserve request ledger" in
+  let serve_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"LEDGER" ~doc:"A JSONL request ledger written by bmcserve --ledger.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run_serve $ serve_arg)
+
 let prom_cmd =
   let doc = "render a ledger as a Prometheus textfile-collector document" in
   let output =
@@ -370,6 +468,6 @@ let prom_cmd =
 
 let cmd =
   let doc = "analyse bmccheck run artefacts: ledgers, traces, flight recordings" in
-  Cmd.group (Cmd.info "bmcprof" ~doc) [ report_cmd; trace_cmd; timeline_cmd; diff_cmd; prom_cmd ]
+  Cmd.group (Cmd.info "bmcprof" ~doc) [ report_cmd; trace_cmd; timeline_cmd; diff_cmd; serve_cmd; prom_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -251,6 +251,42 @@ let transitive_fanin t roots =
   List.iter visit roots;
   fun n -> n >= 0 && n < t.len && mark.(n)
 
+(* Structural digest: a canonical serialization of the gate array (in
+   creation order — node IDs are dense and creation-ordered, so equal
+   serializations imply identical node numbering), each register's initial
+   value and next-state node, and the names baked into [Input]/[Reg] gates.
+   Aliases added with [name_node] are presentation-only and excluded, as is
+   the hashcons table (derivable).  Two netlists with equal digests are
+   byte-identical structures: every (node, frame) SAT variable key coincides,
+   which is what makes digest-keyed clause sharing and warm-session reuse
+   sound. *)
+let digest t =
+  let buf = Buffer.create (64 * t.len) in
+  for n = 0 to t.len - 1 do
+    (match !(t.gates).(n) with
+    | Input s ->
+      Buffer.add_char buf 'i';
+      Buffer.add_string buf s
+    | Const b -> Buffer.add_string buf (if b then "c1" else "c0")
+    | Not a -> Printf.bprintf buf "n%d" a
+    | And (a, b) -> Printf.bprintf buf "a%d,%d" a b
+    | Or (a, b) -> Printf.bprintf buf "o%d,%d" a b
+    | Xor (a, b) -> Printf.bprintf buf "x%d,%d" a b
+    | Mux (s, h, l) -> Printf.bprintf buf "m%d,%d,%d" s h l
+    | Reg s ->
+      Buffer.add_char buf 'r';
+      Buffer.add_string buf s);
+    Buffer.add_char buf '\n'
+  done;
+  List.iter
+    (fun r ->
+      let info = reg_info t r in
+      Printf.bprintf buf "R%d=%s>%d\n" r
+        (match info.init with None -> "x" | Some true -> "1" | Some false -> "0")
+        info.next)
+    (regs t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp_gate ppf = function
   | Input s -> Format.fprintf ppf "input %s" s
   | Const b -> Format.fprintf ppf "const %b" b

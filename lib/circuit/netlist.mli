@@ -117,6 +117,18 @@ val transitive_fanin : t -> node list -> (node -> bool)
     influence of [roots]: everything reachable through combinational fanins
     {e and} register next-inputs. *)
 
+val digest : t -> string
+(** Structural digest (MD5 hex) of the circuit: the gate array in creation
+    order, every register's initial value and next-state node, and the
+    names carried by [Input]/[Reg] gates.  Names added with {!name_node}
+    are presentation-only and excluded.  Because node IDs are dense and
+    creation-ordered, equal digests mean {e byte-identical} structures with
+    identical node numbering — e.g. two {!Textio.parse_string} runs over
+    the same text — so digest-equal netlists can soundly share learnt
+    clauses (packed [(node, frame)] keys coincide) and warm solver state.
+    Registers with unconnected next inputs digest with a [-1] sentinel
+    rather than raising.  O(nodes) per call; cache it if hot. *)
+
 val abstract_registers : t -> keep:(node -> bool) -> t * (node -> node)
 (** [abstract_registers t ~keep] is the localisation abstraction of [t]:
     registers satisfying [keep] survive; every other register becomes a

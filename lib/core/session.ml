@@ -789,6 +789,12 @@ let pp_verdict ppf = function
   | Bounded_pass k -> Format.fprintf ppf "no counterexample up to depth %d" k
   | Aborted k -> Format.fprintf ppf "aborted at depth %d (budget)" k
 
+let solve_depth t ~k =
+  let property = Unroll.property t.unroll in
+  begin_instance t ~k;
+  constrain t [ Sat.Lit.neg (var_of t ~node:property ~frame:k) ];
+  solve_instance t
+
 let check ?(config = default_config) ?share ~policy netlist ~property =
   let cfg = config in
   let t = create ~policy ?share cfg netlist ~property in

@@ -309,6 +309,15 @@ val solve_instance : t -> depth_stat
     stat are per-instance deltas.
     @raise Invalid_argument if no instance is open. *)
 
+val solve_depth : t -> k:int -> depth_stat
+(** One step of the {!check} loop: open the depth-[k] instance, constrain
+    the session's property to fail at frame [k], and solve.  The unit of
+    work of callers that interleave depths with other concerns — the
+    portfolio racers, the serve layer's warm-session cache.  On SAT the
+    instance stays open so {!trace} works; the depth rule of
+    {!begin_instance} applies unchanged.
+    @raise Invalid_argument as {!begin_instance}. *)
+
 val model : t -> bool array
 (** @raise Invalid_argument unless the last {!solve_instance} was SAT. *)
 

@@ -239,7 +239,9 @@ let dump t path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output t oc)
 
-let on_sigusr1 t ~path =
-  match Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump t path)) with
+let on_signal t ~signal ~path =
+  match Sys.signal signal (Sys.Signal_handle (fun _ -> dump t path)) with
   | _ -> ()
   | exception Invalid_argument _ | (exception Sys_error _) -> ()
+
+let on_sigusr1 t ~path = on_signal t ~signal:Sys.sigusr1 ~path

@@ -87,7 +87,13 @@ val output : t -> out_channel -> unit
 val dump : t -> string -> unit
 (** [dump t path] writes {!snapshot} to [path] (truncating). *)
 
+val on_signal : t -> signal:int -> path:string -> unit
+(** Install a handler on [signal] that dumps a snapshot to [path].
+    Best-effort: silently a no-op on platforms without that signal.
+    Long-lived processes with their own shutdown sequence (the serve
+    layer's SIGTERM drain) should instead call {!dump} explicitly once
+    quiesced, so the dump is ordered after the last solver event. *)
+
 val on_sigusr1 : t -> path:string -> unit
-(** Install a SIGUSR1 handler that dumps a snapshot to [path] — poke a
-    wedged run with [kill -USR1] to see what its solvers are doing.
-    Best-effort: silently a no-op on platforms without SIGUSR1. *)
+(** [on_signal] on SIGUSR1 — poke a wedged run with [kill -USR1] to see
+    what its solvers are doing. *)

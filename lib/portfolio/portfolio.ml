@@ -171,10 +171,7 @@ let race_depth race ~k =
     let outcome =
       try
         let s = slot_session race slots.(i) in
-        Session.begin_instance s ~k;
-        Session.constrain s
-          [ Sat.Lit.neg (Session.var_of s ~node:race.r_property ~frame:k) ];
-        let st = Session.solve_instance s in
+        let st = Session.solve_depth s ~k in
         let tr =
           match st.Session.outcome with
           | Sat.Solver.Sat -> Some (Session.trace s)
@@ -373,29 +370,38 @@ let check_race ?(config = Session.default_config) ?modes ?racers ?share ~pool ne
 (* Mode B: property batches.                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Clause exchange is sound only between sessions unrolling structurally
+   identical circuits (packed keys are (node, frame) pairs, and equal
+   digests guarantee identical node numbering), so group the batch by
+   structural digest — two separately parsed copies of one circuit land in
+   the same group, where the old physical ([==]) grouping kept them
+   apart. *)
+let batch_share_groups items =
+  let order = ref [] in
+  let groups : (string, string list ref) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun (name, netlist, _) ->
+      let d = Circuit.Netlist.digest netlist in
+      match Hashtbl.find_opt groups d with
+      | Some members -> members := name :: !members
+      | None ->
+        Hashtbl.add groups d (ref [ name ]);
+        order := d :: !order)
+    items;
+  List.rev_map
+    (fun d -> (d, List.rev !(Hashtbl.find groups d)))
+    !order
+  |> List.filter (fun (_, members) -> List.length members >= 2)
+
 let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent)
     ?(share = false) ~pool items =
   let tel = config.Session.telemetry in
-  (* Clause exchange is sound only between sessions unrolling the same
-     circuit (packed keys are (node, frame) pairs of that netlist), so
-     group the batch by physical netlist and give each group of two or
-     more properties its own exchange.  Fresh-policy batches never share
-     (Session.create would reject the combination). *)
+  (* One exchange per digest group of two or more properties.  Fresh-policy
+     batches never share (Session.create would reject the combination). *)
   let exchanges =
     if not (share && policy = Session.Persistent) then []
-    else begin
-      let counts = ref [] in
-      List.iter
-        (fun (_, netlist, _) ->
-          match List.assq_opt netlist !counts with
-          | Some r -> incr r
-          | None -> counts := (netlist, ref 1) :: !counts)
-        items;
-      List.filter_map
-        (fun (netlist, r) ->
-          if !r >= 2 then Some (netlist, Share.Exchange.create ()) else None)
-        !counts
-    end
+    else
+      List.map (fun (d, _) -> (d, Share.Exchange.create ())) (batch_share_groups items)
   in
   Pool.map_list ~label:"batch" pool
     (fun (name, netlist, property) ->
@@ -405,7 +411,7 @@ let check_batch ?(config = Session.default_config) ?(policy = Session.Persistent
       let share =
         Option.map
           (fun ex -> Share.Exchange.endpoint ex ~name)
-          (List.assq_opt netlist exchanges)
+          (List.assoc_opt (Circuit.Netlist.digest netlist) exchanges)
       in
       let r = Session.check ~config ?share ~policy netlist ~property in
       if Telemetry.enabled tel then

@@ -146,6 +146,17 @@ val check_race :
 
 (** {1 Mode B: property batches} *)
 
+val batch_share_groups :
+  (string * Circuit.Netlist.t * Circuit.Netlist.node) list ->
+  (string * string list) list
+(** The sharing groups {!check_batch} [~share:true] would form: batch items
+    grouped by {!Circuit.Netlist.digest} (structural identity, so two
+    separately parsed copies of one circuit group together), keeping only
+    groups of two or more.  Each group is [(digest, property names)] with
+    both group order and member order following the input.  Exposed so
+    tests and schedulers can inspect the grouping without running the
+    batch. *)
+
 val check_batch :
   ?config:Bmc.Session.config ->
   ?policy:Bmc.Session.policy ->
@@ -159,9 +170,10 @@ val check_batch :
     worker steals it.  Results come back in input order, and each is
     bit-identical to a sequential run of the same property — clause
     sharing included, since imports are sound clauses of the same
-    formula.  [share] (default [false]) groups the batch by physical
-    netlist and attaches the properties of each group of two or more to a
-    common learnt-clause exchange (endpoints named after the properties);
+    formula.  [share] (default [false]) groups the batch by structural
+    digest ({!batch_share_groups}) and attaches the properties of each
+    group of two or more to a common learnt-clause exchange (endpoints
+    named after the properties);
     it has no effect under the [Fresh] policy or on netlists checked only
     once.  Emits one ["batch_item"] telemetry span per property (wall
     seconds, tagged with the property's name). *)

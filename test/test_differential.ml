@@ -188,8 +188,64 @@ let prop_compaction_neutral_on_bmc_instances =
       done;
       !ok)
 
+(* The service layer is one more engine claiming the same answer: a served
+   request (cold, and again warm from the cache) must agree with a direct
+   incremental session on random circuits. *)
+let test_serve_matches_session () =
+  let cfg = Serve.Server.make_config ~mode:Bmc.Session.Dynamic () in
+  let t = Serve.Server.create cfg in
+  Fun.protect ~finally:(fun () -> Serve.Server.shutdown t) @@ fun () ->
+  List.iter
+    (fun seed ->
+      let case = Circuit.Generators.random ~seed ~regs:4 ~gates:15 ~inputs:2 in
+      let depth = 6 in
+      let config = Bmc.Session.make_config ~mode:Bmc.Session.Dynamic ~max_depth:depth () in
+      let want =
+        Bmc.Session.check ~config ~policy:Bmc.Session.Persistent case.netlist
+          ~property:case.property
+      in
+      let request id =
+        {
+          Serve.Protocol.rq_id = Printf.sprintf "%d/%s" seed id;
+          rq_src =
+            Serve.Protocol.Inline
+              (Circuit.Textio.to_string case.netlist ~property:case.property);
+          rq_depth = depth;
+          rq_mode = None;
+          rq_deadline_ms = None;
+          rq_stats = false;
+        }
+      in
+      let verdict rs =
+        match rs.Serve.Protocol.rs_reply with
+        | Serve.Protocol.Answer b -> b
+        | _ -> Alcotest.failf "seed %d: request refused" seed
+      in
+      let check_against what (b : Serve.Protocol.body) =
+        match (want.Bmc.Session.verdict, b.Serve.Protocol.rs_verdict) with
+        | Bmc.Session.Falsified tr, Serve.Protocol.Falsified (d, tj) ->
+          Alcotest.(check int) (Printf.sprintf "seed %d %s: failure depth" seed what)
+            tr.Bmc.Trace.depth d;
+          Alcotest.(check string) (Printf.sprintf "seed %d %s: trace" seed what)
+            (Obs.Json.to_string (Serve.Protocol.trace_to_json case.netlist tr))
+            (Obs.Json.to_string tj)
+        | Bmc.Session.Bounded_pass k, Serve.Protocol.Bounded_pass d ->
+          Alcotest.(check int) (Printf.sprintf "seed %d %s: bound" seed what) k d
+        | _ -> Alcotest.failf "seed %d %s: session and serve verdicts diverge" seed what
+      in
+      let cold = verdict (Serve.Server.check_now t (request "cold")) in
+      check_against "cold" cold;
+      let warm = verdict (Serve.Server.check_now t (request "repeat")) in
+      Alcotest.(check string) (Printf.sprintf "seed %d: repeat served from cache" seed)
+        "hit"
+        (Serve.Protocol.cache_class_string warm.Serve.Protocol.rs_cache);
+      check_against "repeat" warm)
+    [ 3; 1415; 92653; 58979; 32384; 62643; 38327; 95028; 84197; 16939 ]
+
 let tests =
   [
+    Alcotest.test_case "serve = incremental session (cold and cached)" `Quick
+      test_serve_matches_session;
     QCheck_alcotest.to_alcotest prop_bmc_engines_match_oracle;
     QCheck_alcotest.to_alcotest prop_incremental_matches_oracle;
     QCheck_alcotest.to_alcotest prop_symbolic_matches_oracle;

@@ -179,9 +179,57 @@ let prop_builders_preserve_semantics =
       done;
       !ok)
 
+(* The structural digest is the service layer's cache identity: equal
+   digests must mean "same structure, same node numbering", and nothing
+   cosmetic may perturb it. *)
+let test_digest_identity () =
+  let build () =
+    let case = Circuit.Generators.ring ~len:9 ~noise:12 () in
+    (case.Circuit.Generators.netlist, case.Circuit.Generators.property)
+  in
+  let nl1, p1 = build () and nl2, p2 = build () in
+  Alcotest.(check string) "two builds, one digest" (Circuit.Netlist.digest nl1)
+    (Circuit.Netlist.digest nl2);
+  (* two separate text parses as well — this is the path bmcserve takes *)
+  let text = Circuit.Textio.to_string nl1 ~property:p1 in
+  let nl3, _ = Circuit.Textio.parse_string text in
+  let nl4, _ = Circuit.Textio.parse_string text in
+  Alcotest.(check string) "two parses, one digest" (Circuit.Netlist.digest nl3)
+    (Circuit.Netlist.digest nl4);
+  (* a name alias is cosmetic: same structure, same digest *)
+  let before = Circuit.Netlist.digest nl2 in
+  Circuit.Netlist.name_node nl2 "alias" p2;
+  Alcotest.(check string) "name_node does not perturb" before (Circuit.Netlist.digest nl2)
+
+let test_digest_sees_structure () =
+  let base () =
+    let nl = Circuit.Netlist.create () in
+    let a = Circuit.Netlist.input nl "a" in
+    let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some false) in
+    (nl, a, r)
+  in
+  let digest_of f =
+    let nl, a, r = base () in
+    f nl a r;
+    Circuit.Netlist.digest nl
+  in
+  let d_and = digest_of (fun nl a r -> Circuit.Netlist.set_next nl r (Circuit.Netlist.and_ nl a r)) in
+  let d_or = digest_of (fun nl a r -> Circuit.Netlist.set_next nl r (Circuit.Netlist.or_ nl a r)) in
+  let d_init =
+    let nl = Circuit.Netlist.create () in
+    let a = Circuit.Netlist.input nl "a" in
+    let r = Circuit.Netlist.reg nl ~name:"r" ~init:(Some true) in
+    Circuit.Netlist.set_next nl r (Circuit.Netlist.and_ nl a r);
+    Circuit.Netlist.digest nl
+  in
+  Alcotest.(check bool) "gate kind changes digest" true (d_and <> d_or);
+  Alcotest.(check bool) "register init changes digest" true (d_and <> d_init)
+
 let tests =
   [
     Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "digest: structural identity" `Quick test_digest_identity;
+    Alcotest.test_case "digest: sees structure, not names" `Quick test_digest_sees_structure;
     Alcotest.test_case "hashcons" `Quick test_hashcons;
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
     Alcotest.test_case "registers" `Quick test_registers;

@@ -106,6 +106,34 @@ let test_ring_entry_jsonl_roundtrip () =
   Alcotest.(check int) "entries_of_string parses the dump" 2
     (List.length (R.entries_of_string dump))
 
+let test_signal_dumps_snapshot () =
+  let rec_ = R.create ~capacity:8 () in
+  R.record rec_ R.Depth ~a:4 ~b:0;
+  R.record rec_ R.Solve ~a:4 ~b:1;
+  let path = Filename.temp_file "recorder" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      R.on_signal rec_ ~signal:Sys.sigusr2 ~path;
+      Unix.kill (Unix.getpid ()) Sys.sigusr2;
+      (* delivery is asynchronous; give the runtime a safepoint to run the
+         handler, then poll briefly for the file to land *)
+      let rec wait n =
+        Unix.sleepf 0.01;
+        if Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 then ()
+        else if n > 0 then wait (n - 1)
+        else Alcotest.fail "signal handler did not dump"
+      in
+      wait 100;
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check int) "dump holds both events" 2
+        (List.length (R.entries_of_string text)))
+
 (* ------------------------------------------------------------------ *)
 (* Ledger: distillation from a real run.                               *)
 (* ------------------------------------------------------------------ *)
@@ -304,6 +332,7 @@ let tests =
       test_ring_snapshot_under_hammer;
     Alcotest.test_case "recorder entries round-trip as JSONL" `Quick
       test_ring_entry_jsonl_roundtrip;
+    Alcotest.test_case "signal handler dumps a snapshot" `Quick test_signal_dumps_snapshot;
     Alcotest.test_case "ledger distils a session run" `Quick test_ledger_from_session;
     Alcotest.test_case "ledger schema round-trip is the identity" `Quick
       test_ledger_schema_roundtrip;

@@ -373,6 +373,55 @@ let test_batch_differential_ltl () =
             seq batch))
     [ 2; 4 ]
 
+(* check_batch used to group by physical netlist identity (assq), so two
+   parses of the same circuit never shared an exchange.  Grouping is by
+   structural digest now: separately-parsed copies are one group. *)
+let test_batch_groups_by_digest () =
+  let case = Circuit.Generators.ring ~len:6 ~noise:8 () in
+  let text = Circuit.Textio.to_string case.netlist ~property:case.property in
+  let parse name =
+    let nl, p = Circuit.Textio.parse_string text in
+    (name, nl, p)
+  in
+  let other = Circuit.Generators.lfsr ~width:6 ~noise:8 () in
+  (* two physically distinct parses of one circuit, plus an unrelated one *)
+  let items = [ parse "a"; ("c", other.netlist, other.property); parse "b" ] in
+  let parsed_digest =
+    let nl, _ = Circuit.Textio.parse_string text in
+    Circuit.Netlist.digest nl
+  in
+  (match Portfolio.batch_share_groups items with
+  | [ (digest, names) ] ->
+    Alcotest.(check string) "group key is the parses' digest" parsed_digest digest;
+    Alcotest.(check (list string)) "both parses, input order" [ "a"; "b" ] names
+  | groups -> Alcotest.failf "expected one group, got %d" (List.length groups));
+  (* structurally distinct circuits never group *)
+  Alcotest.(check int) "distinct circuits form no group" 0
+    (List.length
+       (Portfolio.batch_share_groups
+          [ ("a", case.netlist, case.property); ("c", other.netlist, other.property) ]))
+
+let test_batch_share_across_parses () =
+  (* the differential the digest grouping enables: sharing across two
+     separately-parsed copies must leave every verdict unchanged *)
+  let case = Circuit.Generators.ring ~len:6 ~noise:8 () in
+  let text = Circuit.Textio.to_string case.netlist ~property:case.property in
+  let parse name =
+    let nl, p = Circuit.Textio.parse_string text in
+    (name, nl, p)
+  in
+  let items = [ parse "a"; parse "b" ] in
+  let config = race_config ~max_depth:6 in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let off = Portfolio.check_batch ~config ~pool items in
+      let on = Portfolio.check_batch ~config ~share:true ~pool items in
+      List.iter2
+        (fun (n, a) (n', b) ->
+          Alcotest.(check string) "name" n n';
+          Alcotest.(check string) (n ^ ": outcomes unchanged by cross-parse sharing")
+            (session_outcomes a) (session_outcomes b))
+        off on)
+
 let test_batch_results_in_input_order () =
   let cases = differential_cases () in
   Pool.with_pool ~jobs:4 (fun pool ->
@@ -405,6 +454,9 @@ let tests =
     Alcotest.test_case "differential: sharing on/off (race)" `Quick test_race_share_differential;
     Alcotest.test_case "differential: sharing on/off (batch)" `Quick
       test_batch_share_differential;
+    Alcotest.test_case "batch groups by structural digest" `Quick test_batch_groups_by_digest;
+    Alcotest.test_case "differential: sharing across parses" `Quick
+      test_batch_share_across_parses;
     Alcotest.test_case "differential: engine (jobs 2/4)" `Quick test_batch_differential_engine;
     Alcotest.test_case "differential: induction (jobs 2/4)" `Quick
       test_batch_differential_induction;
