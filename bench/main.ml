@@ -813,12 +813,62 @@ let quick_run_case_portfolio ?(suffix = "+portfolio") ?share pool
   }
 
 (* Per-ordering sequential walls vs the racing wall, for the speedup line
-   and the snapshot's "portfolio" block. *)
+   and the snapshot's "portfolio" block.  [p_cores] is the machine's
+   detected core count: on fewer than two cores the racers are
+   time-sliced, so the recorded speedup is < 1 by construction and
+   quick-check skips the speedup gate. *)
 type quick_portfolio_summary = {
   p_jobs : int;
+  p_cores : int; (* Domain.recommended_domain_count at run time *)
   p_wall : float; (* total wall of the +portfolio rows *)
   p_seq : (string * float) list; (* sequential session wall per ordering *)
 }
+
+(* Ordering-laboratory block for the snapshot: the three laboratory
+   heuristics raced as a named roster with per-racer conflict budgets and
+   the remaining registry entries on the rotation queue.  WHICH heuristic
+   wins a round — and hence whether a starved racer ever rotates — is
+   timing-dependent, so the block records win tallies and rotation counts
+   for trajectory tracking, not value gating; CI gates on its presence. *)
+type quick_ordering_summary = {
+  d_jobs : int;
+  d_wall : float;
+  d_rotated : int; (* rotation-queue promotions across the subset *)
+  d_wins : (string * int) list; (* race wins keyed by heuristic name *)
+}
+
+(* The subset the ordering roster races over: the lighter half of the
+   suite (full seven-heuristic coverage of every case belongs to the
+   differential test, not a quick gate). *)
+let quick_ordering_cases () =
+  match quick_cases () with a :: b :: c :: d :: _ -> [ a; b; c; d ] | short -> short
+
+let quick_run_case_ordering pool wins rotated ((case : Circuit.Generators.case), depth) =
+  let config =
+    Bmc.Session.make_config ~budget:quick_budget ~max_depth:depth ~collect_cores:true
+      ~telemetry:tel ()
+  in
+  let mk name =
+    match Ordering.mode_of_name name with
+    | Some mode -> Portfolio.racer ~name ~conflicts:256 mode
+    | None -> invalid_arg ("bench: unknown heuristic " ^ name)
+  in
+  let race =
+    Portfolio.create_race
+      ~racers:[ mk "chb"; mk "frame"; mk "assump" ]
+      ~rotation:[ mk "dynamic"; mk "static" ]
+      ~pool config case.netlist ~property:case.property
+  in
+  let w0 = Portfolio.Pool.wall () in
+  for k = 0 to depth do
+    ignore (Portfolio.race_depth race ~k)
+  done;
+  List.iter
+    (fun (n, w) ->
+      Hashtbl.replace wins n (w + Option.value ~default:0 (Hashtbl.find_opt wins n)))
+    (Portfolio.race_wins race);
+  rotated := !rotated + Portfolio.race_rotated race;
+  Portfolio.Pool.wall () -. w0
 
 (* Clause-sharing ablation for the snapshot: the same portfolio races with
    the exchange off vs on, plus the aggregate exchange counters. *)
@@ -891,10 +941,10 @@ let quick_best_seq psum =
     ("standard", List.assoc "standard" psum.p_seq)
     psum.p_seq
 
-let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum ~cores:csum
-    ~observability:osum =
+let quick_json rows ~alloc_mb ~portfolio:psum ~ordering:dsum ~sharing:ssum ~inprocess:isum
+    ~cores:csum ~observability:osum =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v7\",\n  \"cases\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench-quick/v8\",\n  \"cases\": [\n";
   let n = List.length rows in
   List.iteri
     (fun i r ->
@@ -926,13 +976,20 @@ let quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum ~cor
        alloc_mb);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"portfolio\": { \"jobs\": %d, \"wall_s\": %.6f, \"sequential_wall_s\": { %s }, \
-        \"best_sequential\": \"%s\", \"speedup\": %.3f },\n"
-       psum.p_jobs psum.p_wall
+       "  \"portfolio\": { \"jobs\": %d, \"cores\": %d, \"wall_s\": %.6f, \
+        \"sequential_wall_s\": { %s }, \"best_sequential\": \"%s\", \"speedup\": %.3f },\n"
+       psum.p_jobs psum.p_cores psum.p_wall
        (String.concat ", "
           (List.map (fun (n, w) -> Printf.sprintf "\"%s\": %.6f" n w) psum.p_seq))
        best_name
        (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"ordering\": { \"jobs\": %d, \"wall_s\": %.6f, \"rotations\": %d, \
+        \"wins\": { %s } },\n"
+       dsum.d_jobs dsum.d_wall dsum.d_rotated
+       (String.concat ", "
+          (List.map (fun (n, w) -> Printf.sprintf "\"%s\": %d" n w) dsum.d_wins)));
   Buffer.add_string b
     (Printf.sprintf
        "  \"sharing\": { \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \"exported\": %d, \
@@ -1014,7 +1071,9 @@ let quick_rows () =
   let share_totals =
     { t_exported = 0; t_imported = 0; t_rejected_tainted = 0; t_dropped_stale = 0 }
   in
-  let portfolio, portfolio_share =
+  let ord_wins = Hashtbl.create 8 in
+  let ord_rotated = ref 0 in
+  let portfolio, portfolio_share, ord_wall =
     Portfolio.Pool.with_pool ~telemetry:tel ~jobs (fun pool ->
         let off = List.map (quick_run_case_portfolio pool) cases in
         let on =
@@ -1022,12 +1081,18 @@ let quick_rows () =
             (quick_run_case_portfolio ~suffix:"+portfolio+share" ~share:share_totals pool)
             cases
         in
-        (off, on))
+        let ow =
+          List.fold_left
+            (fun acc cd -> acc +. quick_run_case_ordering pool ord_wins ord_rotated cd)
+            0.0 (quick_ordering_cases ())
+        in
+        (off, on, ow))
   in
   let wall_of rs = List.fold_left (fun a r -> a +. r.q_wall) 0.0 rs in
   let psum =
     {
       p_jobs = jobs;
+      p_cores = Domain.recommended_domain_count ();
       p_wall = wall_of portfolio;
       p_seq =
         [
@@ -1035,6 +1100,18 @@ let quick_rows () =
           ("static", wall_of seq_static);
           ("dynamic", wall_of seq_dynamic);
         ];
+    }
+  in
+  let dsum =
+    {
+      d_jobs = jobs;
+      d_wall = ord_wall;
+      d_rotated = !ord_rotated;
+      d_wins =
+        (* registry order, names the roster never tallied omitted *)
+        List.filter_map
+          (fun n -> Option.map (fun w -> (n, w)) (Hashtbl.find_opt ord_wins n))
+          (Ordering.names ());
     }
   in
   let ssum =
@@ -1101,6 +1178,12 @@ let quick_rows () =
       \    the race cannot beat sequential here; speedup > 1 needs >= %d cores)\n"
       jobs hw jobs;
   Printf.printf
+    "   ordering roster (%s): %.3fs wall, %d rotation(s); wins:%s\n"
+    (String.concat "," (List.map fst dsum.d_wins))
+    dsum.d_wall dsum.d_rotated
+    (String.concat ""
+       (List.map (fun (n, w) -> Printf.sprintf " %s=%d" n w) dsum.d_wins));
+  Printf.printf
     "   clause sharing: portfolio wall %.3fs off vs %.3fs on; exported=%d imported=%d \
      rejected_tainted=%d dropped_stale=%d\n"
     ssum.s_wall_off ssum.s_wall_on share_totals.t_exported share_totals.t_imported
@@ -1129,6 +1212,11 @@ let quick_rows () =
   Telemetry.gauge tel "quick.portfolio.wall_s" psum.p_wall;
   Telemetry.gauge tel "quick.portfolio.speedup"
     (if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0);
+  Telemetry.gauge tel "quick.ordering.wall_s" dsum.d_wall;
+  Telemetry.gauge tel "quick.ordering.rotations" (float_of_int dsum.d_rotated);
+  List.iter
+    (fun (n, w) -> Telemetry.gauge tel ("quick.ordering.wins." ^ n) (float_of_int w))
+    dsum.d_wins;
   Telemetry.gauge tel "quick.sharing.wall_on_s" ssum.s_wall_on;
   Telemetry.gauge tel "quick.sharing.exported" (float_of_int share_totals.t_exported);
   Telemetry.gauge tel "quick.sharing.imported" (float_of_int share_totals.t_imported);
@@ -1142,14 +1230,14 @@ let quick_rows () =
   Telemetry.gauge tel "quick.cores.pre_clauses" (float_of_int cores_totals.c_pre);
   Telemetry.gauge tel "quick.cores.post_clauses" (float_of_int cores_totals.c_post);
   Telemetry.gauge tel "quick.cores.coremin_s" cores_totals.c_min_s;
-  (rows, alloc_mb, psum, ssum, isum, csum, osum)
+  (rows, alloc_mb, psum, dsum, ssum, isum, csum, osum)
 
 let quick () =
-  let rows, alloc_mb, psum, ssum, isum, csum, osum = quick_rows () in
+  let rows, alloc_mb, psum, dsum, ssum, isum, csum, osum = quick_rows () in
   let oc = open_out quick_snapshot_file in
   output_string oc
-    (quick_json rows ~alloc_mb ~portfolio:psum ~sharing:ssum ~inprocess:isum ~cores:csum
-       ~observability:osum);
+    (quick_json rows ~alloc_mb ~portfolio:psum ~ordering:dsum ~sharing:ssum ~inprocess:isum
+       ~cores:csum ~observability:osum);
   close_out oc;
   Printf.eprintf "bench: quick snapshot written to %s\n%!" quick_snapshot_file
 
@@ -1178,7 +1266,7 @@ let quick_timing_dependent name =
   at 0
 
 let quick_check () =
-  let rows, _, _, _, _, csum, osum = quick_rows () in
+  let rows, _, psum, _, _, _, csum, osum = quick_rows () in
   let expected =
     let ic = open_in quick_snapshot_file in
     let tbl = Hashtbl.create 16 in
@@ -1278,6 +1366,26 @@ let quick_check () =
        plain vs %.1f%% minimised)\n"
       csum.c_rank_share_plain csum.c_rank_share_min
   end;
+  (* the portfolio speedup gate: with at least two detected cores the race
+     must not lose badly to the best sequential ordering; on fewer cores
+     the worker domains are time-sliced over one core, so the recorded
+     speedup is < 1 by construction and the gate is skipped with a note *)
+  if psum.p_cores >= 2 then begin
+    let _, best_wall = quick_best_seq psum in
+    let speedup = if psum.p_wall > 0.0 then best_wall /. psum.p_wall else 0.0 in
+    if speedup < 0.5 then begin
+      incr failures;
+      Printf.eprintf
+        "quick-check: portfolio speedup %.2fx on %d cores (gate: >= 0.5x of the best \
+         sequential ordering)\n"
+        speedup psum.p_cores
+    end
+  end
+  else
+    Printf.printf
+      "quick-check: note: %d core(s) detected — portfolio speedup gate skipped (racers \
+       are time-sliced, speedup < 1 by construction)\n"
+      psum.p_cores;
   (* the tracing-overhead gate: the flight recorder + ledger pipeline must
      stay within 5% of the bare wall (fresh measurement, best of 3) *)
   if osum.o_overhead_pct > 5.0 then begin

@@ -3,9 +3,11 @@
    Checks the invariant property of a circuit (a .rnl netlist, an AIGER
    .aag/.aig file, or a named built-in benchmark) by bounded model checking
    with a selectable decision ordering, or proves it by k-induction.
-   With --portfolio the three decision orderings race on a domain pool
-   (first definitive answer per depth wins); with several CIRCUIT arguments
-   the properties are batch-solved across the pool.
+   With --portfolio a roster of decision orderings (--order, default the
+   paper's three) races on a domain pool — first definitive answer per
+   depth wins, and --rotate recycles budget-exhausted losers onto untried
+   heuristics; with several CIRCUIT arguments the properties are
+   batch-solved across the pool.
    Exit codes: 10 = counterexample found, 20 = bounded pass / proved,
    0 = aborted on budget / undecided, 2 = input error.  A batch exits with
    the most severe code across its properties (10 over 0 over 20). *)
@@ -161,12 +163,19 @@ let parse_inprocess = function
       Format.eprintf "bmccheck: --inprocess: %s@." msg;
       exit 2)
 
+(* Every ordering name resolves through the heuristic registry, so --mode
+   and --order accept laboratory heuristics (chb, frame, assump) next to
+   the four built-ins. *)
 let parse_mode mode_name =
-  match Bmc.Engine.mode_of_string mode_name with
+  match Ordering.mode_of_name mode_name with
   | Some m -> m
   | None ->
-    Format.eprintf "bmccheck: unknown mode %S (standard|static|dynamic|shtrichman)@." mode_name;
+    Format.eprintf "bmccheck: unknown ordering %S (available: %s)@." mode_name
+      (String.concat "|" (Ordering.names ()));
     exit 2
+
+let split_names s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun n -> n <> "")
 
 let parse_weighting = function
   | "linear" -> Bmc.Score.Linear
@@ -329,9 +338,14 @@ let run_single source engine_name mode_name max_depth coi weighting_name verbose
     | Bmc.Engine.Bounded_pass _ -> exit 20
     | Bmc.Engine.Aborted _ -> exit 0)
 
-(* --portfolio: race the three orderings on a domain pool, one full BMC run. *)
+(* --portfolio: race a roster of named orderings on a domain pool, one full
+   BMC run.  The roster defaults to the paper's three; --order picks named
+   registry heuristics instead, and --rotate arms adaptive rotation (losers
+   that burn their per-racer budget are recycled onto the untried
+   heuristics). *)
 let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
-    inprocess core_min trace_file metrics ledger_file flight_file jobs share share_max_lbd =
+    inprocess core_min trace_file metrics ledger_file flight_file jobs share share_max_lbd
+    order_names rotate =
   let weighting = parse_weighting weighting_name in
   match load source with
   | Error msg ->
@@ -354,7 +368,28 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
       Bmc.Engine.config ~weighting ~coi ~budget ~max_depth ?inprocess ~core_mode
         ~coremin_budget ~telemetry ?recorder ()
     in
-    let jobs = if jobs > 0 then jobs else 3 in
+    (* Build the named-racer roster.  Rotation needs budget exhaustion to be
+       observable, so --rotate gives every racer a per-instance conflict
+       budget (the --max-conflicts value, or 4096) and queues up the
+       registry heuristics not already racing. *)
+    let roster_names =
+      match order_names with Some ns -> ns | None -> [ "standard"; "static"; "dynamic" ]
+    in
+    let bases = [| 64; 100; 150; 200; 250; 300 |] in
+    let racer_conflicts = if rotate then Some (Option.value max_conflicts ~default:4096) else None in
+    let mk_racer i name =
+      Portfolio.racer ~name ~restart_base:bases.(i mod Array.length bases)
+        ?conflicts:racer_conflicts (parse_mode name)
+    in
+    let racers = List.mapi mk_racer roster_names in
+    let rotation =
+      if rotate then
+        Ordering.names ()
+        |> List.filter (fun n -> not (List.mem n roster_names))
+        |> List.mapi (fun i n -> mk_racer (List.length roster_names + i) n)
+      else []
+    in
+    let jobs = if jobs > 0 then jobs else List.length racers in
     if share_max_lbd < 1 then begin
       Format.eprintf "bmccheck: --share-max-lbd must be at least 1@.";
       exit 2
@@ -369,27 +404,30 @@ let run_portfolio source max_depth coi weighting_name verbose max_conflicts max_
     in
     let code =
       Portfolio.Pool.with_pool ~telemetry ~jobs (fun pool ->
-          let r = Portfolio.check_race ~config ?share:exchange ~pool netlist ~property in
+          let r =
+            Portfolio.check_race ~config ~racers ~rotation ?share:exchange ~pool netlist
+              ~property
+          in
           if verbose then
             List.iter
               (fun (rs : Portfolio.race_stat) ->
-                Format.printf "depth %3d: %-7s won by %-9s wall=%.3fs cancelled=%d@."
+                Format.printf "depth %3d: %-7s won by %-9s wall=%.3fs cancelled=%d%s@."
                   rs.Portfolio.depth
                   (Sat.Solver.outcome_string rs.stat.Bmc.Session.outcome)
-                  (match rs.winner with
-                  | Some m -> Format.asprintf "%a" Bmc.Session.pp_mode m
-                  | None -> "-")
-                  rs.Portfolio.wall rs.Portfolio.cancelled)
+                  (match rs.winner with Some n -> n | None -> "-")
+                  rs.Portfolio.wall rs.Portfolio.cancelled
+                  (if rs.Portfolio.rotated > 0 then
+                     Printf.sprintf " rotated=%d" rs.Portfolio.rotated
+                   else ""))
               r.per_depth;
           if core_min <> None then
             pp_coremin_summary source
               (List.map (fun (rs : Portfolio.race_stat) -> rs.Portfolio.stat) r.per_depth);
-          Format.printf "%s: %a (%.3fs wall, %d workers, wins:%s)@." source
+          Format.printf "%s: %a (%.3fs wall, %d workers%s, wins:%s)@." source
             Bmc.Session.pp_verdict r.verdict r.total_wall jobs
+            (if r.rotated > 0 then Printf.sprintf ", %d rotations" r.rotated else "")
             (String.concat ""
-               (List.map
-                  (fun (m, n) -> Format.asprintf " %a=%d" Bmc.Session.pp_mode m n)
-                  r.wins));
+               (List.map (fun (n, c) -> Printf.sprintf " %s=%d" n c) r.wins));
           (match exchange with
           | Some ex ->
             let st = Share.Exchange.stats ex in
@@ -482,12 +520,32 @@ let run_batch sources engine_name mode_name max_depth coi weighting_name verbose
 
 let run sources engine_name mode_name max_depth coi weighting_name verbose max_conflicts
     max_seconds simple_path fresh_solver ltl_formula inprocess_spec core_min trace_file
-    metrics ledger_file flight_file jobs portfolio share share_max_lbd =
+    metrics ledger_file flight_file jobs portfolio share share_max_lbd order rotate =
   let inprocess = parse_inprocess inprocess_spec in
   if share && not portfolio then begin
     Format.eprintf "bmccheck: --share requires --portfolio (clause exchange races)@.";
     exit 2
   end;
+  if rotate && not portfolio then begin
+    Format.eprintf "bmccheck: --rotate requires --portfolio (racer rotation)@.";
+    exit 2
+  end;
+  let order_names =
+    match Option.map split_names order with
+    | Some [] ->
+      Format.eprintf "bmccheck: --order needs at least one heuristic name@.";
+      exit 2
+    | o -> o
+  in
+  (* without --portfolio a single --order name is a synonym for --mode *)
+  let mode_name =
+    match (order_names, portfolio) with
+    | Some [ n ], false -> n
+    | Some (_ :: _ :: _), false ->
+      Format.eprintf "bmccheck: racing several orderings needs --portfolio@.";
+      exit 2
+    | _ -> mode_name
+  in
   match (sources, portfolio) with
   | [], _ -> assert false (* cmdliner: the positional list is non-empty *)
   | _ :: _ :: _, true ->
@@ -500,6 +558,7 @@ let run sources engine_name mode_name max_depth coi weighting_name verbose max_c
     end;
     run_portfolio source max_depth coi weighting_name verbose max_conflicts max_seconds
       inprocess core_min trace_file metrics ledger_file flight_file jobs share share_max_lbd
+      order_names rotate
   | [ source ], false ->
     run_single source engine_name mode_name max_depth coi weighting_name verbose
       max_conflicts max_seconds simple_path fresh_solver ltl_formula inprocess core_min
@@ -536,7 +595,8 @@ let mode =
   Arg.(
     value & opt string "dynamic"
     & info [ "mode" ] ~docv:"MODE"
-        ~doc:"Decision ordering: standard, static, dynamic or shtrichman.")
+        ~doc:"Decision ordering: any registered heuristic — standard, static, dynamic, \
+              shtrichman, or a laboratory heuristic (chb, frame, assump).")
 
 let ltl =
   Arg.(
@@ -661,9 +721,29 @@ let portfolio =
   Arg.(
     value & flag
     & info [ "portfolio" ]
-        ~doc:"Race the three decision orderings (standard, static, dynamic) on parallel \
-              workers; per depth, the first definitive answer wins, the losers are \
-              cancelled, and the winner's unsat core refines the shared ranking.")
+        ~doc:"Race a roster of decision orderings (default: standard, static, dynamic; \
+              override with --order) on parallel workers; per depth, the first definitive \
+              answer wins, the losers are cancelled, and the winner's unsat core refines \
+              the shared ranking.")
+
+let order =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "order" ] ~docv:"NAME[,NAME...]"
+        ~doc:"Decision ordering(s) from the heuristic registry (standard, static, \
+              dynamic, shtrichman, chb, frame, assump).  One name without --portfolio is \
+              a synonym for --mode; with --portfolio the comma-separated list is the \
+              racing roster, one named racer per heuristic.")
+
+let rotate =
+  Arg.(
+    value & flag
+    & info [ "rotate" ]
+        ~doc:"With --portfolio: adaptive racer rotation.  Every racer gets a per-instance \
+              conflict budget (--max-conflicts, or 4096), and a losing racer that burns \
+              it is recycled onto the next registry heuristic not yet racing.  Rotations \
+              are counted in the race telemetry and the ledger's race rows.")
 
 let share =
   Arg.(
@@ -690,6 +770,6 @@ let cmd =
       const run $ sources $ engine $ mode $ max_depth $ coi $ weighting $ verbose
       $ max_conflicts $ max_seconds $ simple_path $ fresh_solver $ ltl $ inprocess
       $ core_min $ trace_file $ metrics $ ledger_file $ flight_file $ jobs $ portfolio
-      $ share $ share_max_lbd)
+      $ share $ share_max_lbd $ order $ rotate)
 
 let () = exit (Cmd.eval cmd)

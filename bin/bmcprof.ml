@@ -254,6 +254,28 @@ let bench_diff ~warn_pct a b =
   | Some _, None ->
     add Obs.Ledger.Warn "cores block present in baseline but missing from candidate"
   | None, (Some _ | None) -> ());
+  (* the v8 ordering block: win tallies and rotation counts are
+     timing-dependent (which racer wins a round is a race), so values are
+     not compared — but the roster itself is code, so a heuristic that
+     vanished from the candidate's tallies, or the whole block going
+     missing, flags a behaviour change in the ordering laboratory *)
+  (match (Obs.Json.member "ordering" a, Obs.Json.member "ordering" b) with
+  | Some oa, Some ob ->
+    let names blk =
+      match Obs.Json.member "wins" blk with
+      | Some (Obs.Json.Obj kvs) -> List.map fst kvs
+      | Some _ | None -> []
+    in
+    let nb = names ob in
+    List.iter
+      (fun n ->
+        if not (List.mem n nb) then
+          add Obs.Ledger.Warn
+            (Printf.sprintf "ordering: heuristic %s dropped from the win tallies" n))
+      (names oa)
+  | Some _, None ->
+    add Obs.Ledger.Warn "ordering block present in baseline but missing from candidate"
+  | None, (Some _ | None) -> ());
   List.rev !findings
 
 let run_diff path_a path_b warn_pct =

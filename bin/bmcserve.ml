@@ -248,12 +248,24 @@ let serve_socket fe path =
       try Unix.unlink path with Unix.Unix_error _ -> ())
     loop
 
-let run_server socket jobs cache_mb max_pending share mode depth_cap max_conflicts
+let run_server socket jobs cache_mb max_pending share mode order depth_cap max_conflicts
     deadline_default trace_file ledger_file flight_file verbose =
+  (* --order resolves through the heuristic registry (laboratory heuristics
+     included) and overrides --mode; session-level hook state is built per
+     session, so one registry mode is safe across the warm cache. *)
   let* mode =
-    match Bmc.Session.mode_of_string mode with
-    | Some m -> Ok m
-    | None -> Error (Printf.sprintf "unknown mode %S" mode)
+    match order with
+    | Some name -> (
+      match Ordering.mode_of_name name with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (Printf.sprintf "unknown ordering %S (available: %s)" name
+             (String.concat "|" (Ordering.names ()))))
+    | None -> (
+      match Bmc.Session.mode_of_string mode with
+      | Some m -> Ok m
+      | None -> Error (Printf.sprintf "unknown mode %S" mode))
   in
   ignore deadline_default;
   let telemetry, close_telemetry = setup_telemetry trace_file in
@@ -379,6 +391,14 @@ let mode =
     & info [ "mode" ] ~docv:"MODE"
         ~doc:"Default decision ordering (standard|static|dynamic|shtrichman).")
 
+let order =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "order" ] ~docv:"NAME"
+        ~doc:"Default decision ordering from the heuristic registry (standard, static, \
+              dynamic, shtrichman, chb, frame, assump); overrides --mode.")
+
 let depth_cap =
   Arg.(
     value
@@ -421,13 +441,13 @@ let flight_file =
 
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log server events to stderr.")
 
-let main socket client jobs cache_mb max_pending share mode depth_cap max_conflicts
+let main socket client jobs cache_mb max_pending share mode order depth_cap max_conflicts
     deadline_default trace_file ledger_file flight_file verbose =
   match client with
   | Some path -> run_client path
   | None -> (
     match
-      run_server socket jobs cache_mb max_pending share mode depth_cap max_conflicts
+      run_server socket jobs cache_mb max_pending share mode order depth_cap max_conflicts
         deadline_default trace_file ledger_file flight_file verbose
     with
     | Ok () -> ()
@@ -439,7 +459,7 @@ let cmd =
   let doc = "long-lived BMC service with a warm-session cache" in
   Cmd.v (Cmd.info "bmcserve" ~doc)
     Term.(
-      const main $ socket $ client $ jobs $ cache_mb $ max_pending $ share $ mode
+      const main $ socket $ client $ jobs $ cache_mb $ max_pending $ share $ mode $ order
       $ depth_cap $ max_conflicts $ deadline_default $ trace_file $ ledger_file
       $ flight_file $ verbose)
 

@@ -8,8 +8,6 @@
      dune exec examples/portfolio_tour.exe
 *)
 
-let mode_name m = Format.asprintf "%a" Bmc.Session.pp_mode m
-
 let () =
   (* A circuit with enough property-irrelevant noise that the orderings
      genuinely disagree about where to decide first. *)
@@ -27,20 +25,20 @@ let () =
       List.iter
         (fun (rs : Portfolio.race_stat) ->
           Format.printf "%5d  %-8s  %-7s  %8.2f  %9d  %s@." rs.Portfolio.depth
-            (match rs.winner with Some m -> mode_name m | None -> "-")
+            (match rs.winner with Some n -> n | None -> "-")
             (Sat.Solver.outcome_string rs.stat.Bmc.Session.outcome)
             (rs.Portfolio.wall *. 1000.0) rs.Portfolio.cancelled
             (String.concat " "
                (List.map
-                  (fun (m, o) ->
-                    Printf.sprintf "%s:%s" (mode_name m) (Sat.Solver.outcome_string o))
+                  (fun (n, o) ->
+                    Printf.sprintf "%s:%s" n (Sat.Solver.outcome_string o))
                   rs.Portfolio.attempts)))
         result.per_depth;
 
       Format.printf "@.verdict: %a in %.2f ms wall@." Bmc.Session.pp_verdict result.verdict
         (result.total_wall *. 1000.0);
       Format.printf "race wins:";
-      List.iter (fun (m, n) -> Format.printf " %s=%d" (mode_name m) n) result.wins;
+      List.iter (fun (n, c) -> Format.printf " %s=%d" n c) result.wins;
       Format.printf
         "@.@.Whichever ordering wins a depth, its core feeds the shared ranking —@.\
          so the static and dynamic racers at depth k+1 start from the best@.\

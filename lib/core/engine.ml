@@ -3,11 +3,19 @@
    Fresh policy (a new solver over a snapshot instance at every depth) and
    re-exports the shared types under their historical names. *)
 
+type custom = Session.custom = {
+  c_name : string;
+  c_uses_cores : bool;
+  c_order : Unroll.t -> Score.t -> k:int -> Sat.Order.mode;
+  c_hooks : (Unroll.t -> Score.t -> solver:Sat.Solver.t -> Sat.Solver.hooks) option;
+}
+
 type mode = Session.mode =
   | Standard
   | Static
   | Dynamic
   | Shtrichman
+  | Custom of custom
 
 type core_mode = Session.core_mode =
   | Core_fast

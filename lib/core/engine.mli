@@ -19,16 +19,26 @@
     - [Static]    — the refined ordering as the primary key throughout;
     - [Dynamic]   — refined ordering with fallback to VSIDS once the
       decision count passes 1/64 of the original literal count;
-    - [Shtrichman] — the related-work time-axis static ordering.
+    - [Shtrichman] — the related-work time-axis static ordering;
+    - [Custom]    — a registered heuristic from the ordering laboratory
+      (see {!Session.custom} and the [Ordering] library).
 
     The types below are the session's, re-exported under their historical
     names so existing callers keep working. *)
+
+type custom = Session.custom = {
+  c_name : string;
+  c_uses_cores : bool;
+  c_order : Unroll.t -> Score.t -> k:int -> Sat.Order.mode;
+  c_hooks : (Unroll.t -> Score.t -> solver:Sat.Solver.t -> Sat.Solver.hooks) option;
+}
 
 type mode = Session.mode =
   | Standard
   | Static
   | Dynamic
   | Shtrichman
+  | Custom of custom
 
 type core_mode = Session.core_mode =
   | Core_fast

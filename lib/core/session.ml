@@ -8,11 +8,26 @@ let activation_node = -1
 
 let aux_node = -2
 
+(* A pluggable ordering heuristic (the ordering laboratory).  [c_order]
+   produces the per-depth rank mode exactly like the built-in modes do;
+   [c_hooks], when present, builds the solver callbacks once per session
+   (conflict-frequency tables, assumption permutations — state that must
+   survive across depths lives behind these closures).  Instances are
+   created fresh per session by the registry ([Ordering.find]): hook state
+   is mutable and must never be shared between solvers. *)
+type custom = {
+  c_name : string;
+  c_uses_cores : bool; (* does [c_order] consume folded unsat cores? *)
+  c_order : Unroll.t -> Score.t -> k:int -> Sat.Order.mode;
+  c_hooks : (Unroll.t -> Score.t -> solver:Sat.Solver.t -> Sat.Solver.hooks) option;
+}
+
 type mode =
   | Standard
   | Static
   | Dynamic
   | Shtrichman
+  | Custom of custom
 
 (* What quality of unsat core feeds the ranking (and the reports):
    [Fast] takes the proof-derived core as-is; [Exact] additionally asks for
@@ -89,6 +104,7 @@ let core_mode_of_string = function
 let uses_cores = function
   | Static | Dynamic -> true
   | Standard | Shtrichman -> false
+  | Custom c -> c.c_uses_cores
 
 let order_mode cfg unroll score ~k =
   match cfg.mode with
@@ -98,6 +114,7 @@ let order_mode cfg unroll score ~k =
   | Dynamic ->
     Sat.Order.Dynamic (Score.rank_array score ~num_vars:(Varmap.num_vars (Unroll.varmap unroll)))
   | Shtrichman -> Sat.Order.Static (Shtrichman.rank unroll ~k)
+  | Custom c -> c.c_order unroll score ~k
 
 (* Per-instance counters out of a persistent solver's cumulative totals.
    Monotonic counters are differenced; gauges keep the [after] value. *)
@@ -119,6 +136,7 @@ let stats_delta ~(before : Sat.Stats.t) ~(after : Sat.Stats.t) =
     shared_exported = after.shared_exported - before.shared_exported;
     shared_imported = after.shared_imported - before.shared_imported;
     shared_rejected_tainted = after.shared_rejected_tainted - before.shared_rejected_tainted;
+    shared_throttled = after.shared_throttled - before.shared_throttled;
     inpr_runs = after.inpr_runs - before.inpr_runs;
     inpr_probes = after.inpr_probes - before.inpr_probes;
     inpr_probe_failed = after.inpr_probe_failed - before.inpr_probe_failed;
@@ -138,6 +156,7 @@ let pp_mode ppf = function
   | Static -> Format.pp_print_string ppf "static"
   | Dynamic -> Format.pp_print_string ppf "dynamic"
   | Shtrichman -> Format.pp_print_string ppf "shtrichman"
+  | Custom c -> Format.pp_print_string ppf c.c_name
 
 let mode_of_string = function
   | "standard" -> Some Standard
@@ -298,7 +317,10 @@ let install_share solver unroll ep =
     !acc
   in
   Sat.Solver.set_share solver ~max_size:(Share.Exchange.max_size ep)
-    ~max_lbd:(Share.Exchange.max_lbd ep) ~export ~import
+    ~max_lbd:(Share.Exchange.max_lbd ep)
+    ~export_budget:(Share.Exchange.restart_budget ep)
+    ~tune:(fun () -> Share.Exchange.tune ep)
+    ~export ~import
 
 type t = {
   cfg : config;
@@ -329,6 +351,9 @@ type t = {
   mutable inpr_pending : Sat.Inprocess.stats;
       (* boundary-inprocessing counters accumulated since the last
          [solve_instance], folded into its depth_stat *)
+  mutable heur_hooks : Sat.Solver.hooks option;
+      (* a Custom mode's solver callbacks, built once per session so
+         conflict tables and assumption statistics survive across depths *)
 }
 
 let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
@@ -385,6 +410,7 @@ let create ?(policy = Persistent) ?constrain_init ?score ?(learn_cores = true)
     last_core_vars = [];
     freeze_tbl = Hashtbl.create 16;
     inpr_pending = Sat.Inprocess.fresh_stats ();
+    heur_hooks = None;
   }
 
 let policy t = t.pol
@@ -561,7 +587,19 @@ let solve_instance t =
     match t.pol with
     | Persistent ->
       let solver = live_solver t in
-      Sat.Solver.set_order solver (order_mode cfg t.unroll t.sc ~k);
+      let mode = order_mode cfg t.unroll t.sc ~k in
+      (match cfg.mode with
+      | Custom { c_hooks = Some mk; _ } ->
+        let hooks =
+          match t.heur_hooks with
+          | Some h -> h
+          | None ->
+            let h = mk t.unroll t.sc ~solver in
+            t.heur_hooks <- Some h;
+            h
+        in
+        Sat.Solver.set_order ~hooks solver mode
+      | _ -> Sat.Solver.set_order solver mode);
       let act = match t.act with Some a -> a | None -> assert false in
       (solver, [ act ])
     | Fresh ->
@@ -570,6 +608,12 @@ let solve_instance t =
       let solver =
         Sat.Solver.create ~with_proof:t.with_proof ~mode ~telemetry:cfg.telemetry cnf
       in
+      (* a Custom mode's hooks are per-solver, so a Fresh policy rebuilds
+         them for every instance (no cross-depth heuristic state) *)
+      (match cfg.mode with
+      | Custom { c_hooks = Some mk; _ } ->
+        Sat.Solver.set_order ~hooks:(mk t.unroll t.sc ~solver) solver mode
+      | _ -> ());
       (match cfg.restart_base with
       | Some b -> Sat.Solver.set_restart_base solver b
       | None -> ());
@@ -595,7 +639,17 @@ let solve_instance t =
       Telemetry.counter cfg.telemetry "share.imported" delta.Sat.Stats.shared_imported;
     if delta.Sat.Stats.shared_rejected_tainted > 0 then
       Telemetry.counter cfg.telemetry "share.rejected_tainted"
-        delta.Sat.Stats.shared_rejected_tainted
+        delta.Sat.Stats.shared_rejected_tainted;
+    if delta.Sat.Stats.shared_throttled > 0 then
+      Telemetry.counter cfg.telemetry "share.throttled" delta.Sat.Stats.shared_throttled;
+    (* import-usefulness feedback: after an UNSAT answer, report how many
+       imports the refutation actually leaned on — this drives the
+       adaptive LBD cap ({!Share.Exchange.tune}) at the next restart *)
+    (match outcome with
+    | Sat.Solver.Unsat when t.with_proof ->
+      Share.Exchange.note_import_used ep
+        (List.length (Sat.Solver.unsat_core_imports solver))
+    | Sat.Solver.Unsat | Sat.Solver.Sat | Sat.Solver.Unknown -> ())
   | None -> ());
   let core, core_vars =
     match outcome with

@@ -42,11 +42,30 @@
 
 (** {1 Configuration (shared by every engine)} *)
 
+(** A pluggable ordering heuristic — the ordering laboratory's unit of
+    registration (see the [Ordering] library for the registry of named
+    heuristics).  [c_order] plays the role the built-in modes hard-code:
+    produce the solver's rank mode for the depth-k instance.  [c_hooks],
+    when present, builds the {!Sat.Solver.hooks} callbacks — built once
+    per session under [Persistent] (heuristic state survives across
+    depths) and once per instance under [Fresh].  A [custom] value holds
+    mutable heuristic state behind its closures, so obtain a fresh one
+    per session and never share it between solvers. *)
+type custom = {
+  c_name : string;  (** registry name; what {!pp_mode} prints *)
+  c_uses_cores : bool;
+      (** whether [c_order] consumes the folded unsat-core ranking (drives
+          proof logging and score folding exactly like [Static]) *)
+  c_order : Unroll.t -> Score.t -> k:int -> Sat.Order.mode;
+  c_hooks : (Unroll.t -> Score.t -> solver:Sat.Solver.t -> Sat.Solver.hooks) option;
+}
+
 type mode =
   | Standard  (** plain BMC: pure VSIDS (the baseline column of Table 1) *)
   | Static  (** the paper's refined ordering as the primary key throughout *)
   | Dynamic  (** refined ordering with fallback to VSIDS (Section 3.3) *)
   | Shtrichman  (** the related-work time-axis static ordering *)
+  | Custom of custom  (** a registered heuristic from the ordering laboratory *)
 
 (** Core-quality policy: what kind of unsat core feeds the ranking and the
     reports. *)
@@ -128,12 +147,17 @@ val stats_delta : before:Sat.Stats.t -> after:Sat.Stats.t -> Sat.Stats.t
     value). *)
 
 val pp_mode : Format.formatter -> mode -> unit
+(** Built-in modes print their keyword; [Custom c] prints [c.c_name]. *)
 
 val mode_string : mode -> string
 
 val mode_of_string : string -> mode option
+(** The four built-in modes only; custom heuristics are resolved by name
+    through the [Ordering] registry at the CLI layer. *)
 
 val all_modes : mode list
+(** The four built-in modes (registry heuristics are enumerated by the
+    [Ordering] library, not here). *)
 
 val pp_core_mode : Format.formatter -> core_mode -> unit
 

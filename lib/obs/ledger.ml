@@ -29,7 +29,14 @@ type depth_row = {
   l_inpr_s : float;
 }
 
-type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }
+type race_row = {
+  r_depth : int;
+  r_winner : string;
+  r_wall_s : float;
+  r_cancelled : int;
+  r_rotated : int;
+  r_racers : string list;
+}
 
 type share_flow = {
   sh_exported : int;
@@ -107,6 +114,11 @@ let of_events (events : Sink.event list) =
             r_winner = fs "winner";
             r_wall_s = ff "wall_s";
             r_cancelled = fi "cancelled";
+            r_rotated = fi "rotated";
+            r_racers =
+              (match fs "racers" with
+              | "" -> []
+              | s -> String.split_on_char ',' s);
           }
           :: !races
       | "restart" -> incr restarts
@@ -217,13 +229,20 @@ let depth_of_json j =
   }
 
 let race_to_json (r : race_row) =
+  (* "rotated" and "racers" are additive and conditional, like the coremin
+     columns: a row with no rotation (or no recorded roster) omits them, so
+     pre-rotation ledgers round-trip byte-identically. *)
   Json.Obj
-    [
-      ("depth", Json.Int r.r_depth);
-      ("winner", Json.Str r.r_winner);
-      ("wall_s", Json.Float r.r_wall_s);
-      ("cancelled", Json.Int r.r_cancelled);
-    ]
+    ([
+       ("depth", Json.Int r.r_depth);
+       ("winner", Json.Str r.r_winner);
+       ("wall_s", Json.Float r.r_wall_s);
+       ("cancelled", Json.Int r.r_cancelled);
+     ]
+    @ (if r.r_rotated > 0 then [ ("rotated", Json.Int r.r_rotated) ] else [])
+    @
+    if r.r_racers = [] then []
+    else [ ("racers", Json.Str (String.concat "," r.r_racers)) ])
 
 let race_of_json j =
   {
@@ -231,6 +250,11 @@ let race_of_json j =
     r_winner = Json.get_str j "winner";
     r_wall_s = Json.get_float j "wall_s";
     r_cancelled = Json.get_int j "cancelled";
+    r_rotated = Json.get_int ~default:0 j "rotated";
+    r_racers =
+      (match Json.get_str ~default:"" j "racers" with
+      | "" -> []
+      | s -> String.split_on_char ',' s);
   }
 
 let to_json t =
@@ -372,8 +396,10 @@ let pp_effectiveness ppf t =
   | [] -> Format.fprintf ppf "  races             : none@."
   | races ->
     let cancelled = List.fold_left (fun a r -> a + r.r_cancelled) 0 races in
-    Format.fprintf ppf "  races             : %d (cancelled racers %d; wins:%s)@."
+    let rotated = List.fold_left (fun a r -> a + r.r_rotated) 0 races in
+    Format.fprintf ppf "  races             : %d (cancelled racers %d%s; wins:%s)@."
       (List.length races) cancelled
+      (if rotated > 0 then Printf.sprintf ", rotations %d" rotated else "")
       (if t.wins = [] then " none"
        else
          String.concat ""

@@ -52,7 +52,20 @@ type depth_row = {
   l_inpr_s : float;  (** CPU seconds of boundary inprocessing *)
 }
 
-type race_row = { r_depth : int; r_winner : string; r_wall_s : float; r_cancelled : int }
+type race_row = {
+  r_depth : int;
+  r_winner : string;  (** winning racer's heuristic name, or "none" *)
+  r_wall_s : float;
+  r_cancelled : int;
+  r_rotated : int;
+      (** racers recycled onto the rotation queue at this depth boundary.
+          Additive column: emitted only when non-zero and parsed with a 0
+          default, so pre-rotation ledgers round-trip byte-identically. *)
+  r_racers : string list;
+      (** the round's roster, by heuristic name, in slot order.  Additive
+          column like [r_rotated]: serialised comma-joined, omitted when
+          empty, parsed with an empty default. *)
+}
 
 type share_flow = {
   sh_exported : int;
@@ -68,7 +81,9 @@ type t = {
   restarts : int;
   switches : int;
   share : share_flow;
-  wins : (string * int) list;  (** races won per ordering mode, sorted *)
+  wins : (string * int) list;
+      (** races won per heuristic name (whatever names the racers carried
+          — built-in modes or ordering-laboratory heuristics), sorted *)
 }
 
 val of_events : Telemetry.Sink.event list -> t

@@ -1,0 +1,174 @@
+(* The ordering laboratory's registry: named branching heuristics the
+   CLIs, the portfolio roster and the differential tests enumerate.  The
+   four built-in Session modes are registered under their usual names so
+   one namespace covers everything; the laboratory heuristics are
+   [Session.Custom] values whose mutable state (conflict-frequency tables,
+   assumption statistics) lives behind the hook closures — hence
+   [sp_make] builds a fresh mode per call and callers must never share
+   one across solvers. *)
+
+type spec = {
+  sp_name : string;
+  sp_doc : string;
+  sp_make : unit -> Bmc.Session.mode;
+}
+
+let name s = s.sp_name
+
+let doc s = s.sp_doc
+
+let mode s = s.sp_make ()
+
+let base nm dc m = { sp_name = nm; sp_doc = dc; sp_make = (fun () -> m) }
+
+let count tbl i = match Hashtbl.find_opt tbl i with Some c -> c | None -> 0
+
+(* Conflict-frequency branching (CHB/expSAT-style), composed with the
+   paper's bmc_score: the installed per-depth ranking is the folded core
+   score (exactly [Static]'s), and every conflict moves the participating
+   variables' ranks to [bmc_score + q] where [q] is an exponential
+   recency-weighted average of conflict participation.  Restarts halve
+   [q], decaying towards the pure bmc_score ranking.  Phase bias follows
+   the more conflict-active literal of the chosen variable. *)
+let chb =
+  {
+    sp_name = "chb";
+    sp_doc = "conflict-frequency branching (CHB-style EMA) composed with bmc_score";
+    sp_make =
+      (fun () ->
+        Bmc.Session.Custom
+          {
+            Bmc.Session.c_name = "chb";
+            c_uses_cores = true;
+            c_order =
+              (fun unroll sc ~k:_ ->
+                Sat.Order.Static
+                  (Bmc.Score.rank_array sc
+                     ~num_vars:(Bmc.Varmap.num_vars (Bmc.Unroll.varmap unroll))));
+            c_hooks =
+              Some
+                (fun _unroll sc ~solver ->
+                  let alpha = 0.25 in
+                  let q : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+                  let lit_cnt : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+                  {
+                    Sat.Solver.hk_name = "chb";
+                    hk_on_conflict =
+                      (fun lits ->
+                        List.iter
+                          (fun l ->
+                            let v = Sat.Lit.var l in
+                            let i = Sat.Lit.to_index l in
+                            Hashtbl.replace lit_cnt i (count lit_cnt i + 1);
+                            let prev =
+                              match Hashtbl.find_opt q v with Some x -> x | None -> 0.0
+                            in
+                            let qv = ((1.0 -. alpha) *. prev) +. alpha in
+                            Hashtbl.replace q v qv;
+                            Sat.Solver.set_rank solver v (Bmc.Score.score sc v +. qv))
+                          lits);
+                    hk_on_restart =
+                      (fun () ->
+                        Hashtbl.filter_map_inplace (fun _ qv -> Some (qv *. 0.5)) q);
+                    hk_bias =
+                      (fun v ->
+                        let p = count lit_cnt (Sat.Lit.to_index (Sat.Lit.pos v)) in
+                        let n = count lit_cnt (Sat.Lit.to_index (Sat.Lit.neg v)) in
+                        if p = n then None else Some (p > n));
+                    hk_permute = None;
+                  });
+          });
+  }
+
+(* The Shtrichman frame-ordered racer: the related-work time-axis ranking
+   as a registry heuristic, so a roster can race it by name next to the
+   laboratory modes (the built-in [Shtrichman] mode stays, printing
+   "shtrichman"; this one prints "frame" in race rows). *)
+let frame =
+  {
+    sp_name = "frame";
+    sp_doc = "Shtrichman frame-ordered ranking (time axis first)";
+    sp_make =
+      (fun () ->
+        Bmc.Session.Custom
+          {
+            Bmc.Session.c_name = "frame";
+            c_uses_cores = false;
+            c_order = (fun unroll _sc ~k -> Sat.Order.Static (Bmc.Shtrichman.rank unroll ~k));
+            c_hooks = None;
+          });
+  }
+
+(* Assumption ordering: VSIDS decisions, but the assumption vector each
+   incremental call passes is permuted by recent-conflict participation —
+   literals whose negation occurs most in recently learnt clauses go
+   first (the falsified-first approximation: those assumptions are the
+   likeliest to close a conflict quickly), ties broken by total
+   participation.  Restarts halve the counters, keeping "recent"
+   honest. *)
+let assump =
+  {
+    sp_name = "assump";
+    sp_doc = "assumption-vector ordering by recent-conflict participation";
+    sp_make =
+      (fun () ->
+        Bmc.Session.Custom
+          {
+            Bmc.Session.c_name = "assump";
+            c_uses_cores = false;
+            c_order = (fun _unroll _sc ~k:_ -> Sat.Order.Vsids);
+            c_hooks =
+              Some
+                (fun _unroll _sc ~solver:_ ->
+                  let cnt : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+                  {
+                    Sat.Solver.hk_name = "assump";
+                    hk_on_conflict =
+                      (fun lits ->
+                        List.iter
+                          (fun l ->
+                            let i = Sat.Lit.to_index l in
+                            Hashtbl.replace cnt i (count cnt i + 1))
+                          lits);
+                    hk_on_restart =
+                      (fun () ->
+                        Hashtbl.filter_map_inplace
+                          (fun _ c -> if c <= 1 then None else Some (c / 2))
+                          cnt);
+                    hk_bias = (fun _ -> None);
+                    hk_permute =
+                      Some
+                        (fun lits ->
+                          let keyed =
+                            List.map
+                              (fun l ->
+                                let fals = count cnt (Sat.Lit.to_index (Sat.Lit.negate l)) in
+                                let part = fals + count cnt (Sat.Lit.to_index l) in
+                                (l, fals, part))
+                              lits
+                          in
+                          List.stable_sort
+                            (fun (_, f1, p1) (_, f2, p2) ->
+                              if f1 <> f2 then compare f2 f1 else compare p2 p1)
+                            keyed
+                          |> List.map (fun (l, _, _) -> l));
+                  });
+          });
+  }
+
+let specs () =
+  [
+    base "standard" "pure VSIDS (the paper's baseline)" Bmc.Session.Standard;
+    base "static" "bmc_score rank as the primary key throughout" Bmc.Session.Static;
+    base "dynamic" "bmc_score rank with fallback to VSIDS" Bmc.Session.Dynamic;
+    base "shtrichman" "the related-work time-axis static ordering" Bmc.Session.Shtrichman;
+    chb;
+    frame;
+    assump;
+  ]
+
+let names () = List.map name (specs ())
+
+let find n = List.find_opt (fun s -> s.sp_name = n) (specs ())
+
+let mode_of_name n = Option.map mode (find n)

@@ -6,26 +6,52 @@ module Session = Bmc.Session
 (* ------------------------------------------------------------------ *)
 
 type racer = {
+  r_name : string;
   r_mode : Session.mode;
   r_restart_base : int option;
+  r_conflicts : int option;
+  r_seconds : float option;
 }
+
+let racer ?restart_base ?conflicts ?seconds ~name mode =
+  (match conflicts with
+  | Some c when c < 1 -> invalid_arg "Portfolio.racer: conflicts must be >= 1"
+  | _ -> ());
+  (match seconds with
+  | Some s when s <= 0.0 -> invalid_arg "Portfolio.racer: seconds must be positive"
+  | _ -> ());
+  {
+    r_name = name;
+    r_mode = mode;
+    r_restart_base = restart_base;
+    r_conflicts = conflicts;
+    r_seconds = seconds;
+  }
 
 (* Distinct Luby units diversify the racers' restart schedules — and
    therefore which clauses each learns and offers to the exchange. *)
 let default_racers =
   [
-    { r_mode = Session.Standard; r_restart_base = Some 64 };
-    { r_mode = Session.Static; r_restart_base = Some 100 };
-    { r_mode = Session.Dynamic; r_restart_base = Some 150 };
+    racer ~name:"standard" ~restart_base:64 Session.Standard;
+    racer ~name:"static" ~restart_base:100 Session.Static;
+    racer ~name:"dynamic" ~restart_base:150 Session.Dynamic;
   ]
 
+(* Every slot field except the token is reconfigured when the slot rotates
+   onto the next roster entry.  The coordinator only touches them between
+   rounds (race_depth's wait loop is the quiescence barrier), so the
+   worker that runs the slot's jobs always sees a settled configuration. *)
 type slot = {
-  s_mode : Session.mode;
-  s_base : int option; (* per-racer Luby restart unit override *)
+  mutable s_name : string;
+  mutable s_mode : Session.mode;
+  mutable s_base : int option; (* per-racer Luby restart unit override *)
+  mutable s_conflicts : int option; (* per-racer conflict budget *)
+  mutable s_seconds : float option; (* per-racer CPU-seconds budget *)
   s_token : Pool.Token.t;
   (* The racer's persistent session.  Created lazily by the first job that
      runs on the slot's pinned worker and only ever touched there — the
-     coordinator must never dereference it (Session's ownership rule). *)
+     coordinator must never dereference it (Session's ownership rule);
+     dropping the reference on rotation is its only permitted write. *)
   mutable s_session : Session.t option;
 }
 
@@ -36,18 +62,40 @@ type race = {
   r_property : Circuit.Netlist.node;
   r_slots : slot array;
   r_score : Bmc.Score.t;
-  r_wins : int array; (* per-slot race wins, coordinator-only *)
+  (* Win tallies are keyed by racer name (slots change identity under
+     rotation); r_names remembers first-appearance order for reports. *)
+  r_wins : (string, int) Hashtbl.t;
+  mutable r_names : string list; (* reversed *)
+  mutable r_rotation : racer list; (* untried roster entries, in order *)
+  mutable r_rotated : int; (* total rotations performed *)
   r_share : Share.Exchange.t option;
   mutable r_last_k : int;
 }
 
 let mode_string m = Format.asprintf "%a" Session.pp_mode m
 
-let create_race ?modes ?racers ?share ~pool cfg netlist ~property =
+let slot_of_racer r =
+  {
+    s_name = r.r_name;
+    s_mode = r.r_mode;
+    s_base = r.r_restart_base;
+    s_conflicts = r.r_conflicts;
+    s_seconds = r.r_seconds;
+    s_token = Pool.Token.create ();
+    s_session = None;
+  }
+
+let note_name race name =
+  if not (Hashtbl.mem race.r_wins name) then begin
+    Hashtbl.replace race.r_wins name 0;
+    race.r_names <- name :: race.r_names
+  end
+
+let create_race ?modes ?racers ?(rotation = []) ?share ~pool cfg netlist ~property =
   let racers =
     match (racers, modes) with
     | Some rs, _ -> rs
-    | None, Some ms -> List.map (fun m -> { r_mode = m; r_restart_base = None }) ms
+    | None, Some ms -> List.map (fun m -> racer ~name:(mode_string m) m) ms
     | None, None -> default_racers
   in
   if racers = [] then invalid_arg "Portfolio.create_race: no racers";
@@ -57,29 +105,25 @@ let create_race ?modes ?racers ?share ~pool cfg netlist ~property =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Portfolio.create_race: " ^ msg));
   let cfg = { cfg with Session.collect_cores = true } in
-  let slots =
-    Array.of_list
-      (List.map
-         (fun r ->
-           {
-             s_mode = r.r_mode;
-             s_base = r.r_restart_base;
-             s_token = Pool.Token.create ();
-             s_session = None;
-           })
-         racers)
+  let slots = Array.of_list (List.map slot_of_racer racers) in
+  let race =
+    {
+      r_pool = pool;
+      r_cfg = cfg;
+      r_netlist = netlist;
+      r_property = property;
+      r_slots = slots;
+      r_score = Bmc.Score.create ~weighting:cfg.Session.weighting ();
+      r_wins = Hashtbl.create 7;
+      r_names = [];
+      r_rotation = rotation;
+      r_rotated = 0;
+      r_share = share;
+      r_last_k = -1;
+    }
   in
-  {
-    r_pool = pool;
-    r_cfg = cfg;
-    r_netlist = netlist;
-    r_property = property;
-    r_slots = slots;
-    r_score = Bmc.Score.create ~weighting:cfg.Session.weighting ();
-    r_wins = Array.make (Array.length slots) 0;
-    r_share = share;
-    r_last_k = -1;
-  }
+  Array.iter (fun sl -> note_name race sl.s_name) slots;
+  race
 
 (* Runs inside the slot's pinned worker. *)
 let slot_session race slot =
@@ -93,11 +137,24 @@ let slot_session race slot =
       | None -> token_stop
       | Some f -> fun () -> token_stop () || f ()
     in
+    (* tightest of the run-wide and per-racer budgets wins *)
+    let min_opt a b =
+      match (a, b) with
+      | Some x, Some y -> Some (min x y)
+      | (Some _ as s), None | None, s -> s
+    in
     let cfg =
       {
         race.r_cfg with
         Session.mode = slot.s_mode;
-        budget = { base with Sat.Solver.stop = Some stop };
+        budget =
+          {
+            base with
+            Sat.Solver.max_conflicts =
+              min_opt base.Sat.Solver.max_conflicts slot.s_conflicts;
+            max_seconds = min_opt base.Sat.Solver.max_seconds slot.s_seconds;
+            stop = Some stop;
+          };
         restart_base =
           (match slot.s_base with
           | Some _ as b -> b
@@ -108,7 +165,7 @@ let slot_session race slot =
        and confined to it; only the exchange itself is shared. *)
     let share =
       Option.map
-        (fun ex -> Share.Exchange.endpoint ex ~name:(mode_string slot.s_mode))
+        (fun ex -> Share.Exchange.endpoint ex ~name:slot.s_name)
         race.r_share
     in
     (* [fold_cores:false]: racers extract cores but never write the shared
@@ -130,13 +187,14 @@ type attempt = {
 
 type race_stat = {
   depth : int;
-  winner : Session.mode option;
+  winner : string option;
   stat : Session.depth_stat;
   core_vars : Sat.Lit.var list;
-  attempts : (Session.mode * Sat.Solver.outcome) list;
+  attempts : (string * Sat.Solver.outcome) list;
   wall : float;
   cancelled : int;
   max_cancel_latency : float;
+  rotated : int;
   trace : Bmc.Trace.t option;
 }
 
@@ -225,10 +283,14 @@ let race_depth race ~k =
   let cancelled = ref 0 in
   let max_latency = ref 0.0 in
   let folded_core_vars = ref None in
+  (* The winner's name is read before rotation reconfigures any slot. *)
+  let winner_name = Option.map (fun w -> slots.(w).s_name) !winner in
   (match !winner with
   | None -> ()
   | Some w ->
-    race.r_wins.(w) <- race.r_wins.(w) + 1;
+    let name = slots.(w).s_name in
+    Hashtbl.replace race.r_wins name
+      (1 + Option.value (Hashtbl.find_opt race.r_wins name) ~default:0);
     Array.iteri
       (fun j a ->
         if j <> w && Pool.Token.cancelled slots.(j).s_token
@@ -241,7 +303,7 @@ let race_depth race ~k =
             Telemetry.span_event tel "cancel_latency" ~dur:lat
               [
                 ("depth", Telemetry.Sink.Int k);
-                ("mode", Telemetry.Sink.Str (mode_string slots.(j).s_mode));
+                ("mode", Telemetry.Sink.Str slots.(j).s_name);
               ]
         end)
       attempts;
@@ -274,35 +336,87 @@ let race_depth race ~k =
       folded_core_vars := Some core_vars;
       Bmc.Score.update race.r_score ~instance:k ~core_vars
     | Sat.Solver.Sat | Sat.Solver.Unknown -> ()));
-  let winner_mode = Option.map (fun w -> slots.(w).s_mode) !winner in
+  (* Capture the round's attempt labels before rotation renames slots. *)
+  let attempt_list =
+    Array.to_list
+      (Array.mapi (fun i a -> (slots.(i).s_name, a.a_stat.Session.outcome)) attempts)
+  in
+  (* Restart-boundary rotation: a loser that burned through its own
+     per-racer budget (rather than being cancelled early by the winner) is
+     recycled onto the next untried roster entry.  Its session reference is
+     dropped — the quiescence barrier above guarantees no worker holds it —
+     and the replacement heuristic's session is built lazily on the same
+     pinned worker at the next round. *)
+  let rotated = ref 0 in
+  let budget_spent sl (a : attempt) =
+    (match sl.s_conflicts with
+    | Some c -> a.a_stat.Session.conflicts >= c
+    | None -> false)
+    || match sl.s_seconds with
+       | Some s -> a.a_stat.Session.time >= s
+       | None -> false
+  in
+  Array.iteri
+    (fun i a ->
+      let losing = match !winner with Some w -> i <> w | None -> true in
+      if
+        losing
+        && (not (definitive a.a_stat.Session.outcome))
+        && budget_spent slots.(i) a
+      then
+        match race.r_rotation with
+        | [] -> ()
+        | next :: rest ->
+          race.r_rotation <- rest;
+          let sl = slots.(i) in
+          let old = sl.s_name in
+          sl.s_name <- next.r_name;
+          sl.s_mode <- next.r_mode;
+          sl.s_base <- next.r_restart_base;
+          sl.s_conflicts <- next.r_conflicts;
+          sl.s_seconds <- next.r_seconds;
+          sl.s_session <- None;
+          note_name race next.r_name;
+          incr rotated;
+          race.r_rotated <- race.r_rotated + 1;
+          if Telemetry.enabled tel then
+            Telemetry.event tel "rotate"
+              [
+                ("depth", Telemetry.Sink.Int k);
+                ("from", Telemetry.Sink.Str old);
+                ("to", Telemetry.Sink.Str next.r_name);
+              ])
+    attempts;
   if Telemetry.enabled tel then begin
     Telemetry.event tel "race"
       [
         ("depth", Telemetry.Sink.Int k);
         ( "winner",
           Telemetry.Sink.Str
-            (match winner_mode with Some m -> mode_string m | None -> "none") );
+            (match winner_name with Some n -> n | None -> "none") );
         ("wall_s", Telemetry.Sink.Float wall);
         ("cancelled", Telemetry.Sink.Int !cancelled);
+        ("rotated", Telemetry.Sink.Int !rotated);
+        ( "racers",
+          Telemetry.Sink.Str (String.concat "," (List.map fst attempt_list)) );
       ];
-    (match winner_mode with
-    | Some m -> Telemetry.counter tel ("race.win." ^ mode_string m) 1
+    (match winner_name with
+    | Some n -> Telemetry.counter tel ("race.win." ^ n) 1
     | None -> ());
     if !cancelled > 0 then Telemetry.counter tel "race.cancelled" !cancelled
   end;
   let best = match !winner with Some w -> attempts.(w) | None -> attempts.(0) in
   {
     depth = k;
-    winner = winner_mode;
+    winner = winner_name;
     stat = best.a_stat;
     core_vars =
       (match !folded_core_vars with Some v -> v | None -> best.a_core_vars);
-    attempts =
-      Array.to_list
-        (Array.mapi (fun i a -> (slots.(i).s_mode, a.a_stat.Session.outcome)) attempts);
+    attempts = attempt_list;
     wall;
     cancelled = !cancelled;
     max_cancel_latency = !max_latency;
+    rotated = !rotated;
     trace = best.a_trace;
   }
 
@@ -324,12 +438,20 @@ type result = {
   verdict : Session.verdict;
   per_depth : race_stat list;
   total_wall : float;
-  wins : (Session.mode * int) list;
+  wins : (string * int) list;
+  rotated : int;
 }
 
-let check_race ?(config = Session.default_config) ?modes ?racers ?share ~pool netlist
-    ~property =
-  let race = create_race ?modes ?racers ?share ~pool config netlist ~property in
+let race_wins race =
+  List.rev_map
+    (fun n -> (n, Option.value (Hashtbl.find_opt race.r_wins n) ~default:0))
+    race.r_names
+
+let race_rotated race = race.r_rotated
+
+let check_race ?(config = Session.default_config) ?modes ?racers ?rotation ?share ~pool
+    netlist ~property =
+  let race = create_race ?modes ?racers ?rotation ?share ~pool config netlist ~property in
   let per_depth = ref [] in
   let t0 = Pool.wall () in
   let finish verdict =
@@ -338,8 +460,8 @@ let check_race ?(config = Session.default_config) ?modes ?racers ?share ~pool ne
       verdict;
       per_depth = List.rev !per_depth;
       total_wall = Pool.wall () -. t0;
-      wins =
-        Array.to_list (Array.mapi (fun i sl -> (sl.s_mode, race.r_wins.(i))) race.r_slots);
+      wins = race_wins race;
+      rotated = race.r_rotated;
     }
   in
   let rec loop k =

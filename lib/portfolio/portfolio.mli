@@ -40,21 +40,45 @@ type race
     (the coordinator); racer sessions are owned by their pool workers. *)
 
 type racer = {
+  r_name : string;
+      (** the racer's display name — win tallies, race rows, telemetry
+          counters and share-endpoint names are all keyed by it (typically
+          an {!Ordering}-registry heuristic name) *)
   r_mode : Bmc.Session.mode;  (** the racer's decision ordering *)
   r_restart_base : int option;
       (** Luby restart unit override ([None] keeps the solver default).
           Distinct units diversify restart schedules across the ensemble,
           so the racers learn — and, with an exchange attached, share —
           different clauses. *)
+  r_conflicts : int option;
+      (** per-racer per-instance conflict budget; combined (min) with the
+          run-wide budget.  A racer that burns it loses the round and
+          becomes a rotation candidate. *)
+  r_seconds : float option;
+      (** per-racer per-instance CPU-seconds budget, combined like
+          [r_conflicts] *)
 }
+
+val racer :
+  ?restart_base:int ->
+  ?conflicts:int ->
+  ?seconds:float ->
+  name:string ->
+  Bmc.Session.mode ->
+  racer
+(** Smart constructor.  Heuristics with hook state ({!Bmc.Session.Custom})
+    must not be shared between racers — build each racer's mode freshly
+    (e.g. one {!Ordering.mode_of_name} call per racer).
+    @raise Invalid_argument on a non-positive budget. *)
 
 val default_racers : racer list
 (** The paper's three orderings with diversified restart units:
-    [Standard]/64, [Static]/100, [Dynamic]/150. *)
+    ["standard"]/64, ["static"]/100, ["dynamic"]/150. *)
 
 val create_race :
   ?modes:Bmc.Session.mode list ->
   ?racers:racer list ->
+  ?rotation:racer list ->
   ?share:Share.Exchange.t ->
   pool:Pool.t ->
   Bmc.Session.config ->
@@ -63,25 +87,32 @@ val create_race :
   race
 (** The ensemble defaults to {!default_racers}.  [racers] overrides it
     fully; [modes] (kept for compatibility) races the given orderings with
-    default restart units and is ignored when [racers] is present.  The
-    [config]'s [mode] field is ignored (each racer gets its own); its
-    budget, COI, weighting, max_depth and telemetry apply to every racer,
-    and [collect_cores] is forced on so the winner always has a core to
-    contribute.  [share] attaches every racer to the given learnt-clause
-    exchange: each racer's session gets its own {!Share.Exchange.endpoint}
-    (created inside its pinned worker), exports untainted short learnt
-    clauses, and imports the siblings' at restart boundaries.  Imports
-    carry their provenance (source solver, source clause id), so the
-    winner's core stays {e exact} under sharing — see {!race_stat}'s
-    [core_vars].  The caller keeps the exchange and reads
-    {!Share.Exchange.stats} from it between rounds.  Racer [i] is pinned to pool worker [i mod Pool.size pool];
+    default restart units and is ignored when [racers] is present.
+    [rotation] is the queue of untried roster entries for adaptive racer
+    rotation: at the end of a round, every losing racer that exhausted its
+    {e own} per-racer budget (rather than being cancelled by the winner)
+    is recycled onto the next queue entry — its persistent session is
+    dropped and the replacement heuristic takes over the slot from the
+    next depth.  The [config]'s [mode] field is ignored (each racer gets
+    its own); its budget, COI, weighting, max_depth and telemetry apply to
+    every racer, and [collect_cores] is forced on so the winner always has
+    a core to contribute.  [share] attaches every racer to the given
+    learnt-clause exchange: each racer's session gets its own
+    {!Share.Exchange.endpoint} (created inside its pinned worker, named
+    after the racer), exports untainted short learnt clauses, and imports
+    the siblings' at restart boundaries.  Imports carry their provenance
+    (source solver, source clause id), so the winner's core stays {e
+    exact} under sharing — see {!race_stat}'s [core_vars].  The caller
+    keeps the exchange and reads {!Share.Exchange.stats} from it between
+    rounds.  Racer [i] is pinned to pool worker [i mod Pool.size pool];
     with fewer workers than racers the race serialises gracefully.
     @raise Invalid_argument if the ensemble is empty. *)
 
 type race_stat = {
   depth : int;
-  winner : Bmc.Session.mode option;
-      (** [None] when every racer returned [Unknown] *)
+  winner : string option;
+      (** the winning racer's name; [None] when every racer returned
+          [Unknown] *)
   stat : Bmc.Session.depth_stat;
       (** the winner's per-instance stat (a loser's when [winner = None]) *)
   core_vars : Sat.Lit.var list;
@@ -94,14 +125,16 @@ type race_stat = {
           ({!Bmc.Session.exact_core_vars}) so imports in the winner's
           refutation resolve to the sibling clauses that produced them
           instead of being dropped at the shard boundary *)
-  attempts : (Bmc.Session.mode * Sat.Solver.outcome) list;
-      (** every racer's outcome, in [modes] order ([Unknown] for cancelled
-          losers) *)
+  attempts : (string * Sat.Solver.outcome) list;
+      (** every racer's (name, outcome), in slot order ([Unknown] for
+          cancelled losers); names are the round's, before any rotation *)
   wall : float;  (** wall-clock seconds for the whole round *)
   cancelled : int;  (** losers that were cancelled mid-solve *)
   max_cancel_latency : float;
       (** slowest observed cancel-to-exit wall latency this round (0 when
           nothing was cancelled) *)
+  rotated : int;
+      (** slots recycled onto the rotation queue at the end of this round *)
   trace : Bmc.Trace.t option;  (** the winner's counterexample, if SAT *)
 }
 
@@ -110,26 +143,39 @@ val race_depth : race -> k:int -> race_stat
     across all racers and block until every racer has settled.  Depths
     must strictly increase across calls (the racers' persistent sessions
     require it).  Emits one "race" telemetry event per round, a
-    ["race.win.<mode>"] counter for the winner, a ["race.cancelled"]
-    counter and one ["cancel_latency"] span per cancelled loser.  With a
-    flight recorder in the config, each racer records [Racer_start] and
-    [Racer_win] / [Racer_cancel] events to its own worker's ring. *)
+    ["race.win.<name>"] counter for the winner, a ["race.cancelled"]
+    counter, one ["cancel_latency"] span per cancelled loser and one
+    ["rotate"] event per recycled slot.  With a flight recorder in the
+    config, each racer records [Racer_start] and [Racer_win] /
+    [Racer_cancel] events to its own worker's ring. *)
 
 val race_score : race -> Bmc.Score.t
 (** The shared ranking the winners have built so far.  Coordinator-only:
     read or mutate it between {!race_depth} rounds, never during one. *)
 
+val race_wins : race -> (string * int) list
+(** Win tallies per racer name, in first-appearance order (roster first,
+    then rotation entries as they come into play).  Coordinator-only,
+    between rounds. *)
+
+val race_rotated : race -> int
+(** Total rotations performed so far.  Coordinator-only, between rounds. *)
+
 type result = {
   verdict : Bmc.Session.verdict;
   per_depth : race_stat list;  (** ascending depth *)
   total_wall : float;
-  wins : (Bmc.Session.mode * int) list;  (** race wins per mode, [modes] order *)
+  wins : (string * int) list;
+      (** race wins per racer name, first-appearance order (includes
+          zero-win racers and rotated-in heuristics) *)
+  rotated : int;  (** total racer rotations over the run *)
 }
 
 val check_race :
   ?config:Bmc.Session.config ->
   ?modes:Bmc.Session.mode list ->
   ?racers:racer list ->
+  ?rotation:racer list ->
   ?share:Share.Exchange.t ->
   pool:Pool.t ->
   Circuit.Netlist.t ->

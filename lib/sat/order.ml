@@ -215,3 +215,20 @@ let bump_by t l amount =
   let i = Lit.to_index l in
   t.act.(i) <- t.act.(i) +. amount;
   if t.pos.(i) >= 0 then sift_up t t.pos.(i)
+
+(* Point update of one variable's rank while the heap is live.  Unlike
+   [bump], a rank may fall as well as rise, so each of the variable's two
+   heap entries gets a sift in both directions (one of the two is a no-op). *)
+let set_rank t v r =
+  if v >= 0 && v < t.num_vars then begin
+    t.rank.(v) <- r;
+    if t.use_rank then
+      List.iter
+        (fun i ->
+          let p = t.pos.(i) in
+          if p >= 0 then begin
+            sift_up t p;
+            sift_down t t.pos.(i)
+          end)
+        [ Lit.to_index (Lit.pos v); Lit.to_index (Lit.neg v) ]
+  end

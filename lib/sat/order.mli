@@ -89,3 +89,12 @@ val bump_by : t -> Lit.t -> float -> unit
 (** Like {!bump} with an explicit amount (used when attaching clauses
     incrementally: the initial score of a literal is its occurrence
     count). *)
+
+val set_rank : t -> Lit.var -> float -> unit
+(** Point update of one variable's rank while the search runs — the
+    mutation path of pluggable heuristics (e.g. conflict-frequency
+    branching) that refine their ranking per conflict instead of
+    installing a whole new array via {!set_mode}.  Repairs the heap
+    position of both of the variable's literals (a rank may fall as well
+    as rise).  No-op on the rank key when the current mode ignores ranks,
+    but the stored value still updates so a later ranked mode sees it. *)

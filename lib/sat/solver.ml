@@ -24,9 +24,27 @@ let no_budget =
    the exporter supplied one) at solve-start and restart boundaries. *)
 type share = {
   sh_max_size : int;
-  sh_max_lbd : int;
+  mutable sh_max_lbd : int; (* adaptive: a tune hook may move it between restarts *)
+  sh_budget : int; (* exports allowed per restart interval; [max_int] = unlimited *)
+  mutable sh_left : int;
+  sh_tune : (unit -> int option) option; (* polled at restarts for a new LBD cap *)
   sh_export : Lit.t array -> lbd:int -> src_id:int -> unit;
   sh_import : unit -> (Lit.t list * (int * int) option) list;
+}
+
+(* Pluggable branching-heuristic hooks (the ordering laboratory).  The
+   solver keeps its Chaff core and exposes exactly four narrow seams: a
+   per-conflict notification (fired after the built-in activity bumps), a
+   restart notification, a phase bias consulted once per decision, and an
+   optional permutation of the assumption vector applied at solve start.
+   Heuristic state lives entirely behind the closures — the solver never
+   inspects it. *)
+type hooks = {
+  hk_name : string;
+  hk_on_conflict : Lit.t list -> unit;
+  hk_on_restart : unit -> unit;
+  hk_bias : Lit.var -> bool option;
+  hk_permute : (Lit.t list -> Lit.t list) option;
 }
 
 (* Poll the budget (and with it the cooperative-stop hook) every this many
@@ -75,6 +93,7 @@ type t = {
   tel : Telemetry.t;
   (* clause-sharing state *)
   mutable share : share option;
+  mutable heur : hooks option; (* pluggable ordering heuristic, when installed *)
   mutable local_mask : bool array; (* per var: instance-local (activation/aux) *)
   mutable analysis_tainted : bool; (* scratch: current conflict analysis touched a tainted antecedent *)
   imported_ids : (int, unit) Hashtbl.t; (* proof pseudo IDs of imported clauses *)
@@ -251,6 +270,7 @@ let create ?(with_proof = false) ?(with_drat = false) ?(minimize = false) ?(mode
       failed_assumptions = [];
       tel = telemetry;
       share = None;
+      heur = None;
       local_mask = Array.make (max nvars 1) false;
       analysis_tainted = false;
       imported_ids = Hashtbl.create 16;
@@ -734,9 +754,16 @@ let maybe_export t lits ~tainted ~src_id =
       else begin
         let lbd = learnt_lbd t lits in
         if lbd <= sh.sh_max_lbd then begin
-          t.stats.shared_exported <- t.stats.shared_exported + 1;
-          frecord t Obs.Recorder.Share_export ~a:lbd ~b:(List.length lits);
-          sh.sh_export (Array.of_list lits) ~lbd ~src_id
+          if sh.sh_left <= 0 then
+            (* per-restart export budget exhausted: withhold until the next
+               restart refills it (the adaptive-throttle path) *)
+            t.stats.shared_throttled <- t.stats.shared_throttled + 1
+          else begin
+            sh.sh_left <- sh.sh_left - 1;
+            t.stats.shared_exported <- t.stats.shared_exported + 1;
+            frecord t Obs.Recorder.Share_export ~a:lbd ~b:(List.length lits);
+            sh.sh_export (Array.of_list lits) ~lbd ~src_id
+          end
         end
       end
     end
@@ -763,6 +790,7 @@ let record_learnt t lits ants =
   (* Chaff's new_lit_counts: every literal of the new conflict clause gets
      one activity point. *)
   List.iter (Order.bump t.order) lits;
+  (match t.heur with Some h -> h.hk_on_conflict lits | None -> ());
   match lits with
   | [] -> assert false
   | [ l ] ->
@@ -1199,8 +1227,20 @@ let pick_decision t =
           ("threshold", Telemetry.Sink.Int t.dynamic_threshold);
         ]
   end;
-  Order.pop_best t.order ~is_unassigned:(fun v ->
-      value_var t v = unassigned && not t.eliminated.(v))
+  match
+    Order.pop_best t.order ~is_unassigned:(fun v ->
+        value_var t v = unassigned && not t.eliminated.(v))
+  with
+  | None -> None
+  | Some l as picked -> (
+    (* phase bias: a heuristic may override the sign of the decision
+       literal; the variable choice itself stays with the order heap *)
+    match t.heur with
+    | None -> picked
+    | Some h -> (
+      match h.hk_bias (Lit.var l) with
+      | None -> picked
+      | Some b -> Some (Lit.make (Lit.var l) b)))
 
 let search t budget start_time =
   let conflicts_until_restart = ref (Luby.next t.luby) in
@@ -1219,11 +1259,20 @@ let search t budget start_time =
           Telemetry.event t.tel "restart"
             [ ("conflicts", Telemetry.Sink.Int t.stats.conflicts) ];
         cancel_until t 0;
-        (* restart boundary: adopt foreign clauses while at level 0 *)
-        if t.share <> None then begin
+        (match t.heur with Some h -> h.hk_on_restart () | None -> ());
+        (* restart boundary: refill the export budget, let the adaptive
+           throttle move the LBD cap, then adopt foreign clauses while at
+           level 0 *)
+        (match t.share with
+        | Some sh ->
+          sh.sh_left <- sh.sh_budget;
+          (match sh.sh_tune with
+          | Some f -> (
+            match f () with Some cap -> sh.sh_max_lbd <- max 1 cap | None -> ())
+          | None -> ());
           import_pending t;
           if not t.ok then raise (Done Unsat)
-        end
+        | None -> ())
       end;
       loop ()
     end
@@ -1278,6 +1327,13 @@ let search t budget start_time =
 let cdg_seconds t = match t.proof with Some p -> Proof.cdg_seconds p | None -> 0.0
 
 let solve ?(budget = no_budget) ?(assumptions = []) t =
+  (* assumption-ordering: a heuristic may permute (never edit) the vector —
+     the assumption set is semantic, its order is pure search strategy *)
+  let assumptions =
+    match t.heur with
+    | Some { hk_permute = Some f; _ } -> f assumptions
+    | _ -> assumptions
+  in
   t.failed_assumptions <- [];
   let confl_before = t.stats.conflicts in
   let r =
@@ -1303,6 +1359,16 @@ let solve ?(budget = no_budget) ?(assumptions = []) t =
       let props0 = s.propagations and confl0 = s.conflicts and learned0 = s.learned in
       let rank0 = s.decisions_rank and vsids0 = s.decisions_vsids in
       let start_time = Sys.time () in
+      (* Resource budgets are per solve call: rebase the count limits onto
+         the cumulative counters so an incremental solver grants every
+         instance the full allowance instead of starving later depths. *)
+      let budget =
+        {
+          budget with
+          max_conflicts = Option.map (fun m -> confl0 + m) budget.max_conflicts;
+          max_propagations = Option.map (fun m -> props0 + m) budget.max_propagations;
+        }
+      in
       t.cur_budget <- budget;
       t.solve_start <- start_time;
       t.props_at_poll <- s.propagations;
@@ -1489,23 +1555,37 @@ let failed_assumptions t =
   | Some Unsat -> t.failed_assumptions
   | Some (Sat | Unknown) | None -> invalid_arg "Solver.failed_assumptions: not UNSAT"
 
-let set_order t mode =
+let set_order ?hooks t mode =
   cancel_until t 0;
+  t.heur <- hooks;
   Order.set_mode t.order mode
 
-let set_mode = set_order
+let set_rank t v r = Order.set_rank t.order v r
+
+let heuristic_name t = match t.heur with Some h -> Some h.hk_name | None -> None
 
 let set_max_learnts t n = t.max_learnts <- max 1 n
 
 let set_restart_base t base = t.luby <- Luby.create ~base
 
-let set_share ?(max_size = 8) ?(max_lbd = 4) t ~export ~import =
+let set_share ?(max_size = 8) ?(max_lbd = 4) ?(export_budget = max_int) ?tune t ~export
+    ~import =
   (* DRAT and sharing now coexist: imports are recorded as [i]-prefixed
      trusted axioms (see {!Checker.event}), so the clausal proof stays
      replayable instead of being refused outright. *)
-  if max_size < 1 || max_lbd < 1 then invalid_arg "Solver.set_share: caps must be >= 1";
+  if max_size < 1 || max_lbd < 1 || export_budget < 1 then
+    invalid_arg "Solver.set_share: caps must be >= 1";
   t.share <-
-    Some { sh_max_size = max_size; sh_max_lbd = max_lbd; sh_export = export; sh_import = import }
+    Some
+      {
+        sh_max_size = max_size;
+        sh_max_lbd = max_lbd;
+        sh_budget = export_budget;
+        sh_left = export_budget;
+        sh_tune = tune;
+        sh_export = export;
+        sh_import = import;
+      }
 
 let clear_share t = t.share <- None
 

@@ -34,8 +34,10 @@ type outcome =
 
 type budget = {
   max_conflicts : int option;
-  max_propagations : int option;
-  max_seconds : float option;  (** CPU seconds, via [Sys.time] *)
+      (** per {!solve} call — an incremental solver grants every call the
+          full allowance, whatever earlier calls consumed *)
+  max_propagations : int option;  (** per {!solve} call, like [max_conflicts] *)
+  max_seconds : float option;  (** CPU seconds per {!solve} call, via [Sys.time] *)
   stop : (unit -> bool) option;
       (** External cooperative-stop hook.  Polled together with the other
           budget checks — after every conflict, every 1024 decisions and
@@ -100,21 +102,49 @@ val failed_assumptions : t -> Lit.t list
     unsatisfiable).
     @raise Invalid_argument unless the last outcome was [Unsat]. *)
 
-val set_order : t -> Order.mode -> unit
-(** Swap the decision-ordering mode on a live solver between {!solve}
-    calls (retracting any outstanding decisions first).  What survives the
-    swap: the accumulated VSIDS literal activities ([cha_score]), learnt
-    clauses and the proof graph — the solver's search experience.  What is
-    replaced: the external per-variable rank array ([Static] / [Dynamic]
-    install the new ranking, [Vsids] clears it), and a [Dynamic] swap
-    re-arms the fallback-to-VSIDS trigger.  The decision heap itself is
-    rebuilt against the new keys at the start of the next {!solve}.  This
-    is how a {!Session}-style incremental BMC run re-ranks one persistent
-    solver from each instance's unsat core instead of seeding a fresh
-    solver per depth. *)
+(** {2 Pluggable branching heuristics (the ordering laboratory)}
 
-val set_mode : t -> Order.mode -> unit
-(** Alias of {!set_order} (historical name). *)
+    The solver's Chaff core stays fixed; an external heuristic plugs in
+    through four narrow callbacks.  All heuristic state lives behind the
+    closures — the solver never inspects it, so registries of heuristics
+    (see [lib/ordering]) compose without touching this module. *)
+
+type hooks = {
+  hk_name : string;  (** heuristic name, for ledgers and race rows *)
+  hk_on_conflict : Lit.t list -> unit;
+      (** fired once per learnt conflict clause (after the built-in
+          activity bumps), with the learnt literals *)
+  hk_on_restart : unit -> unit;  (** fired at every restart boundary *)
+  hk_bias : Lit.var -> bool option;
+      (** consulted once per decision: [Some b] overrides the sign of the
+          decision literal on that variable, [None] keeps the heap's pick *)
+  hk_permute : (Lit.t list -> Lit.t list) option;
+      (** when present, permutes the assumption vector at solve start; must
+          return the same multiset of literals — order is pure strategy *)
+}
+
+val set_order : ?hooks:hooks -> t -> Order.mode -> unit
+(** Swap the decision-ordering mode on a live solver between {!solve}
+    calls (retracting any outstanding decisions first), and install (or,
+    when [hooks] is absent, remove) the pluggable heuristic callbacks.
+    What survives the swap: the accumulated VSIDS literal activities
+    ([cha_score]), learnt clauses and the proof graph — the solver's
+    search experience.  What is replaced: the external per-variable rank
+    array ([Static] / [Dynamic] install the new ranking, [Vsids] clears
+    it), and a [Dynamic] swap re-arms the fallback-to-VSIDS trigger.  The
+    decision heap itself is rebuilt against the new keys at the start of
+    the next {!solve}.  This is how a {!Session}-style incremental BMC run
+    re-ranks one persistent solver from each instance's unsat core instead
+    of seeding a fresh solver per depth.  (The historical [set_mode] alias
+    is gone: this is the single entry point of the heuristic registry.) *)
+
+val set_rank : t -> Lit.var -> float -> unit
+(** Point update of one variable's rank in the live decision order (see
+    {!Order.set_rank}) — the mutation path for conflict-frequency
+    heuristics that refine their ranking from inside [hk_on_conflict]. *)
+
+val heuristic_name : t -> string option
+(** The [hk_name] of the installed hooks, if any. *)
 
 (** {2 Clause sharing (the portfolio's learnt-clause exchange)}
 
@@ -140,6 +170,8 @@ val mark_local : t -> Lit.var -> unit
 val set_share :
   ?max_size:int ->
   ?max_lbd:int ->
+  ?export_budget:int ->
+  ?tune:(unit -> int option) ->
   t ->
   export:(Lit.t array -> lbd:int -> src_id:int -> unit) ->
   import:(unit -> (Lit.t list * (int * int) option) list) ->
@@ -148,7 +180,13 @@ val set_share :
     most [max_size] literals (default 8), has literal-block distance at
     most [max_lbd] (default 4) and is untainted, together with the clause's
     pseudo ID in this solver's proof shard ([src_id]; [-1] when proof
-    logging is off).  [import] is polled at solve-start and at every
+    logging is off).  [export_budget] (default unlimited) caps the number
+    of exports per restart interval; clauses withheld by the cap count as
+    [shared_throttled] in {!Stats.t} and the quota refills at every
+    restart.  [tune] is polled at each restart boundary: returning
+    [Some cap] moves the live LBD cap (clamped to at least 1) — the
+    adaptive-throttle path, typically fed by the exchange layer's
+    import-usefulness counters ([Share.Exchange.tune]).  [import] is polled at solve-start and at every
     restart (decision level 0); it must return clauses already remapped to
     this solver's variables, each sound for the formula being solved and
     each paired with its global [(solver id, clause id)] provenance when

@@ -15,6 +15,7 @@ type t = {
   mutable shared_exported : int;
   mutable shared_imported : int;
   mutable shared_rejected_tainted : int;
+  mutable shared_throttled : int;
   mutable inpr_runs : int;
   mutable inpr_probes : int;
   mutable inpr_probe_failed : int;
@@ -47,6 +48,7 @@ let create () =
     shared_exported = 0;
     shared_imported = 0;
     shared_rejected_tainted = 0;
+    shared_throttled = 0;
     inpr_runs = 0;
     inpr_probes = 0;
     inpr_probe_failed = 0;
@@ -80,6 +82,7 @@ let add acc s =
   acc.shared_exported <- acc.shared_exported + s.shared_exported;
   acc.shared_imported <- acc.shared_imported + s.shared_imported;
   acc.shared_rejected_tainted <- acc.shared_rejected_tainted + s.shared_rejected_tainted;
+  acc.shared_throttled <- acc.shared_throttled + s.shared_throttled;
   acc.inpr_runs <- acc.inpr_runs + s.inpr_runs;
   acc.inpr_probes <- acc.inpr_probes + s.inpr_probes;
   acc.inpr_probe_failed <- acc.inpr_probe_failed + s.inpr_probe_failed;
@@ -106,6 +109,7 @@ let pp ppf s =
   if s.shared_exported > 0 || s.shared_imported > 0 || s.shared_rejected_tainted > 0 then
     Format.fprintf ppf " sh_exported=%d sh_imported=%d sh_tainted=%d" s.shared_exported
       s.shared_imported s.shared_rejected_tainted;
+  if s.shared_throttled > 0 then Format.fprintf ppf " sh_throttled=%d" s.shared_throttled;
   if s.inpr_runs > 0 then
     Format.fprintf ppf " inpr_elim=%d inpr_sub=%d inpr_str=%d inpr_probe_failed=%d"
       s.inpr_eliminated s.inpr_subsumed s.inpr_strengthened s.inpr_probe_failed;

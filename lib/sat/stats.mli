@@ -36,6 +36,9 @@ type t = {
   mutable shared_rejected_tainted : int;
       (** exports withheld because the derivation involved an
           instance-local (activation/auxiliary) literal *)
+  mutable shared_throttled : int;
+      (** exports withheld by the per-restart export budget (the adaptive
+          sharing throttle; see {!Solver.set_share}) *)
   mutable inpr_runs : int;  (** {!Solver.inprocess} invocations *)
   mutable inpr_probes : int;  (** failed-literal probes attempted *)
   mutable inpr_probe_failed : int;  (** probes that yielded a conflict *)

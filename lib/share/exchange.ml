@@ -14,9 +14,14 @@ let unpack_lit key =
   let nf = key lsr 1 in
   (nf lsr frame_bits, nf land (max_frame - 1), neg)
 
-type config = { capacity : int; max_size : int; max_lbd : int }
+type config = {
+  capacity : int;
+  max_size : int;
+  max_lbd : int;
+  restart_budget : int; (* exports a solver may make per restart; max_int = unlimited *)
+}
 
-let default_config = { capacity = 1024; max_size = 8; max_lbd = 4 }
+let default_config = { capacity = 1024; max_size = 8; max_lbd = 4; restart_budget = max_int }
 
 (* [c_consumed] is the first-import latch: the first sibling to consume the
    clause flips it with a CAS, so the aggregate "imported" counter counts
@@ -36,11 +41,13 @@ type t = {
   delivered : int Atomic.t;
   rejected_tainted : int Atomic.t;
   dropped_stale : int Atomic.t;
+  import_used : int Atomic.t; (* imports that were load-bearing in a refutation *)
 }
 
 let create ?(config = default_config) () =
-  if config.capacity < 1 || config.max_size < 1 || config.max_lbd < 1 then
-    invalid_arg "Exchange.create";
+  if config.capacity < 1 || config.max_size < 1 || config.max_lbd < 1
+     || config.restart_budget < 1
+  then invalid_arg "Exchange.create";
   {
     cfg = config;
     ring = Ring.create ~capacity:config.capacity;
@@ -50,6 +57,7 @@ let create ?(config = default_config) () =
     delivered = Atomic.make 0;
     rejected_tainted = Atomic.make 0;
     dropped_stale = Atomic.make 0;
+    import_used = Atomic.make 0;
   }
 
 let config t = t.cfg
@@ -61,6 +69,12 @@ type endpoint = {
   cur : clause Ring.cursor;
   seen : (int, unit) Hashtbl.t; (* hashes published or imported here *)
   mutable drops_reported : int; (* cursor drops already pushed to the aggregate *)
+  (* import-usefulness accounting (domain-confined, like the endpoint) *)
+  mutable ep_delivered : int; (* clauses this endpoint consumed *)
+  mutable ep_used : int; (* of those, load-bearing in one of its refutations *)
+  mutable ep_lbd_cap : int; (* current adaptive export LBD cap *)
+  mutable mark_delivered : int; (* ep_delivered at the last tune decision *)
+  mutable mark_used : int;
 }
 
 let endpoint t ~name =
@@ -71,6 +85,11 @@ let endpoint t ~name =
     cur = Ring.cursor t.ring;
     seen = Hashtbl.create 256;
     drops_reported = 0;
+    ep_delivered = 0;
+    ep_used = 0;
+    ep_lbd_cap = t.cfg.max_lbd;
+    mark_delivered = 0;
+    mark_used = 0;
   }
 
 let name ep = ep.ep_name
@@ -122,6 +141,7 @@ let drain ep f =
              if Atomic.compare_and_set cl.c_consumed false true then
                Atomic.incr ep.ex.imported;
              Atomic.incr ep.ex.delivered;
+             ep.ep_delivered <- ep.ep_delivered + 1;
              incr delivered;
              let origin = if cl.c_src_id >= 0 then Some (src, cl.c_src_id) else None in
              f cl.c_lits ~origin
@@ -135,12 +155,48 @@ let note_dropped ep n = if n > 0 then ignore (Atomic.fetch_and_add ep.ex.dropped
 let note_rejected_tainted ep n =
   if n > 0 then ignore (Atomic.fetch_and_add ep.ex.rejected_tainted n)
 
+let note_import_used ep n =
+  if n > 0 then begin
+    ep.ep_used <- ep.ep_used + n;
+    ignore (Atomic.fetch_and_add ep.ex.import_used n)
+  end
+
+let restart_budget ep = ep.ex.cfg.restart_budget
+
+let lbd_cap ep = ep.ep_lbd_cap
+
+(* Minimum deliveries between cap moves: below this the used/delivered
+   ratio is noise, and the cap must not drift on it. *)
+let tune_sample = 16
+
+(* Deterministic adaptation of the export LBD cap from the usefulness of
+   the imports this endpoint consumed (the available proxy for overall
+   exchange quality): >= 1/4 of recent imports load-bearing widens the cap
+   towards the configured maximum, < 1/16 narrows it towards 1.  Called
+   from the solver's restart-boundary tune hook. *)
+let tune ep =
+  let delivered = ep.ep_delivered - ep.mark_delivered in
+  if delivered < tune_sample then Some ep.ep_lbd_cap
+  else begin
+    let used = ep.ep_used - ep.mark_used in
+    ep.mark_delivered <- ep.ep_delivered;
+    ep.mark_used <- ep.ep_used;
+    let cap =
+      if used * 4 >= delivered then min (ep.ep_lbd_cap + 1) ep.ex.cfg.max_lbd
+      else if used * 16 < delivered then max (ep.ep_lbd_cap - 1) 1
+      else ep.ep_lbd_cap
+    in
+    ep.ep_lbd_cap <- cap;
+    Some cap
+  end
+
 type stats = {
   exported : int;
   imported : int;
   delivered : int;
   rejected_tainted : int;
   dropped_stale : int;
+  import_used : int;
   occupancy : int;
   capacity : int;
 }
@@ -152,6 +208,7 @@ let stats (t : t) =
     delivered = Atomic.get t.delivered;
     rejected_tainted = Atomic.get t.rejected_tainted;
     dropped_stale = Atomic.get t.dropped_stale;
+    import_used = Atomic.get t.import_used;
     occupancy = Ring.occupancy t.ring;
     capacity = t.cfg.capacity;
   }
@@ -170,11 +227,14 @@ let stats_fields s =
     ("delivered", s.delivered);
     ("rejected_tainted", s.rejected_tainted);
     ("dropped_stale", s.dropped_stale);
+    ("import_used", s.import_used);
     ("occupancy", s.occupancy);
     ("capacity", s.capacity);
   ]
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "exported=%d imported=%d delivered=%d rejected_tainted=%d dropped_stale=%d occupancy=%d/%d"
-    s.exported s.imported s.delivered s.rejected_tainted s.dropped_stale s.occupancy s.capacity
+    "exported=%d imported=%d delivered=%d rejected_tainted=%d dropped_stale=%d \
+     import_used=%d occupancy=%d/%d"
+    s.exported s.imported s.delivered s.rejected_tainted s.dropped_stale s.import_used
+    s.occupancy s.capacity

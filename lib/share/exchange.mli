@@ -40,11 +40,16 @@ type config = {
   capacity : int;  (** ring slots *)
   max_size : int;  (** longest clause (literals) eligible for export *)
   max_lbd : int;  (** highest literal-block distance eligible for export *)
+  restart_budget : int;
+      (** exports a participating solver may make per restart interval
+          ([max_int] = unlimited) — the static half of the adaptive
+          sharing throttle *)
 }
 
 val default_config : config
 (** 1024 slots, clauses up to 8 literals with LBD up to 4 — the short
-    low-LBD clauses that carry most of the pruning power. *)
+    low-LBD clauses that carry most of the pruning power — and an
+    unlimited per-restart export budget. *)
 
 type t
 
@@ -97,6 +102,31 @@ val note_rejected_tainted : endpoint -> int -> unit
 (** Account clauses the exporting solver withheld because their derivation
     was tainted by an instance-local (activation/auxiliary) literal. *)
 
+(** {1 Adaptive throttling} *)
+
+val note_import_used : endpoint -> int -> unit
+(** Account imports that turned out load-bearing: after an UNSAT answer,
+    the session reports how many imported clauses the refutation's
+    backward closure reached ([Solver.unsat_core_imports]).  Feeds both
+    the per-endpoint usefulness ratio behind {!tune} and the aggregate
+    [import_used] counter. *)
+
+val restart_budget : endpoint -> int
+(** The configured per-restart export budget (pass to
+    [Solver.set_share ~export_budget]). *)
+
+val lbd_cap : endpoint -> int
+(** The endpoint's current adaptive export LBD cap (starts at the
+    configured [max_lbd], moved by {!tune}). *)
+
+val tune : endpoint -> int option
+(** One adaptation step, meant as the solver's restart-boundary tune hook:
+    once enough imports accumulated since the last move, a high
+    used/delivered ratio (>= 1/4) widens the export LBD cap towards the
+    configured maximum and a low one (< 1/16) narrows it towards 1;
+    otherwise the cap holds.  Deterministic given the counter history;
+    always returns the (possibly unchanged) current cap. *)
+
 (** {1 Counters} *)
 
 type stats = {
@@ -105,6 +135,9 @@ type stats = {
   delivered : int;  (** total deliveries summed over endpoints *)
   rejected_tainted : int;  (** exports withheld by the taint filter *)
   dropped_stale : int;  (** overwritten before consumption, or unmappable *)
+  import_used : int;
+      (** imported clauses later reported load-bearing in a refutation
+          (see {!note_import_used}) *)
   occupancy : int;  (** clauses currently readable in the ring *)
   capacity : int;
 }

@@ -115,12 +115,12 @@ let test_learnt_clauses_survive () =
     Alcotest.(check bool) "second solve cheaper (clause reuse)" true (n2 - n1 <= n1)
   | _, _ -> Alcotest.fail "expected UNSAT twice"
 
-let test_set_mode_between_solves () =
+let test_set_order_between_solves () =
   let cnf = mk_cnf [ [ (0, true); (1, true) ]; [ (2, true); (3, true) ] ] in
   let s = Sat.Solver.create cnf in
   Alcotest.(check string) "vsids" "SAT" (outcome_str (Sat.Solver.solve s));
   let rank = [| 0.0; 0.0; 9.0; 9.0 |] in
-  Sat.Solver.set_mode s (Sat.Order.Static rank);
+  Sat.Solver.set_order s (Sat.Order.Static rank);
   Alcotest.(check string) "static" "SAT" (outcome_str (Sat.Solver.solve s))
 
 (* Differential: random incremental sessions against brute force. *)
@@ -182,6 +182,6 @@ let tests =
     Alcotest.test_case "new_var" `Quick test_new_var;
     Alcotest.test_case "activation pattern" `Quick test_activation_literal_pattern;
     Alcotest.test_case "clause reuse" `Quick test_learnt_clauses_survive;
-    Alcotest.test_case "set_mode" `Quick test_set_mode_between_solves;
+    Alcotest.test_case "set_order" `Quick test_set_order_between_solves;
     QCheck_alcotest.to_alcotest prop_incremental_differential;
   ]

@@ -166,7 +166,7 @@ let test_single_racer_share_equals_sequential () =
       let config = Bmc.Session.make_config ~max_depth:depth ~collect_cores:true () in
       let race =
         Portfolio.create_race
-          ~racers:[ { Portfolio.r_mode = Bmc.Session.Standard; r_restart_base = None } ]
+          ~racers:[ Portfolio.racer ~name:"standard" Bmc.Session.Standard ]
           ~share:(Share.Exchange.create ()) ~pool config case.netlist
           ~property:case.property
       in

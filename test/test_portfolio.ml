@@ -211,12 +211,49 @@ let test_race_custom_racers () =
         Portfolio.check_race ~config:(race_config ~max_depth:4)
           ~racers:
             [
-              { Portfolio.r_mode = Bmc.Session.Standard; r_restart_base = Some 32 };
-              { Portfolio.r_mode = Bmc.Session.Dynamic; r_restart_base = Some 200 };
+              Portfolio.racer ~name:"standard" ~restart_base:32 Bmc.Session.Standard;
+              Portfolio.racer ~name:"dynamic" ~restart_base:200 Bmc.Session.Dynamic;
             ]
           ~pool case.netlist ~property:case.property
       in
       Alcotest.(check string) "outcome string" (session_outcomes seq) (race_outcomes par))
+
+(* Adaptive rotation: a lone racer with a one-conflict budget cannot be
+   cancelled (there is no winner to cancel it), so the first depth whose
+   instance needs more than one conflict deterministically exhausts the
+   budget and recycles the slot onto the rotation queue. *)
+let test_race_rotation () =
+  let case = Circuit.Generators.parity_pipe ~stages:12 () in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let starved name = Portfolio.racer ~name ~conflicts:1 Bmc.Session.Standard in
+      let race =
+        Portfolio.create_race
+          ~racers:[ starved "starved0" ]
+          ~rotation:[ starved "rot1"; starved "rot2" ]
+          ~pool (race_config ~max_depth:24) case.netlist ~property:case.property
+      in
+      let rotations = ref [] in
+      let rec drive k =
+        if k <= 24 && Portfolio.race_rotated race < 1 then begin
+          let rs = Portfolio.race_depth race ~k in
+          if rs.Portfolio.rotated > 0 then rotations := rs :: !rotations;
+          drive (k + 1)
+        end
+      in
+      drive 0;
+      Alcotest.(check bool) "rotation fired" true (Portfolio.race_rotated race >= 1);
+      (* per-round counts account for the run total *)
+      Alcotest.(check int) "per-round rotation counts sum"
+        (Portfolio.race_rotated race)
+        (List.fold_left
+           (fun acc (rs : Portfolio.race_stat) -> acc + rs.Portfolio.rotated)
+           0 !rotations);
+      (* the rotated-in heuristic is tallied (zero wins so far), the
+         recycled slot keeps its history *)
+      let names = List.map fst (Portfolio.race_wins race) in
+      List.iter
+        (fun n -> Alcotest.(check bool) (n ^ " tallied") true (List.mem n names))
+        [ "starved0"; "rot1" ])
 
 (* ------------------------------------------------------------------ *)
 (* Clause sharing (satellite): the exchange must not change any answer. *)
@@ -451,6 +488,7 @@ let tests =
       test_race_telemetry_and_cancellation;
     Alcotest.test_case "race depths must increase" `Quick test_race_depth_must_increase;
     Alcotest.test_case "custom racer ensembles" `Quick test_race_custom_racers;
+    Alcotest.test_case "adaptive racer rotation" `Quick test_race_rotation;
     Alcotest.test_case "differential: sharing on/off (race)" `Quick test_race_share_differential;
     Alcotest.test_case "differential: sharing on/off (batch)" `Quick
       test_batch_share_differential;

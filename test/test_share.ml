@@ -114,7 +114,10 @@ let prop_pack_roundtrip =
 (* ------------------------------------------------------------------ *)
 
 let mk_exchange ?(capacity = 64) ?(max_size = 8) ?(max_lbd = 4) () =
-  Exchange.create ~config:{ Exchange.capacity; max_size; max_lbd } ()
+  Exchange.create
+    ~config:
+      { Exchange.default_config with Exchange.capacity; max_size; max_lbd }
+    ()
 
 let keys lits = Array.of_list (List.map (fun (n, f, neg) -> Exchange.pack_lit ~node:n ~frame:f ~neg) lits)
 
